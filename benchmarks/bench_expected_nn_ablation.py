@@ -1,0 +1,48 @@
+"""E20 — [AESZ12] expected-distance NN vs probable NN (Section 1.2).
+
+The paper's motivation for quantification probabilities: "the expected
+nearest neighbor is not a good indicator under large uncertainty".
+Measures the disagreement rate between the expected-distance winner and
+the most-likely winner as the uncertainty radius grows.
+"""
+
+from repro import (
+    ExpectedNNIndex,
+    MonteCarloPNN,
+    disagreement_rate,
+)
+from repro.constructions import random_disk_points, random_queries
+
+from _util import print_table
+
+
+def test_disagreement_grows_with_uncertainty(benchmark):
+    rows = []
+    rates = []
+    for radius_hi, label in ((1.5, "small"), (6.0, "medium"), (14.0, "large")):
+        points = random_disk_points(
+            12, seed=33, box=40, radius_range=(1.0, radius_hi)
+        )
+        mc = MonteCarloPNN(points, s=2500, seed=34)
+
+        def most_likely(q):
+            est = mc.query(q)
+            return max(est, key=est.get)
+
+        queries = random_queries(40, seed=35, bbox=(0, 0, 40, 40))
+        rate = disagreement_rate(points, queries, most_likely)
+        rates.append(rate)
+        rows.append((label, f"[1, {radius_hi}]", f"{rate:.1%}"))
+    print_table(
+        "[AESZ12] ablation: expected-NN vs most-likely-NN disagreement",
+        ["uncertainty", "radius range", "disagreement rate"],
+        rows,
+    )
+    # Under tiny uncertainty both criteria coincide almost everywhere;
+    # under large uncertainty they must diverge on a visible fraction.
+    assert rates[0] <= rates[-1] + 0.05
+    assert rates[-1] > 0.0, "expected some disagreement under large uncertainty"
+
+    points = random_disk_points(12, seed=33, box=40, radius_range=(1, 6))
+    index = ExpectedNNIndex(points)
+    benchmark(lambda: index.query((20.0, 20.0)))

@@ -1,0 +1,32 @@
+"""E25 — probabilistic k-NN extension (Section 1.2 variants).
+
+Exact Poisson-binomial pi^(k) vs the Monte-Carlo estimator, and the
+invariant sum_i pi_i^(k)(q) = k (the expected number of points among
+the k nearest is exactly k).
+"""
+
+import math
+
+from repro import knn_probabilities, monte_carlo_knn
+from repro.constructions import random_discrete_points
+
+from _util import print_table
+
+
+def test_knn_probability_invariants(benchmark):
+    points = random_discrete_points(10, k=3, seed=43, box=25, scatter=5)
+    q = (12.0, 12.0)
+    rows = []
+    for k in (1, 2, 3, 5):
+        pi = knn_probabilities(points, q, k)
+        est = monte_carlo_knn(points, q, k, s=20_000, seed=44)
+        err = max(abs(pi[i] - est.get(i, 0.0)) for i in range(len(points)))
+        rows.append((k, f"{sum(pi):.6f}", f"{err:.4f}"))
+        assert math.isclose(sum(pi), float(k), rel_tol=1e-9)
+        assert err < 0.02
+    print_table(
+        "Probabilistic k-NN: exact DP vs Monte-Carlo (n = 10)",
+        ["k", "sum_i pi^(k) (must be k)", "max |exact - MC|"],
+        rows,
+    )
+    benchmark(lambda: knn_probabilities(points, q, 3))

@@ -1,0 +1,94 @@
+"""E23 — threshold and top-k PNN queries (paper conclusions, [DYM+05],
+[BSI08]).
+
+The approximate threshold index must certify every above-threshold point
+with a narrow undecided band, at a fraction of the exact sweep's cost.
+"""
+
+import random
+import time
+
+from repro import (
+    ApproxThresholdIndex,
+    quantification_probabilities,
+    threshold_nn_exact,
+    topk_probable_nn_exact,
+)
+from repro.constructions import random_discrete_points, random_queries
+
+from _util import print_table
+
+
+def test_threshold_certificates(benchmark):
+    points = random_discrete_points(200, k=3, seed=38, box=200, rho=2.0)
+    index = ApproxThresholdIndex(points)
+    queries = random_queries(25, seed=39, bbox=(0, 0, 200, 200))
+    tau, eps = 0.2, 0.04
+    missed = 0
+    band = 0
+    total_above = 0
+    for q in queries:
+        ans = index.query(q, tau, eps)
+        pi = quantification_probabilities(points, q)
+        for i, v in enumerate(pi):
+            if v > tau:
+                total_above += 1
+                if i not in ans.candidates():
+                    missed += 1
+        band += len(ans.undecided)
+    print_table(
+        f"Threshold queries (tau = {tau}, eps = {eps}, n = 200)",
+        ["true above-threshold", "missed", "mean undecided per query"],
+        [(total_above, missed, f"{band / len(queries):.2f}")],
+    )
+    assert missed == 0, "approximate threshold index missed a true answer"
+    assert band / len(queries) < 3.0
+
+    benchmark(lambda: index.query(queries[0], tau, eps))
+
+
+def test_threshold_speed_vs_exact(benchmark):
+    rows = []
+    speedups = []
+    for n in (200, 800, 3200):
+        box = 20.0 * (n ** 0.5)
+        points = random_discrete_points(n, k=3, seed=40, box=box, rho=2.0)
+        index = ApproxThresholdIndex(points)
+        queries = random_queries(40, seed=41, bbox=(0, 0, box, box))
+        t0 = time.perf_counter()
+        for q in queries:
+            index.query(q, 0.2, 0.05)
+        t_idx = (time.perf_counter() - t0) / len(queries)
+        t0 = time.perf_counter()
+        for q in queries:
+            threshold_nn_exact(points, q, 0.2)
+        t_exact = (time.perf_counter() - t0) / len(queries)
+        rows.append(
+            (n, f"{t_idx * 1e6:.1f}", f"{t_exact * 1e6:.1f}",
+             f"{t_exact / t_idx:.1f}x")
+        )
+        speedups.append(t_exact / t_idx)
+    print_table(
+        "Threshold queries: spiral certificates vs exact sweep (us/query)",
+        ["n", "approx index", "exact sweep", "speedup"],
+        rows,
+    )
+    assert speedups[-1] > speedups[0]
+
+    points = random_discrete_points(400, k=3, seed=40, box=400, rho=2.0)
+    index = ApproxThresholdIndex(points)
+    benchmark(lambda: index.query((200.0, 200.0), 0.2, 0.05))
+
+
+def test_topk_ranking(benchmark):
+    points = random_discrete_points(50, k=3, seed=42, box=60, rho=3.0)
+    q = (30.0, 30.0)
+    ranked = topk_probable_nn_exact(points, q, k=5)
+    pi = quantification_probabilities(points, q)
+    rows = [(i, f"{v:.4f}") for i, v in ranked]
+    print_table("Top-k probable NN (k = 5)", ["point", "pi_i(q)"], rows)
+    # Top-1 matches the argmax, values descend.
+    assert ranked[0][1] == max(pi)
+    values = [v for _, v in ranked]
+    assert values == sorted(values, reverse=True)
+    benchmark(lambda: topk_probable_nn_exact(points, q, k=5))

@@ -1,0 +1,73 @@
+"""E19 — [SE08] guaranteed Voronoi diagram (Section 1.2).
+
+In a guaranteed cell, NN!=0 is a singleton and the quantification
+probability is exactly one, independent of the pdfs.  Measures the
+guaranteed / contested area split for disjoint and overlapping
+families.
+"""
+
+from repro import (
+    MonteCarloPNN,
+    UncertainSet,
+    guaranteed_area_estimate,
+    guaranteed_owner,
+)
+from repro.constructions import disjoint_disk_points, random_disk_points
+
+from _util import print_table
+
+
+def test_guaranteed_probability_one(benchmark):
+    points = disjoint_disk_points(8, seed=28, lam=1.5)
+    uset = UncertainSet(points)
+    mc = MonteCarloPNN(points, s=3000, seed=29)
+    bbox = uset.bounding_box()
+    import random
+
+    rng = random.Random(30)
+    checked = 0
+    for _ in range(400):
+        q = (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+        owner = guaranteed_owner(points, q)
+        if owner is None:
+            continue
+        assert mc.query(q).get(owner, 0.0) == 1.0
+        checked += 1
+        if checked >= 25:
+            break
+    assert checked >= 10, "no guaranteed queries found"
+    benchmark(lambda: guaranteed_owner(points, (bbox[0] + 1, bbox[1] + 1)))
+
+
+def test_guaranteed_area_shrinks_with_overlap(benchmark):
+    rows = []
+    fractions = []
+    for radius, label in ((1.0, "sparse"), (4.0, "medium"), (10.0, "dense")):
+        points = random_disk_points(
+            12, seed=31, box=40, radius_range=(radius, radius * 1.1)
+        )
+        uset = UncertainSet(points)
+        bbox = uset.bounding_box()
+        stats = guaranteed_area_estimate(points, bbox, samples=6000, seed=32)
+        box_area = (bbox[2] - bbox[0]) * (bbox[3] - bbox[1])
+        guaranteed = sum(stats["areas"]) / box_area
+        fractions.append(guaranteed)
+        rows.append(
+            (label, radius, f"{guaranteed:.1%}", f"{stats['contested_fraction']:.1%}")
+        )
+    print_table(
+        "[SE08] guaranteed Voronoi: certainty shrinks as uncertainty grows",
+        ["family", "disk radius", "guaranteed area", "contested area"],
+        rows,
+    )
+    assert fractions[0] > fractions[-1], (
+        "larger uncertainty regions must shrink the guaranteed area"
+    )
+    points = random_disk_points(12, seed=31, box=40, radius_range=(1, 1.1))
+    uset = UncertainSet(points)
+    bbox = uset.bounding_box()
+    benchmark.pedantic(
+        lambda: guaranteed_area_estimate(points, bbox, samples=500, seed=1),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,40 @@
+"""E2 — Lemma 2.2: each gamma_i has at most 2n breakpoints.
+
+Regenerates the combinatorial claim (breakpoint counts across random
+families, always <= 2n) and times the envelope computation whose paper
+bound is O(n log n) per curve.
+"""
+
+from repro import gamma_curves
+from repro.constructions import random_disk_points
+
+from _util import print_table
+
+
+def test_gamma_breakpoint_bound(benchmark):
+    sizes = (5, 10, 20, 30)
+    rows = []
+
+    def build_largest():
+        points = random_disk_points(sizes[-1], seed=0, radius_range=(0.5, 2.0))
+        return gamma_curves(points)
+
+    curves = benchmark.pedantic(build_largest, rounds=1, iterations=1)
+
+    for n in sizes:
+        points = random_disk_points(n, seed=1, radius_range=(0.5, 2.0))
+        max_breaks = 0
+        total = 0
+        for curve in gamma_curves(points):
+            b = curve.num_breakpoints()
+            max_breaks = max(max_breaks, b)
+            total += b
+        rows.append((n, 2 * n, max_breaks, total))
+        assert max_breaks <= 2 * n, "Lemma 2.2 bound violated"
+
+    print_table(
+        "Lemma 2.2: breakpoints of gamma_i (bound 2n)",
+        ["n", "bound 2n", "max observed", "total over all i"],
+        rows,
+    )
+    assert len(curves) == sizes[-1]

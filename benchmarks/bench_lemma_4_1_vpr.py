@@ -1,0 +1,50 @@
+"""E11 — Lemma 4.1 / Fig. 9: VPr has Theta(N^4) complexity.
+
+Builds the k = 2 construction (points inside the unit disk plus one
+shared far location) and counts faces and distinct probability cells of
+the bisector arrangement inside the disk: the series must grow ~n^4 and
+adjacent faces must carry distinct probability vectors.
+"""
+
+from repro import ProbabilisticVoronoiDiagram
+from repro.constructions import lemma_4_1
+
+from _util import fit_power_law, print_table
+
+
+def test_vpr_quartic_growth(benchmark):
+    ns = (3, 4, 5, 6)
+    rows = []
+    faces = []
+    for n in ns:
+        points, _ = lemma_4_1(n, seed=1)
+        vpr = ProbabilisticVoronoiDiagram(points, bbox=(-1.0, -1.0, 1.0, 1.0))
+        stats = vpr.complexity()
+        rows.append(
+            (
+                n,
+                n * (n - 1) // 2,
+                stats["faces"],
+                stats["distinct_probability_cells"],
+            )
+        )
+        faces.append(stats["faces"])
+        # Fig. 9's key property: (almost) every face is its own
+        # probability cell.
+        assert stats["distinct_probability_cells"] >= 0.5 * stats["faces"]
+
+    exponent = fit_power_law(ns, faces)
+    print_table(
+        f"Lemma 4.1 (Fig. 9): VPr cells with k = 2 "
+        f"(fit exponent {exponent:.2f}; claim ~4)",
+        ["n", "bisectors C(n,2)", "faces", "distinct prob. cells"],
+        rows,
+    )
+    assert exponent >= 2.8, f"expected fast (towards quartic) growth, got {exponent}"
+
+    points, _ = lemma_4_1(4, seed=1)
+    benchmark.pedantic(
+        lambda: ProbabilisticVoronoiDiagram(points, bbox=(-1, -1, 1, 1)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,85 @@
+"""E22 — remark after Theorem 3.1: NN!=0 under L1 / Linf.
+
+"If we use L1 or Linf metric ... an NN!=0(q) query can be answered in
+O(log^2 n + t) time using O(n log^2 n) space": stage 2 becomes a
+rectangle-intersection report.  Measures the two-stage rectilinear plan
+against the O(n) scan and checks correctness against the brute oracle.
+"""
+
+import random
+import time
+
+from repro import ChebyshevNonzeroIndex, ManhattanNonzeroIndex
+from repro.core.rectilinear import chebyshev_nonzero_nn, manhattan_nonzero_nn
+
+from _util import print_table
+
+
+def _rects(rng, n, box):
+    out = []
+    for _ in range(n):
+        x, y = rng.uniform(0, box), rng.uniform(0, box)
+        s = rng.uniform(0.5, 2.5)
+        out.append((x, y, x + s, y + s))
+    return out
+
+
+def test_chebyshev_scaling(benchmark):
+    rows = []
+    speedups = []
+    for n in (100, 400, 1600):
+        rng = random.Random(36)
+        box = 20.0 * (n ** 0.5)
+        rects = _rects(rng, n, box)
+        index = ChebyshevNonzeroIndex(rects)
+        queries = [
+            (rng.uniform(0, box), rng.uniform(0, box)) for _ in range(150)
+        ]
+        for q in queries[:25]:
+            assert index.query(q) == chebyshev_nonzero_nn(rects, q)
+        t0 = time.perf_counter()
+        for q in queries:
+            index.query(q)
+        t_idx = (time.perf_counter() - t0) / len(queries)
+        t0 = time.perf_counter()
+        for q in queries:
+            chebyshev_nonzero_nn(rects, q)
+        t_brute = (time.perf_counter() - t0) / len(queries)
+        rows.append(
+            (n, f"{t_idx * 1e6:.1f}", f"{t_brute * 1e6:.1f}",
+             f"{t_brute / t_idx:.1f}x")
+        )
+        speedups.append(t_brute / t_idx)
+    print_table(
+        "Remark (Thm 3.1): Linf NN!=0, two-stage vs scan (us/query)",
+        ["n", "two-stage", "linear scan", "speedup"],
+        rows,
+    )
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 2.0
+
+    rng = random.Random(36)
+    rects = _rects(rng, 400, 400)
+    index = ChebyshevNonzeroIndex(rects)
+    benchmark(lambda: index.query((200.0, 200.0)))
+
+
+def test_manhattan_correctness_and_cost(benchmark):
+    rng = random.Random(37)
+    diamonds = [
+        ((rng.uniform(0, 150), rng.uniform(0, 150)), rng.uniform(0.5, 3))
+        for _ in range(300)
+    ]
+    index = ManhattanNonzeroIndex(diamonds)
+    queries = [(rng.uniform(0, 150), rng.uniform(0, 150)) for _ in range(60)]
+    sizes = []
+    for q in queries:
+        got = index.query(q)
+        assert got == manhattan_nonzero_nn(diamonds, q)
+        sizes.append(len(got))
+    print_table(
+        "Remark (Thm 3.1): L1 NN!=0 over diamonds (n = 300)",
+        ["queries", "mean output size", "max output size"],
+        [(len(queries), f"{sum(sizes) / len(sizes):.2f}", max(sizes))],
+    )
+    benchmark(lambda: index.query(queries[0]))

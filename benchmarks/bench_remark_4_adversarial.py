@@ -1,0 +1,50 @@
+"""E16 — Section 4.3 Remark (i): weight-threshold pruning fails.
+
+Regenerates the paper's adversarial calculation: with many tiny-weight
+locations between the query and a heavy competitor, dropping low-weight
+locations inflates the competitor's probability by more than 2 eps and
+flips the ranking, while distance-based truncation (spiral search) does
+not.
+"""
+
+from repro import (
+    SpiralSearchPNN,
+    adversarial_instance,
+    quantification_probabilities,
+)
+from repro.core.spiral import weight_threshold_estimate
+
+from _util import print_table
+
+
+def test_remark_i_flip(benchmark):
+    eps = 0.02
+    points, q = adversarial_instance(epsilon=eps)
+    exact = quantification_probabilities(points, q)
+    pruned = weight_threshold_estimate(points, q, threshold=eps / 2)
+    spiral = SpiralSearchPNN(points).query_vector(q, epsilon=eps / 2)
+
+    print_table(
+        f"Remark (i): adversarial instance (eps = {eps}, n = {len(points)})",
+        ["engine", "pi(P_1)", "pi(P_2)", "P_1 ranked first"],
+        [
+            ("exact sweep", f"{exact[0]:.4f}", f"{exact[1]:.4f}",
+             exact[0] > exact[1]),
+            ("weight-threshold pruning", f"{pruned[0]:.4f}", f"{pruned[1]:.4f}",
+             pruned[0] > pruned[1]),
+            ("spiral search", f"{spiral[0]:.4f}", f"{spiral[1]:.4f}",
+             spiral[0] > spiral[1]),
+        ],
+    )
+    # The paper's numbers: pi_1 ~ 3 eps, pi_2 < 2 eps, pruned pi_2 > 4 eps.
+    assert exact[0] > exact[1]
+    assert exact[1] < 2.5 * eps
+    assert pruned[1] > 4 * eps
+    assert pruned[1] > pruned[0], "expected the pruning flip"
+    assert spiral[0] > spiral[1], "spiral search must rank correctly"
+    # And spiral respects the one-sided error bound.
+    for a, b in zip(spiral, exact):
+        assert a <= b + 1e-9 <= a + eps / 2 + 2e-9
+
+    index = SpiralSearchPNN(points)
+    benchmark(lambda: index.query(q, eps / 2))

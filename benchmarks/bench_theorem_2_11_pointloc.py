@@ -1,0 +1,88 @@
+"""E7 — Theorem 2.11: point location over V!=0 answers NN!=0 queries.
+
+Measures the point-location query against the O(n) linear scan and
+reports the persistent-label storage saving of the [DSST89]-style store
+(Section 2.1, "Storing P_phi's").
+"""
+
+import random
+import time
+
+from repro import (
+    LinearScanIndex,
+    NonzeroVoronoiDiagram,
+    PersistentNonzeroIndex,
+    UncertainSet,
+)
+from repro.constructions import random_disk_points, random_queries
+
+from _util import print_table
+
+
+def _workload(n=14, seed=3):
+    points = random_disk_points(n, seed=seed, box=60, radius_range=(1, 3))
+    diagram = NonzeroVoronoiDiagram(points)
+    queries = random_queries(200, seed=seed + 1, bbox=diagram.bbox)
+    return points, diagram, queries
+
+
+def test_point_location_query(benchmark):
+    points, diagram, queries = _workload()
+    index = PersistentNonzeroIndex(diagram)
+    it = iter(range(10**9))
+
+    def one_query():
+        q = queries[next(it) % len(queries)]
+        return index.query(q)
+
+    benchmark(one_query)
+
+    # Correctness across the whole workload (skipping boundary-adjacent
+    # queries where the polyline approximation may disagree).
+    uset = UncertainSet(points)
+    agree = total = 0
+    for q in queries:
+        _, big = uset.envelope(q)
+        if any(abs(uset.delta(i, q) - big) < 1e-3 for i in range(len(uset))):
+            continue
+        total += 1
+        if index.query(q) == uset.nonzero_nn(q):
+            agree += 1
+    assert agree == total, f"point location disagreed on {total - agree} queries"
+
+    stats = index.space_statistics()
+    print_table(
+        "Theorem 2.11: persistent label storage (Section 2.1)",
+        ["cycles", "explicit label elements", "persistent delta elements"],
+        [(stats["cycles"], stats["explicit_elements"], stats["delta_elements"])],
+    )
+    assert stats["delta_elements"] <= stats["explicit_elements"]
+
+
+def test_query_scaling_vs_linear_scan(benchmark):
+    rows = []
+    for n in (8, 16, 24):
+        points = random_disk_points(n, seed=5, box=80, radius_range=(1, 3))
+        diagram = NonzeroVoronoiDiagram(points, points_per_piece=24)
+        index = PersistentNonzeroIndex(diagram)
+        scan = LinearScanIndex(points)
+        queries = random_queries(300, seed=6, bbox=diagram.bbox)
+        t0 = time.perf_counter()
+        for q in queries:
+            index.query(q)
+        t_pl = (time.perf_counter() - t0) / len(queries)
+        t0 = time.perf_counter()
+        for q in queries:
+            scan.query(q)
+        t_scan = (time.perf_counter() - t0) / len(queries)
+        rows.append((n, f"{t_pl * 1e6:.1f}", f"{t_scan * 1e6:.1f}"))
+    print_table(
+        "Theorem 2.11: query cost, point location vs linear scan (us/query)",
+        ["n", "point location", "linear scan"],
+        rows,
+    )
+    points = random_disk_points(8, seed=5, box=80)
+    diagram = NonzeroVoronoiDiagram(points, points_per_piece=24)
+    index = PersistentNonzeroIndex(diagram)
+    q = random_queries(1, seed=7, bbox=diagram.bbox)[0]
+    benchmark(lambda: index.query(q))

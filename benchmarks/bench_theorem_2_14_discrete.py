@@ -1,0 +1,64 @@
+"""E8 — Lemma 2.13 / Theorem 2.14: discrete V!=0 is O(k n^3).
+
+Counts arrangement vertices of the discrete gamma curves as n and k
+grow; the series must respect the O(k n^3) shape (and sit far below it
+for random inputs).
+"""
+
+from repro import discrete_gamma_census
+from repro.constructions import random_discrete_points
+
+from _util import fit_power_law, print_table
+
+
+def test_growth_in_n(benchmark):
+    k = 3
+    ns = (4, 6, 8, 10)
+    rows, counts = [], []
+    for n in ns:
+        points = random_discrete_points(n, k=k, seed=4, box=30, scatter=4)
+        stats = discrete_gamma_census(points)
+        counts.append(max(stats["arrangement_vertices"], 1))
+        rows.append((n, k, stats["arrangement_vertices"], k * n ** 3))
+        assert stats["arrangement_vertices"] <= k * n ** 3
+
+    exponent = fit_power_law(ns, counts)
+    print_table(
+        f"Theorem 2.14: discrete V!=0 vertices vs n "
+        f"(fit exponent {exponent:.2f}; bound 3)",
+        ["n", "k", "vertices", "k n^3 bound"],
+        rows,
+    )
+    assert exponent <= 3.4
+
+    benchmark.pedantic(
+        lambda: discrete_gamma_census(
+            random_discrete_points(6, k=3, seed=4, box=30, scatter=4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_growth_in_k(benchmark):
+    n = 6
+    rows = []
+    prev = None
+    for k in (2, 4, 6):
+        points = random_discrete_points(n, k=k, seed=9, box=30, scatter=4)
+        stats = discrete_gamma_census(points)
+        rows.append((n, k, stats["arrangement_vertices"], k * n ** 3))
+        prev = stats["arrangement_vertices"]
+        assert stats["arrangement_vertices"] <= k * n ** 3
+    print_table(
+        "Theorem 2.14: discrete V!=0 vertices vs k (bound k n^3)",
+        ["n", "k", "vertices", "k n^3 bound"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: discrete_gamma_census(
+            random_discrete_points(6, k=2, seed=9, box=30, scatter=4)
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,43 @@
+"""E4 — Theorem 2.7 / Fig. 5: Omega(n^3) lower-bound construction.
+
+The construction promises two witness disks per triple
+(D-_i, D+_j, D0_k): at least 4 m^3 vertices.  The census must find all
+of them, and the measured series must grow cubically.
+"""
+
+from repro import nonzero_voronoi_census
+from repro.constructions import theorem_2_7
+
+from _util import fit_power_law, print_table
+
+
+def test_theorem_2_7_construction(benchmark):
+    ms = (1, 2, 3)
+    rows = []
+    ns, counts = [], []
+    for m in ms:
+        points, predicted = theorem_2_7(m)
+        census = nonzero_voronoi_census(points, include_breakpoints=False)
+        rows.append((m, len(points), predicted, census.num_crossings))
+        ns.append(len(points))
+        counts.append(census.num_crossings)
+        assert census.num_crossings >= predicted, (
+            f"construction m={m}: found {census.num_crossings} < "
+            f"predicted {predicted}"
+        )
+
+    exponent = fit_power_law(ns, counts)
+    print_table(
+        f"Theorem 2.7 (Fig. 5): Omega(n^3) construction "
+        f"(fit exponent {exponent:.2f})",
+        ["m", "n", "predicted >= 4m^3", "measured crossings"],
+        rows,
+    )
+    assert exponent >= 2.2, f"lower-bound family grew with exponent {exponent}"
+
+    points, _ = theorem_2_7(2)
+    benchmark.pedantic(
+        lambda: nonzero_voronoi_census(points, include_breakpoints=False),
+        rounds=1,
+        iterations=1,
+    )

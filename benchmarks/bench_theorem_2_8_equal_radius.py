@@ -1,0 +1,40 @@
+"""E5 — Theorem 2.8 / Fig. 6: Omega(n^3) with equal-radius disks.
+
+One witness per triple: at least m^3 vertices among n = 3m unit disks.
+"""
+
+from repro import nonzero_voronoi_census
+from repro.constructions import theorem_2_8
+
+from _util import fit_power_law, print_table
+
+
+def test_theorem_2_8_construction(benchmark):
+    ms = (2, 3, 4)
+    rows = []
+    ns, counts = [], []
+    for m in ms:
+        points, predicted = theorem_2_8(m)
+        census = nonzero_voronoi_census(points, include_breakpoints=False)
+        rows.append((m, len(points), predicted, census.num_crossings))
+        ns.append(len(points))
+        counts.append(census.num_crossings)
+        assert census.num_crossings >= predicted, (
+            f"equal-radius construction m={m}: {census.num_crossings} < {predicted}"
+        )
+
+    exponent = fit_power_law(ns, counts)
+    print_table(
+        f"Theorem 2.8 (Fig. 6): equal radii Omega(n^3) "
+        f"(fit exponent {exponent:.2f})",
+        ["m", "n", "predicted >= m^3", "measured crossings"],
+        rows,
+    )
+    assert exponent >= 2.0
+
+    points, _ = theorem_2_8(3)
+    benchmark.pedantic(
+        lambda: nonzero_voronoi_census(points, include_breakpoints=False),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,98 @@
+"""E9 + E21 — Theorem 3.1: two-stage NN!=0 queries vs baselines.
+
+Compares the augmented-kd-tree two-stage plan against the [CKP04]
+R-tree branch-and-prune and the O(n) linear scan across growing n.  The
+paper's claim to regenerate: the structured plans answer queries in
+time roughly logarithmic in n plus output size, while the scan is
+linear — so the speedup factor must widen with n.
+"""
+
+import time
+
+from repro import (
+    BranchAndPruneIndex,
+    DiskNonzeroIndex,
+    LinearScanIndex,
+)
+from repro.constructions import random_disk_points, random_queries
+
+from _util import print_table
+
+
+def _avg_query_time(index, queries) -> float:
+    t0 = time.perf_counter()
+    for q in queries:
+        index.query(q)
+    return (time.perf_counter() - t0) / len(queries)
+
+
+def test_scaling_comparison(benchmark):
+    rows = []
+    speedups = []
+    for n in (100, 400, 1600):
+        points = random_disk_points(
+            n, seed=8, box=40.0 * (n ** 0.5), radius_range=(0.5, 2.0)
+        )
+        queries = random_queries(
+            200, seed=9, bbox=(0, 0, 40.0 * (n ** 0.5), 40.0 * (n ** 0.5))
+        )
+        two_stage = DiskNonzeroIndex(points)
+        ckp = BranchAndPruneIndex(points)
+        scan = LinearScanIndex(points)
+        # Correctness first.
+        for q in queries[:40]:
+            want = scan.query(q)
+            assert two_stage.query(q) == want
+            assert ckp.query(q) == want
+        t_ts = _avg_query_time(two_stage, queries)
+        t_ckp = _avg_query_time(ckp, queries)
+        t_scan = _avg_query_time(scan, queries)
+        rows.append(
+            (
+                n,
+                f"{t_ts * 1e6:.1f}",
+                f"{t_ckp * 1e6:.1f}",
+                f"{t_scan * 1e6:.1f}",
+                f"{t_scan / t_ts:.1f}x",
+            )
+        )
+        speedups.append(t_scan / t_ts)
+    print_table(
+        "Theorem 3.1: NN!=0 query cost (us/query)",
+        ["n", "two-stage kd", "CKP04 R-tree", "linear scan", "speedup"],
+        rows,
+    )
+    # The structured plan must win, and win more at larger n.
+    assert speedups[-1] > 1.5, "two-stage plan did not beat the scan"
+    assert speedups[-1] > speedups[0], "speedup should widen with n"
+
+    points = random_disk_points(400, seed=8, box=800, radius_range=(0.5, 2))
+    index = DiskNonzeroIndex(points)
+    q = (400.0, 400.0)
+    benchmark(lambda: index.query(q))
+
+
+def test_output_sensitivity(benchmark):
+    # Dense overlapping disks: output sizes grow, and the two-stage
+    # query cost tracks the output size (Theorem 3.1's O(log n + t)).
+    rows = []
+    for radius in (0.5, 2.0, 8.0):
+        points = random_disk_points(
+            300, seed=10, box=100, radius_range=(radius, radius * 1.2)
+        )
+        index = DiskNonzeroIndex(points)
+        queries = random_queries(150, seed=11, bbox=(0, 0, 100, 100))
+        t0 = time.perf_counter()
+        out_sizes = [len(index.query(q)) for q in queries]
+        t = (time.perf_counter() - t0) / len(queries)
+        rows.append(
+            (radius, f"{sum(out_sizes) / len(out_sizes):.1f}", f"{t * 1e6:.1f}")
+        )
+    print_table(
+        "Theorem 3.1: output sensitivity (fixed n = 300)",
+        ["disk radius", "mean output size t", "us/query"],
+        rows,
+    )
+    points = random_disk_points(300, seed=10, box=100, radius_range=(2.0, 2.4))
+    index = DiskNonzeroIndex(points)
+    benchmark(lambda: index.query((50.0, 50.0)))

@@ -1,0 +1,59 @@
+"""E10 — Theorem 3.2: discrete NN!=0 queries in sublinear time.
+
+The discrete two-stage structure over N = nk locations must answer
+queries well below the O(N) scan as N grows (the paper's structure is
+O(sqrt(N) polylog + t); the kd-tree substitute shows the same sublinear
+shape).
+"""
+
+import time
+
+from repro import DiscreteTwoStageIndex, LinearScanIndex
+from repro.constructions import random_discrete_points, random_queries
+
+from _util import print_table
+
+
+def test_scaling_in_N(benchmark):
+    rows = []
+    speedups = []
+    k = 4
+    for n in (100, 400, 1600):
+        points = random_discrete_points(
+            n, k=k, seed=12, box=30.0 * (n ** 0.5), scatter=2.0
+        )
+        index = DiscreteTwoStageIndex(points)
+        scan = LinearScanIndex(points)
+        box = 30.0 * (n ** 0.5)
+        queries = random_queries(150, seed=13, bbox=(0, 0, box, box))
+        for q in queries[:30]:
+            assert index.query(q) == scan.query(q)
+        t0 = time.perf_counter()
+        for q in queries:
+            index.query(q)
+        t_idx = (time.perf_counter() - t0) / len(queries)
+        t0 = time.perf_counter()
+        for q in queries:
+            scan.query(q)
+        t_scan = (time.perf_counter() - t0) / len(queries)
+        rows.append(
+            (
+                n,
+                n * k,
+                f"{t_idx * 1e6:.1f}",
+                f"{t_scan * 1e6:.1f}",
+                f"{t_scan / t_idx:.1f}x",
+            )
+        )
+        speedups.append(t_scan / t_idx)
+    print_table(
+        "Theorem 3.2: discrete NN!=0 query cost (us/query)",
+        ["n", "N = nk", "two-stage", "linear scan", "speedup"],
+        rows,
+    )
+    assert speedups[-1] > 1.5
+    assert speedups[-1] > speedups[0]
+
+    points = random_discrete_points(400, k=4, seed=12, box=600, scatter=2)
+    index = DiscreteTwoStageIndex(points)
+    benchmark(lambda: index.query((300.0, 300.0)))

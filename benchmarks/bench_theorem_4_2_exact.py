@@ -1,0 +1,68 @@
+"""E12 + E18 — Theorem 4.2: exact quantification via point location.
+
+Compares the O(log N + t) point-location query over VPr against the
+O(N log N) per-query exact sweep (Eq. (2)), and times the sweep's
+scaling in N (the workhorse the rest of Section 4 builds on).
+"""
+
+import time
+
+from repro import (
+    ProbabilisticVoronoiDiagram,
+    quantification_probabilities,
+)
+from repro.constructions import random_discrete_points, random_queries
+
+from _util import print_table
+
+
+def test_vpr_query_vs_sweep(benchmark):
+    points = random_discrete_points(4, k=2, seed=14, box=20, scatter=4)
+    vpr = ProbabilisticVoronoiDiagram(points)
+    queries = random_queries(300, seed=15, bbox=vpr.bbox)
+
+    t0 = time.perf_counter()
+    for q in queries:
+        vpr.query_vector(q)
+    t_vpr = (time.perf_counter() - t0) / len(queries)
+    t0 = time.perf_counter()
+    for q in queries:
+        quantification_probabilities(points, q)
+    t_sweep = (time.perf_counter() - t0) / len(queries)
+
+    print_table(
+        "Theorem 4.2: exact quantification query cost (us/query)",
+        ["structure", "us/query"],
+        [
+            ("VPr point location", f"{t_vpr * 1e6:.1f}"),
+            ("per-query sweep (Eq. 2)", f"{t_sweep * 1e6:.1f}"),
+        ],
+    )
+    q = queries[0]
+    benchmark(lambda: vpr.query_vector(q))
+
+
+def test_sweep_scaling(benchmark):
+    rows = []
+    times = []
+    for n in (50, 200, 800):
+        points = random_discrete_points(n, k=4, seed=16, box=100)
+        q = (50.0, 50.0)
+        t0 = time.perf_counter()
+        reps = 20
+        for _ in range(reps):
+            pi = quantification_probabilities(points, q)
+        t = (time.perf_counter() - t0) / reps
+        times.append(t)
+        rows.append((n, n * 4, f"{t * 1e3:.2f}"))
+        assert abs(sum(pi) - 1.0) < 1e-6
+    print_table(
+        "Eq. (2) sweep: exact quantification scaling (ms/query)",
+        ["n", "N = nk", "ms/query"],
+        rows,
+    )
+    # Near-linear scaling: 16x more data should cost well under 100x.
+    assert times[-1] / times[0] < 60
+
+    points = random_discrete_points(200, k=4, seed=16, box=100)
+    benchmark(lambda: quantification_probabilities(points, (50.0, 50.0)))

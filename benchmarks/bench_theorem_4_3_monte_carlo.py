@@ -1,0 +1,102 @@
+"""E13 — Theorem 4.3: Monte-Carlo quantification estimates.
+
+Regenerates the theorem's trade-off: the worst-case estimation error
+shrinks like 1/sqrt(s) with the number of rounds, the error stays within
+the configured epsilon, and query time grows linearly in s (i.e. like
+1/eps^2).
+"""
+
+import math
+import random
+import time
+
+from repro import MonteCarloPNN, quantification_probabilities
+from repro.constructions import random_discrete_points, random_queries
+
+from _util import fit_power_law, print_table
+
+
+def _max_error(points, mc, queries):
+    worst = 0.0
+    for q in queries:
+        exact = quantification_probabilities(points, q)
+        est = mc.query_vector(q)
+        worst = max(worst, max(abs(a - b) for a, b in zip(exact, est)))
+    return worst
+
+
+def test_error_scales_as_inverse_sqrt_s(benchmark):
+    points = random_discrete_points(10, k=3, seed=17, box=25, scatter=5)
+    queries = random_queries(12, seed=18, bbox=(0, 0, 25, 25))
+    rows = []
+    ss = (50, 200, 800, 3200)
+    errors = []
+    for s in ss:
+        errs = []
+        for seed in range(3):
+            mc = MonteCarloPNN(points, s=s, seed=seed)
+            errs.append(_max_error(points, mc, queries))
+        err = sum(errs) / len(errs)
+        errors.append(err)
+        rows.append((s, f"{err:.4f}", f"{1.0 / math.sqrt(s):.4f}"))
+    exponent = fit_power_law(ss, errors)
+    print_table(
+        f"Theorem 4.3: max |pihat - pi| vs rounds s "
+        f"(fit exponent {exponent:.2f}; claim -0.5)",
+        ["s", "mean max error", "1/sqrt(s)"],
+        rows,
+    )
+    assert -0.8 <= exponent <= -0.25, f"error decay exponent {exponent}"
+    assert errors[-1] < errors[0]
+
+    mc = MonteCarloPNN(points, s=200, seed=0)
+    q = queries[0]
+    benchmark(lambda: mc.query(q))
+
+
+def test_epsilon_guarantee_holds(benchmark):
+    points = random_discrete_points(8, k=3, seed=19, box=25)
+    eps, delta = 0.08, 0.05
+    mc = MonteCarloPNN(points, epsilon=eps, delta=delta, seed=21)
+    queries = random_queries(15, seed=20, bbox=(0, 0, 25, 25))
+    violations = 0
+    checks = 0
+    for q in queries:
+        exact = quantification_probabilities(points, q)
+        est = mc.query_vector(q)
+        for a, b in zip(exact, est):
+            checks += 1
+            if abs(a - b) > eps:
+                violations += 1
+    print_table(
+        f"Theorem 4.3: eps = {eps}, delta = {delta}, s = {mc.s}",
+        ["estimate checks", "violations of eps", "allowed (delta)"],
+        [(checks, violations, f"{delta:.0%} of queries")],
+    )
+    assert violations <= max(1, int(delta * checks))
+    benchmark(lambda: mc.query(queries[0]))
+
+
+def test_query_time_linear_in_s(benchmark):
+    points = random_discrete_points(30, k=3, seed=22, box=50)
+    q = (25.0, 25.0)
+    rows = []
+    times = []
+    ss = (100, 400, 1600)
+    for s in ss:
+        mc = MonteCarloPNN(points, s=s, seed=1)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            mc.query(q)
+        t = (time.perf_counter() - t0) / 5
+        times.append(t)
+        rows.append((s, f"{t * 1e3:.2f}"))
+    exponent = fit_power_law(ss, times)
+    print_table(
+        f"Theorem 4.3: query time vs s (fit exponent {exponent:.2f}; claim 1)",
+        ["s", "ms/query"],
+        rows,
+    )
+    assert 0.6 <= exponent <= 1.4
+    mc = MonteCarloPNN(points, s=100, seed=1)
+    benchmark(lambda: mc.query(q))

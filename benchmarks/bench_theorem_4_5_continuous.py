@@ -1,0 +1,81 @@
+"""E14 — Theorem 4.5 / Lemma 4.4: the continuous Monte-Carlo structure.
+
+Two claims regenerated:
+
+* running the s-round structure directly on continuous distributions
+  estimates pi within eps (ground truth: Eq. (1) quadrature);
+* Lemma 4.4 — replacing each continuous point by a discrete sample of
+  size k(alpha) changes every pi by at most alpha * n (measured against
+  the same ground truth, shrinking with k).
+"""
+
+import random
+
+from repro import (
+    MonteCarloPNN,
+    continuous_quantification_all,
+    discretize,
+    quantification_probabilities,
+)
+from repro.constructions import random_disk_points
+
+from _util import print_table
+
+
+def _instance():
+    return random_disk_points(5, seed=23, box=14, radius_range=(1.5, 3.0))
+
+
+def test_continuous_monte_carlo_error(benchmark):
+    points = _instance()
+    q = (7.0, 7.0)
+    exact = continuous_quantification_all(points, q, tol=1e-9)
+    rows = []
+    last_err = None
+    for s in (200, 2000, 20000):
+        mc = MonteCarloPNN(points, s=s, seed=3)
+        est = mc.query_vector(q)
+        err = max(abs(a - b) for a, b in zip(exact, est))
+        rows.append((s, f"{err:.4f}"))
+        last_err = err
+    print_table(
+        "Theorem 4.5: continuous MC vs Eq. (1) quadrature (max error)",
+        ["s", "max |pihat - pi|"],
+        rows,
+    )
+    assert last_err < 0.02
+
+    mc = MonteCarloPNN(points, s=500, seed=3)
+    benchmark(lambda: mc.query(q))
+
+
+def test_lemma_4_4_discretisation_error(benchmark):
+    points = _instance()
+    q = (7.0, 7.0)
+    exact = continuous_quantification_all(points, q, tol=1e-9)
+    rows = []
+    errors = []
+    rng = random.Random(5)
+    for k in (25, 100, 400, 1600):
+        errs = []
+        for _ in range(3):
+            disc = [discretize(p, k=k, rng=rng) for p in points]
+            approx = quantification_probabilities(disc, q)
+            errs.append(max(abs(a - b) for a, b in zip(exact, approx)))
+        err = sum(errs) / len(errs)
+        errors.append(err)
+        rows.append((k, f"{err:.4f}"))
+    print_table(
+        "Lemma 4.4: |pibar - pi| vs per-point sample size k",
+        ["k", "mean max error"],
+        rows,
+    )
+    # Error must shrink with k (the VC sampling bound's alpha ~ k^-1/2).
+    assert errors[-1] < errors[0]
+    assert errors[-1] < 0.05
+
+    benchmark.pedantic(
+        lambda: [discretize(p, k=100, rng=rng) for p in points],
+        rounds=1,
+        iterations=1,
+    )

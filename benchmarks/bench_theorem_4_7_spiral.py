@@ -1,0 +1,106 @@
+"""E15 — Theorem 4.7 / Lemma 4.6: spiral search.
+
+Regenerated claims:
+
+* one-sided error — pihat <= pi <= pihat + eps on every query;
+* the retrieval size m(rho, eps) grows linearly in rho and
+  logarithmically in 1/eps;
+* query time is output-bounded: far below the full exact sweep for
+  large N (who-wins crossover measured).
+"""
+
+import math
+import time
+
+from repro import SpiralSearchPNN, quantification_probabilities, spread
+from repro.constructions import random_discrete_points, random_queries
+from repro.core.spiral import retrieval_size
+
+from _util import print_table
+
+
+def test_one_sided_guarantee(benchmark):
+    points = random_discrete_points(40, k=3, seed=24, box=60, rho=3.0)
+    index = SpiralSearchPNN(points)
+    queries = random_queries(20, seed=25, bbox=(0, 0, 60, 60))
+    eps = 0.05
+    worst_low, worst_high = 0.0, 0.0
+    for q in queries:
+        exact = quantification_probabilities(points, q)
+        est = index.query_vector(q, eps)
+        for a, b in zip(est, exact):
+            worst_low = max(worst_low, a - b)  # must stay <= 0
+            worst_high = max(worst_high, b - a)  # must stay <= eps
+    print_table(
+        f"Lemma 4.6: one-sided error at eps = {eps}",
+        ["max (pihat - pi)", "max (pi - pihat)", "eps"],
+        [(f"{worst_low:.2e}", f"{worst_high:.4f}", eps)],
+    )
+    assert worst_low <= 1e-9
+    assert worst_high <= eps + 1e-9
+    benchmark(lambda: index.query(queries[0], eps))
+
+
+def test_retrieval_size_shape(benchmark):
+    rows = []
+    k = 3
+    for rho in (1.0, 2.0, 4.0, 8.0):
+        for eps in (0.1, 0.01):
+            rows.append((rho, eps, retrieval_size(rho, k, eps)))
+    print_table(
+        "Theorem 4.7: m(rho, eps) = rho k ln(rho/eps) + k - 1",
+        ["rho", "eps", "m"],
+        rows,
+    )
+    # Linear in rho: doubling rho should roughly double m.
+    m2 = retrieval_size(2.0, k, 0.01)
+    m4 = retrieval_size(4.0, k, 0.01)
+    assert 1.5 <= m4 / m2 <= 3.0
+    # Logarithmic in 1/eps: squaring the accuracy adds a constant factor.
+    ma = retrieval_size(2.0, k, 0.1)
+    mb = retrieval_size(2.0, k, 0.01)
+    assert mb / ma < 3.0
+
+    benchmark.pedantic(lambda: retrieval_size(4.0, 3, 0.01), rounds=1, iterations=1)
+
+
+def test_crossover_vs_exact_sweep(benchmark):
+    # Growing N with fixed rho and eps: the spiral query reads a fixed
+    # number of locations, the sweep reads all N -> the speedup widens.
+    rows = []
+    speedups = []
+    eps = 0.05
+    for n in (100, 400, 1600):
+        box = 30.0 * math.sqrt(n)
+        points = random_discrete_points(n, k=3, seed=26, box=box, rho=2.0)
+        index = SpiralSearchPNN(points)
+        queries = random_queries(50, seed=27, bbox=(0, 0, box, box))
+        t0 = time.perf_counter()
+        for q in queries:
+            index.query(q, eps)
+        t_spiral = (time.perf_counter() - t0) / len(queries)
+        t0 = time.perf_counter()
+        for q in queries:
+            quantification_probabilities(points, q)
+        t_sweep = (time.perf_counter() - t0) / len(queries)
+        rows.append(
+            (
+                n,
+                index.m(eps),
+                f"{t_spiral * 1e6:.1f}",
+                f"{t_sweep * 1e6:.1f}",
+                f"{t_sweep / t_spiral:.1f}x",
+            )
+        )
+        speedups.append(t_sweep / t_spiral)
+    print_table(
+        f"Theorem 4.7: spiral vs exact sweep (eps = {eps}, rho = 2)",
+        ["n", "m(rho,eps)", "spiral us/q", "sweep us/q", "speedup"],
+        rows,
+    )
+    assert speedups[-1] > speedups[0], "spiral advantage must widen with N"
+    assert speedups[-1] > 2.0
+
+    points = random_discrete_points(400, k=3, seed=26, box=600, rho=2.0)
+    index = SpiralSearchPNN(points)
+    benchmark(lambda: index.query((300.0, 300.0), eps))

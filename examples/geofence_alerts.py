@@ -1,0 +1,96 @@
+"""Geofence alerting with probability thresholds and persisted data.
+
+A delivery platform tracks couriers whose positions are uncertain
+(mixed models: GPS-ping clouds, disk priors, Gaussian error).  A store
+wants an alert whenever some courier is, with probability at least tau,
+its nearest courier.  The example exercises:
+
+* threshold PNN queries with spiral-search certificates
+  (``ApproxThresholdIndex``, paper Section 4.3 + [DYM+05] semantics);
+* top-k probable NN ranking ([BSI08]);
+* JSON persistence of the uncertain relation (``repro.io``).
+
+Run with::
+
+    python examples/geofence_alerts.py
+"""
+
+import os
+import random
+import tempfile
+
+from repro import (
+    ApproxThresholdIndex,
+    DiscreteUncertainPoint,
+    io,
+    threshold_nn_exact,
+    topk_probable_nn_exact,
+)
+
+
+def build_couriers(seed=5, n=25, city=40.0, k=4):
+    rng = random.Random(seed)
+    couriers = []
+    for i in range(n):
+        ax, ay = rng.uniform(0, city), rng.uniform(0, city)
+        pings = [
+            (ax + rng.gauss(0, 1.2), ay + rng.gauss(0, 1.2)) for _ in range(k)
+        ]
+        weights = [0.4, 0.3, 0.2, 0.1][:k]
+        couriers.append(
+            DiscreteUncertainPoint(pings, weights, name=f"courier-{i:02d}")
+        )
+    return couriers
+
+
+def main():
+    couriers = build_couriers()
+
+    # Persist and reload the uncertain relation (a probabilistic table).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "couriers.json")
+        io.save(couriers, path)
+        couriers = io.load(path)
+        print(f"persisted + reloaded {len(couriers)} couriers via {path!r}\n")
+
+    stores = {
+        "store-downtown": (12.0, 14.0),
+        "store-harbor": (33.0, 8.0),
+        "store-uptown": (22.0, 35.0),
+    }
+    tau, eps = 0.30, 0.05
+    index = ApproxThresholdIndex(couriers)
+
+    print("=" * 70)
+    print(f"Geofence alerts: fire when P[courier is nearest] >= {tau:.0%}")
+    print(f"(spiral-search certificates, undecided band eps = {eps})")
+    print("=" * 70)
+    for store, loc in stores.items():
+        ans = index.query(loc, tau, eps)
+        exact = threshold_nn_exact(couriers, loc, tau)
+        print(f"\n{store} at {loc}:")
+        if not ans.above and not ans.undecided:
+            print("  no courier dominates — no alert")
+        for i, est in sorted(ans.above.items(), key=lambda kv: -kv[1]):
+            print(
+                f"  ALERT {couriers[i].name}: certified >= {tau:.0%} "
+                f"(estimate {est:.1%})"
+            )
+        for i, est in ans.undecided.items():
+            print(
+                f"  borderline {couriers[i].name}: estimate {est:.1%} "
+                f"within eps of the threshold"
+            )
+        # Certificates are sound: every certified alert is truly above tau.
+        for i in ans.above:
+            assert i in exact, "unsound certificate!"
+
+        ranked = topk_probable_nn_exact(couriers, loc, k=3)
+        pretty = ", ".join(
+            f"{couriers[i].name} ({v:.1%})" for i, v in ranked
+        )
+        print(f"  top-3 by probability: {pretty}")
+
+
+if __name__ == "__main__":
+    main()

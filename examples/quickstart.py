@@ -1,0 +1,94 @@
+"""Quickstart: the full public API in one tour.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    DiscreteUncertainPoint,
+    DiskNonzeroIndex,
+    MonteCarloPNN,
+    NonzeroVoronoiDiagram,
+    SpiralSearchPNN,
+    UncertainSet,
+    UniformDiskPoint,
+    continuous_quantification_all,
+    quantification_probabilities,
+)
+
+
+def main():
+    print("=" * 64)
+    print("repro quickstart — nearest-neighbor search under uncertainty")
+    print("=" * 64)
+
+    # --- continuous uncertain points: disks -----------------------------
+    points = [
+        UniformDiskPoint((0.0, 0.0), 1.0, name="A"),
+        UniformDiskPoint((4.0, 0.0), 1.5, name="B"),
+        UniformDiskPoint((2.0, 3.5), 1.0, name="C"),
+    ]
+    uset = UncertainSet(points)
+    q = (2.0, 1.0)
+
+    print(f"\nQuery point q = {q}")
+    members = uset.nonzero_nn(q)
+    print(f"NN!=0(q): {sorted(points[i].name for i in members)}")
+    print("  (the points with a nonzero probability of being q's NN)")
+
+    # --- quantification probabilities (continuous, Eq. (1)) -------------
+    pis = continuous_quantification_all(points, q)
+    print("\nQuantification probabilities (exact quadrature, Eq. (1)):")
+    for p, v in zip(points, pis):
+        print(f"  pi_{p.name}(q) = {v:.4f}")
+
+    # --- Monte-Carlo estimates (Theorem 4.3 / 4.5) ----------------------
+    mc = MonteCarloPNN(points, epsilon=0.02, delta=0.05, seed=1)
+    est = mc.query(q)
+    print(f"\nMonte-Carlo estimates (s = {mc.s} rounds):")
+    for i, v in sorted(est.items()):
+        print(f"  pihat_{points[i].name}(q) = {v:.4f}")
+
+    # --- the nonzero Voronoi diagram (Section 2) -------------------------
+    diagram = NonzeroVoronoiDiagram(points)
+    stats = diagram.complexity()
+    print(
+        f"\nNonzero Voronoi diagram V!=0: {stats['faces']} faces, "
+        f"{stats['distinct_labels']} distinct NN!=0 labels"
+    )
+    print(f"  point-location query at q -> {sorted(points[i].name for i in diagram.query(q))}")
+
+    # --- fast index (Theorem 3.1 analogue) -------------------------------
+    index = DiskNonzeroIndex(points)
+    print(f"  two-stage index envelope Delta(q) = {index.envelope(q):.4f}")
+
+    # --- discrete uncertain points (GPS-style pings) ---------------------
+    rng = random.Random(7)
+    discrete = [
+        DiscreteUncertainPoint(
+            [(x + rng.gauss(0, 0.5), y + rng.gauss(0, 0.5)) for _ in range(4)],
+            [0.4, 0.3, 0.2, 0.1],
+            name=f"D{i}",
+        )
+        for i, (x, y) in enumerate([(0, 0), (3, 1), (1, 4)])
+    ]
+    dq = (1.5, 1.5)
+    exact = quantification_probabilities(discrete, dq)
+    print(f"\nDiscrete points, query {dq} (exact sweep, Eq. (2)):")
+    for p, v in zip(discrete, exact):
+        print(f"  pi_{p.name} = {v:.4f}")
+
+    spiral = SpiralSearchPNN(discrete)
+    approx = spiral.query_vector(dq, epsilon=0.05)
+    print("Spiral search (eps = 0.05, one-sided error, Lemma 4.6):")
+    for p, v in zip(discrete, approx):
+        print(f"  pihat_{p.name} = {v:.4f}")
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Gallery of the paper's diagrams and lower-bound constructions.
+
+Builds the nonzero Voronoi diagram of a small instance, prints its cell
+structure as an ASCII map, and verifies the lower-bound constructions of
+Theorems 2.7 / 2.8 / 2.10 by counting their witness-disk vertices.
+
+Run with::
+
+    python examples/voronoi_gallery.py
+"""
+
+from repro import (
+    NonzeroVoronoiDiagram,
+    UncertainSet,
+    UniformDiskPoint,
+    nonzero_voronoi_census,
+)
+from repro.constructions import (
+    theorem_2_10_quadratic,
+    theorem_2_7,
+    theorem_2_8,
+)
+
+
+def ascii_map(points, bbox, width=64, height=24):
+    """Render NN!=0 regions: each cell shows how many points are
+    possible NNs there ('1' = guaranteed region of some point)."""
+    uset = UncertainSet(points)
+    xmin, ymin, xmax, ymax = bbox
+    rows = []
+    for r in range(height):
+        y = ymax - (r + 0.5) * (ymax - ymin) / height
+        row = []
+        for c in range(width):
+            x = xmin + (c + 0.5) * (xmax - xmin) / width
+            inside = next(
+                (
+                    str(i % 10)
+                    for i, p in enumerate(points)
+                    if p.disk.contains_point((x, y))
+                ),
+                None,
+            )
+            if inside is not None:
+                row.append(inside)
+            else:
+                size = len(uset.nonzero_nn((x, y)))
+                row.append("." if size == 1 else str(min(size, 9)))
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def main():
+    print("=" * 72)
+    print("Nonzero Voronoi diagram of four disks (digits = inside disk i,")
+    print("'.' = guaranteed region, 2..9 = number of possible NNs)")
+    print("=" * 72)
+    points = [
+        UniformDiskPoint((8, 8), 3.0),
+        UniformDiskPoint((24, 10), 4.0),
+        UniformDiskPoint((16, 20), 3.0),
+        UniformDiskPoint((30, 22), 2.0),
+    ]
+    print(ascii_map(points, (0, 0, 36, 28)))
+
+    diagram = NonzeroVoronoiDiagram(points)
+    stats = diagram.complexity()
+    print(
+        f"\nmaterialised subdivision: {stats['faces']} faces, "
+        f"{stats['distinct_labels']} distinct NN!=0 labels"
+    )
+    census = nonzero_voronoi_census(points)
+    print(
+        f"exact vertex census: {census.num_vertices} vertices "
+        f"({census.num_crossings} curve crossings, "
+        f"{census.num_breakpoints} breakpoints)"
+    )
+
+    print("\n" + "=" * 72)
+    print("Lower-bound constructions (witness-disk vertex counts)")
+    print("=" * 72)
+    print(f"{'construction':>28} | {'n':>4} | {'predicted':>9} | {'measured':>9}")
+    rows = []
+    for m in (1, 2):
+        points, predicted = theorem_2_7(m)
+        census = nonzero_voronoi_census(points, include_breakpoints=False)
+        rows.append((f"Thm 2.7 (Omega(n^3)), m={m}", len(points), predicted,
+                     census.num_crossings))
+    for m in (2, 3):
+        points, predicted = theorem_2_8(m)
+        census = nonzero_voronoi_census(points, include_breakpoints=False)
+        rows.append((f"Thm 2.8 (equal radii), m={m}", len(points), predicted,
+                     census.num_crossings))
+    for m in (3, 5):
+        points, predicted = theorem_2_10_quadratic(m)
+        census = nonzero_voronoi_census(points, include_breakpoints=False)
+        rows.append((f"Thm 2.10 (Omega(n^2)), m={m}", len(points), predicted,
+                     census.num_crossings))
+    for name, n, predicted, measured in rows:
+        print(f"{name:>28} | {n:>4} | {predicted:>9} | {measured:>9}")
+
+
+if __name__ == "__main__":
+    main()

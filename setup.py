@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` to fall back to the
+``setup.py develop`` path in offline environments that lack the ``wheel``
+package required by PEP 517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

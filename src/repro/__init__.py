@@ -1,0 +1,146 @@
+"""repro — Nearest-Neighbor Searching Under Uncertainty.
+
+A from-scratch reproduction of the PODS paper "Nearest-Neighbor
+Searching Under Uncertainty II" (Agarwal, Aronov, Har-Peled, Phillips,
+Yi, Zhang): nonzero Voronoi diagrams, near-linear NN!=0 indexes, and
+exact / Monte-Carlo / spiral-search quantification probabilities, plus
+the computational-geometry and indexing substrate they stand on.
+
+Quick start::
+
+    import random
+    from repro import UniformDiskPoint, UncertainSet, MonteCarloPNN
+
+    points = [UniformDiskPoint((0, 0), 1), UniformDiskPoint((3, 0), 1)]
+    uset = UncertainSet(points)
+    print(uset.nonzero_nn((1.4, 0)))       # which points can be the NN?
+
+    mc = MonteCarloPNN(points, epsilon=0.05, seed=1)
+    print(mc.query((1.4, 0)))              # how likely is each one?
+"""
+
+from . import io
+from ._version import __version__
+from .core import (
+    ApproxThresholdIndex,
+    BranchAndPruneIndex,
+    ChebyshevNonzeroIndex,
+    ManhattanNonzeroIndex,
+    ThresholdAnswer,
+    chebyshev_nonzero_nn,
+    manhattan_nonzero_nn,
+    threshold_nn_exact,
+    topk_probable_nn_exact,
+    DiscreteNonzeroVoronoi,
+    DiscreteTwoStageIndex,
+    DiskNonzeroIndex,
+    ExpectedNNIndex,
+    GammaCurve,
+    GenericNonzeroIndex,
+    LinearScanIndex,
+    MonteCarloPNN,
+    NonzeroVoronoiDiagram,
+    PersistentNonzeroIndex,
+    ProbabilisticVoronoiDiagram,
+    SpiralSearchPNN,
+    UncertainSet,
+    adversarial_instance,
+    brute_force_nonzero,
+    continuous_quantification,
+    continuous_quantification_all,
+    disagreement_rate,
+    discrete_gamma_census,
+    expected_knn,
+    gamma_curves,
+    knn_probabilities,
+    monte_carlo_knn,
+    guaranteed_area_estimate,
+    guaranteed_owner,
+    is_guaranteed,
+    nonzero_quantifications,
+    nonzero_voronoi_census,
+    quantification_naive,
+    quantification_probabilities,
+    rounds_for_all_queries,
+    rounds_for_fixed_query,
+    spread,
+)
+from .errors import (
+    DegenerateInputError,
+    DistributionError,
+    EmptyIndexError,
+    GeometryError,
+    QueryError,
+    ReproError,
+)
+from .uncertain import (
+    DiscreteUncertainPoint,
+    HistogramPoint,
+    TruncatedGaussianPoint,
+    UncertainPoint,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    UniformRectPoint,
+    discretize,
+)
+
+__all__ = [
+    "ApproxThresholdIndex",
+    "BranchAndPruneIndex",
+    "ChebyshevNonzeroIndex",
+    "DegenerateInputError",
+    "DiscreteNonzeroVoronoi",
+    "DiscreteTwoStageIndex",
+    "DiscreteUncertainPoint",
+    "DiskNonzeroIndex",
+    "DistributionError",
+    "EmptyIndexError",
+    "ExpectedNNIndex",
+    "GammaCurve",
+    "GenericNonzeroIndex",
+    "GeometryError",
+    "HistogramPoint",
+    "LinearScanIndex",
+    "ManhattanNonzeroIndex",
+    "MonteCarloPNN",
+    "NonzeroVoronoiDiagram",
+    "PersistentNonzeroIndex",
+    "ProbabilisticVoronoiDiagram",
+    "QueryError",
+    "ReproError",
+    "SpiralSearchPNN",
+    "ThresholdAnswer",
+    "TruncatedGaussianPoint",
+    "UncertainPoint",
+    "UncertainSet",
+    "UniformDiskPoint",
+    "UniformPolygonPoint",
+    "UniformRectPoint",
+    "__version__",
+    "adversarial_instance",
+    "chebyshev_nonzero_nn",
+    "brute_force_nonzero",
+    "continuous_quantification",
+    "continuous_quantification_all",
+    "disagreement_rate",
+    "discrete_gamma_census",
+    "discretize",
+    "expected_knn",
+    "gamma_curves",
+    "knn_probabilities",
+    "monte_carlo_knn",
+    "guaranteed_area_estimate",
+    "guaranteed_owner",
+    "io",
+    "is_guaranteed",
+    "manhattan_nonzero_nn",
+    "nonzero_quantifications",
+    "nonzero_voronoi_census",
+    "quantification_naive",
+    "quantification_probabilities",
+    "rounds_for_all_queries",
+    "rounds_for_fixed_query",
+    "spread",
+    "threshold_nn_exact",
+    "topk_probable_nn_exact",
+]

@@ -1,0 +1,46 @@
+"""Global numeric configuration for the library.
+
+The paper assumes a real-RAM model; this implementation works with IEEE
+doubles plus bracketed root isolation.  All tolerance knobs live here so
+that experiments can tighten or relax them in one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class Tolerances:
+    """Numeric tolerances used across the geometry substrate.
+
+    Attributes
+    ----------
+    abs_eps:
+        Absolute tolerance for coordinate comparisons and vertex snapping.
+    rel_eps:
+        Relative tolerance for distance comparisons.
+    root_eps:
+        Convergence tolerance for 1-D root isolation (envelope breakpoints,
+        curve/curve intersections).
+    angle_samples:
+        Default number of angular samples used to bracket sign changes when
+        intersecting polar curves.  Each pair of Apollonius branches crosses
+        at most twice (Lemma 2.2), so a moderately fine grid suffices; the
+        value is configurable for stress experiments.
+    """
+
+    abs_eps: float = 1e-9
+    rel_eps: float = 1e-9
+    root_eps: float = 1e-12
+    angle_samples: int = 512
+
+
+#: Module-level default tolerances.  Mutated only by tests/experiments.
+TOLERANCES = Tolerances()
+
+
+def almost_equal(a: float, b: float, tol: Tolerances = None) -> bool:
+    """Return True when ``a`` and ``b`` agree up to the configured tolerance."""
+    tol = tol or TOLERANCES
+    return abs(a - b) <= tol.abs_eps + tol.rel_eps * max(abs(a), abs(b))

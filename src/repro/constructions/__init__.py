@@ -1,0 +1,29 @@
+"""Workload generators and the paper's lower-bound constructions."""
+
+from .generators import (
+    clustered_gaussian_points,
+    disjoint_disk_points,
+    random_disk_points,
+    random_discrete_points,
+    random_queries,
+    weights_with_spread,
+)
+from .lower_bounds import (
+    lemma_4_1,
+    theorem_2_7,
+    theorem_2_8,
+    theorem_2_10_quadratic,
+)
+
+__all__ = [
+    "clustered_gaussian_points",
+    "disjoint_disk_points",
+    "lemma_4_1",
+    "random_discrete_points",
+    "random_disk_points",
+    "random_queries",
+    "theorem_2_10_quadratic",
+    "theorem_2_7",
+    "theorem_2_8",
+    "weights_with_spread",
+]

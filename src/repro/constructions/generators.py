@@ -1,0 +1,149 @@
+"""Random workload generators for experiments and examples."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..uncertain.discrete import DiscreteUncertainPoint
+from ..uncertain.disk_uniform import UniformDiskPoint
+from ..uncertain.gaussian import TruncatedGaussianPoint
+
+
+def random_disk_points(
+    n: int,
+    seed: int = 0,
+    box: float = 100.0,
+    radius_range: Tuple[float, float] = (1.0, 5.0),
+) -> List[UniformDiskPoint]:
+    """``n`` uniform-disk points with centers uniform in a box."""
+    rng = random.Random(seed)
+    return [
+        UniformDiskPoint(
+            (rng.uniform(0, box), rng.uniform(0, box)),
+            rng.uniform(*radius_range),
+            name=f"P_{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def disjoint_disk_points(
+    n: int,
+    seed: int = 0,
+    lam: float = 2.0,
+    box: Optional[float] = None,
+    max_tries: int = 10_000,
+) -> List[UniformDiskPoint]:
+    """``n`` pairwise-disjoint disks with radii in ``[1, lam]``.
+
+    The setting of Theorem 2.10: disjoint uncertainty regions with
+    bounded radius ratio.  Placement is dart-throwing with rejection.
+    """
+    if lam < 1.0:
+        raise QueryError("lam must be >= 1")
+    rng = random.Random(seed)
+    if box is None:
+        box = 6.0 * lam * math.sqrt(n)
+    disks: List[Tuple[float, float, float]] = []
+    tries = 0
+    while len(disks) < n:
+        tries += 1
+        if tries > max_tries * n:
+            raise QueryError("could not place disjoint disks; enlarge box")
+        r = rng.uniform(1.0, lam)
+        x = rng.uniform(r, box - r)
+        y = rng.uniform(r, box - r)
+        if all(
+            math.hypot(x - ox, y - oy) > r + orr for ox, oy, orr in disks
+        ):
+            disks.append((x, y, r))
+    return [
+        UniformDiskPoint((x, y), r, name=f"P_{i}")
+        for i, (x, y, r) in enumerate(disks)
+    ]
+
+
+def clustered_gaussian_points(
+    n: int,
+    seed: int = 0,
+    clusters: int = 4,
+    box: float = 100.0,
+    sigma: float = 2.0,
+) -> List[TruncatedGaussianPoint]:
+    """Truncated Gaussians grouped around random cluster centers."""
+    rng = random.Random(seed)
+    centers = [
+        (rng.uniform(0.2 * box, 0.8 * box), rng.uniform(0.2 * box, 0.8 * box))
+        for _ in range(clusters)
+    ]
+    points = []
+    for i in range(n):
+        cx, cy = centers[i % clusters]
+        points.append(
+            TruncatedGaussianPoint(
+                (cx + rng.gauss(0, box / 15), cy + rng.gauss(0, box / 15)),
+                sigma=sigma,
+                name=f"P_{i}",
+            )
+        )
+    return points
+
+
+def weights_with_spread(k: int, rho: float, rng: random.Random) -> List[float]:
+    """``k`` positive weights summing to 1 with min/max ratio ``rho``.
+
+    Used by the spiral-search experiments (Theorem 4.7) to control the
+    location-probability spread of Eq. (9).  Note the spread of Eq. (9)
+    is *global* (over all points); sets built from a single shared
+    pattern have global spread exactly ``rho`` (see
+    :func:`random_discrete_points`).
+    """
+    if k == 1:
+        return [1.0]
+    if rho < 1.0:
+        raise QueryError("rho must be >= 1")
+    raw = [1.0, rho] + [rng.uniform(1.0, rho) for _ in range(k - 2)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def random_discrete_points(
+    n: int,
+    k: int,
+    seed: int = 0,
+    box: float = 100.0,
+    scatter: float = 4.0,
+    rho: float = 4.0,
+) -> List[DiscreteUncertainPoint]:
+    """``n`` discrete points, each with ``k`` locations scattered around
+    a random anchor; the *global* location-probability spread (Eq. (9))
+    is exactly ``rho`` because all points share one weight pattern."""
+    rng = random.Random(seed)
+    weights = weights_with_spread(k, rho, rng)
+    points = []
+    for i in range(n):
+        ax, ay = rng.uniform(0, box), rng.uniform(0, box)
+        locations = [
+            (ax + rng.gauss(0, scatter), ay + rng.gauss(0, scatter))
+            for _ in range(k)
+        ]
+        # Shuffle which location carries which weight, keeping the
+        # multiset (and hence the global spread) fixed.
+        shuffled = weights[:]
+        rng.shuffle(shuffled)
+        points.append(DiscreteUncertainPoint(locations, shuffled, name=f"P_{i}"))
+    return points
+
+
+def random_queries(
+    m: int, seed: int, bbox: Tuple[float, float, float, float]
+) -> List[Tuple[float, float]]:
+    """``m`` query points uniform in ``bbox``."""
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+        for _ in range(m)
+    ]

@@ -1,0 +1,132 @@
+"""The paper's lower-bound constructions, exactly as specified.
+
+* :func:`theorem_2_7` — Omega(n^3) vertices of ``V!=0`` with two radius
+  classes (Fig. 5);
+* :func:`theorem_2_8` — Omega(n^3) with equal-radius disks (Fig. 6);
+* :func:`theorem_2_10_quadratic` — Omega(n^2) with disjoint equal disks
+  (Fig. 8);
+* :func:`lemma_4_1` — Omega(n^4) cells of ``VPr`` with ``k = 2``
+  (Fig. 9).
+
+Each returns uncertain points ready for the census / arrangement code,
+plus the combinatorial count the paper's proof predicts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..errors import QueryError
+from ..uncertain.discrete import DiscreteUncertainPoint
+from ..uncertain.disk_uniform import UniformDiskPoint
+
+
+def theorem_2_7(m: int) -> Tuple[List[UniformDiskPoint], int]:
+    """Fig. 5 construction: ``n = 4m`` disks, Omega(n^3) vertices.
+
+    Families ``D-`` and ``D+`` have radius ``R = 8 n^2`` on the x-axis;
+    ``D0`` has ``2m`` unit disks on the y-axis.  Every triple
+    ``(D-_i, D+_j, D0_k)`` contributes two witness disks, so the
+    predicted vertex count is at least ``2 * m * m * 2m = 4 m^3``.
+    """
+    if m < 1:
+        raise QueryError("m must be >= 1")
+    n = 4 * m
+    R = 8.0 * n * n
+    omega = 1.0 / (n * n)
+    points: List[UniformDiskPoint] = []
+    for i in range(1, m + 1):
+        points.append(
+            UniformDiskPoint((-R - 1.5 - (i - 1) * omega, 0.0), R, name=f"D-_{i}")
+        )
+    for j in range(1, m + 1):
+        points.append(
+            UniformDiskPoint((R + 1.5 + (j - 1) * omega, 0.0), R, name=f"D+_{j}")
+        )
+    for k in range(1, 2 * m + 1):
+        points.append(
+            UniformDiskPoint((0.0, 4.0 * (k - m) - 2.0), 1.0, name=f"D0_{k}")
+        )
+    return points, 4 * m * m * m
+
+
+def theorem_2_8(m: int, omega: float = None) -> Tuple[List[UniformDiskPoint], int]:
+    """Fig. 6 construction: ``n = 3m`` equal-radius disks, Omega(n^3).
+
+    All radii are 1; ``D0`` disks sit on the circle of radius 2 around
+    ``(2, 0)`` (each tangent to ``D+_1``), and the ``D-``/``D+`` families
+    are perturbed copies of the base disks with spacing ``omega``.  Every
+    triple contributes at least one witness, predicting ``m^3`` vertices.
+    """
+    if m < 1:
+        raise QueryError("m must be >= 1")
+    if omega is None:
+        omega = 1e-3 / (m * m)
+    theta = (math.pi / 2.0) / (m + 1)
+    points: List[UniformDiskPoint] = []
+    for i in range(1, m + 1):
+        points.append(
+            UniformDiskPoint((-2.0 - (i - 1) * omega, 0.0), 1.0, name=f"D-_{i}")
+        )
+    for j in range(1, m + 1):
+        points.append(
+            UniformDiskPoint((2.0 + (j - 1) * omega, 0.0), 1.0, name=f"D+_{j}")
+        )
+    for k in range(1, m + 1):
+        points.append(
+            UniformDiskPoint(
+                (2.0 - 2.0 * math.cos(k * theta), 2.0 * math.sin(k * theta)),
+                1.0,
+                name=f"D0_{k}",
+            )
+        )
+    return points, m * m * m
+
+
+def theorem_2_10_quadratic(m: int) -> Tuple[List[UniformDiskPoint], int]:
+    """Fig. 8 construction: ``n = 2m`` disjoint unit disks on a line,
+    Omega(n^2) vertices of ``V!=0``.
+
+    Unit disks at ``x = 4(i - m) - 2``; every pair ``(i, j)`` with
+    ``j - i >= 2`` determines two vertices (realised with the middle
+    disk), predicting ``2 * #{(i, j) : j - i >= 2}`` vertices.
+    """
+    if m < 1:
+        raise QueryError("m must be >= 1")
+    points = [
+        UniformDiskPoint((4.0 * (i - m) - 2.0, 0.0), 1.0, name=f"D_{i}")
+        for i in range(1, 2 * m + 1)
+    ]
+    n = 2 * m
+    pairs = sum(1 for i in range(1, n + 1) for j in range(i + 2, n + 1))
+    return points, 2 * pairs
+
+
+def lemma_4_1(
+    n: int, seed: int = 0, far: Tuple[float, float] = (100.0, 0.0)
+) -> Tuple[List[DiscreteUncertainPoint], float]:
+    """Fig. 9 construction: ``k = 2`` discrete points, Omega(n^4) cells.
+
+    Each ``P_i`` is ``{p_i, p'}`` with probability 1/2 each: ``p_i``
+    inside the unit disk ``D`` and ``p'`` far away (shared).  Inside
+    ``D`` the arrangement of the ``C(n, 2)`` bisectors has Theta(n^4)
+    faces, and adjacent faces carry distinct probability vectors.
+
+    Returns the points and the radius of the disk the ``p_i`` occupy.
+    """
+    if n < 2:
+        raise QueryError("n must be >= 2")
+    rng = random.Random(seed)
+    radius = 0.5
+    points: List[DiscreteUncertainPoint] = []
+    for i in range(n):
+        # Random position in the disk of radius 0.5 (rejection-free).
+        ang = rng.uniform(0.0, 2.0 * math.pi)
+        rad = radius * math.sqrt(rng.random())
+        p = (rad * math.cos(ang), rad * math.sin(ang))
+        points.append(
+            DiscreteUncertainPoint([p, far], [0.5, 0.5], name=f"P_{i}")
+        )
+    return points, radius

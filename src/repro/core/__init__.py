@@ -1,0 +1,115 @@
+"""The paper's contribution: nonzero Voronoi diagrams, NN!=0 indexes,
+and quantification-probability structures."""
+
+from .baselines import BranchAndPruneIndex, LinearScanIndex
+from .census import CensusResult, Vertex, nonzero_voronoi_census
+from .continuous_quant import (
+    continuous_quantification,
+    continuous_quantification_all,
+)
+from .discrete_voronoi import (
+    DiscreteNonzeroVoronoi,
+    discrete_gamma_census,
+    gamma_polygon_edges,
+    k_cell,
+)
+from .expected_nn import ExpectedNNIndex, disagreement_rate
+from .gamma import GammaCurve, disks_of, gamma_curves
+from .guaranteed import (
+    guaranteed_area_estimate,
+    guaranteed_owner,
+    is_guaranteed,
+)
+from .knn import expected_knn, knn_probabilities, monte_carlo_knn
+from .monte_carlo import (
+    MonteCarloPNN,
+    rounds_for_all_queries,
+    rounds_for_fixed_query,
+)
+from .nonzero import UncertainSet, brute_force_nonzero
+from .nonzero_index import (
+    DiscreteTwoStageIndex,
+    DiskNonzeroIndex,
+    GenericNonzeroIndex,
+)
+from .nonzero_voronoi import NonzeroVoronoiDiagram
+from .prob_voronoi import ProbabilisticVoronoiDiagram
+from .quantification import (
+    nonzero_quantifications,
+    quantification_naive,
+    quantification_probabilities,
+    sweep_quantification,
+)
+from .rectilinear import (
+    ChebyshevNonzeroIndex,
+    ManhattanNonzeroIndex,
+    chebyshev_nonzero_nn,
+    manhattan_nonzero_nn,
+)
+from .threshold import (
+    ApproxThresholdIndex,
+    ThresholdAnswer,
+    threshold_nn_exact,
+    topk_probable_nn_exact,
+)
+from .spiral import (
+    SpiralSearchPNN,
+    adversarial_instance,
+    retrieval_size,
+    spread,
+    weight_threshold_estimate,
+)
+from .subdivision_index import PersistentNonzeroIndex
+
+__all__ = [
+    "ApproxThresholdIndex",
+    "BranchAndPruneIndex",
+    "CensusResult",
+    "ChebyshevNonzeroIndex",
+    "ManhattanNonzeroIndex",
+    "ThresholdAnswer",
+    "chebyshev_nonzero_nn",
+    "manhattan_nonzero_nn",
+    "threshold_nn_exact",
+    "topk_probable_nn_exact",
+    "DiscreteNonzeroVoronoi",
+    "DiscreteTwoStageIndex",
+    "DiskNonzeroIndex",
+    "ExpectedNNIndex",
+    "GammaCurve",
+    "GenericNonzeroIndex",
+    "LinearScanIndex",
+    "MonteCarloPNN",
+    "NonzeroVoronoiDiagram",
+    "PersistentNonzeroIndex",
+    "ProbabilisticVoronoiDiagram",
+    "SpiralSearchPNN",
+    "UncertainSet",
+    "Vertex",
+    "adversarial_instance",
+    "brute_force_nonzero",
+    "continuous_quantification",
+    "continuous_quantification_all",
+    "disagreement_rate",
+    "discrete_gamma_census",
+    "disks_of",
+    "expected_knn",
+    "gamma_curves",
+    "knn_probabilities",
+    "monte_carlo_knn",
+    "gamma_polygon_edges",
+    "guaranteed_area_estimate",
+    "guaranteed_owner",
+    "is_guaranteed",
+    "k_cell",
+    "nonzero_quantifications",
+    "nonzero_voronoi_census",
+    "quantification_naive",
+    "quantification_probabilities",
+    "retrieval_size",
+    "rounds_for_all_queries",
+    "rounds_for_fixed_query",
+    "spread",
+    "sweep_quantification",
+    "weight_threshold_estimate",
+]

@@ -1,0 +1,93 @@
+"""Baselines from the literature the paper compares against.
+
+[CKP04] ("Querying imprecise data in moving object environments")
+answers nonzero-NN queries with an R-tree branch-and-prune: traverse the
+tree while maintaining the smallest max-distance seen so far, prune
+subtrees whose min-distance exceeds it, and keep every object whose
+min-distance beats the final threshold.  The paper's Section 1.2 notes
+these methods carry no nontrivial worst-case guarantee; the benchmarks
+measure how the guarantee-free traversal compares with the two-stage
+plan of Section 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Sequence
+
+from ..index.rtree import RTree, rect_maxdist, rect_mindist
+from .nonzero import UncertainSet
+
+
+class BranchAndPruneIndex:
+    """[CKP04]-style single-pass branch-and-prune over an R-tree."""
+
+    def __init__(self, points: Sequence):
+        self.uset = UncertainSet(points)
+        self._rtree = RTree([p.support_bbox() for p in points])
+        self.last_visited_nodes = 0  # instrumentation for benchmarks
+
+    def query(self, q) -> FrozenSet[int]:
+        """``NN!=0(q)`` via min/max-distance pruning.
+
+        First pass establishes ``threshold = min_i Delta_i(q)`` using
+        bbox max-distance bounds refined at the leaves; second pass
+        collects objects with ``delta_i(q) < threshold``, pruning by
+        bbox min-distance.
+        """
+        self.last_visited_nodes = 0
+        threshold = self._min_maxdist(q)
+        out: List[int] = []
+        stack = [self._rtree.root]
+        while stack:
+            node = stack.pop()
+            self.last_visited_nodes += 1
+            if rect_mindist(q, node.bbox) >= threshold:
+                continue
+            if node.entries is not None:
+                for i in node.entries:
+                    if rect_mindist(q, self._rtree.rects[i]) >= threshold:
+                        continue
+                    if self.uset.delta(i, q) < threshold:
+                        out.append(i)
+            else:
+                stack.extend(node.children)
+        from .nonzero_index import _with_tie_fallback
+
+        return _with_tie_fallback(self.uset, self._rtree, q, set(out))
+
+    def _min_maxdist(self, q) -> float:
+        best = math.inf
+        stack = [self._rtree.root]
+        while stack:
+            node = stack.pop()
+            self.last_visited_nodes += 1
+            if rect_mindist(q, node.bbox) >= best:
+                continue
+            if node.entries is not None:
+                for i in node.entries:
+                    # Cheap bbox upper bound first, exact refinement second.
+                    ub = rect_maxdist(q, self._rtree.rects[i])
+                    if ub < best:
+                        best = ub
+                    if rect_mindist(q, self._rtree.rects[i]) < best:
+                        exact = self.uset.big_delta(i, q)
+                        if exact < best:
+                            best = exact
+            else:
+                # Visit children nearest-first for tighter early bounds.
+                children = sorted(
+                    node.children, key=lambda c: rect_mindist(q, c.bbox)
+                )
+                stack.extend(reversed(children))
+        return best
+
+
+class LinearScanIndex:
+    """The trivial O(n)-per-query baseline (exactly Lemma 2.1)."""
+
+    def __init__(self, points: Sequence):
+        self.uset = UncertainSet(points)
+
+    def query(self, q) -> FrozenSet[int]:
+        return self.uset.nonzero_nn(q)

@@ -1,0 +1,197 @@
+"""``V!=0(P)`` for discrete distributions (Section 2.2).
+
+Lemma 2.13: for discrete points the curve ``gamma_ij`` is a convex
+polygonal curve with O(k) vertices — it bounds the convex cell
+
+    ``K_ij = { x : delta_i(x) >= Delta_j(x) }``
+          ``= intersection over locations (a, b) of the halfplane``
+            ``{ x : d(x, p_jb) <= d(x, p_ia) }``.
+
+``gamma_i`` is the boundary of ``union_j K_ij``, and ``V!=0`` is the
+arrangement of the ``gamma_i`` (Theorem 2.14: O(k n^3) complexity).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import GeometryError
+from ..geometry.dcel import PlanarSubdivision
+from ..geometry.halfplane import Halfplane, halfplane_intersection
+from ..geometry.planarize import box_border_segments, planarize
+from ..geometry.point import Point
+from ..geometry.pointlocation import LabelledSubdivision
+from ..geometry.polygon import point_in_convex_polygon
+from .nonzero import UncertainSet
+
+Bbox = Tuple[float, float, float, float]
+
+
+def k_cell(points: Sequence, i: int, j: int, bbox: Bbox) -> List[Point]:
+    """The convex cell ``K_ij`` clipped to ``bbox`` (Lemma 2.13).
+
+    Empty when ``P_j`` can never dominate ``P_i`` inside the box.
+    """
+    pi, pj = points[i], points[j]
+    if not (pi.is_discrete and pj.is_discrete):
+        raise GeometryError("K_ij cells require discrete distributions")
+    halfplanes = [
+        Halfplane.bisector_side(b, a)
+        for a in pi.locations
+        for b in pj.locations
+    ]
+    return halfplane_intersection(halfplanes, bbox)
+
+
+def gamma_polygon_edges(
+    points: Sequence, i: int, bbox: Bbox
+) -> List[Tuple[Tuple[float, float], Tuple[float, float]]]:
+    """Edges of ``gamma_i`` = boundary of ``union_{j != i} K_ij``.
+
+    Computed by planarising all cell boundaries of the ``K_ij`` and
+    keeping the sub-edges not strictly interior to any other cell.
+    Box-border artifacts from clipping are dropped.
+    """
+    cells = []
+    for j in range(len(points)):
+        if j == i:
+            continue
+        poly = k_cell(points, i, j, bbox)
+        if len(poly) >= 3:
+            cells.append(poly)
+    if not cells:
+        return []
+    segments = []
+    for poly in cells:
+        for a, b in zip(poly, poly[1:] + poly[:1]):
+            segments.append(((a.x, a.y), (b.x, b.y)))
+    vertices, edges = planarize(segments)
+    out = []
+    eps = 1e-9 * max(abs(bbox[0]), abs(bbox[1]), abs(bbox[2]), abs(bbox[3]), 1.0)
+    for (u, v) in edges:
+        ax, ay = vertices[u]
+        bx, by = vertices[v]
+        mx, my = 0.5 * (ax + bx), 0.5 * (ay + by)
+        if _on_box_border(mx, my, bbox, eps):
+            continue
+        strictly_inside = False
+        for poly in cells:
+            if point_in_convex_polygon((mx, my), poly, eps=-eps):
+                strictly_inside = True
+                break
+        if not strictly_inside:
+            out.append(((ax, ay), (bx, by)))
+    return out
+
+
+def _on_box_border(x: float, y: float, bbox: Bbox, eps: float) -> bool:
+    return (
+        abs(x - bbox[0]) <= eps
+        or abs(x - bbox[2]) <= eps
+        or abs(y - bbox[1]) <= eps
+        or abs(y - bbox[3]) <= eps
+    )
+
+
+def discrete_gamma_census(points: Sequence, bbox: Optional[Bbox] = None) -> dict:
+    """Vertex census of the arrangement of the discrete ``gamma_i``.
+
+    Returns per-curve vertex counts and the total vertex count of the
+    arrangement inside the working box — the complexity measure of
+    Theorem 2.14.  Degree-2 vertices with collinear incident edges
+    (artifacts of planarising collinear boundary pieces) are not counted.
+    """
+    uset = UncertainSet(points)
+    if bbox is None:
+        raw = uset.bounding_box()
+        diag = math.hypot(raw[2] - raw[0], raw[3] - raw[1]) or 1.0
+        m = 0.5 * diag
+        bbox = (raw[0] - m, raw[1] - m, raw[2] + m, raw[3] + m)
+    per_curve: List[int] = []
+    all_edges = []
+    for i in range(len(points)):
+        edges = gamma_polygon_edges(points, i, bbox)
+        per_curve.append(len(edges))
+        all_edges.extend(edges)
+    vertices, edges = planarize(all_edges)
+    degree: Dict[int, List[int]] = defaultdict(list)
+    for e, (u, v) in enumerate(edges):
+        degree[u].append(v)
+        degree[v].append(u)
+    eps = 1e-9 * max(abs(bbox[0]), abs(bbox[1]), abs(bbox[2]), abs(bbox[3]), 1.0)
+    count = 0
+    for u, nbrs in degree.items():
+        x, y = vertices[u]
+        if _on_box_border(x, y, bbox, eps):
+            continue
+        if len(nbrs) >= 3:
+            count += 1
+        elif len(nbrs) == 2:
+            (ax, ay), (bx, by) = vertices[nbrs[0]], vertices[nbrs[1]]
+            cross = (ax - x) * (by - y) - (ay - y) * (bx - x)
+            scale = math.hypot(ax - x, ay - y) * math.hypot(bx - x, by - y)
+            if abs(cross) > 1e-9 * (scale + 1e-300):
+                count += 1
+    return {
+        "arrangement_vertices": count,
+        "gamma_edges_per_curve": per_curve,
+        "bbox": bbox,
+    }
+
+
+class DiscreteNonzeroVoronoi:
+    """Queryable ``V!=0(P)`` for discrete points (Theorem 2.14 product).
+
+    Built as the arrangement refinement induced by all ``K_ij`` cell
+    boundaries; every face is labelled with its exact ``NN!=0`` set by
+    the Lemma 2.1 oracle, so labels are exact even where neighbouring
+    refinement faces share them.
+    """
+
+    def __init__(self, points: Sequence, bbox: Optional[Bbox] = None):
+        self.uset = UncertainSet(points)
+        if not self.uset.all_discrete():
+            raise GeometryError("DiscreteNonzeroVoronoi requires discrete points")
+        if bbox is None:
+            raw = self.uset.bounding_box()
+            diag = math.hypot(raw[2] - raw[0], raw[3] - raw[1]) or 1.0
+            m = 0.5 * diag
+            bbox = (raw[0] - m, raw[1] - m, raw[2] + m, raw[3] + m)
+        self.bbox = bbox
+        segments = box_border_segments(*bbox)
+        n = len(points)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                poly = k_cell(points, i, j, bbox)
+                if len(poly) >= 3:
+                    for a, b in zip(poly, poly[1:] + poly[:1]):
+                        segments.append(((a.x, a.y), (b.x, b.y)))
+        vertices, edges = planarize(segments)
+        self.subdivision = PlanarSubdivision(vertices, edges)
+        self.labels = self.subdivision.label_cycles(
+            lambda x, y: self.uset.nonzero_nn((x, y))
+        )
+        self._located = LabelledSubdivision(
+            self.subdivision, self.labels, outside_label=None
+        )
+
+    def query(self, q) -> FrozenSet[int]:
+        label = self._located.query(q[0], q[1])
+        if label is None:
+            return self.uset.nonzero_nn(q)
+        return label
+
+    def complexity(self) -> dict:
+        sub = self.subdivision
+        return {
+            "vertices": sub.num_vertices(),
+            "edges": sub.num_edges(),
+            "faces": sub.num_faces(),
+            "distinct_labels": len(
+                {l for l in self.labels if l is not None}
+            ),
+        }

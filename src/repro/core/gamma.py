@@ -1,0 +1,139 @@
+"""The curves ``gamma_i`` of Section 2.1 (disk uncertainty regions).
+
+``gamma_i = { x : delta_i(x) = Delta(x) }`` is the boundary of the region
+where ``P_i`` stops being a nonzero nearest neighbor.  Lemma 2.2: viewed
+from the disk center ``c_i`` it is the lower envelope, in polar
+coordinates, of the Apollonius branches ``gamma_ij``, has at most ``2n``
+breakpoints, and is computable in ``O(n log n)`` time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import GeometryError
+from ..geometry.circle import Circle
+from ..geometry.envelope import CircularEnvelope, circular_lower_envelope
+from ..geometry.hyperbola import ApolloniusBranch, apollonius_branch_for_disks
+from ..geometry.point import Point
+
+
+def disks_of(points: Sequence) -> List[Circle]:
+    """Extract the uncertainty disks from a sequence of uncertain points.
+
+    Accepts objects exposing a ``disk`` attribute (``UniformDiskPoint``,
+    ``TruncatedGaussianPoint``) or raw :class:`Circle` instances.
+    """
+    out: List[Circle] = []
+    for p in points:
+        if isinstance(p, Circle):
+            out.append(p)
+        elif hasattr(p, "disk"):
+            out.append(p.disk)
+        else:
+            raise GeometryError(
+                f"{type(p).__name__} has no disk uncertainty region; "
+                "the gamma-curve machinery requires disk supports"
+            )
+    return out
+
+
+class GammaCurve:
+    """``gamma_i`` for one disk against the rest of the family."""
+
+    def __init__(self, disks: Sequence[Circle], i: int, n_samples: Optional[int] = None):
+        self.disks = list(disks)
+        self.i = i
+        self.center = self.disks[i].center
+        branches: List[ApolloniusBranch] = []
+        owners: List[int] = []
+        for j, dj in enumerate(self.disks):
+            if j == self.i:
+                continue
+            br = apollonius_branch_for_disks(
+                self.center,
+                self.disks[i].radius,
+                dj.center,
+                dj.radius,
+                payload=j,
+            )
+            if br is not None:
+                branches.append(br)
+                owners.append(j)
+        self.branches = branches
+        self.owners = owners
+        self.envelope: CircularEnvelope = circular_lower_envelope(
+            branches, n_samples=n_samples
+        )
+
+    # -- combinatorics ------------------------------------------------------
+    def breakpoints(self) -> List[float]:
+        """Directions of the breakpoints of ``gamma_i`` (Lemma 2.2)."""
+        return self.envelope.breakpoints()
+
+    def num_breakpoints(self) -> int:
+        return len(self.breakpoints())
+
+    def piece_owners(self) -> List[int]:
+        """Disk index ``j`` owning each finite envelope piece."""
+        return [self.owners[p.index] for p in self.envelope.finite_pieces()]
+
+    # -- geometry -------------------------------------------------------------
+    def radius(self, theta: float) -> float:
+        """Distance from ``c_i`` to ``gamma_i`` in direction ``theta``."""
+        return self.envelope.value(theta)
+
+    def point_at(self, theta: float) -> Optional[Point]:
+        rho = self.radius(theta)
+        if not math.isfinite(rho):
+            return None
+        return Point(
+            self.center.x + rho * math.cos(theta),
+            self.center.y + rho * math.sin(theta),
+        )
+
+    def residual(self, p) -> float:
+        """``delta_i(p) - Delta(p)``; zero on the curve."""
+        di = self.disks[self.i].min_distance(p)
+        big = min(d.max_distance(p) for d in self.disks)
+        return di - big
+
+    def sample_polyline(
+        self,
+        clip_radius: float,
+        points_per_piece: int = 48,
+    ) -> List[List[Tuple[float, float]]]:
+        """Polyline chains approximating ``gamma_i``.
+
+        Pieces are sampled in angle; samples farther than ``clip_radius``
+        from ``c_i`` are dropped (the curve escapes to infinity near the
+        support boundaries of its branches), splitting chains as needed.
+        """
+        chains: List[List[Tuple[float, float]]] = []
+        for piece in self.envelope.finite_pieces():
+            chain: List[Tuple[float, float]] = []
+            m = max(points_per_piece, int(points_per_piece * piece.width))
+            for t in range(m + 1):
+                theta = piece.lo + piece.width * t / m
+                rho = self.envelope.curves[piece.index].radius(theta)
+                if not math.isfinite(rho) or rho > clip_radius:
+                    if len(chain) >= 2:
+                        chains.append(chain)
+                    chain = []
+                    continue
+                chain.append(
+                    (
+                        self.center.x + rho * math.cos(theta),
+                        self.center.y + rho * math.sin(theta),
+                    )
+                )
+            if len(chain) >= 2:
+                chains.append(chain)
+        return chains
+
+
+def gamma_curves(points: Sequence, n_samples: Optional[int] = None) -> List[GammaCurve]:
+    """All curves ``gamma_1..gamma_n`` for a family of disk-backed points."""
+    disks = disks_of(points)
+    return [GammaCurve(disks, i, n_samples=n_samples) for i in range(len(disks))]

@@ -1,0 +1,61 @@
+"""Guaranteed Voronoi diagram ([SE08], discussed in Section 1.2).
+
+The cells of ``V!=0(P)`` on which ``NN!=0(q)`` is a singleton ``{P_i}``
+form the *guaranteed Voronoi diagram*: there ``pi_i(q) = 1`` regardless
+of the actual distributions, and [SE08] shows these cells have only
+O(n) total complexity.  The membership predicate is
+``Delta_i(q) < delta_j(q)``... more precisely ``delta_j(q) >= Delta(q)``
+for every ``j != i``, i.e. ``q`` is closer to every point of ``D_i``
+than it can possibly be to any other uncertain point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence, Tuple
+
+from .nonzero import UncertainSet
+
+
+def guaranteed_owner(points: Sequence, q) -> Optional[int]:
+    """Index ``i`` with ``NN!=0(q) = {P_i}``, or ``None``."""
+    members = UncertainSet(points).nonzero_nn(q)
+    if len(members) == 1:
+        return next(iter(members))
+    return None
+
+
+def is_guaranteed(points: Sequence, i: int, q) -> bool:
+    """True when ``P_i`` is the nearest neighbor of ``q`` with certainty."""
+    return guaranteed_owner(points, q) == i
+
+
+def guaranteed_area_estimate(
+    points: Sequence,
+    bbox: Tuple[float, float, float, float],
+    samples: int = 20_000,
+    seed: int = 0,
+) -> dict:
+    """Monte-Carlo area of each guaranteed cell within ``bbox``.
+
+    Returns per-point areas plus the fraction of the box where no point
+    is guaranteed (the "contested" region where ``|NN!=0| >= 2``).
+    """
+    rng = random.Random(seed)
+    uset = UncertainSet(points)
+    xmin, ymin, xmax, ymax = bbox
+    box_area = (xmax - xmin) * (ymax - ymin)
+    counts = [0] * len(uset)
+    contested = 0
+    for _ in range(samples):
+        q = (rng.uniform(xmin, xmax), rng.uniform(ymin, ymax))
+        members = uset.nonzero_nn(q)
+        if len(members) == 1:
+            counts[next(iter(members))] += 1
+        else:
+            contested += 1
+    return {
+        "areas": [c / samples * box_area for c in counts],
+        "contested_fraction": contested / samples,
+    }

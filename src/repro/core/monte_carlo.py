@@ -1,0 +1,139 @@
+"""The Monte-Carlo PNN structure (Section 4.2).
+
+Preprocessing draws ``s`` instantiations ``R_1..R_s`` of the uncertain
+set and indexes each for nearest-site location (the paper builds
+``Vor(R_j)`` + point location; a kd-tree or the Delaunay-walk locator of
+:mod:`repro.geometry.voronoi` are interchangeable here).  A query
+counts, over the rounds, how often each point is the instantiated
+nearest neighbor: ``pihat_i(q) = c_i / s``.
+
+Theorems 4.3 (discrete) and 4.5 (continuous) choose
+
+    ``s = (1 / (2 eps^2)) * ln(2 n |Q| / delta)``
+
+to make ``|pihat_i(q) - pi_i(q)| <= eps`` hold for *all* queries
+simultaneously with probability ``1 - delta``, where ``|Q| = O(N^4)``
+counts the cells of ``VPr``.  For a *fixed* query the Chernoff bound
+needs only ``s = (1 / (2 eps^2)) * ln(2 n / delta)``; both formulas are
+provided.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import QueryError
+from ..geometry.voronoi import VoronoiLocator
+from ..index.kdtree import KdTree
+from .nonzero import UncertainSet
+
+
+def rounds_for_fixed_query(epsilon: float, delta: float, n: int) -> int:
+    """Chernoff-bound rounds for a per-query guarantee (Eq. (6) + union
+    bound over the n points only)."""
+    _check(epsilon, delta)
+    return max(1, math.ceil(math.log(2.0 * n / delta) / (2.0 * epsilon * epsilon)))
+
+
+def rounds_for_all_queries(
+    epsilon: float, delta: float, n: int, k: int
+) -> int:
+    """Theorem 4.3 rounds: union bound over one representative per cell
+    of ``VPr`` (``|Q| = O((nk)^4)``, Lemma 4.1)."""
+    _check(epsilon, delta)
+    q_cells = float(n * k) ** 4 + 1.0
+    return max(
+        1,
+        math.ceil(
+            math.log(2.0 * n * q_cells / delta) / (2.0 * epsilon * epsilon)
+        ),
+    )
+
+
+def _check(epsilon: float, delta: float) -> None:
+    if not (0.0 < epsilon < 1.0) or not (0.0 < delta < 1.0):
+        raise QueryError("epsilon and delta must lie in (0, 1)")
+
+
+class MonteCarloPNN:
+    """The s-round instantiation structure of Theorems 4.3 / 4.5.
+
+    Works uniformly for discrete and continuous distributions — the
+    continuous case *is* the discrete algorithm run on continuous draws
+    (Section 4.2's reduction shows the guarantee carries over).
+
+    Parameters
+    ----------
+    points:
+        Uncertain points (any mix of models).
+    s:
+        Number of rounds; if omitted it is derived from ``epsilon`` /
+        ``delta`` with the per-query bound.
+    locator:
+        ``"kdtree"`` (default) or ``"voronoi"`` — the per-round
+        nearest-site structure.  Both give identical answers; the
+        Voronoi locator mirrors the paper's ``Vor(R_j)`` literally.
+    """
+
+    def __init__(
+        self,
+        points: Sequence,
+        s: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        delta: float = 0.05,
+        seed: int = 0,
+        locator: str = "kdtree",
+    ):
+        self.uset = UncertainSet(points)
+        n = len(self.uset)
+        if s is None:
+            if epsilon is None:
+                raise QueryError("provide either s or epsilon")
+            s = rounds_for_fixed_query(epsilon, delta, n)
+        self.s = int(s)
+        self.epsilon = epsilon
+        self.delta = delta
+        if locator not in ("kdtree", "voronoi"):
+            raise QueryError(f"unknown locator {locator!r}")
+        rng = random.Random(seed)
+        self._locators: List = []
+        for _ in range(self.s):
+            sample = self.uset.instantiate(rng)
+            if locator == "kdtree":
+                self._locators.append(KdTree(sample))
+            else:
+                self._locators.append(VoronoiLocator(sample))
+        self._locator_kind = locator
+
+    # -- queries -------------------------------------------------------------
+    def query(self, q) -> Dict[int, float]:
+        """``{ i : pihat_i(q) }`` for the at most ``s`` points with a
+        nonzero counter; all other estimates are implicitly 0."""
+        counts: Dict[int, int] = {}
+        if self._locator_kind == "kdtree":
+            for tree in self._locators:
+                i, _ = tree.nearest(q)
+                counts[i] = counts.get(i, 0) + 1
+        else:
+            hint = None
+            for loc in self._locators:
+                i = loc.nearest(q, hint=hint)
+                hint = i
+                counts[i] = counts.get(i, 0) + 1
+        return {i: c / self.s for i, c in counts.items()}
+
+    def estimate(self, q, i: int) -> float:
+        """``pihat_i(q)`` for one point."""
+        return self.query(q).get(i, 0.0)
+
+    def query_vector(self, q) -> List[float]:
+        est = self.query(q)
+        return [est.get(i, 0.0) for i in range(len(self.uset))]
+
+    # -- introspection -----------------------------------------------------------
+    def space_estimate(self) -> int:
+        """Stored instantiation count: ``s * n`` points (Theorem 4.3's
+        O((n / eps^2) log(nk / delta)) space)."""
+        return self.s * len(self.uset)

@@ -1,0 +1,125 @@
+"""Nonzero nearest neighbors: definitions and the exact oracle.
+
+Lemma 2.1: ``P_i`` belongs to ``NN!=0(q, P)`` iff
+``delta_i(q) < Delta_j(q)`` for every ``j``, equivalently (Eq. (4))
+``delta_i(q) < Delta(q)`` where ``Delta`` is the lower envelope of the
+``Delta_j``.  The oracle here evaluates that predicate directly in O(n)
+and serves as ground truth for every index and subdivision in the
+library.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..uncertain.base import UncertainPoint
+
+
+class UncertainSet:
+    """A set ``P = {P_1, ..., P_n}`` of uncertain points.
+
+    Thin container giving the core algorithms a uniform view: indexed
+    access, vectorised ``delta``/``Delta`` evaluation, and the brute-force
+    ``NN!=0`` oracle.
+    """
+
+    def __init__(self, points: Sequence[UncertainPoint]):
+        self.points: List[UncertainPoint] = list(points)
+        if not self.points:
+            raise QueryError("UncertainSet requires at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, i: int) -> UncertainPoint:
+        return self.points[i]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    # -- envelope values ------------------------------------------------------
+    def delta(self, i: int, q) -> float:
+        """``delta_i(q)``, the minimum distance from ``q`` to ``P_i``."""
+        return self.points[i].dmin(q)
+
+    def big_delta(self, i: int, q) -> float:
+        """``Delta_i(q)``, the maximum distance from ``q`` to ``P_i``."""
+        return self.points[i].dmax(q)
+
+    def envelope(self, q) -> Tuple[int, float]:
+        """``(argmin, Delta(q))`` — the lower envelope of the ``Delta_i``.
+
+        The projection of the graph of ``Delta`` is the additively
+        weighted Voronoi diagram ``M`` of Section 2.1.
+        """
+        best_i, best = 0, math.inf
+        for i, p in enumerate(self.points):
+            v = p.dmax(q)
+            if v < best:
+                best_i, best = i, v
+        return best_i, best
+
+    def _envelope_two(self, q) -> Tuple[int, float, float]:
+        """``(argmin, min, second-min)`` of the ``Delta_j(q)`` values.
+
+        Lemma 2.1 quantifies over ``j != i``, so testing point ``i``
+        needs ``min_{j != i} Delta_j``: the global minimum unless ``i``
+        itself attains it, in which case the second minimum.
+        """
+        best_i, best, second = -1, math.inf, math.inf
+        for i, p in enumerate(self.points):
+            v = p.dmax(q)
+            if v < best:
+                best_i, second, best = i, best, v
+            elif v < second:
+                second = v
+        return best_i, best, second
+
+    # -- the oracle --------------------------------------------------------------
+    def nonzero_nn(self, q) -> FrozenSet[int]:
+        """``NN!=0(q, P)`` as a frozen set of indices (Lemma 2.1)."""
+        arg, best, second = self._envelope_two(q)
+        return frozenset(
+            i
+            for i, p in enumerate(self.points)
+            if p.dmin(q) < (second if i == arg else best)
+        )
+
+    def is_nonzero_nn(self, i: int, q) -> bool:
+        """True iff ``pi_i(q) > 0`` (membership form of Lemma 2.1)."""
+        di = self.points[i].dmin(q)
+        return all(
+            di < p.dmax(q) for j, p in enumerate(self.points) if j != i
+        )
+
+    # -- misc helpers ---------------------------------------------------------------
+    def bounding_box(self, margin: float = 0.0) -> Tuple[float, float, float, float]:
+        """Bounding box of all supports, inflated by ``margin``."""
+        boxes = [p.support_bbox() for p in self.points]
+        return (
+            min(b[0] for b in boxes) - margin,
+            min(b[1] for b in boxes) - margin,
+            max(b[2] for b in boxes) + margin,
+            max(b[3] for b in boxes) + margin,
+        )
+
+    def instantiate(self, rng: random.Random) -> List[Tuple[float, float]]:
+        """One random instantiation of every point (Section 4.2)."""
+        return [p.sample(rng) for p in self.points]
+
+    def all_discrete(self) -> bool:
+        return all(p.is_discrete for p in self.points)
+
+    def max_description_complexity(self) -> int:
+        """``k``: the largest discrete support size (1 for continuous)."""
+        return max(
+            (len(p.locations) if p.is_discrete else 1) for p in self.points
+        )
+
+
+def brute_force_nonzero(points: Sequence[UncertainPoint], q) -> FrozenSet[int]:
+    """Standalone O(n) oracle for ``NN!=0(q)`` (Lemma 2.1)."""
+    return UncertainSet(points).nonzero_nn(q)

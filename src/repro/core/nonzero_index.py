@@ -1,0 +1,144 @@
+"""Near-linear-size structures for ``NN!=0`` queries (Section 3).
+
+The paper's Theorem 3.1 plan has two stages:
+
+1. compute ``Delta(q) = min_i Delta_i(q)`` (an additively weighted NN
+   query — the paper uses the weighted Voronoi diagram ``M``);
+2. report every ``P_i`` with ``delta_i(q) < Delta(q)`` (the paper uses
+   the [KMR+16] dynamic weighted-Voronoi reporting structure).
+
+Here stage 1 runs on an augmented kd-tree (disk case: exact
+``d(q, c_i) + r_i`` branch-and-bound) or an R-tree best-first search
+(general case: ``rect_mindist`` lower-bounds ``Delta_i``); stage 2 is an
+output-sensitive weighted range report.  Both stages are exact; only the
+worst-case query bound is traded for expected-case pruning (the paper's
+partition-tree machinery — [AC09], Theorem 3.2 — is "too complex to be
+implemented", its own Remark (ii)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..errors import GeometryError
+from ..index.kdtree import KdTree
+from ..index.rtree import RTree
+from .gamma import disks_of
+from .nonzero import UncertainSet
+
+
+class DiskNonzeroIndex:
+    """Theorem 3.1 analogue for disk uncertainty regions.
+
+    O(n) space; both stages run on one augmented kd-tree over disk
+    centers with radii as additive weights.
+    """
+
+    def __init__(self, points: Sequence):
+        self.uset = UncertainSet(points)
+        disks = disks_of(points)
+        self._tree = KdTree(
+            [(d.center.x, d.center.y) for d in disks],
+            weights=[d.radius for d in disks],
+        )
+
+    def envelope(self, q) -> float:
+        """Stage 1: ``Delta(q)``."""
+        _, val = self._tree.weighted_nearest(q)
+        return val
+
+    def query(self, q) -> FrozenSet[int]:
+        """``NN!=0(q)`` in output-sensitive time."""
+        delta = self.envelope(q)
+        return frozenset(self._tree.report_weighted_below(q, delta, strict=True))
+
+
+def _with_tie_fallback(uset: UncertainSet, rtree: RTree, q, members) -> FrozenSet[int]:
+    """Handle the measure-zero tie of Lemma 2.1's ``j != i`` quantifier.
+
+    The two-stage plan reports ``{i : delta_i(q) < Delta(q)}``.  The
+    point ``i*`` attaining ``Delta(q)`` may satisfy
+    ``delta_{i*}(q) = Delta(q)`` (all of its support equidistant from
+    ``q``) and still be a member — the condition only compares against
+    *other* points.  Detect that case and test against the second
+    envelope minimum.
+    """
+    arg, _ = rtree.best_first_min(q, lambda i: uset.big_delta(i, q))
+    if arg in members:
+        return frozenset(members)
+    _, second = rtree.best_first_min(
+        q, lambda i: math.inf if i == arg else uset.big_delta(i, q)
+    )
+    if uset.delta(arg, q) < second:
+        return frozenset(members | {arg})
+    return frozenset(members)
+
+
+class GenericNonzeroIndex:
+    """Two-stage ``NN!=0`` index for arbitrary uncertainty regions.
+
+    Stage 1 minimises the exact ``Delta_i(q)`` by best-first search over
+    an R-tree of support boxes (``rect_mindist`` is a valid lower bound
+    for the farthest-point distance).  Stage 2 reports the supports whose
+    bounding box meets the witness disk and filters by exact
+    ``delta_i(q)``.
+    """
+
+    def __init__(self, points: Sequence):
+        self.uset = UncertainSet(points)
+        self._rtree = RTree([p.support_bbox() for p in points])
+
+    def envelope(self, q) -> float:
+        _, val = self._rtree.best_first_min(
+            q, lambda i: self.uset.big_delta(i, q)
+        )
+        return val
+
+    def query(self, q) -> FrozenSet[int]:
+        delta = self.envelope(q)
+        candidates = self._rtree.query_disk(q, delta)
+        members = {
+            i for i in candidates if self.uset.delta(i, q) < delta
+        }
+        return _with_tie_fallback(self.uset, self._rtree, q, members)
+
+
+class DiscreteTwoStageIndex:
+    """Theorem 3.2 analogue for discrete distributions.
+
+    Stage 1 minimises ``Delta_i(q)`` (farthest location of ``P_i``) via
+    R-tree best-first with exact hull-vertex evaluation at the leaves;
+    stage 2 range-reports the ``N = nk`` locations inside the open
+    witness disk on a kd-tree and deduplicates owners.
+    """
+
+    def __init__(self, points: Sequence):
+        self.uset = UncertainSet(points)
+        if not self.uset.all_discrete():
+            raise GeometryError("DiscreteTwoStageIndex requires discrete points")
+        self._rtree = RTree([p.support_bbox() for p in points])
+        locations: List[Tuple[float, float]] = []
+        owners: List[int] = []
+        for i, p in enumerate(points):
+            for loc in p.locations:
+                locations.append(loc)
+                owners.append(i)
+        self._owners = owners
+        self._loc_tree = KdTree(locations)
+
+    @property
+    def total_locations(self) -> int:
+        return len(self._owners)
+
+    def envelope(self, q) -> float:
+        _, val = self._rtree.best_first_min(
+            q, lambda i: self.uset.big_delta(i, q)
+        )
+        return val
+
+    def query(self, q) -> FrozenSet[int]:
+        delta = self.envelope(q)
+        hits = self._loc_tree.range_disk(q, delta, strict=True)
+        members = {self._owners[h] for h in hits}
+        return _with_tie_fallback(self.uset, self._rtree, q, members)

@@ -1,0 +1,137 @@
+"""The probabilistic Voronoi diagram ``VPr(P)`` (Section 4.1).
+
+``VPr`` decomposes the plane into cells on which every quantification
+probability ``pi_i`` is constant.  Lemma 4.1: the arrangement of the
+``O(N^2)`` bisector lines of all pairs of possible locations refines
+``VPr``, giving an ``O(N^4)`` upper bound; a matching ``Omega(n^4)``
+lower bound holds already for ``k = 2``.  Theorem 4.2 preprocesses the
+diagram for point location to report all positive probabilities in
+``O(log N + t)``.
+
+The diagram is exponential-size by design — the paper positions it as
+the exact-but-expensive end of the spectrum — so this implementation is
+meant for small ``N`` (its size is validated against Lemma 4.1's census
+in the benchmarks).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GeometryError, QueryError
+from ..geometry.dcel import PlanarSubdivision
+from ..geometry.planarize import box_border_segments, planarize
+from ..geometry.point import Point
+from ..geometry.pointlocation import LabelledSubdivision
+from ..geometry.segment import clip_line_to_box
+from .nonzero import UncertainSet
+from .quantification import quantification_probabilities
+
+Bbox = Tuple[float, float, float, float]
+
+#: Refuse to build arrangements with more bisector lines than this.
+MAX_BISECTORS = 3000
+
+
+class ProbabilisticVoronoiDiagram:
+    """Exact ``VPr(P)`` for discrete uncertain points.
+
+    Parameters
+    ----------
+    points:
+        Discrete uncertain points (total description size ``N = nk``).
+    bbox:
+        Working domain; probabilities are exact for queries inside it.
+    round_digits:
+        Probability vectors are rounded to this many digits when
+        comparing cells (pure float noise otherwise splits cells).
+    """
+
+    def __init__(
+        self,
+        points: Sequence,
+        bbox: Optional[Bbox] = None,
+        round_digits: int = 9,
+    ):
+        self.uset = UncertainSet(points)
+        if not self.uset.all_discrete():
+            raise GeometryError("VPr requires discrete distributions")
+        self.points = list(points)
+        self.round_digits = round_digits
+        if bbox is None:
+            raw = self.uset.bounding_box()
+            diag = math.hypot(raw[2] - raw[0], raw[3] - raw[1]) or 1.0
+            m = 0.5 * diag
+            bbox = (raw[0] - m, raw[1] - m, raw[2] + m, raw[3] + m)
+        self.bbox = bbox
+
+        locations: List[Tuple[float, float]] = []
+        for p in self.points:
+            locations.extend(p.locations)
+        n_lines = len(locations) * (len(locations) - 1) // 2
+        if n_lines > MAX_BISECTORS:
+            raise QueryError(
+                f"VPr arrangement would need {n_lines} bisector lines "
+                f"(> {MAX_BISECTORS}); use the sweep, Monte-Carlo, or "
+                "spiral-search structures at this scale"
+            )
+        segments = box_border_segments(*bbox)
+        for (ax, ay), (bx, by) in itertools.combinations(locations, 2):
+            mx, my = 0.5 * (ax + bx), 0.5 * (ay + by)
+            # Bisector direction: perpendicular to the connecting vector.
+            dx, dy = bx - ax, by - ay
+            if dx == 0.0 and dy == 0.0:
+                continue  # coincident locations have no bisector
+            seg = clip_line_to_box(
+                Point(mx, my), Point(-dy, dx), *bbox
+            )
+            if seg is not None:
+                segments.append(((seg.a.x, seg.a.y), (seg.b.x, seg.b.y)))
+        vertices, edges = planarize(segments)
+        self.subdivision = PlanarSubdivision(vertices, edges)
+        self.labels: List[Optional[Tuple[float, ...]]] = self.subdivision.label_cycles(
+            lambda x, y: tuple(
+                quantification_probabilities(self.points, (x, y))
+            )
+        )
+        self._located = LabelledSubdivision(
+            self.subdivision, self.labels, outside_label=None
+        )
+
+    # -- queries -------------------------------------------------------------
+    def query(self, q) -> Dict[int, float]:
+        """All positive ``pi_i(q)`` via point location (Theorem 4.2)."""
+        label = self._located.query(q[0], q[1])
+        if label is None:
+            pi = quantification_probabilities(self.points, q)
+        else:
+            pi = list(label)
+        return {i: v for i, v in enumerate(pi) if v > 0.0}
+
+    def query_vector(self, q) -> List[float]:
+        label = self._located.query(q[0], q[1])
+        if label is None:
+            return quantification_probabilities(self.points, q)
+        return list(label)
+
+    # -- census ---------------------------------------------------------------
+    def num_distinct_cells(self) -> int:
+        """Number of distinct probability vectors over bounded faces
+        (a lower bound on the complexity of ``VPr`` itself)."""
+        seen = set()
+        for cid in self.subdivision.bounded_cycles():
+            label = self.labels[cid]
+            if label is not None:
+                seen.add(tuple(round(v, self.round_digits) for v in label))
+        return len(seen)
+
+    def complexity(self) -> dict:
+        sub = self.subdivision
+        return {
+            "vertices": sub.num_vertices(),
+            "edges": sub.num_edges(),
+            "faces": sub.num_faces(),
+            "distinct_probability_cells": self.num_distinct_cells(),
+        }

@@ -1,0 +1,124 @@
+"""Exact quantification probabilities for discrete distributions (Eq. 2).
+
+For a query ``q``,
+
+    ``pi_i(q) = sum over locations p_is of
+                w_is * prod_{j != i} (1 - G_{q,j}(d(p_is, q)))``
+
+with ``G_{q,j}(r)`` the total weight of ``P_j``'s locations within
+(closed) distance ``r``.  A single sweep over the ``N = nk`` locations in
+distance order maintains the running product across all ``j`` in
+log-space (zero factors tracked separately), giving all probabilities in
+``O(N log N)`` — the quantity the probabilistic Voronoi diagram of
+Section 4.1 tabulates per cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import QueryError
+from .nonzero import UncertainSet
+
+#: Factors below this threshold are treated as exactly zero (a point
+#: whose whole distribution lies within the current radius).
+_ZERO = 1e-15
+
+Entry = Tuple[float, int, float]  # (distance, owner index, weight)
+
+
+def sweep_quantification(entries: Sequence[Entry], n: int) -> List[float]:
+    """Evaluate Eq. (2) over explicit ``(distance, owner, weight)`` entries.
+
+    ``entries`` need not have per-owner weights summing to one — the
+    spiral-search truncation of Section 4.3 reuses this sweep on a
+    partial location set (Eq. (10)/(11)).
+
+    Ties in distance are handled per Eq. (2)'s closed inequality: all
+    entries at distance exactly ``r`` contribute to every ``G_j(r)``.
+    """
+    order = sorted(entries)
+    pi = [0.0] * n
+    G = [0.0] * n  # accumulated weight per owner
+    log_sum = 0.0  # sum of log(1 - G_j) over owners with positive factor
+    zeros = 0  # number of owners with factor 0
+    m = len(order)
+    pos = 0
+    while pos < m:
+        # Group of equal distances.
+        end = pos
+        r = order[pos][0]
+        while end < m and order[end][0] == r:
+            end += 1
+        group = order[pos:end]
+        # Update every owner's cdf first (ties included in G, Eq. (2)).
+        for _, i, w in group:
+            old = 1.0 - G[i]
+            if old > _ZERO:
+                log_sum -= math.log(old)
+            else:
+                zeros -= 1
+            G[i] += w
+            new = 1.0 - G[i]
+            if new > _ZERO:
+                log_sum += math.log(new)
+            else:
+                zeros += 1
+        # Now credit each group entry with prod_{j != i} (1 - G_j(r)).
+        for _, i, w in group:
+            fi = 1.0 - G[i]
+            if zeros == 0:
+                prod_others = math.exp(log_sum - math.log(fi))
+            elif zeros == 1 and fi <= _ZERO:
+                prod_others = math.exp(log_sum)
+            else:
+                prod_others = 0.0
+            pi[i] += w * prod_others
+        pos = end
+    return pi
+
+
+def entries_for_query(points: Sequence, q) -> List[Entry]:
+    """Flatten discrete uncertain points into sweep entries for ``q``."""
+    qx, qy = q[0], q[1]
+    entries: List[Entry] = []
+    for i, p in enumerate(points):
+        if not p.is_discrete:
+            raise QueryError(
+                "exact quantification requires discrete distributions; "
+                "use MonteCarloPNN or continuous_quantification instead"
+            )
+        for (px, py), w in zip(p.locations, p.weights):
+            entries.append((math.hypot(px - qx, py - qy), i, w))
+    return entries
+
+
+def quantification_probabilities(points: Sequence, q) -> List[float]:
+    """All ``pi_i(q)`` exactly, via the sorted sweep (Eq. (2))."""
+    return sweep_quantification(entries_for_query(points, q), len(points))
+
+
+def quantification_naive(points: Sequence, q) -> List[float]:
+    """O(N^2) literal evaluation of Eq. (2); the test oracle."""
+    n = len(points)
+    qx, qy = q[0], q[1]
+    pi = [0.0] * n
+    for i, p in enumerate(points):
+        for (px, py), w in zip(p.locations, p.weights):
+            r = math.hypot(px - qx, py - qy)
+            prod = 1.0
+            for j, pj in enumerate(points):
+                if j == i:
+                    continue
+                prod *= 1.0 - pj.distance_cdf(q, r)
+                if prod == 0.0:
+                    break
+            pi[i] += w * prod
+    return pi
+
+
+def nonzero_quantifications(points: Sequence, q, min_value: float = 0.0) -> Dict[int, float]:
+    """The PNN answer: ``{ i : pi_i(q) }`` restricted to positive values."""
+    pi = quantification_probabilities(points, q)
+    return {i: v for i, v in enumerate(pi) if v > min_value}

@@ -1,0 +1,131 @@
+"""``NN!=0`` queries under the Linf and L1 metrics.
+
+Remark (ii) after Theorem 3.1: "If we use L1 or Linf metric ... then an
+NN!=0(q) query can be answered in O(log^2 n + t) time using O(n log^2 n)
+space: the first stage remains the same and the second stage reduces to
+reporting a set of axis-aligned squares that intersect a query
+axis-aligned square."
+
+The implementation follows that plan literally with square (rectangle)
+uncertainty regions: stage 1 minimises the Chebyshev max-distance by
+R-tree best-first search, stage 2 is a rectangle/rectangle intersection
+report (the query Linf ball *is* an axis-aligned square).  L1 reduces
+to Linf by the 45-degree isometry ``(x, y) -> (x + y, x - y)``, under
+which L1 diamonds become squares.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..errors import QueryError
+from ..geometry.metrics import (
+    diamond_to_rect,
+    rect_max_chebyshev,
+    rect_min_chebyshev,
+    rotate_to_chebyshev,
+)
+from ..index.rtree import RTree
+
+Rect = Tuple[float, float, float, float]
+
+
+def chebyshev_nonzero_nn(rects: Sequence[Rect], q) -> FrozenSet[int]:
+    """Brute-force Linf ``NN!=0`` oracle over rectangle regions.
+
+    Lemma 2.1 is metric-agnostic: ``i`` is a member iff its minimum
+    Chebyshev distance beats every other region's maximum (``j != i``).
+    """
+    if not rects:
+        raise QueryError("empty rectangle family")
+    maxs = [rect_max_chebyshev(q, r) for r in rects]
+    arg = min(range(len(rects)), key=lambda i: maxs[i])
+    best = maxs[arg]
+    second = min(
+        (maxs[j] for j in range(len(rects)) if j != arg), default=math.inf
+    )
+    out = set()
+    for i, r in enumerate(rects):
+        bound = second if i == arg else best
+        if rect_min_chebyshev(q, r) < bound:
+            out.add(i)
+    return frozenset(out)
+
+
+class ChebyshevNonzeroIndex:
+    """Two-stage Linf ``NN!=0`` index over rectangle uncertainty regions."""
+
+    def __init__(self, rects: Sequence[Rect]):
+        self.rects: List[Rect] = [tuple(map(float, r)) for r in rects]
+        self._rtree = RTree(self.rects)
+
+    def envelope(self, q) -> float:
+        """Stage 1: ``Delta_inf(q) = min_i`` max Chebyshev distance.
+
+        ``rect_min_chebyshev`` is a valid best-first lower bound for the
+        R-tree because every region inside a node's bbox has max-distance
+        at least the bbox's min-distance.
+        """
+        _, val = self._rtree.best_first_min(
+            q, lambda i: rect_max_chebyshev(q, self.rects[i])
+        )
+        return val
+
+    def query(self, q) -> FrozenSet[int]:
+        delta = self.envelope(q)
+        # Stage 2: regions intersecting the open Linf ball = the open
+        # axis-aligned square of half-side delta around q.
+        window = (q[0] - delta, q[1] - delta, q[0] + delta, q[1] + delta)
+        candidates = self._rtree.query_rect(window)
+        members = {
+            i
+            for i in candidates
+            if rect_min_chebyshev(q, self.rects[i]) < delta
+        }
+        # Lemma 2.1's j != i tie (the envelope owner with all-equidistant
+        # support), cf. repro.core.nonzero_index._with_tie_fallback.
+        arg, _ = self._rtree.best_first_min(
+            q, lambda i: rect_max_chebyshev(q, self.rects[i])
+        )
+        if arg not in members:
+            _, second = self._rtree.best_first_min(
+                q,
+                lambda i: math.inf
+                if i == arg
+                else rect_max_chebyshev(q, self.rects[i]),
+            )
+            if rect_min_chebyshev(q, self.rects[arg]) < second:
+                members.add(arg)
+        return frozenset(members)
+
+
+class ManhattanNonzeroIndex:
+    """L1 ``NN!=0`` index over diamond uncertainty regions.
+
+    Each uncertain point is a diamond ``{x : d_1(x, center) <= radius}``;
+    the 45-degree isometry turns the problem into the Chebyshev one.
+    """
+
+    def __init__(self, diamonds: Sequence[Tuple[Tuple[float, float], float]]):
+        if not diamonds:
+            raise QueryError("empty diamond family")
+        self.diamonds = [(tuple(map(float, c)), float(r)) for c, r in diamonds]
+        self._inner = ChebyshevNonzeroIndex(
+            [diamond_to_rect(c, r) for c, r in self.diamonds]
+        )
+
+    def query(self, q) -> FrozenSet[int]:
+        return self._inner.query(rotate_to_chebyshev(q))
+
+    def envelope(self, q) -> float:
+        """``min_i`` max L1 distance from ``q`` to a diamond."""
+        return self._inner.envelope(rotate_to_chebyshev(q))
+
+
+def manhattan_nonzero_nn(
+    diamonds: Sequence[Tuple[Tuple[float, float], float]], q
+) -> FrozenSet[int]:
+    """Brute-force L1 oracle over diamond regions (via the isometry)."""
+    rects = [diamond_to_rect(c, r) for c, r in diamonds]
+    return chebyshev_nonzero_nn(rects, rotate_to_chebyshev(q))

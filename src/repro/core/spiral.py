@@ -1,0 +1,157 @@
+"""The spiral-search structure (Section 4.3).
+
+For discrete distributions with bounded *spread*
+``rho = max location probability / min location probability``, the
+``m(rho, eps) = rho k ln(rho / eps) + k - 1`` locations nearest to the
+query already determine every quantification probability up to a
+one-sided additive ``eps`` (Lemma 4.6):
+
+    ``pihat_i(q) <= pi_i(q) <= pihat_i(q) + eps``.
+
+The structure stores all ``N = nk`` locations in a k-NN index (the
+paper's [AC09] structure is "too complex to be implemented" — its own
+Remark (ii) — so the kd-tree substitute is used) and evaluates the
+truncated Eq. (10)/(11) with the same sorted sweep as the exact
+algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..index.kdtree import KdTree
+from ..uncertain.discrete import DiscreteUncertainPoint
+from .nonzero import UncertainSet
+from .quantification import sweep_quantification
+
+
+def spread(points: Sequence) -> float:
+    """``rho``: ratio of the largest to the smallest location probability
+    over all locations of all points (Eq. (9))."""
+    lo, hi = math.inf, 0.0
+    for p in points:
+        for w in p.weights:
+            lo = min(lo, w)
+            hi = max(hi, w)
+    return hi / lo
+
+
+def retrieval_size(rho: float, k: int, epsilon: float) -> int:
+    """``m(rho, eps) = rho k ln(rho / eps) + k - 1`` (Section 1.3)."""
+    if not 0.0 < epsilon < 1.0:
+        raise QueryError("epsilon must lie in (0, 1)")
+    return max(1, math.ceil(rho * k * math.log(max(rho / epsilon, 1.0 + 1e-12)) + k - 1))
+
+
+class SpiralSearchPNN:
+    """Deterministic approximate PNN queries via truncated spiral search.
+
+    ``backend`` selects the m-nearest-locations retrieval structure:
+    ``"kdtree"`` (default) or ``"quadtree"`` — the quad-tree
+    branch-and-bound alternative the paper's Remark (ii) suggests
+    ([Har11]).  Both return identical answers.
+    """
+
+    def __init__(self, points: Sequence, backend: str = "kdtree"):
+        self.uset = UncertainSet(points)
+        if not self.uset.all_discrete():
+            raise QueryError("spiral search requires discrete distributions")
+        self.points = list(points)
+        self.k = self.uset.max_description_complexity()
+        self.rho = spread(points)
+        locations: List[Tuple[float, float]] = []
+        owners: List[int] = []
+        weights: List[float] = []
+        for i, p in enumerate(points):
+            for loc, w in zip(p.locations, p.weights):
+                locations.append(loc)
+                owners.append(i)
+                weights.append(w)
+        self._owners = owners
+        self._weights = weights
+        if backend == "kdtree":
+            self._tree = KdTree(locations)
+        elif backend == "quadtree":
+            from ..index.quadtree import QuadTree
+
+            self._tree = QuadTree(locations)
+        else:
+            raise QueryError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.total_locations = len(locations)
+
+    def m(self, epsilon: float) -> int:
+        """Locations retrieved for error budget ``epsilon``."""
+        return min(retrieval_size(self.rho, self.k, epsilon), self.total_locations)
+
+    def query(self, q, epsilon: float) -> Dict[int, float]:
+        """``{ i : pihat_i(q) }`` with the Lemma 4.6 guarantee.
+
+        Points with no retrieved location have ``pihat_i = 0``
+        (and therefore ``pi_i <= eps``).
+        """
+        m = self.m(epsilon)
+        nearest = self._tree.k_nearest(q, m)
+        entries = [
+            (d, self._owners[idx], self._weights[idx]) for d, idx in nearest
+        ]
+        pi_hat = sweep_quantification(entries, len(self.points))
+        return {i: v for i, v in enumerate(pi_hat) if v > 0.0}
+
+    def query_vector(self, q, epsilon: float) -> List[float]:
+        est = self.query(q, epsilon)
+        return [est.get(i, 0.0) for i in range(len(self.points))]
+
+
+def adversarial_instance(
+    epsilon: float = 0.02, n: Optional[int] = None
+) -> Tuple[List[DiscreteUncertainPoint], Tuple[float, float]]:
+    """The Remark (i) counterexample to weight-threshold pruning.
+
+    Returns ``(points, q)`` where dropping locations of weight below
+    ``eps / k`` flips the apparent ranking: the true most-likely NN is
+    ``P_1`` (near location of weight ``3 eps``), but ignoring the many
+    middle locations of tiny weight ``2/n`` makes ``P_2`` (weight
+    ``5 eps``) look more likely.  The spiral search, which truncates by
+    *distance* rather than by weight, ranks them correctly.
+
+    The filler weights are ``2 / n``; the paper's flip needs them well
+    below ``eps / k = eps / 2``, so the default ``n`` is ``~8 / eps``.
+    """
+    if n is None:
+        n = 2 * math.ceil(4.0 / epsilon)
+    if n < 8 or n % 2 != 0:
+        raise QueryError("n must be an even integer >= 8")
+    q = (0.0, 0.0)
+    far = (1000.0, 1000.0)  # overflow location holding the residual mass
+    points: List[DiscreteUncertainPoint] = []
+    # P_1: nearest location p_1 at distance 1 with weight 3 eps.
+    points.append(
+        DiscreteUncertainPoint([(1.0, 0.0), far], [3.0 * epsilon, 1.0 - 3.0 * epsilon])
+    )
+    # P_2: location p_2 at distance 3 with weight 5 eps.
+    points.append(
+        DiscreteUncertainPoint([(3.0, 0.0), far], [5.0 * epsilon, 1.0 - 5.0 * epsilon])
+    )
+    # n/2 filler points with a tiny-weight location at distance 2.
+    for t in range(n // 2):
+        ang = 2.0 * math.pi * t / (n // 2)
+        loc = (2.0 * math.cos(ang), 2.0 * math.sin(ang))
+        points.append(DiscreteUncertainPoint([loc, far], [2.0 / n, 1.0 - 2.0 / n]))
+    return points, q
+
+
+def weight_threshold_estimate(
+    points: Sequence, q, threshold: float
+) -> List[float]:
+    """The flawed heuristic of Remark (i): drop all locations with weight
+    below ``threshold`` before evaluating Eq. (2)."""
+    entries = []
+    qx, qy = q[0], q[1]
+    for i, p in enumerate(points):
+        for (px, py), w in zip(p.locations, p.weights):
+            if w >= threshold:
+                entries.append((math.hypot(px - qx, py - qy), i, w))
+    return sweep_quantification(entries, len(points))

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GeometryError(ReproError):
+    """Raised when a geometric computation receives invalid input."""
+
+
+class DegenerateInputError(GeometryError):
+    """Raised on degenerate input a routine cannot handle (e.g. collinear
+    points handed to a circumcircle computation)."""
+
+
+class EmptyIndexError(ReproError):
+    """Raised when querying an index built over an empty data set."""
+
+
+class DistributionError(ReproError):
+    """Raised when an uncertain-point distribution is malformed
+    (e.g. weights that do not sum to one)."""
+
+
+class QueryError(ReproError):
+    """Raised when query parameters are out of their documented range."""

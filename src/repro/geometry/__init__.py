@@ -1,0 +1,109 @@
+"""Computational-geometry substrate.
+
+Everything the paper's algorithms need, implemented from scratch: points
+and predicates, circles/disks, Apollonius bisector branches, circular
+lower envelopes (Lemma 2.2), convex hulls, smallest enclosing circles,
+polygons and halfplane intersection (Lemma 2.13), planar overlay + DCEL +
+point location (Theorems 2.11 / 4.2), and Delaunay/Voronoi (Section 4.2).
+"""
+
+from .circle import (
+    Circle,
+    apollonius_tangent_circles,
+    circle_circle_intersections,
+    circumcircle,
+    disk_through_tangencies,
+    lens_area,
+)
+from .convex_hull import convex_hull, farthest_point_from, hull_diameter
+from .dcel import EdgeGrid, PlanarSubdivision
+from .delaunay import delaunay_neighbors, delaunay_triangulation
+from .envelope import CircularEnvelope, EnvelopePiece, circular_lower_envelope
+from .halfplane import Halfplane, halfplane_intersection
+from .hyperbola import ApolloniusBranch, apollonius_branch_for_disks
+from .planarize import box_border_segments, planarize
+from .point import Point, as_point, centroid, distance, distance2, lerp, midpoint
+from .pointlocation import LabelledSubdivision, SlabLocator
+from .polygon import (
+    clip_polygon_halfplane,
+    convex_polygon_max_distance,
+    convex_polygon_min_distance,
+    point_in_convex_polygon,
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+    regular_polygon,
+    triangulate_fan,
+)
+from .predicates import collinear, convex_position, in_circle, orientation
+from .rootfind import brent_root, find_roots_on_grid, golden_minimize
+from .sec import smallest_enclosing_circle
+from .segment import (
+    Segment,
+    clip_line_to_box,
+    clip_segment_to_box,
+    collinear_overlap,
+    line_intersection,
+    segment_intersection,
+    segments_properly_intersect,
+)
+from .voronoi import VoronoiLocator
+
+__all__ = [
+    "ApolloniusBranch",
+    "Circle",
+    "CircularEnvelope",
+    "EdgeGrid",
+    "EnvelopePiece",
+    "Halfplane",
+    "LabelledSubdivision",
+    "PlanarSubdivision",
+    "Point",
+    "Segment",
+    "SlabLocator",
+    "VoronoiLocator",
+    "apollonius_branch_for_disks",
+    "apollonius_tangent_circles",
+    "as_point",
+    "box_border_segments",
+    "brent_root",
+    "centroid",
+    "circle_circle_intersections",
+    "circular_lower_envelope",
+    "circumcircle",
+    "clip_line_to_box",
+    "clip_polygon_halfplane",
+    "clip_segment_to_box",
+    "collinear",
+    "collinear_overlap",
+    "convex_hull",
+    "convex_polygon_max_distance",
+    "convex_polygon_min_distance",
+    "convex_position",
+    "delaunay_neighbors",
+    "delaunay_triangulation",
+    "disk_through_tangencies",
+    "distance",
+    "distance2",
+    "farthest_point_from",
+    "find_roots_on_grid",
+    "golden_minimize",
+    "halfplane_intersection",
+    "hull_diameter",
+    "in_circle",
+    "lens_area",
+    "lerp",
+    "line_intersection",
+    "midpoint",
+    "orientation",
+    "planarize",
+    "point_in_convex_polygon",
+    "point_in_polygon",
+    "polygon_area",
+    "polygon_centroid",
+    "regular_polygon",
+    "segment_intersection",
+    "segments_properly_intersect",
+    "smallest_enclosing_circle",
+    "triangulate_fan",
+]

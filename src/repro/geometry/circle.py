@@ -1,0 +1,263 @@
+"""Circles and disks.
+
+Disks are the canonical uncertainty regions of the paper (Section 2.1).
+This module provides the constructions the nonzero Voronoi machinery
+needs: intersections, tangency classification, lens areas (for the
+closed-form distance cdf of a uniform-disk point, Fig. 1), and the circle
+through three points (for Delaunay).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..errors import DegenerateInputError
+from .point import Point, as_point, distance
+
+
+class Circle:
+    """A circle (or closed disk) with ``center`` and ``radius >= 0``."""
+
+    __slots__ = ("center", "radius")
+
+    def __init__(self, center, radius: float):
+        if radius < 0:
+            raise DegenerateInputError(f"negative radius {radius}")
+        self.center = as_point(center)
+        self.radius = float(radius)
+
+    def __repr__(self) -> str:
+        return f"Circle({self.center!r}, r={self.radius:.12g})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Circle):
+            return NotImplemented
+        return self.center == other.center and self.radius == other.radius
+
+    def __hash__(self) -> int:
+        return hash((self.center, self.radius))
+
+    # -- basic queries -------------------------------------------------------
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def contains_point(self, p, eps: float = 0.0) -> bool:
+        """True when ``p`` lies in the closed disk (inflated by ``eps``)."""
+        return distance(self.center, p) <= self.radius + eps
+
+    def min_distance(self, q) -> float:
+        """``delta(q)``: distance from ``q`` to the closest disk point."""
+        return max(distance(self.center, q) - self.radius, 0.0)
+
+    def max_distance(self, q) -> float:
+        """``Delta(q)``: distance from ``q`` to the farthest disk point."""
+        return distance(self.center, q) + self.radius
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        c, r = self.center, self.radius
+        return (c.x - r, c.y - r, c.x + r, c.y + r)
+
+    def point_at_angle(self, theta: float) -> Point:
+        return Point(
+            self.center.x + self.radius * math.cos(theta),
+            self.center.y + self.radius * math.sin(theta),
+        )
+
+    # -- pairwise relations ----------------------------------------------------
+    def intersects_disk(self, other: "Circle", eps: float = 0.0) -> bool:
+        """True when the two closed disks share a point."""
+        return distance(self.center, other.center) <= self.radius + other.radius + eps
+
+    def contains_disk(self, other: "Circle", eps: float = 0.0) -> bool:
+        """True when ``other`` lies inside this closed disk."""
+        return (
+            distance(self.center, other.center) + other.radius
+            <= self.radius + eps
+        )
+
+    def touches_from_outside(self, other: "Circle", eps: float = 1e-9) -> bool:
+        """True when the circles are externally tangent (paper Sec. 2.1)."""
+        d = distance(self.center, other.center)
+        return abs(d - (self.radius + other.radius)) <= eps
+
+    def touches_from_inside(self, other: "Circle", eps: float = 1e-9) -> bool:
+        """True when ``other`` is internally tangent inside ``self``."""
+        d = distance(self.center, other.center)
+        return abs(d - (self.radius - other.radius)) <= eps and (
+            self.radius >= other.radius - eps
+        )
+
+
+def circle_circle_intersections(c1: Circle, c2: Circle) -> List[Point]:
+    """Intersection points of two circle boundaries (0, 1, or 2 points).
+
+    Concentric or identical circles return an empty list.
+    """
+    d = distance(c1.center, c2.center)
+    if d == 0.0:
+        return []
+    r1, r2 = c1.radius, c2.radius
+    if d > r1 + r2 or d < abs(r1 - r2):
+        return []
+    a = (r1 * r1 - r2 * r2 + d * d) / (2.0 * d)
+    h2 = r1 * r1 - a * a
+    h = math.sqrt(max(h2, 0.0))
+    ex = (c2.center.x - c1.center.x) / d
+    ey = (c2.center.y - c1.center.y) / d
+    mx = c1.center.x + a * ex
+    my = c1.center.y + a * ey
+    if h == 0.0:
+        return [Point(mx, my)]
+    return [Point(mx - h * ey, my + h * ex), Point(mx + h * ey, my - h * ex)]
+
+
+def lens_area(c1: Circle, c2: Circle) -> float:
+    """Area of the intersection of two disks (the circular lens).
+
+    This is the workhorse behind the exact distance cdf ``G_{q,i}(r)`` of a
+    point distributed uniformly on a disk: ``G(r)`` is the lens area of the
+    uncertainty disk and the query disk of radius ``r``, divided by the
+    uncertainty disk's area.
+    """
+    d = distance(c1.center, c2.center)
+    r1, r2 = c1.radius, c2.radius
+    if d >= r1 + r2:
+        return 0.0
+    if d <= abs(r1 - r2):
+        rmin = min(r1, r2)
+        return math.pi * rmin * rmin
+    # Standard two-circular-segment formula.
+    alpha = math.acos(
+        min(1.0, max(-1.0, (d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)))
+    )
+    beta = math.acos(
+        min(1.0, max(-1.0, (d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)))
+    )
+    return (
+        r1 * r1 * (alpha - math.sin(2.0 * alpha) / 2.0)
+        + r2 * r2 * (beta - math.sin(2.0 * beta) / 2.0)
+    )
+
+
+def circumcircle(a, b, c) -> Circle:
+    """Circle through three non-collinear points.
+
+    Raises
+    ------
+    DegenerateInputError
+        When the points are (numerically) collinear.
+    """
+    ax, ay = a[0], a[1]
+    bx, by = b[0], b[1]
+    cx, cy = c[0], c[1]
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if d == 0.0:
+        raise DegenerateInputError("circumcircle of collinear points")
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d
+    uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d
+    center = Point(ux, uy)
+    return Circle(center, distance(center, (ax, ay)))
+
+
+def apollonius_tangent_circles(sites) -> List[Circle]:
+    """Circles satisfying three signed tangency conditions.
+
+    ``sites`` is a sequence of three ``(cx, cy, s)`` triples; the solution
+    circle ``(x, rho)`` satisfies ``d(x, c_m) = rho + s_m`` for each site.
+    With ``s = +r`` the solution is externally tangent to the disk of
+    radius ``r``; with ``s = -r`` it contains that disk with internal
+    tangency.  This is the witness-disk equation system behind the
+    vertices of ``V!=0`` (Section 2.1, Fig. 3): type (a) vertices use one
+    ``+`` and two ``-`` signs, type (b) vertices two ``+`` and one ``-``.
+
+    Returns the 0, 1 or 2 real solutions with ``rho > 0`` and
+    ``rho + s_m >= 0`` for all sites.
+    """
+    (x1, y1, s1), (x2, y2, s2), (x0, y0, s0) = sites
+    # |x - c_m|^2 = (rho + s_m)^2.  Subtracting the third equation from the
+    # first two eliminates the quadratic terms, giving two linear
+    # equations in u = (x, y, rho).  The solution set is a line
+    # u = p + t * d; substituting into the third (quadratic) equation
+    # yields at most two candidates.  The line parametrisation handles
+    # collinear centers (where solving (x, y) as functions of rho is
+    # singular — e.g. the Theorem 2.10 construction on a common line).
+    r1 = (
+        2.0 * (x0 - x1),
+        2.0 * (y0 - y1),
+        2.0 * (s0 - s1),
+    )
+    b1 = (x0 * x0 + y0 * y0 - s0 * s0) - (x1 * x1 + y1 * y1 - s1 * s1)
+    r2 = (
+        2.0 * (x0 - x2),
+        2.0 * (y0 - y2),
+        2.0 * (s0 - s2),
+    )
+    b2 = (x0 * x0 + y0 * y0 - s0 * s0) - (x2 * x2 + y2 * y2 - s2 * s2)
+    # Direction of the solution line: cross product of the two rows.
+    dx = r1[1] * r2[2] - r1[2] * r2[1]
+    dy = r1[2] * r2[0] - r1[0] * r2[2]
+    dr = r1[0] * r2[1] - r1[1] * r2[0]
+    scale = (
+        abs(r1[0]) + abs(r1[1]) + abs(r1[2])
+    ) * (abs(r2[0]) + abs(r2[1]) + abs(r2[2])) + 1e-300
+    if abs(dx) + abs(dy) + abs(dr) < 1e-13 * scale:
+        return []  # rows parallel: degenerate site configuration
+    # Particular solution: zero out the variable matching the largest
+    # component of d and solve the remaining well-conditioned 2x2 system.
+    candidates = (
+        (abs(dr), (0, 1)),  # solve for (x, y), set rho = 0
+        (abs(dy), (0, 2)),  # solve for (x, rho), set y = 0
+        (abs(dx), (1, 2)),  # solve for (y, rho), set x = 0
+    )
+    _, (ia, ib) = max(candidates)
+    det = r1[ia] * r2[ib] - r1[ib] * r2[ia]
+    ua = (b1 * r2[ib] - b2 * r1[ib]) / det
+    ub = (r1[ia] * b2 - r2[ia] * b1) / det
+    p = [0.0, 0.0, 0.0]
+    p[ia] = ua
+    p[ib] = ub
+    # Quadratic in t from |(x, y) - c0|^2 = (rho + s0)^2.
+    X0 = p[0] - x0
+    Y0 = p[1] - y0
+    R0 = p[2] + s0
+    A2 = dx * dx + dy * dy - dr * dr
+    B2 = 2.0 * (X0 * dx + Y0 * dy - R0 * dr)
+    C2 = X0 * X0 + Y0 * Y0 - R0 * R0
+    sols: List[float] = []
+    if abs(A2) < 1e-12 * (dx * dx + dy * dy + dr * dr + 1e-300):
+        if abs(B2) > 1e-300:
+            sols = [-C2 / B2]
+    else:
+        disc = B2 * B2 - 4.0 * A2 * C2
+        if disc >= 0.0:
+            sq = math.sqrt(disc)
+            sols = [(-B2 - sq) / (2.0 * A2), (-B2 + sq) / (2.0 * A2)]
+    out: List[Circle] = []
+    for t in sols:
+        rho = p[2] + t * dr
+        if rho <= 0.0:
+            continue
+        if rho + s1 < 0.0 or rho + s2 < 0.0 or rho + s0 < 0.0:
+            continue
+        out.append(Circle(Point(p[0] + t * dx, p[1] + t * dy), rho))
+    return out
+
+
+def disk_through_tangencies(
+    outer1: Circle, outer2: Circle, inner: Circle
+) -> List[Circle]:
+    """Disks tangent to ``outer1``/``outer2`` from outside and containing
+    ``inner`` tangentially from inside (type (b) witness disks of
+    ``V!=0``, Fig. 3)."""
+    sols = apollonius_tangent_circles(
+        [
+            (outer1.center.x, outer1.center.y, outer1.radius),
+            (outer2.center.x, outer2.center.y, outer2.radius),
+            (inner.center.x, inner.center.y, -inner.radius),
+        ]
+    )
+    return [c for c in sols if c.radius >= inner.radius - 1e-9]

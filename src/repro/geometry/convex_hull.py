@@ -1,0 +1,73 @@
+"""Convex hulls (Andrew's monotone chain)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .point import Point
+from .predicates import orientation
+
+
+def convex_hull(points: Sequence) -> List[Point]:
+    """Convex hull in counter-clockwise order, no repeated first vertex.
+
+    Collinear points on the hull boundary are discarded.  Degenerate
+    inputs (all points equal / collinear) return the 1- or 2-point hull.
+    """
+    pts = sorted({(float(p[0]), float(p[1])) for p in points})
+    if len(pts) <= 2:
+        return [Point(x, y) for x, y in pts]
+
+    def half(points_iter) -> List[Tuple[float, float]]:
+        chain: List[Tuple[float, float]] = []
+        for p in points_iter:
+            while len(chain) >= 2 and orientation(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(reversed(pts))
+    hull = lower[:-1] + upper[:-1]
+    return [Point(x, y) for x, y in hull]
+
+
+def hull_diameter(hull: Sequence[Point]) -> float:
+    """Diameter of a convex polygon via rotating calipers."""
+    n = len(hull)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return 0.0
+    if n == 2:
+        return (hull[0] - hull[1]).norm()
+    best = 0.0
+    j = 1
+    for i in range(n):
+        ni = (i + 1) % n
+        edge = hull[ni] - hull[i]
+        while True:
+            nj = (j + 1) % n
+            if edge.cross(hull[nj] - hull[j]) > 0:
+                j = nj
+            else:
+                break
+        best = max(best, (hull[i] - hull[j]).norm(), (hull[ni] - hull[j]).norm())
+    return best
+
+
+def farthest_point_from(hull: Sequence[Point], q) -> Tuple[int, float]:
+    """Index and distance of the hull vertex farthest from ``q``.
+
+    The farthest point of a convex region from any query is always a
+    vertex, so this computes ``Delta_i(q)`` for polygonal uncertainty
+    regions and for discrete distributions via their hulls (Section 2.2).
+    """
+    qx, qy = q[0], q[1]
+    best_i, best_d2 = 0, -1.0
+    for i, p in enumerate(hull):
+        dx, dy = p.x - qx, p.y - qy
+        d2 = dx * dx + dy * dy
+        if d2 > best_d2:
+            best_i, best_d2 = i, d2
+    return best_i, best_d2 ** 0.5

@@ -1,0 +1,226 @@
+"""Doubly-connected edge list over a planar straight-line graph.
+
+Faces are traced with their interior on the *left* of each half-edge, so
+bounded regions appear as counter-clockwise cycles and the complement
+side of every boundary loop appears as a clockwise cycle.  The library
+never needs to merge hole cycles into region objects: labels (the sets
+``P_phi`` of Section 2.1, or the probability vectors of Section 4.1) are
+attached per *cycle* by evaluating an oracle at a representative interior
+point, and cycles bounding the same region automatically receive equal
+labels because the oracle is constant on regions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .planarize import Coords
+
+
+class PlanarSubdivision:
+    """Half-edge structure built from snapped vertices and edges.
+
+    Half-edge ``2*e`` runs ``u -> v`` for input edge ``e = (u, v)`` and
+    half-edge ``2*e + 1`` is its twin.
+    """
+
+    def __init__(self, vertices: Sequence[Coords], edges: Sequence[Tuple[int, int]]):
+        self.vertices: List[Coords] = [tuple(v) for v in vertices]
+        self.edges: List[Tuple[int, int]] = [tuple(e) for e in edges]
+        n_half = 2 * len(self.edges)
+        self.origin: List[int] = [0] * n_half
+        self.dest: List[int] = [0] * n_half
+        for e, (u, v) in enumerate(self.edges):
+            self.origin[2 * e], self.dest[2 * e] = u, v
+            self.origin[2 * e + 1], self.dest[2 * e + 1] = v, u
+        self.next: List[int] = [-1] * n_half
+        self.cycle_of: List[int] = [-1] * n_half
+        self.cycles: List[List[int]] = []
+        self._cycle_area: List[float] = []
+        # Faces are cycles with positive signed area; tree-like paths
+        # traversed out-and-back produce cycles of (numerically) zero
+        # area which must not count as faces.
+        scale = 1.0
+        for x, y in self.vertices:
+            scale = max(scale, abs(x), abs(y))
+        self._area_eps = 1e-12 * scale * scale
+        self._build_topology()
+
+    # -- construction ------------------------------------------------------
+    def _half_angle(self, h: int) -> float:
+        ox, oy = self.vertices[self.origin[h]]
+        dx, dy = self.vertices[self.dest[h]]
+        return math.atan2(dy - oy, dx - ox)
+
+    def _build_topology(self) -> None:
+        outgoing: Dict[int, List[int]] = defaultdict(list)
+        for h in range(len(self.origin)):
+            outgoing[self.origin[h]].append(h)
+        order_at: Dict[int, List[int]] = {}
+        pos_at: Dict[Tuple[int, int], int] = {}
+        for v, hs in outgoing.items():
+            hs.sort(key=self._half_angle)
+            order_at[v] = hs
+            for i, h in enumerate(hs):
+                pos_at[(v, h)] = i
+        for h in range(len(self.origin)):
+            v = self.dest[h]
+            twin = h ^ 1
+            hs = order_at[v]
+            i = pos_at[(v, twin)]
+            # Predecessor of the twin in CCW order = most-clockwise turn,
+            # which traces faces with interior on the left.
+            self.next[h] = hs[(i - 1) % len(hs)]
+        # Extract cycles.
+        for h in range(len(self.origin)):
+            if self.cycle_of[h] != -1:
+                continue
+            cid = len(self.cycles)
+            cycle = []
+            cur = h
+            while self.cycle_of[cur] == -1:
+                self.cycle_of[cur] = cid
+                cycle.append(cur)
+                cur = self.next[cur]
+            self.cycles.append(cycle)
+        self._cycle_area = [self._signed_area(c) for c in self.cycles]
+
+    def _signed_area(self, cycle: List[int]) -> float:
+        s = 0.0
+        for h in cycle:
+            x1, y1 = self.vertices[self.origin[h]]
+            x2, y2 = self.vertices[self.dest[h]]
+            s += x1 * y2 - x2 * y1
+        return 0.5 * s
+
+    # -- combinatorics ------------------------------------------------------
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def num_faces(self) -> int:
+        """Number of bounded regions (CCW outer cycles)."""
+        return sum(1 for a in self._cycle_area if a > self._area_eps)
+
+    def complexity(self) -> int:
+        """Total combinatorial complexity: vertices + edges + faces."""
+        return self.num_vertices() + self.num_edges() + self.num_faces()
+
+    def cycle_area(self, cid: int) -> float:
+        return self._cycle_area[cid]
+
+    def bounded_cycles(self) -> List[int]:
+        return [
+            i for i, a in enumerate(self._cycle_area) if a > self._area_eps
+        ]
+
+    # -- representative interior points ---------------------------------------
+    def representative_point(self, cid: int, edge_grid=None) -> Optional[Coords]:
+        """A point strictly inside the region left of cycle ``cid``.
+
+        Takes the longest half-edge of the cycle, offsets its midpoint to
+        the left by half the clearance to the nearest non-incident edge.
+        Returns ``None`` for degenerate (zero-length) cycles.
+        """
+        cycle = self.cycles[cid]
+        best_h, best_len = -1, 0.0
+        for h in cycle:
+            x1, y1 = self.vertices[self.origin[h]]
+            x2, y2 = self.vertices[self.dest[h]]
+            L = math.hypot(x2 - x1, y2 - y1)
+            if L > best_len:
+                best_h, best_len = h, L
+        if best_h < 0:
+            return None
+        x1, y1 = self.vertices[self.origin[best_h]]
+        x2, y2 = self.vertices[self.dest[best_h]]
+        mx, my = 0.5 * (x1 + x2), 0.5 * (y1 + y2)
+        # Left normal of (x1,y1)->(x2,y2).
+        nx, ny = -(y2 - y1) / best_len, (x2 - x1) / best_len
+        clearance = self._clearance(mx, my, best_h >> 1, edge_grid)
+        eps = 0.5 * min(clearance, 0.5 * best_len)
+        if eps <= 0.0:
+            eps = 1e-9 * max(1.0, abs(mx), abs(my))
+        return (mx + eps * nx, my + eps * ny)
+
+    def _clearance(self, x: float, y: float, skip_edge: int, edge_grid) -> float:
+        """Distance from ``(x, y)`` to the nearest edge other than
+        ``skip_edge`` (and to the nearest vertex)."""
+        from .segment import Segment
+
+        best = math.inf
+        candidates = (
+            edge_grid.candidates(x, y) if edge_grid is not None else range(len(self.edges))
+        )
+        for e in candidates:
+            if e == skip_edge:
+                continue
+            u, v = self.edges[e]
+            d = Segment(self.vertices[u], self.vertices[v]).distance_to_point((x, y))
+            best = min(best, d)
+        u, v = self.edges[skip_edge]
+        for w in (u, v):
+            wx, wy = self.vertices[w]
+            best = min(best, math.hypot(wx - x, wy - y))
+        return best
+
+    # -- labelling ------------------------------------------------------------
+    def label_cycles(self, oracle: Callable[[float, float], object]) -> List[object]:
+        """Evaluate ``oracle(x, y)`` at a representative point of each cycle.
+
+        Returns the per-cycle label list; cycles without a representative
+        point receive ``None``.
+        """
+        grid = EdgeGrid(self)
+        labels: List[object] = []
+        for cid in range(len(self.cycles)):
+            rep = self.representative_point(cid, edge_grid=grid)
+            labels.append(None if rep is None else oracle(rep[0], rep[1]))
+        return labels
+
+
+class EdgeGrid:
+    """Uniform bucket grid over subdivision edges for clearance queries."""
+
+    def __init__(self, sub: PlanarSubdivision, target_per_cell: float = 4.0):
+        xs = [v[0] for v in sub.vertices]
+        ys = [v[1] for v in sub.vertices]
+        if not xs:
+            self.cell = 1.0
+        else:
+            area = max(max(xs) - min(xs), 1e-9) * max(max(ys) - min(ys), 1e-9)
+            self.cell = max(
+                math.sqrt(area * target_per_cell / max(len(sub.edges), 1)), 1e-9
+            )
+        self.sub = sub
+        self._grid: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for e, (u, v) in enumerate(sub.edges):
+            x1, y1 = sub.vertices[u]
+            x2, y2 = sub.vertices[v]
+            for cx in range(
+                int(math.floor(min(x1, x2) / self.cell)),
+                int(math.floor(max(x1, x2) / self.cell)) + 1,
+            ):
+                for cy in range(
+                    int(math.floor(min(y1, y2) / self.cell)),
+                    int(math.floor(max(y1, y2) / self.cell)) + 1,
+                ):
+                    self._grid[(cx, cy)].append(e)
+
+    def candidates(self, x: float, y: float, rings: int = 2) -> List[int]:
+        """Edges in the neighbourhood of ``(x, y)`` (growing until non-empty)."""
+        cx = int(math.floor(x / self.cell))
+        cy = int(math.floor(y / self.cell))
+        r = rings
+        while True:
+            out: List[int] = []
+            for dx in range(-r, r + 1):
+                for dy in range(-r, r + 1):
+                    out.extend(self._grid.get((cx + dx, cy + dy), ()))
+            if out or r > 64:
+                return out or list(range(len(self.sub.edges)))
+            r *= 2

@@ -1,0 +1,101 @@
+"""Delaunay triangulation (Bowyer–Watson incremental insertion).
+
+The Monte-Carlo structure of Section 4.2 builds the Voronoi diagram
+``Vor(R_j)`` of each instantiation and answers point location in it; the
+Voronoi side lives in :mod:`repro.geometry.voronoi` as the dual of this
+triangulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .predicates import in_circle, orientation
+
+Triangle = Tuple[int, int, int]
+
+
+def delaunay_triangulation(points: Sequence) -> List[Triangle]:
+    """Delaunay triangles of ``points`` as index triples (CCW).
+
+    Duplicate points are tolerated (later duplicates are skipped).  Fewer
+    than three distinct non-collinear points yield an empty list.
+    """
+    pts = [(float(p[0]), float(p[1])) for p in points]
+    n = len(pts)
+    if n < 3:
+        return []
+    # Super-triangle large enough to contain everything.
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    cx, cy = (min(xs) + max(xs)) / 2.0, (min(ys) + max(ys)) / 2.0
+    span = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+    # The super-triangle must lie outside the circumcircle of every real
+    # Delaunay triangle, else thin hull triangles are lost; near-collinear
+    # hull triples can have circumradii many orders of magnitude above
+    # the data span.  The exact in-circle fallback keeps the large
+    # coordinates robust.
+    big = 1.0e7 * span
+    sup = [
+        (cx - 2.0 * big, cy - big),
+        (cx + 2.0 * big, cy - big),
+        (cx, cy + 2.0 * big),
+    ]
+    coords = pts + sup
+    s0, s1, s2 = n, n + 1, n + 2
+    triangles: Set[Triangle] = {(s0, s1, s2)}
+
+    seen: Set[Tuple[float, float]] = set()
+    for ip in range(n):
+        p = coords[ip]
+        if p in seen:
+            continue
+        seen.add(p)
+        bad: List[Triangle] = []
+        for tri in triangles:
+            a, b, c = (coords[tri[0]], coords[tri[1]], coords[tri[2]])
+            if in_circle(a, b, c, p) > 0:
+                bad.append(tri)
+        if not bad:
+            # Point coincides with an existing vertex or lies outside all
+            # circumcircles due to rounding; find the containing triangle
+            # conservatively.
+            for tri in triangles:
+                a, b, c = (coords[tri[0]], coords[tri[1]], coords[tri[2]])
+                if (
+                    orientation(a, b, p) >= 0
+                    and orientation(b, c, p) >= 0
+                    and orientation(c, a, p) >= 0
+                ):
+                    bad.append(tri)
+                    break
+            if not bad:
+                continue
+        # Boundary of the union of bad triangles.
+        edge_count: Dict[Tuple[int, int], int] = {}
+        for tri in bad:
+            triangles.discard(tri)
+            for u, v in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
+                key = (min(u, v), max(u, v))
+                edge_count[key] = edge_count.get(key, 0) + 1
+        for (u, v), cnt in edge_count.items():
+            if cnt != 1:
+                continue
+            # Orient CCW with respect to p.
+            if orientation(coords[u], coords[v], p) > 0:
+                triangles.add((u, v, ip))
+            else:
+                triangles.add((v, u, ip))
+    # Drop triangles using super vertices.
+    return [t for t in triangles if max(t) < n]
+
+
+def delaunay_neighbors(n: int, triangles: Sequence[Triangle]) -> List[Set[int]]:
+    """Adjacency sets of the Delaunay graph over ``n`` sites."""
+    adj: List[Set[int]] = [set() for _ in range(n)]
+    for a, b, c in triangles:
+        adj[a].update((b, c))
+        adj[b].update((a, c))
+        adj[c].update((a, b))
+    return adj

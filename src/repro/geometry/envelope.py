@@ -1,0 +1,275 @@
+"""Lower envelopes of polar curves on the circle of directions.
+
+Lemma 2.2 of the paper computes the curve ``gamma_i`` as the lower
+envelope, in polar coordinates around the disk center ``c_i``, of the
+Apollonius branches ``gamma_ij``.  This module provides that envelope for
+any family of "polar curves" — objects exposing
+
+* ``radius(theta) -> float`` — distance from the origin pole in global
+  direction ``theta`` (``inf`` outside the curve's angular support),
+* ``radius_array(thetas) -> ndarray`` — vectorised variant,
+* ``support() -> (lo, hi)`` — angular support interval (may wrap).
+
+The envelope is computed by dense argmin sampling followed by exact
+bracketed root refinement of each winner switch, plus a verification /
+subdivision loop that catches features narrower than the sampling grid.
+Each pair of Apollonius branches crosses at most twice, so the refinement
+loop terminates quickly for inputs in general position.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..config import TOLERANCES
+from .rootfind import brent_root
+
+_TWO_PI = 2.0 * math.pi
+
+
+class EnvelopePiece(NamedTuple):
+    """A maximal arc of the envelope with a single winning curve.
+
+    ``index`` is the position of the winner in the input list, or ``None``
+    on arcs where every curve is at infinite radius (the envelope is
+    undefined there — for ``gamma_i`` this means the curve escapes to
+    infinity in those directions).
+    """
+
+    index: Optional[int]
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def midpoint(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+
+class CircularEnvelope:
+    """Lower envelope of polar curves over directions ``[0, 2*pi)``."""
+
+    def __init__(self, curves: Sequence, pieces: List[EnvelopePiece]):
+        self.curves = list(curves)
+        self.pieces = pieces
+
+    # -- evaluation -------------------------------------------------------
+    def winner(self, theta: float) -> Optional[int]:
+        """Index of the curve attaining the envelope in direction ``theta``."""
+        theta = theta % _TWO_PI
+        for piece in self.pieces:
+            if piece.lo - 1e-12 <= theta <= piece.hi + 1e-12:
+                return piece.index
+        return self.pieces[-1].index if self.pieces else None
+
+    def value(self, theta: float) -> float:
+        """Envelope radius in direction ``theta`` (``inf`` if undefined)."""
+        best = math.inf
+        for curve in self.curves:
+            best = min(best, curve.radius(theta))
+        return best
+
+    # -- combinatorics ------------------------------------------------------
+    def finite_pieces(self) -> List[EnvelopePiece]:
+        return [p for p in self.pieces if p.index is not None]
+
+    def breakpoints(self) -> List[float]:
+        """Directions where the envelope switches between two finite winners.
+
+        These correspond to the breakpoints of ``gamma_i`` in Lemma 2.2:
+        points where the witness disk touches two disks from the inside.
+        """
+        out: List[float] = []
+        pieces = self.pieces
+        n = len(pieces)
+        for i in range(n):
+            p, q = pieces[i], pieces[(i + 1) % n]
+            if p.index is None or q.index is None or p.index == q.index:
+                continue
+            theta = p.hi % _TWO_PI
+            # Only count switches where the envelope is continuous (a true
+            # crossing); at a support end the loser diverges to infinity.
+            va = self.curves[p.index].radius(theta - 1e-9)
+            vb = self.curves[q.index].radius(theta + 1e-9)
+            if math.isfinite(va) and math.isfinite(vb):
+                out.append(theta % _TWO_PI)
+        return out
+
+
+def _support_cuts(curves: Sequence) -> List[float]:
+    cuts = [0.0]
+    for curve in curves:
+        lo, hi = curve.support()
+        cuts.append(lo % _TWO_PI)
+        cuts.append(hi % _TWO_PI)
+    return cuts
+
+
+def _argmin_at(curves: Sequence, theta: float) -> Optional[int]:
+    best, best_i = math.inf, None
+    for i, curve in enumerate(curves):
+        v = curve.radius(theta)
+        if v < best:
+            best, best_i = v, i
+    return best_i
+
+
+def circular_lower_envelope(
+    curves: Sequence,
+    n_samples: Optional[int] = None,
+    max_refine: int = 24,
+) -> CircularEnvelope:
+    """Lower envelope of ``curves`` over the circle of directions.
+
+    Parameters
+    ----------
+    curves:
+        Polar-curve objects (see module docstring).
+    n_samples:
+        Base sampling resolution; defaults to
+        ``max(TOLERANCES.angle_samples, 64 * len(curves))`` so that the
+        expected O(n) envelope pieces are each hit by many samples.
+    max_refine:
+        Maximum subdivision rounds in the verification loop.
+    """
+    curves = list(curves)
+    if not curves:
+        return CircularEnvelope(curves, [EnvelopePiece(None, 0.0, _TWO_PI)])
+    if n_samples is None:
+        n_samples = max(TOLERANCES.angle_samples, 64 * len(curves))
+
+    # Sample grid: uniform plus every support endpoint (narrow support
+    # slivers must receive at least one sample).
+    thetas = np.linspace(0.0, _TWO_PI, n_samples, endpoint=False)
+    extra = []
+    for cut in _support_cuts(curves):
+        extra.extend((cut - 1e-7) % _TWO_PI for _ in (0,))
+        extra.append(cut % _TWO_PI)
+        extra.append((cut + 1e-7) % _TWO_PI)
+    thetas = np.unique(np.concatenate([thetas, np.array(extra)]))
+
+    values = np.vstack([c.radius_array(thetas) for c in curves])
+    finite_any = np.isfinite(values).any(axis=0)
+    winners = np.where(finite_any, np.argmin(values, axis=0), -1)
+
+    # Refinement loop: wherever consecutive samples disagree, insert the
+    # exact crossing (or midpoint samples when a third curve interferes).
+    boundaries: List[float] = []  # switch directions
+    m = len(thetas)
+    segments = [(i, (i + 1) % m) for i in range(m)]
+    cuts: List[float] = []
+    for i, j in segments:
+        wi, wj = winners[i], winners[j]
+        if wi == wj:
+            continue
+        lo = float(thetas[i])
+        hi = float(thetas[j]) if j != 0 else _TWO_PI
+        cuts.extend(_locate_switch(curves, int(wi), int(wj), lo, hi, max_refine))
+
+    all_cuts = sorted(set(c % _TWO_PI for c in cuts) | {0.0})
+    pieces: List[EnvelopePiece] = []
+    for idx in range(len(all_cuts)):
+        lo = all_cuts[idx]
+        hi = all_cuts[idx + 1] if idx + 1 < len(all_cuts) else _TWO_PI
+        if hi - lo < 1e-13:
+            continue
+        mid = 0.5 * (lo + hi)
+        pieces.append(EnvelopePiece(_argmin_at(curves, mid), lo, hi))
+    pieces = _merge_pieces(pieces)
+    return CircularEnvelope(curves, pieces)
+
+
+def _locate_switch(
+    curves: Sequence,
+    wi: int,
+    wj: int,
+    lo: float,
+    hi: float,
+    depth: int,
+) -> List[float]:
+    """Cut angles where the envelope winner changes inside ``(lo, hi)``.
+
+    On entry the winner at ``lo`` is ``wi`` and at ``hi`` is ``wj`` (−1
+    encodes "all infinite").  Recursively subdivides so that features
+    narrower than the base grid are still found.
+    """
+    if depth <= 0 or hi - lo < 1e-12:
+        return [hi]
+    mid = 0.5 * (lo + hi)
+    wm = _argmin_at(curves, mid)
+    wm = -1 if wm is None else wm
+    if wm != wi and wm != wj:
+        return _locate_switch(curves, wi, wm, lo, mid, depth - 1) + _locate_switch(
+            curves, wm, wj, mid, hi, depth - 1
+        )
+    if wi == -1 or wj == -1:
+        # Transition into/out of the all-infinite region: bisect on
+        # finiteness of the envelope.
+        f = lambda t: (0.0 if math.isfinite(_min_value(curves, t)) else 1.0)
+        a, b = lo, hi
+        for _ in range(60):
+            m2 = 0.5 * (a + b)
+            if f(m2) == f(a):
+                a = m2
+            else:
+                b = m2
+        return [0.5 * (a + b)]
+    if wm == wi:
+        lo = mid
+    else:
+        hi = mid
+    # Now a single switch between finite winners wi, wj in (lo, hi):
+    # refine the crossing of the two curves.
+    diff = lambda t: curves[wi].radius(t) - curves[wj].radius(t)
+    va, vb = diff(lo), diff(hi)
+    if math.isfinite(va) and va == 0.0:
+        return [lo]
+    if math.isfinite(vb) and vb == 0.0:
+        return [hi]
+    if (
+        math.isfinite(va)
+        and math.isfinite(vb)
+        and va * vb < 0.0
+    ):
+        try:
+            return [brent_root(diff, lo, hi)]
+        except ValueError:
+            pass
+    return [0.5 * (lo + hi)]
+
+
+def _min_value(curves: Sequence, theta: float) -> float:
+    best = math.inf
+    for curve in curves:
+        v = curve.radius(theta)
+        if v < best:
+            best = v
+    return best
+
+
+def _merge_pieces(pieces: List[EnvelopePiece]) -> List[EnvelopePiece]:
+    if not pieces:
+        return [EnvelopePiece(None, 0.0, _TWO_PI)]
+    merged: List[EnvelopePiece] = []
+    for piece in pieces:
+        if merged and merged[-1].index == piece.index and abs(
+            merged[-1].hi - piece.lo
+        ) < 1e-12:
+            merged[-1] = EnvelopePiece(piece.index, merged[-1].lo, piece.hi)
+        else:
+            merged.append(piece)
+    # Circular merge across the 0 / 2*pi seam.
+    if (
+        len(merged) > 1
+        and merged[0].index == merged[-1].index
+        and merged[0].lo <= 1e-12
+        and merged[-1].hi >= _TWO_PI - 1e-12
+    ):
+        first = merged.pop(0)
+        merged[-1] = EnvelopePiece(first.index, merged[-1].lo, _TWO_PI + first.hi)
+    return merged

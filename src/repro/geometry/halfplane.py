@@ -1,0 +1,82 @@
+"""Halfplane intersection by iterative convex clipping.
+
+Lemma 2.13 of the paper shows the discrete-case curve ``gamma_ij`` is a
+convex polygonal curve with O(k) vertices: it bounds the convex region
+
+    ``K_ij = { x : delta_i(x) >= Delta_j(x) }``
+          ``= intersection over (a, b) of { x : d(x, p_jb) <= d(x, p_ia) }``,
+
+an intersection of ``k^2`` halfplanes (each a side of a point-point
+bisector).  We clip a large bounding box by each halfplane; unbounded
+cells are represented by their intersection with the box, which is exact
+for all queries inside the working domain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .point import Point
+from .polygon import clip_polygon_halfplane
+
+
+class Halfplane:
+    """The closed halfplane ``a x + b y <= c``."""
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a: float, b: float, c: float):
+        self.a = float(a)
+        self.b = float(b)
+        self.c = float(c)
+
+    def __repr__(self) -> str:
+        return f"Halfplane({self.a:.6g} x + {self.b:.6g} y <= {self.c:.6g})"
+
+    def contains(self, p, eps: float = 1e-9) -> bool:
+        return self.a * p[0] + self.b * p[1] <= self.c + eps
+
+    @staticmethod
+    def bisector_side(keep_near, other) -> "Halfplane":
+        """Halfplane of points at least as close to ``keep_near`` as to
+        ``other`` (the ``keep_near`` side of their perpendicular bisector)."""
+        px, py = keep_near[0], keep_near[1]
+        qx, qy = other[0], other[1]
+        # d(x, p)^2 <= d(x, q)^2  <=>  2 (q - p) . x <= |q|^2 - |p|^2
+        a = 2.0 * (qx - px)
+        b = 2.0 * (qy - py)
+        c = qx * qx + qy * qy - px * px - py * py
+        return Halfplane(a, b, c)
+
+
+def halfplane_intersection(
+    halfplanes: Sequence[Halfplane],
+    bbox: Tuple[float, float, float, float],
+) -> List[Point]:
+    """Intersection of halfplanes clipped to ``bbox``.
+
+    Parameters
+    ----------
+    halfplanes:
+        The constraints.
+    bbox:
+        ``(xmin, ymin, xmax, ymax)`` working domain; the result is the
+        intersection of the halfplanes *and* this box.
+
+    Returns
+    -------
+    list of Point
+        Convex polygon in CCW order, possibly empty.
+    """
+    xmin, ymin, xmax, ymax = bbox
+    poly: List[Point] = [
+        Point(xmin, ymin),
+        Point(xmax, ymin),
+        Point(xmax, ymax),
+        Point(xmin, ymax),
+    ]
+    for h in halfplanes:
+        poly = clip_polygon_halfplane(poly, h.a, h.b, h.c)
+        if not poly:
+            return []
+    return poly

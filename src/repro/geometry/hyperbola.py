@@ -1,0 +1,140 @@
+"""Apollonius bisector branches in polar form.
+
+Section 2.1 of the paper works with the curves
+
+    ``gamma_ij = { x : delta_i(x) = Delta_j(x) }``
+             ``= { x : d(x, c_i) - d(x, c_j) = r_i + r_j }``,
+
+one branch of a hyperbola with foci ``c_i`` and ``c_j``.  The key
+structural fact (proof of Lemma 2.2) is that viewed from ``c_i`` the
+branch is the graph of a polar function: a ray from ``c_i`` meets it at
+most once.  With ``2c = d(c_i, c_j)`` and ``K = r_i + r_j`` the branch is
+
+    ``rho(phi) = (4 c^2 - K^2) / (2 (2 c cos(phi) - K))``
+
+for ``phi`` the angle measured from the direction ``c_i -> c_j``, defined
+when ``cos(phi) > K / (2 c)``.  ``K = 0`` degenerates to the perpendicular
+bisector line, which the same formula covers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .point import Point, as_point, distance
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _wrap_angle(theta: float) -> float:
+    """Wrap an angle into ``[0, 2*pi)``."""
+    return theta % _TWO_PI
+
+
+class ApolloniusBranch:
+    """The curve ``{ x : d(x, f1) - d(x, f2) = K }`` with ``K >= 0``.
+
+    The branch bends around ``f2`` (points on it are closer to ``f2``).
+    It exists only when ``K < d(f1, f2)``; construction raises
+    :class:`GeometryError` otherwise (for the paper's curves this happens
+    exactly when the two uncertainty disks intersect, in which case
+    ``P_j`` can never exclude ``P_i`` — Lemma 2.1 holds vacuously).
+    """
+
+    __slots__ = ("f1", "f2", "K", "c", "theta0", "phi_max", "_num", "payload")
+
+    def __init__(self, f1, f2, K: float, payload=None):
+        self.f1 = as_point(f1)
+        self.f2 = as_point(f2)
+        self.K = float(K)
+        d = distance(self.f1, self.f2)
+        if self.K < 0:
+            raise GeometryError(f"negative focal difference K={K}")
+        if self.K >= d - 1e-15 * max(1.0, d):
+            raise GeometryError(
+                f"empty Apollonius branch: K={K} >= focal distance {d}"
+            )
+        self.c = 0.5 * d
+        self.theta0 = (self.f2 - self.f1).angle()
+        # cos(phi) > K / (2c) on the branch.
+        ratio = self.K / (2.0 * self.c)
+        self.phi_max = math.acos(min(1.0, max(-1.0, ratio)))
+        self._num = 4.0 * self.c * self.c - self.K * self.K
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"ApolloniusBranch(f1={self.f1!r}, f2={self.f2!r}, K={self.K:.6g})"
+        )
+
+    # -- polar evaluation around f1 --------------------------------------------
+    def radius(self, theta: float) -> float:
+        """Distance from ``f1`` to the branch in global direction ``theta``.
+
+        Returns ``inf`` for directions outside the angular support.
+        """
+        phi = math.remainder(theta - self.theta0, _TWO_PI)
+        denom = 2.0 * (2.0 * self.c * math.cos(phi) - self.K)
+        if denom <= 0.0:
+            return math.inf
+        return self._num / denom
+
+    def radius_array(self, thetas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`radius`."""
+        phi = np.remainder(thetas - self.theta0 + math.pi, _TWO_PI) - math.pi
+        denom = 2.0 * (2.0 * self.c * np.cos(phi) - self.K)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rho = np.where(denom > 0.0, self._num / denom, np.inf)
+        return rho
+
+    def point_at(self, theta: float) -> Point:
+        """Point of the branch in global direction ``theta`` from ``f1``."""
+        rho = self.radius(theta)
+        if not math.isfinite(rho):
+            raise GeometryError(f"direction {theta} outside branch support")
+        return Point(
+            self.f1.x + rho * math.cos(theta), self.f1.y + rho * math.sin(theta)
+        )
+
+    def support(self) -> Tuple[float, float]:
+        """Angular support ``(theta_lo, theta_hi)`` around ``f1``.
+
+        The interval has width ``2 * phi_max`` and may wrap past ``2*pi``;
+        callers treat angles modulo ``2*pi``.
+        """
+        return (self.theta0 - self.phi_max, self.theta0 + self.phi_max)
+
+    # -- verification helpers ---------------------------------------------------
+    def residual(self, p) -> float:
+        """``d(p, f1) - d(p, f2) - K``; zero on the branch."""
+        return distance(p, self.f1) - distance(p, self.f2) - self.K
+
+    def sample(self, n: int = 128, margin: float = 1e-6) -> List[Point]:
+        """``n`` points along the branch, avoiding the asymptotic ends."""
+        lo = self.theta0 - self.phi_max * (1.0 - margin)
+        hi = self.theta0 + self.phi_max * (1.0 - margin)
+        if n == 1:
+            return [self.point_at(self.theta0)]
+        step = (hi - lo) / (n - 1)
+        return [self.point_at(lo + i * step) for i in range(n)]
+
+
+def apollonius_branch_for_disks(
+    center_i, radius_i: float, center_j, radius_j: float, payload=None
+) -> Optional[ApolloniusBranch]:
+    """The curve ``gamma_ij`` for two uncertainty disks, or ``None``.
+
+    ``gamma_ij = { x : delta_i(x) = Delta_j(x) }`` where
+    ``delta_i(x) = max(d(x, c_i) - r_i, 0)`` and
+    ``Delta_j(x) = d(x, c_j) + r_j``.  The curve is empty exactly when the
+    closed disks intersect (then ``delta_i < Delta_j`` everywhere).
+    """
+    K = radius_i + radius_j
+    d = distance(center_i, center_j)
+    if K >= d - 1e-15 * max(1.0, d):
+        return None
+    return ApolloniusBranch(center_i, center_j, K, payload=payload)

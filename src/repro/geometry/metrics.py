@@ -1,0 +1,64 @@
+"""Distance metrics beyond L2.
+
+The remark after Theorem 3.1 extends the two-stage ``NN!=0`` plan to the
+L1 and Linf metrics, where "disks" are diamonds and squares and the
+stage-2 report "reduces to reporting a set of axis-aligned squares that
+intersect a query axis-aligned square".  This module supplies the
+metric arithmetic; :mod:`repro.core.rectilinear` builds the indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+Rect = Tuple[float, float, float, float]
+
+
+def chebyshev(p, q) -> float:
+    """Linf distance."""
+    return max(abs(p[0] - q[0]), abs(p[1] - q[1]))
+
+
+def manhattan(p, q) -> float:
+    """L1 distance."""
+    return abs(p[0] - q[0]) + abs(p[1] - q[1])
+
+
+def rect_min_chebyshev(q, rect: Rect) -> float:
+    """Minimum Linf distance from ``q`` to a closed rectangle."""
+    dx = max(rect[0] - q[0], 0.0, q[0] - rect[2])
+    dy = max(rect[1] - q[1], 0.0, q[1] - rect[3])
+    return max(dx, dy)
+
+
+def rect_max_chebyshev(q, rect: Rect) -> float:
+    """Maximum Linf distance from ``q`` to a closed rectangle.
+
+    Attained at a corner (the Linf distance is a max of two convex
+    piecewise-linear functions, maximised at an extreme point).
+    """
+    dx = max(abs(q[0] - rect[0]), abs(q[0] - rect[2]))
+    dy = max(abs(q[1] - rect[1]), abs(q[1] - rect[3]))
+    return max(dx, dy)
+
+
+def rotate_to_chebyshev(p) -> Tuple[float, float]:
+    """The L1 -> Linf isometry ``(x, y) -> (x + y, x - y)``.
+
+    ``d_1(p, q) = d_inf(T p, T q)``: Manhattan balls (diamonds) become
+    axis-aligned squares in the rotated frame, so every Linf structure
+    answers L1 queries verbatim after transforming inputs.
+    """
+    return (p[0] + p[1], p[0] - p[1])
+
+
+def rotate_from_chebyshev(p) -> Tuple[float, float]:
+    """Inverse of :func:`rotate_to_chebyshev` (up to the factor 2)."""
+    return ((p[0] + p[1]) / 2.0, (p[0] - p[1]) / 2.0)
+
+
+def diamond_to_rect(center, radius: float) -> Rect:
+    """The rotated-frame square of an L1 diamond ``{d_1(x, c) <= r}``."""
+    cx, cy = rotate_to_chebyshev(center)
+    return (cx - radius, cy - radius, cx + radius, cy + radius)

@@ -1,0 +1,173 @@
+"""Planar overlay: subdivide segments at all pairwise intersections.
+
+This is the engine behind every explicit subdivision in the library —
+the nonzero Voronoi diagram ``V!=0`` (via polyline-approximated curves),
+its discrete-case variant, and the probabilistic Voronoi diagram ``VPr``
+(an arrangement of bisector lines, Section 4.1).
+
+The algorithm is the classic grid-filtered pairwise subdivision: candidate
+pairs come from a uniform bucket grid over segment bounding boxes, each
+intersecting pair contributes cut parameters, and endpoints are snapped to
+a tolerance grid so that near-coincident vertices merge into one.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..config import TOLERANCES
+from .point import Point
+from .segment import Segment, bboxes_overlap, collinear_overlap, segment_intersection
+
+Coords = Tuple[float, float]
+
+
+class VertexSnapper:
+    """Merge points within ``tol`` of each other into canonical vertices."""
+
+    def __init__(self, tol: float):
+        self.tol = tol
+        self._grid: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self.vertices: List[Coords] = []
+
+    def _cell(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self.tol / 4.0)), int(math.floor(y / self.tol / 4.0)))
+
+    def snap(self, x: float, y: float) -> int:
+        """Return the canonical vertex index for ``(x, y)``."""
+        cx, cy = self._cell(x, y)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for idx in self._grid.get((cx + dx, cy + dy), ()):
+                    vx, vy = self.vertices[idx]
+                    if abs(vx - x) <= self.tol and abs(vy - y) <= self.tol:
+                        return idx
+        idx = len(self.vertices)
+        self.vertices.append((x, y))
+        self._grid[(cx, cy)].append(idx)
+        return idx
+
+
+def _segment_grid(
+    segments: Sequence[Segment], cell: float
+) -> Dict[Tuple[int, int], List[int]]:
+    grid: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+    for i, seg in enumerate(segments):
+        xmin, ymin, xmax, ymax = seg.bbox()
+        for cx in range(int(math.floor(xmin / cell)), int(math.floor(xmax / cell)) + 1):
+            for cy in range(
+                int(math.floor(ymin / cell)), int(math.floor(ymax / cell)) + 1
+            ):
+                grid[(cx, cy)].append(i)
+    return grid
+
+
+def _candidate_pairs(segments: Sequence[Segment]) -> Iterable[Tuple[int, int]]:
+    if not segments:
+        return
+    lengths = sorted(max(s.length(), 1e-12) for s in segments)
+    cell = max(lengths[len(lengths) // 2], 1e-9)
+    grid = _segment_grid(segments, cell)
+    seen = set()
+    for bucket in grid.values():
+        m = len(bucket)
+        for a in range(m):
+            for b in range(a + 1, m):
+                i, j = bucket[a], bucket[b]
+                if i > j:
+                    i, j = j, i
+                if (i, j) in seen:
+                    continue
+                seen.add((i, j))
+                yield i, j
+
+
+def planarize(
+    raw_segments: Sequence[Tuple[Coords, Coords]],
+    snap_tol: float = None,
+) -> Tuple[List[Coords], List[Tuple[int, int]]]:
+    """Subdivide segments into a planar straight-line graph.
+
+    Parameters
+    ----------
+    raw_segments:
+        Iterable of ``((x1, y1), (x2, y2))`` pairs.
+    snap_tol:
+        Vertex snapping tolerance (defaults to ``TOLERANCES.abs_eps``
+        scaled by the input magnitude).
+
+    Returns
+    -------
+    (vertices, edges):
+        ``vertices`` is a list of coordinates; ``edges`` is a list of
+        ``(u, v)`` index pairs with ``u != v``, no duplicates, and no two
+        edges crossing outside shared vertices (up to the tolerance).
+    """
+    segments = [Segment(a, b) for a, b in raw_segments]
+    segments = [s for s in segments if s.length() > 0.0]
+    if snap_tol is None:
+        scale = 1.0
+        for s in segments:
+            xmin, ymin, xmax, ymax = s.bbox()
+            scale = max(scale, abs(xmin), abs(ymin), abs(xmax), abs(ymax))
+        snap_tol = max(TOLERANCES.abs_eps * scale * 10.0, 1e-12)
+
+    # Cut parameters per segment.
+    cuts: List[List[float]] = [[0.0, 1.0] for _ in segments]
+    for i, j in _candidate_pairs(segments):
+        si, sj = segments[i], segments[j]
+        if not bboxes_overlap(si.bbox(), sj.bbox(), eps=snap_tol):
+            continue
+        p = segment_intersection(si, sj)
+        if p is not None:
+            cuts[i].append(_param_on(si, p))
+            cuts[j].append(_param_on(sj, p))
+            continue
+        ov = collinear_overlap(si, sj)
+        if ov is not None:
+            for q in (ov.a, ov.b):
+                cuts[i].append(_param_on(si, q))
+                cuts[j].append(_param_on(sj, q))
+
+    snapper = VertexSnapper(snap_tol)
+    edge_set = set()
+    edges: List[Tuple[int, int]] = []
+    for seg, ts in zip(segments, cuts):
+        ts = sorted(min(1.0, max(0.0, t)) for t in ts)
+        min_dt = snap_tol / max(seg.length(), 1e-300)
+        prev_t = None
+        prev_v = None
+        for t in ts:
+            if prev_t is not None and t - prev_t < min_dt:
+                continue
+            p = seg.point_at(t)
+            v = snapper.snap(p.x, p.y)
+            if prev_v is not None and v != prev_v:
+                key = (min(prev_v, v), max(prev_v, v))
+                if key not in edge_set:
+                    edge_set.add(key)
+                    edges.append(key)
+            prev_t, prev_v = t, v
+    return snapper.vertices, edges
+
+
+def _param_on(seg: Segment, p: Point) -> float:
+    d = seg.b - seg.a
+    dd = d.norm2()
+    if dd == 0.0:
+        return 0.0
+    return (p - seg.a).dot(d) / dd
+
+
+def box_border_segments(
+    xmin: float, ymin: float, xmax: float, ymax: float
+) -> List[Tuple[Coords, Coords]]:
+    """The four border segments of a box (CCW), for clipped arrangements."""
+    return [
+        ((xmin, ymin), (xmax, ymin)),
+        ((xmax, ymin), (xmax, ymax)),
+        ((xmax, ymax), (xmin, ymax)),
+        ((xmin, ymax), (xmin, ymin)),
+    ]

@@ -1,0 +1,136 @@
+"""Slab-based point location over a planar subdivision.
+
+Theorem 2.11 of the paper preprocesses ``V!=0(P)`` for point location so
+that ``NN!=0(q)`` queries take ``O(log n + t)`` time.  This module
+provides the point-location half: vertical slabs between consecutive
+vertex x-coordinates, with the non-vertical edges of each slab ordered
+vertically.  A query binary-searches the slab, then the edge directly
+below, and returns the cycle (region boundary) lying above that edge.
+
+Space is O(V * E) in the worst case — the classical slab trade-off; the
+paper's own structure has the same query time with better space via
+persistence.  The persistent label storage of Section 2.1 ("Storing
+P_phi's") is provided by :mod:`repro.index.persistence`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .dcel import PlanarSubdivision
+
+#: Refuse to build slab structures larger than this many (slab, edge) pairs.
+MAX_SLAB_ENTRIES = 50_000_000
+
+
+class SlabLocator:
+    """Point-location structure over a :class:`PlanarSubdivision`."""
+
+    def __init__(self, sub: PlanarSubdivision):
+        self.sub = sub
+        xs = sorted(set(v[0] for v in sub.vertices))
+        self.slab_x: List[float] = xs
+        # For each slab i (between xs[i] and xs[i+1]) keep edges crossing it,
+        # sorted by y at the slab midline, each with the half-edge whose
+        # region lies above the edge.
+        self.slabs: List[List[Tuple[float, int]]] = []
+        n_slabs = max(len(xs) - 1, 0)
+        slab_edges: List[List[int]] = [[] for _ in range(n_slabs)]
+        total = 0
+        for e, (u, v) in enumerate(sub.edges):
+            x1 = sub.vertices[u][0]
+            x2 = sub.vertices[v][0]
+            if x1 == x2:
+                continue  # vertical edges never lie strictly below a query
+            lo = bisect.bisect_left(xs, min(x1, x2))
+            hi = bisect.bisect_left(xs, max(x1, x2))
+            total += hi - lo
+            if total > MAX_SLAB_ENTRIES:
+                raise MemoryError(
+                    "slab point-location structure exceeds the size guard; "
+                    "reduce the subdivision size"
+                )
+            for s in range(lo, hi):
+                slab_edges[s].append(e)
+        for s in range(n_slabs):
+            xm = 0.5 * (xs[s] + xs[s + 1])
+            entries = []
+            for e in slab_edges[s]:
+                entries.append((self._edge_y_at(e, xm), e))
+            entries.sort()
+            self.slabs.append(entries)
+
+    def _edge_y_at(self, e: int, x: float) -> float:
+        u, v = self.sub.edges[e]
+        x1, y1 = self.sub.vertices[u]
+        x2, y2 = self.sub.vertices[v]
+        t = (x - x1) / (x2 - x1)
+        return y1 + t * (y2 - y1)
+
+    def _above_halfedge(self, e: int) -> int:
+        """Half-edge of edge ``e`` whose left side is the region above."""
+        u, v = self.sub.edges[e]
+        x1 = self.sub.vertices[u][0]
+        x2 = self.sub.vertices[v][0]
+        # Half-edge 2e runs u->v.  Left of a left-to-right edge is above.
+        return 2 * e if x1 < x2 else 2 * e + 1
+
+    def locate_cycle(self, x: float, y: float) -> Optional[int]:
+        """Cycle id of the region containing ``(x, y)``.
+
+        Returns ``None`` when the query lies below every edge of its slab
+        or outside the x-range of the subdivision (the unbounded face).
+        Queries exactly on an edge resolve to the region above it.
+        """
+        xs = self.slab_x
+        if not xs or x < xs[0] or x > xs[-1]:
+            return None
+        s = bisect.bisect_right(xs, x) - 1
+        if s >= len(self.slabs):
+            s = len(self.slabs) - 1
+        entries = self.slabs[s]
+        if not entries:
+            return None
+        # Binary search on y at the query x (edge order inside a slab is
+        # consistent for every x in the slab since edges do not cross).
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._edge_y_at(entries[mid][1], x) <= y:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None  # below all edges in the slab
+        if lo == len(entries):
+            # Above every edge in the slab.  Subdivisions used by the
+            # library always include an enclosing boundary, so this is the
+            # unbounded face.
+            return None
+        e = entries[lo - 1][1]
+        return self.sub.cycle_of[self._above_halfedge(e)]
+
+
+class LabelledSubdivision:
+    """A subdivision + point location + per-cycle labels.
+
+    The user-facing product of Theorems 2.11 / 2.14 / 4.2: locate a query
+    point and return the label (e.g. the set ``NN!=0(q)`` or the vector of
+    quantification probabilities) of its region.
+    """
+
+    def __init__(self, sub: PlanarSubdivision, labels: Sequence, outside_label=None):
+        self.sub = sub
+        self.locator = SlabLocator(sub)
+        self.labels = list(labels)
+        self.outside_label = outside_label
+
+    def query(self, x: float, y: float):
+        cid = self.locator.locate_cycle(x, y)
+        if cid is None:
+            return self.outside_label
+        label = self.labels[cid]
+        return self.outside_label if label is None else label

@@ -1,0 +1,112 @@
+"""Geometric predicates with an exact-rational fallback.
+
+The two classic predicates (orientation and in-circle) are evaluated in
+floating point with a forward error bound; when the result is too close to
+zero to be trusted, the computation is repeated with exact ``Fraction``
+arithmetic.  This keeps the common case fast and the rare case correct,
+mirroring the standard adaptive-precision approach.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+# Forward error coefficients for the float filters (Shewchuk-style, with a
+# generous safety margin; exactness is provided by the Fraction fallback).
+_ORIENT_ERR = 4.0e-15
+_INCIRCLE_ERR = 1.0e-13
+
+
+def orientation(a, b, c) -> int:
+    """Sign of the signed area of triangle ``abc``.
+
+    Returns +1 when ``c`` lies to the left of the directed line ``a -> b``
+    (counter-clockwise turn), -1 to the right, and 0 when collinear.
+    """
+    ax, ay = a[0], a[1]
+    bx, by = b[0], b[1]
+    cx, cy = c[0], c[1]
+    det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    # Error filter: magnitude of terms entering the determinant.
+    mag = (abs(bx - ax) + abs(by - ay)) * (abs(cx - ax) + abs(cy - ay))
+    if abs(det) > _ORIENT_ERR * mag:
+        return 1 if det > 0 else -1
+    return _orientation_exact(ax, ay, bx, by, cx, cy)
+
+
+def _orientation_exact(ax, ay, bx, by, cx, cy) -> int:
+    det = (Fraction(bx) - Fraction(ax)) * (Fraction(cy) - Fraction(ay)) - (
+        Fraction(by) - Fraction(ay)
+    ) * (Fraction(cx) - Fraction(ax))
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def in_circle(a, b, c, d) -> int:
+    """In-circle predicate for the circle through ``a``, ``b``, ``c``.
+
+    Assuming ``a, b, c`` are in counter-clockwise order, returns +1 when
+    ``d`` lies strictly inside their circumcircle, -1 when strictly
+    outside, and 0 when on the circle.  For clockwise ``a, b, c`` the sign
+    is flipped, matching the standard determinant convention.
+    """
+    adx, ady = a[0] - d[0], a[1] - d[1]
+    bdx, bdy = b[0] - d[0], b[1] - d[1]
+    cdx, cdy = c[0] - d[0], c[1] - d[1]
+    ad2 = adx * adx + ady * ady
+    bd2 = bdx * bdx + bdy * bdy
+    cd2 = cdx * cdx + cdy * cdy
+    det = (
+        ad2 * (bdx * cdy - bdy * cdx)
+        - bd2 * (adx * cdy - ady * cdx)
+        + cd2 * (adx * bdy - ady * bdx)
+    )
+    mag = (
+        ad2 * (abs(bdx * cdy) + abs(bdy * cdx))
+        + bd2 * (abs(adx * cdy) + abs(ady * cdx))
+        + cd2 * (abs(adx * bdy) + abs(ady * bdx))
+    )
+    if abs(det) > _INCIRCLE_ERR * mag:
+        return 1 if det > 0 else -1
+    return _in_circle_exact(a, b, c, d)
+
+
+def _in_circle_exact(a, b, c, d) -> int:
+    ax, ay = Fraction(a[0]) - Fraction(d[0]), Fraction(a[1]) - Fraction(d[1])
+    bx, by = Fraction(b[0]) - Fraction(d[0]), Fraction(b[1]) - Fraction(d[1])
+    cx, cy = Fraction(c[0]) - Fraction(d[0]), Fraction(c[1]) - Fraction(d[1])
+    a2 = ax * ax + ay * ay
+    b2 = bx * bx + by * by
+    c2 = cx * cx + cy * cy
+    det = a2 * (bx * cy - by * cx) - b2 * (ax * cy - ay * cx) + c2 * (ax * by - ay * bx)
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def collinear(a, b, c) -> bool:
+    """True when the three points are exactly collinear."""
+    return orientation(a, b, c) == 0
+
+
+def convex_position(points) -> bool:
+    """True when ``points`` (in order) form a strictly convex polygon."""
+    pts = list(points)
+    n = len(pts)
+    if n < 3:
+        return False
+    sign = 0
+    for i in range(n):
+        o = orientation(pts[i], pts[(i + 1) % n], pts[(i + 2) % n])
+        if o == 0:
+            return False
+        if sign == 0:
+            sign = o
+        elif o != sign:
+            return False
+    return True

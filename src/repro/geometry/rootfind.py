@@ -1,0 +1,146 @@
+"""1-D root isolation used by the envelope and curve-intersection code.
+
+The paper's combinatorial bounds (each pair of Apollonius branches crosses
+at most twice, Lemma 2.2) mean a sampled bracket search followed by a
+derivative-free refinement finds every crossing for inputs in general
+position.  Brent's method is implemented here so the library has no runtime
+dependency on scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+
+def brent_root(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    tol: float = 1e-13,
+    max_iter: int = 200,
+) -> float:
+    """Root of ``f`` in the bracketing interval ``[a, b]``.
+
+    Requires ``f(a)`` and ``f(b)`` to have opposite signs (one of them may
+    be zero).  Classic Brent: inverse quadratic interpolation with secant
+    and bisection fallbacks.
+    """
+    fa, fb = f(a), f(b)
+    if fa == 0.0:
+        return a
+    if fb == 0.0:
+        return b
+    if fa * fb > 0.0:
+        raise ValueError(f"not a bracket: f({a})={fa}, f({b})={fb}")
+    if abs(fa) < abs(fb):
+        a, b, fa, fb = b, a, fb, fa
+    c, fc = a, fa
+    mflag = True
+    d = c
+    for _ in range(max_iter):
+        if fb == 0.0 or abs(b - a) < tol:
+            return b
+        if fa != fc and fb != fc:
+            # Inverse quadratic interpolation.
+            s = (
+                a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+            )
+        else:
+            s = b - fb * (b - a) / (fb - fa)  # secant
+        cond = (
+            not ((3.0 * a + b) / 4.0 < s < b or b < s < (3.0 * a + b) / 4.0)
+            or (mflag and abs(s - b) >= abs(b - c) / 2.0)
+            or (not mflag and abs(s - b) >= abs(c - d) / 2.0)
+            or (mflag and abs(b - c) < tol)
+            or (not mflag and abs(c - d) < tol)
+        )
+        if cond:
+            s = 0.5 * (a + b)  # bisection
+            mflag = True
+        else:
+            mflag = False
+        fs = f(s)
+        d = c
+        c, fc = b, fb
+        if fa * fs < 0.0:
+            b, fb = s, fs
+        else:
+            a, fa = s, fs
+        if abs(fa) < abs(fb):
+            a, b, fa, fb = b, a, fb, fa
+    return b
+
+
+def find_roots_on_grid(
+    f: Callable[[float], float],
+    grid: Sequence[float],
+    tol: float = 1e-13,
+) -> List[float]:
+    """All roots of ``f`` bracketed by sign changes on ``grid``.
+
+    ``grid`` must be increasing.  Values that are non-finite (``nan`` or
+    ``inf``, e.g. outside a curve's angular support) break brackets instead
+    of producing spurious roots.  Exact zeros at grid points are reported
+    once.
+    """
+    roots: List[float] = []
+    prev_x = None
+    prev_v = None
+    for x in grid:
+        v = f(x)
+        if not math.isfinite(v):
+            prev_x, prev_v = None, None
+            continue
+        if v == 0.0:
+            if not roots or abs(roots[-1] - x) > tol:
+                roots.append(x)
+            prev_x, prev_v = x, v
+            continue
+        if prev_v is not None and prev_v * v < 0.0:
+            r = brent_root(f, prev_x, x, tol=tol)
+            if not roots or abs(roots[-1] - r) > tol:
+                roots.append(r)
+        prev_x, prev_v = x, v
+    return roots
+
+
+def linspace(a: float, b: float, n: int) -> List[float]:
+    """Evenly spaced samples including both endpoints (pure-python)."""
+    if n < 2:
+        return [a]
+    step = (b - a) / (n - 1)
+    return [a + i * step for i in range(n)]
+
+
+def golden_minimize(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> Tuple[float, float]:
+    """Golden-section minimisation of a unimodal ``f`` on ``[a, b]``.
+
+    Returns ``(x, f(x))``.  Used to detect tangential (double) roots where
+    two curves touch without a sign change.
+    """
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = f(c), f(d)
+    for _ in range(max_iter):
+        if abs(b - a) < tol:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = f(d)
+    x = 0.5 * (a + b)
+    return x, f(x)

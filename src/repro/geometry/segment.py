@@ -1,0 +1,203 @@
+"""Line segments: intersection, distance, and clipping helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .point import Point, as_point
+from .predicates import orientation
+
+
+class Segment:
+    """A closed line segment between two endpoints."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = as_point(a)
+        self.b = as_point(b)
+
+    def __repr__(self) -> str:
+        return f"Segment({self.a!r}, {self.b!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return self.a == other.a and self.b == other.b
+
+    def __hash__(self) -> int:
+        return hash((self.a, self.b))
+
+    def length(self) -> float:
+        return (self.b - self.a).norm()
+
+    def direction(self) -> Point:
+        return self.b - self.a
+
+    def midpoint(self) -> Point:
+        return (self.a + self.b) * 0.5
+
+    def point_at(self, t: float) -> Point:
+        """Point ``a + t * (b - a)``."""
+        return self.a + (self.b - self.a) * t
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """Bounding box ``(xmin, ymin, xmax, ymax)``."""
+        return (
+            min(self.a.x, self.b.x),
+            min(self.a.y, self.b.y),
+            max(self.a.x, self.b.x),
+            max(self.a.y, self.b.y),
+        )
+
+    def contains_point(self, p, eps: float = 1e-9) -> bool:
+        """True when ``p`` lies on the segment up to distance ``eps``."""
+        return self.distance_to_point(p) <= eps
+
+    def distance_to_point(self, p) -> float:
+        """Euclidean distance from ``p`` to the segment."""
+        p = as_point(p)
+        d = self.b - self.a
+        dd = d.norm2()
+        if dd == 0.0:
+            return (p - self.a).norm()
+        t = (p - self.a).dot(d) / dd
+        t = max(0.0, min(1.0, t))
+        return (self.point_at(t) - p).norm()
+
+
+def segment_intersection(
+    s1: Segment, s2: Segment, eps: float = 1e-12
+) -> Optional[Point]:
+    """Proper or touching intersection point of two segments.
+
+    Returns the intersection point when the segments meet in exactly one
+    point (including endpoint touches), and ``None`` when they are disjoint
+    or overlap along a sub-segment (collinear overlap is reported as
+    ``None`` here; callers that must handle overlaps use
+    :func:`collinear_overlap`).
+    """
+    p, r = s1.a, s1.b - s1.a
+    q, s = s2.a, s2.b - s2.a
+    rxs = r.cross(s)
+    qp = q - p
+    if abs(rxs) <= eps * (r.norm() * s.norm() + 1e-300):
+        return None  # parallel (possibly collinear-overlapping)
+    t = qp.cross(s) / rxs
+    u = qp.cross(r) / rxs
+    if -eps <= t <= 1.0 + eps and -eps <= u <= 1.0 + eps:
+        return p + r * t
+    return None
+
+
+def segments_properly_intersect(s1: Segment, s2: Segment) -> bool:
+    """True when the segments cross at a single interior point of both."""
+    d1 = orientation(s2.a, s2.b, s1.a)
+    d2 = orientation(s2.a, s2.b, s1.b)
+    d3 = orientation(s1.a, s1.b, s2.a)
+    d4 = orientation(s1.a, s1.b, s2.b)
+    return d1 * d2 < 0 and d3 * d4 < 0
+
+
+def collinear_overlap(s1: Segment, s2: Segment, eps: float = 1e-9) -> Optional[Segment]:
+    """Overlap of two collinear segments, or ``None``.
+
+    Used by the planar overlay to split overlapping input segments.
+    """
+    r = s1.b - s1.a
+    rr = r.norm2()
+    if rr == 0.0:  # zero or subnormal length
+        return None
+    if abs(r.cross(s2.a - s1.a)) > eps * (r.norm() + 1.0) or abs(
+        r.cross(s2.b - s1.a)
+    ) > eps * (r.norm() + 1.0):
+        return None
+    t0 = (s2.a - s1.a).dot(r) / rr
+    t1 = (s2.b - s1.a).dot(r) / rr
+    lo, hi = min(t0, t1), max(t0, t1)
+    lo, hi = max(lo, 0.0), min(hi, 1.0)
+    if hi - lo <= eps:
+        return None
+    return Segment(s1.point_at(lo), s1.point_at(hi))
+
+
+def line_intersection(
+    p1: Point, d1: Point, p2: Point, d2: Point, eps: float = 1e-14
+) -> Optional[Point]:
+    """Intersection of the lines ``p1 + t d1`` and ``p2 + u d2``."""
+    denom = d1.cross(d2)
+    if abs(denom) <= eps * (d1.norm() * d2.norm() + 1e-300):
+        return None
+    t = (p2 - p1).cross(d2) / denom
+    return p1 + d1 * t
+
+
+def clip_segment_to_box(
+    seg: Segment, xmin: float, ymin: float, xmax: float, ymax: float
+) -> Optional[Segment]:
+    """Liang-Barsky clipping of a segment to an axis-aligned box."""
+    x0, y0 = seg.a.x, seg.a.y
+    dx, dy = seg.b.x - seg.a.x, seg.b.y - seg.a.y
+    t0, t1 = 0.0, 1.0
+    for p, q in (
+        (-dx, x0 - xmin),
+        (dx, xmax - x0),
+        (-dy, y0 - ymin),
+        (dy, ymax - y0),
+    ):
+        if p == 0.0:
+            if q < 0.0:
+                return None
+            continue
+        t = q / p
+        if p < 0.0:
+            if t > t1:
+                return None
+            if t > t0:
+                t0 = t
+        else:
+            if t < t0:
+                return None
+            if t < t1:
+                t1 = t
+    if t0 >= t1:
+        return None
+    return Segment(seg.point_at(t0), seg.point_at(t1))
+
+
+def clip_line_to_box(
+    point: Point,
+    direction: Point,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+) -> Optional[Segment]:
+    """Clip the infinite line ``point + t * direction`` to a box."""
+    # Use a parameter range wide enough to cover the box from any point.
+    span = (
+        abs(xmax - xmin)
+        + abs(ymax - ymin)
+        + abs(point.x - xmin)
+        + abs(point.y - ymin)
+        + abs(point.x - xmax)
+        + abs(point.y - ymax)
+    )
+    n = direction.norm()
+    if n == 0.0:
+        return None
+    d = direction / n
+    big = 4.0 * span + 1.0
+    seg = Segment(point - d * big, point + d * big)
+    return clip_segment_to_box(seg, xmin, ymin, xmax, ymax)
+
+
+def bboxes_overlap(b1, b2, eps: float = 0.0) -> bool:
+    """True when two ``(xmin, ymin, xmax, ymax)`` boxes overlap."""
+    return not (
+        b1[2] < b2[0] - eps
+        or b2[2] < b1[0] - eps
+        or b1[3] < b2[1] - eps
+        or b2[3] < b1[1] - eps
+    )

@@ -1,0 +1,98 @@
+"""Voronoi diagrams as Delaunay duals; nearest-site location.
+
+Provides the point-location-in-``Vor(R_j)`` primitive of the Monte-Carlo
+structure (Section 4.2): finding the site whose Voronoi cell contains a
+query is exactly a nearest-site query, answered by a greedy walk on the
+Delaunay graph (the walk cannot get stuck at a non-nearest site because
+every non-nearest site has a Delaunay neighbour closer to the query).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..errors import EmptyIndexError
+from .delaunay import delaunay_neighbors, delaunay_triangulation
+from .halfplane import Halfplane, halfplane_intersection
+from .point import Point, distance2
+
+
+class VoronoiLocator:
+    """Nearest-site location over a fixed point set."""
+
+    def __init__(self, sites: Sequence):
+        self.sites: List[Tuple[float, float]] = [
+            (float(p[0]), float(p[1])) for p in sites
+        ]
+        if not self.sites:
+            raise EmptyIndexError("VoronoiLocator over empty site set")
+        self.triangles = delaunay_triangulation(self.sites)
+        self.neighbors: List[Set[int]] = delaunay_neighbors(
+            len(self.sites), self.triangles
+        )
+        # Collinear/degenerate fallback: neighbour graph may be empty.
+        self._degenerate = not self.triangles
+
+    def nearest(self, q, hint: Optional[int] = None) -> int:
+        """Index of the site nearest to ``q``.
+
+        ``hint`` warm-starts the walk (useful for coherent query streams).
+        """
+        if self._degenerate:
+            return min(
+                range(len(self.sites)), key=lambda i: distance2(self.sites[i], q)
+            )
+        cur = hint if hint is not None else 0
+        cur_d = distance2(self.sites[cur], q)
+        while True:
+            best, best_d = cur, cur_d
+            for nb in self.neighbors[cur]:
+                d = distance2(self.sites[nb], q)
+                if d < best_d:
+                    best, best_d = nb, d
+            if best != cur:
+                cur, cur_d = best, best_d
+                continue
+            # Strict descent converged.  Ties between (near-)coincident
+            # sites can hide a strictly closer site behind an equidistant
+            # neighbour; explore the tied plateau before concluding.
+            tol = 1e-12 * (1.0 + cur_d)
+            stack = [cur]
+            visited = {cur}
+            while stack:
+                v = stack.pop()
+                for nb in self.neighbors[v]:
+                    if nb in visited:
+                        continue
+                    d = distance2(self.sites[nb], q)
+                    if d < cur_d - tol:
+                        # Restart the strict descent from the closer site.
+                        cur, cur_d = nb, d
+                        break
+                    if d <= cur_d + tol:
+                        visited.add(nb)
+                        stack.append(nb)
+                else:
+                    continue
+                break
+            else:
+                return cur
+
+    def cell_polygon(
+        self, i: int, bbox: Tuple[float, float, float, float]
+    ) -> List[Point]:
+        """Voronoi cell of site ``i`` clipped to ``bbox``.
+
+        The cell is the intersection of the bisector halfplanes toward the
+        site's Delaunay neighbours (sufficient by duality), intersected
+        with the box.
+        """
+        site = self.sites[i]
+        others = self.neighbors[i] if not self._degenerate else set(
+            j for j in range(len(self.sites)) if j != i
+        )
+        halfplanes = [
+            Halfplane.bisector_side(site, self.sites[j]) for j in others
+        ]
+        return halfplane_intersection(halfplanes, bbox)

@@ -1,0 +1,31 @@
+"""Database-style indexing substrate: kd-tree, R-tree, grid, samplers,
+and the persistent label store of Section 2.1."""
+
+from .grid import GridIndex
+from .kdtree import KdTree
+from .persistence import DeltaSetStore
+from .quadtree import QuadTree
+from .rtree import (
+    RTree,
+    rect_intersects_disk,
+    rect_maxdist,
+    rect_mindist,
+    rect_union,
+    rects_intersect,
+)
+from .sampler import AliasSampler, CdfSampler
+
+__all__ = [
+    "AliasSampler",
+    "CdfSampler",
+    "DeltaSetStore",
+    "GridIndex",
+    "KdTree",
+    "QuadTree",
+    "RTree",
+    "rect_intersects_disk",
+    "rect_maxdist",
+    "rect_mindist",
+    "rect_union",
+    "rects_intersect",
+]

@@ -1,0 +1,73 @@
+"""Uniform hashing grid over points.
+
+A simple comparison index: bucket points by cell, answer disk-range
+reports by scanning the cells overlapped by the query disk.  Used as a
+baseline against the kd-tree in the stage-2 benchmarks and as a helper in
+construction code.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EmptyIndexError
+
+
+class GridIndex:
+    """Fixed-resolution bucket grid over a static point set."""
+
+    def __init__(self, points: Sequence, cell: Optional[float] = None):
+        self.points: List[Tuple[float, float]] = [
+            (float(p[0]), float(p[1])) for p in points
+        ]
+        if not self.points:
+            raise EmptyIndexError("GridIndex over empty point set")
+        if cell is None:
+            xs = [p[0] for p in self.points]
+            ys = [p[1] for p in self.points]
+            area = max(max(xs) - min(xs), 1e-9) * max(max(ys) - min(ys), 1e-9)
+            cell = math.sqrt(area / len(self.points)) or 1.0
+        self.cell = float(cell)
+        self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for i, (x, y) in enumerate(self.points):
+            self._buckets[self._key(x, y)].append(i)
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self.cell)), int(math.floor(y / self.cell)))
+
+    def range_disk(self, q, radius: float, strict: bool = False) -> List[int]:
+        """Indices of points within ``radius`` of ``q``."""
+        qx, qy = float(q[0]), float(q[1])
+        out: List[int] = []
+        r2 = radius * radius
+        cx0 = int(math.floor((qx - radius) / self.cell))
+        cx1 = int(math.floor((qx + radius) / self.cell))
+        cy0 = int(math.floor((qy - radius) / self.cell))
+        cy1 = int(math.floor((qy + radius) / self.cell))
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                for i in self._buckets.get((cx, cy), ()):
+                    px, py = self.points[i]
+                    d2 = (px - qx) ** 2 + (py - qy) ** 2
+                    if (d2 < r2) if strict else (d2 <= r2):
+                        out.append(i)
+        return out
+
+    def nearest(self, q) -> Tuple[int, float]:
+        """Nearest point by ring-growing search."""
+        qx, qy = float(q[0]), float(q[1])
+        r = self.cell
+        while True:
+            hits = self.range_disk((qx, qy), r)
+            if hits:
+                best = min(
+                    hits,
+                    key=lambda i: (self.points[i][0] - qx) ** 2
+                    + (self.points[i][1] - qy) ** 2,
+                )
+                return best, math.hypot(
+                    self.points[best][0] - qx, self.points[best][1] - qy
+                )
+            r *= 2.0

@@ -1,0 +1,233 @@
+"""kd-trees with additively-weighted variants.
+
+The two-stage ``NN!=0`` query plan of Theorem 3.1 needs two primitives:
+
+* stage 1 — ``Delta(q) = min_i d(q, c_i) + r_i`` is an *additively
+  weighted* nearest-neighbor query over the disk centers;
+* stage 2 — report every ``i`` with ``d(q, c_i) - r_i < Delta(q)``
+  (disks intersecting the witness disk), an additively weighted range
+  report.
+
+Both are answered by a kd-tree augmented with per-subtree minimum and
+maximum weights, giving the branch-and-bound lower bounds
+``mindist(q, bbox) + min_w`` and ``mindist(q, bbox) - max_w``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import EmptyIndexError
+
+_LEAF_SIZE = 12
+
+
+class _Node:
+    __slots__ = (
+        "lo",
+        "hi",
+        "left",
+        "right",
+        "indices",
+        "bbox",
+        "min_w",
+        "max_w",
+    )
+
+    def __init__(self):
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.indices: Optional[List[int]] = None
+        self.bbox: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+        self.min_w = 0.0
+        self.max_w = 0.0
+
+
+def _bbox_of(points, idxs) -> Tuple[float, float, float, float]:
+    xs = [points[i][0] for i in idxs]
+    ys = [points[i][1] for i in idxs]
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def _mindist_bbox(q, bbox) -> float:
+    dx = max(bbox[0] - q[0], 0.0, q[0] - bbox[2])
+    dy = max(bbox[1] - q[1], 0.0, q[1] - bbox[3])
+    return math.hypot(dx, dy)
+
+
+def _maxdist_bbox(q, bbox) -> float:
+    dx = max(abs(q[0] - bbox[0]), abs(q[0] - bbox[2]))
+    dy = max(abs(q[1] - bbox[1]), abs(q[1] - bbox[3]))
+    return math.hypot(dx, dy)
+
+
+class KdTree:
+    """A 2-d tree over points, optionally carrying additive weights.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(x, y)``.
+    weights:
+        Optional per-point additive weights (e.g. disk radii).  When
+        omitted all weighted queries treat weights as zero.
+    """
+
+    def __init__(self, points: Sequence, weights: Optional[Sequence[float]] = None):
+        self.points: List[Tuple[float, float]] = [
+            (float(p[0]), float(p[1])) for p in points
+        ]
+        if not self.points:
+            raise EmptyIndexError("KdTree over empty point set")
+        n = len(self.points)
+        self.weights: List[float] = (
+            [float(w) for w in weights] if weights is not None else [0.0] * n
+        )
+        if len(self.weights) != n:
+            raise ValueError("weights length must match points length")
+        self.root = self._build(list(range(n)), depth=0)
+
+    # -- construction ------------------------------------------------------
+    def _build(self, idxs: List[int], depth: int) -> _Node:
+        node = _Node()
+        node.bbox = _bbox_of(self.points, idxs)
+        node.min_w = min(self.weights[i] for i in idxs)
+        node.max_w = max(self.weights[i] for i in idxs)
+        if len(idxs) <= _LEAF_SIZE:
+            node.indices = idxs
+            return node
+        axis = depth % 2
+        idxs.sort(key=lambda i: self.points[i][axis])
+        mid = len(idxs) // 2
+        node.left = self._build(idxs[:mid], depth + 1)
+        node.right = self._build(idxs[mid:], depth + 1)
+        return node
+
+    # -- plain queries ------------------------------------------------------
+    def nearest(self, q) -> Tuple[int, float]:
+        """Index and distance of the nearest point to ``q``."""
+        idx, d = self._weighted_nearest(q, use_weights=False)
+        return idx, d
+
+    def weighted_nearest(self, q) -> Tuple[int, float]:
+        """``argmin_i d(q, p_i) + w_i`` and the attained value.
+
+        With ``w_i = r_i`` this is ``Delta(q)`` of Section 2.1 — the
+        lower envelope of the ``Delta_i`` evaluated at ``q``.
+        """
+        return self._weighted_nearest(q, use_weights=True)
+
+    def _weighted_nearest(self, q, use_weights: bool) -> Tuple[int, float]:
+        qx, qy = float(q[0]), float(q[1])
+        best = math.inf
+        best_i = -1
+        heap: List[Tuple[float, int, _Node]] = []
+        counter = 0
+
+        def bound(node: _Node) -> float:
+            b = _mindist_bbox((qx, qy), node.bbox)
+            return b + node.min_w if use_weights else b
+
+        heapq.heappush(heap, (bound(self.root), counter, self.root))
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if lb >= best:
+                break
+            if node.indices is not None:
+                for i in node.indices:
+                    px, py = self.points[i]
+                    d = math.hypot(px - qx, py - qy)
+                    if use_weights:
+                        d += self.weights[i]
+                    if d < best:
+                        best, best_i = d, i
+                continue
+            for child in (node.left, node.right):
+                counter += 1
+                heapq.heappush(heap, (bound(child), counter, child))
+        return best_i, best
+
+    def k_nearest(self, q, k: int) -> List[Tuple[float, int]]:
+        """The ``k`` nearest points as ``(distance, index)`` sorted pairs.
+
+        This is the *spiral search* retrieval primitive of Section 4.3
+        (the paper's [AC09] structure replaced by its practical
+        substitute, cf. Remark (ii)).
+        """
+        qx, qy = float(q[0]), float(q[1])
+        k = min(k, len(self.points))
+        worst: List[Tuple[float, int]] = []  # max-heap by negated distance
+        heap: List[Tuple[float, int, _Node]] = [(0.0, 0, self.root)]
+        counter = 0
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if len(worst) == k and lb >= -worst[0][0]:
+                break
+            if node.indices is not None:
+                for i in node.indices:
+                    px, py = self.points[i]
+                    d = math.hypot(px - qx, py - qy)
+                    if len(worst) < k:
+                        heapq.heappush(worst, (-d, i))
+                    elif d < -worst[0][0]:
+                        heapq.heapreplace(worst, (-d, i))
+                continue
+            for child in (node.left, node.right):
+                counter += 1
+                heapq.heappush(
+                    heap, (_mindist_bbox((qx, qy), child.bbox), counter, child)
+                )
+        return sorted((-negd, i) for negd, i in worst)
+
+    def range_disk(self, q, radius: float, strict: bool = False) -> List[int]:
+        """Indices of points within ``radius`` of ``q``.
+
+        ``strict=True`` uses the open disk (``d < radius``).
+        """
+        out: List[int] = []
+        qx, qy = float(q[0]), float(q[1])
+
+        def visit(node: _Node) -> None:
+            if _mindist_bbox((qx, qy), node.bbox) > radius:
+                return
+            if node.indices is not None:
+                for i in node.indices:
+                    px, py = self.points[i]
+                    d = math.hypot(px - qx, py - qy)
+                    if (d < radius) if strict else (d <= radius):
+                        out.append(i)
+                return
+            visit(node.left)
+            visit(node.right)
+
+        visit(self.root)
+        return out
+
+    def report_weighted_below(self, q, bound: float, strict: bool = True) -> List[int]:
+        """All ``i`` with ``d(q, p_i) - w_i < bound`` (stage 2 report).
+
+        With ``w_i = r_i`` and ``bound = Delta(q)`` this reports exactly
+        ``NN!=0(q)`` by Lemma 2.1 / Eq. (4): the disks whose minimum
+        distance to ``q`` is below the envelope value.  Subtrees with
+        ``mindist(q, bbox) - max_w >= bound`` cannot contain output.
+        """
+        out: List[int] = []
+        qx, qy = float(q[0]), float(q[1])
+
+        def visit(node: _Node) -> None:
+            if _mindist_bbox((qx, qy), node.bbox) - node.max_w >= bound:
+                return
+            if node.indices is not None:
+                for i in node.indices:
+                    px, py = self.points[i]
+                    d = math.hypot(px - qx, py - qy) - self.weights[i]
+                    if (d < bound) if strict else (d <= bound):
+                        out.append(i)
+                return
+            visit(node.left)
+            visit(node.right)
+
+        visit(self.root)
+        return out

@@ -1,0 +1,94 @@
+"""Persistent storage of per-cell label sets.
+
+Section 2.1 ("Storing ``P_phi``'s for ``V!=0(P)``") observes that two
+adjacent cells of the diagram have label sets with symmetric difference
+exactly one, so a persistent structure ([DSST89]) stores all labels in
+O(mu) total space while supporting ``O(log n + |P_phi|)`` retrieval.
+
+This module implements the practical equivalent: a *delta spanning tree*.
+Cells are nodes of the cell-adjacency graph; a BFS spanning tree is
+rooted at an arbitrary cell whose full set is stored; every other cell
+stores only the +/- one-element delta along its tree edge.  Retrieval
+walks to the root accumulating deltas (O(tree depth + answer)); an LRU
+of materialised ancestors caps repeated walks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class DeltaSetStore:
+    """Space-efficient storage for a family of near-identical sets.
+
+    Parameters
+    ----------
+    sets:
+        The label set of each cell (only consulted during construction;
+        the store keeps deltas, not copies).
+    adjacency:
+        Iterable of ``(i, j)`` cell pairs that are adjacent in the
+        subdivision.  Pairs whose sets differ by more than
+        ``max_delta`` elements are kept but cost proportional space.
+    """
+
+    def __init__(
+        self,
+        sets: Sequence[Iterable[Hashable]],
+        adjacency: Iterable[Tuple[int, int]],
+        cache_size: int = 64,
+    ):
+        materialised = [frozenset(s) for s in sets]
+        n = len(materialised)
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for i, j in adjacency:
+            adj[i].append(j)
+            adj[j].append(i)
+        self.parent: List[int] = [-1] * n
+        self.add_delta: List[Tuple[Hashable, ...]] = [()] * n
+        self.del_delta: List[Tuple[Hashable, ...]] = [()] * n
+        self.roots: List[int] = []
+        self.root_sets: Dict[int, FrozenSet] = {}
+        visited = [False] * n
+        for start in range(n):
+            if visited[start]:
+                continue
+            # BFS spanning tree per connected component.
+            self.roots.append(start)
+            self.root_sets[start] = materialised[start]
+            visited[start] = True
+            queue = deque([start])
+            while queue:
+                u = queue.popleft()
+                for v in adj[u]:
+                    if visited[v]:
+                        continue
+                    visited[v] = True
+                    self.parent[v] = u
+                    self.add_delta[v] = tuple(materialised[v] - materialised[u])
+                    self.del_delta[v] = tuple(materialised[u] - materialised[v])
+                    queue.append(v)
+        self._cache: Dict[int, FrozenSet] = dict(self.root_sets)
+        self._cache_size = max(cache_size, len(self.roots))
+
+    def delta_space(self) -> int:
+        """Total number of stored delta elements (the O(mu) bound)."""
+        return sum(len(a) + len(d) for a, d in zip(self.add_delta, self.del_delta))
+
+    def get(self, cell: int) -> FrozenSet:
+        """The label set of ``cell``."""
+        path: List[int] = []
+        cur = cell
+        while cur not in self._cache:
+            path.append(cur)
+            cur = self.parent[cur]
+        current: FrozenSet = self._cache[cur]
+        for node in reversed(path):
+            s = set(current)
+            s.difference_update(self.del_delta[node])
+            s.update(self.add_delta[node])
+            current = frozenset(s)
+            if len(self._cache) < self._cache_size:
+                self._cache[node] = current
+        return current

@@ -1,0 +1,131 @@
+"""PR quadtree.
+
+The alternative retrieval structure suggested by the paper's Remark (ii)
+of Section 4.3: "one may use quad-trees and a branch-and-bound algorithm
+to retrieve m points of S closest to q [Har11]".  Exposed as an
+alternative backend of the spiral search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import EmptyIndexError
+
+_LEAF_SIZE = 8
+_MAX_DEPTH = 32
+
+
+class _QNode:
+    __slots__ = ("xmin", "ymin", "xmax", "ymax", "children", "indices")
+
+    def __init__(self, xmin, ymin, xmax, ymax):
+        self.xmin, self.ymin, self.xmax, self.ymax = xmin, ymin, xmax, ymax
+        self.children: Optional[List["_QNode"]] = None
+        self.indices: List[int] = []
+
+    def mindist(self, q) -> float:
+        dx = max(self.xmin - q[0], 0.0, q[0] - self.xmax)
+        dy = max(self.ymin - q[1], 0.0, q[1] - self.ymax)
+        return math.hypot(dx, dy)
+
+
+class QuadTree:
+    """Point quadtree with k-NN and disk-range queries."""
+
+    def __init__(self, points: Sequence):
+        self.points: List[Tuple[float, float]] = [
+            (float(p[0]), float(p[1])) for p in points
+        ]
+        if not self.points:
+            raise EmptyIndexError("QuadTree over empty point set")
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        pad = 1e-9 + 1e-9 * max(map(abs, xs + ys))
+        self.root = _QNode(
+            min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad
+        )
+        for i in range(len(self.points)):
+            self._insert(self.root, i, 0)
+
+    def _insert(self, node: _QNode, i: int, depth: int) -> None:
+        while True:
+            if node.children is None:
+                node.indices.append(i)
+                if len(node.indices) > _LEAF_SIZE and depth < _MAX_DEPTH:
+                    self._split(node)
+                    # Fall through: re-route the stored points.
+                    indices, node.indices = node.indices, []
+                    for j in indices:
+                        self._insert(
+                            self._child_for(node, self.points[j]), j, depth + 1
+                        )
+                return
+            node = self._child_for(node, self.points[i])
+            depth += 1
+
+    def _split(self, node: _QNode) -> None:
+        mx = 0.5 * (node.xmin + node.xmax)
+        my = 0.5 * (node.ymin + node.ymax)
+        node.children = [
+            _QNode(node.xmin, node.ymin, mx, my),
+            _QNode(mx, node.ymin, node.xmax, my),
+            _QNode(node.xmin, my, mx, node.ymax),
+            _QNode(mx, my, node.xmax, node.ymax),
+        ]
+
+    def _child_for(self, node: _QNode, p) -> _QNode:
+        mx = 0.5 * (node.xmin + node.xmax)
+        my = 0.5 * (node.ymin + node.ymax)
+        idx = (1 if p[0] >= mx else 0) + (2 if p[1] >= my else 0)
+        return node.children[idx]
+
+    # -- queries -------------------------------------------------------------
+    def k_nearest(self, q, k: int) -> List[Tuple[float, int]]:
+        """The ``k`` nearest points as sorted ``(distance, index)`` pairs
+        (the Har11-style branch-and-bound of Remark (ii))."""
+        k = min(k, len(self.points))
+        qx, qy = float(q[0]), float(q[1])
+        worst: List[Tuple[float, int]] = []  # max-heap (negated)
+        heap: List[Tuple[float, int, _QNode]] = [(0.0, 0, self.root)]
+        counter = 0
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if len(worst) == k and lb >= -worst[0][0]:
+                break
+            if node.children is None:
+                for i in node.indices:
+                    px, py = self.points[i]
+                    d = math.hypot(px - qx, py - qy)
+                    if len(worst) < k:
+                        heapq.heappush(worst, (-d, i))
+                    elif d < -worst[0][0]:
+                        heapq.heapreplace(worst, (-d, i))
+            else:
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(
+                        heap, (child.mindist((qx, qy)), counter, child)
+                    )
+        return sorted((-negd, i) for negd, i in worst)
+
+    def range_disk(self, q, radius: float, strict: bool = False) -> List[int]:
+        """Indices within ``radius`` of ``q``."""
+        out: List[int] = []
+        qx, qy = float(q[0]), float(q[1])
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mindist((qx, qy)) > radius:
+                continue
+            if node.children is None:
+                for i in node.indices:
+                    px, py = self.points[i]
+                    d = math.hypot(px - qx, py - qy)
+                    if (d < radius) if strict else (d <= radius):
+                        out.append(i)
+            else:
+                stack.extend(node.children)
+        return out

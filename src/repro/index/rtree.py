@@ -1,0 +1,177 @@
+"""STR bulk-loaded R-tree.
+
+The substrate for the [CKP04]-style branch-and-prune baseline (the paper's
+Section 1.2 "Nonzero NNs") and for rectangle/disk range reporting over
+uncertainty-region bounding boxes.  Built once by Sort-Tile-Recursive
+packing; no dynamic inserts are needed by the library.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import EmptyIndexError
+
+Rect = Tuple[float, float, float, float]
+
+_NODE_CAPACITY = 16
+
+
+def rect_union(rects: Sequence[Rect]) -> Rect:
+    return (
+        min(r[0] for r in rects),
+        min(r[1] for r in rects),
+        max(r[2] for r in rects),
+        max(r[3] for r in rects),
+    )
+
+
+def rects_intersect(a: Rect, b: Rect) -> bool:
+    return not (a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1])
+
+
+def rect_mindist(q, r: Rect) -> float:
+    dx = max(r[0] - q[0], 0.0, q[0] - r[2])
+    dy = max(r[1] - q[1], 0.0, q[1] - r[3])
+    return math.hypot(dx, dy)
+
+
+def rect_maxdist(q, r: Rect) -> float:
+    dx = max(abs(q[0] - r[0]), abs(q[0] - r[2]))
+    dy = max(abs(q[1] - r[1]), abs(q[1] - r[3]))
+    return math.hypot(dx, dy)
+
+
+def rect_intersects_disk(r: Rect, center, radius: float) -> bool:
+    return rect_mindist(center, r) <= radius
+
+
+class _RNode:
+    __slots__ = ("bbox", "children", "entries")
+
+    def __init__(self):
+        self.bbox: Rect = (0.0, 0.0, 0.0, 0.0)
+        self.children: Optional[List["_RNode"]] = None
+        self.entries: Optional[List[int]] = None  # leaf payload indices
+
+
+class RTree:
+    """R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive."""
+
+    def __init__(self, rects: Sequence[Rect]):
+        self.rects: List[Rect] = [tuple(map(float, r)) for r in rects]
+        if not self.rects:
+            raise EmptyIndexError("RTree over empty rectangle set")
+        self.root = self._str_build(list(range(len(self.rects))))
+
+    # -- construction ------------------------------------------------------
+    def _leaf(self, idxs: List[int]) -> _RNode:
+        node = _RNode()
+        node.entries = idxs
+        node.bbox = rect_union([self.rects[i] for i in idxs])
+        return node
+
+    def _str_build(self, idxs: List[int]) -> _RNode:
+        if len(idxs) <= _NODE_CAPACITY:
+            return self._leaf(idxs)
+        # Sort-Tile-Recursive: sort by x-center, slice into vertical tiles,
+        # sort each tile by y-center, pack runs of capacity.
+        def cx(i):
+            r = self.rects[i]
+            return r[0] + r[2]
+
+        def cy(i):
+            r = self.rects[i]
+            return r[1] + r[3]
+
+        leaves_needed = math.ceil(len(idxs) / _NODE_CAPACITY)
+        slices = math.ceil(math.sqrt(leaves_needed))
+        idxs = sorted(idxs, key=cx)
+        per_slice = math.ceil(len(idxs) / slices)
+        leaves: List[_RNode] = []
+        for s in range(0, len(idxs), per_slice):
+            tile = sorted(idxs[s : s + per_slice], key=cy)
+            for t in range(0, len(tile), _NODE_CAPACITY):
+                leaves.append(self._leaf(tile[t : t + _NODE_CAPACITY]))
+        # Pack upward.
+        level = leaves
+        while len(level) > 1:
+            nxt: List[_RNode] = []
+            for s in range(0, len(level), _NODE_CAPACITY):
+                group = level[s : s + _NODE_CAPACITY]
+                parent = _RNode()
+                parent.children = group
+                parent.bbox = rect_union([g.bbox for g in group])
+                nxt.append(parent)
+            level = nxt
+        return level[0]
+
+    # -- queries -------------------------------------------------------------
+    def query_rect(self, rect: Rect) -> List[int]:
+        """Payload indices whose rectangles intersect ``rect``."""
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not rects_intersect(node.bbox, rect):
+                continue
+            if node.entries is not None:
+                out.extend(
+                    i for i in node.entries if rects_intersect(self.rects[i], rect)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_disk(self, center, radius: float) -> List[int]:
+        """Payload indices whose rectangles intersect the closed disk."""
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not rect_intersects_disk(node.bbox, center, radius):
+                continue
+            if node.entries is not None:
+                out.extend(
+                    i
+                    for i in node.entries
+                    if rect_intersects_disk(self.rects[i], center, radius)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def best_first_min(
+        self, q, exact: Callable[[int], float]
+    ) -> Tuple[int, float]:
+        """Best-first search for ``argmin_i exact(i)``.
+
+        ``rect_mindist(q, bbox)`` must lower-bound ``exact`` on every
+        subtree (true whenever ``exact(i) >= mindist(q, rect_i)``, e.g.
+        minimum or maximum distance to a region inside its bbox).  This is
+        the generic engine of the [CKP04] branch-and-prune.
+        """
+        best = math.inf
+        best_i = -1
+        counter = 0
+        heap: List[Tuple[float, int, _RNode]] = [
+            (rect_mindist(q, self.root.bbox), counter, self.root)
+        ]
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if lb >= best:
+                break
+            if node.entries is not None:
+                for i in node.entries:
+                    v = exact(i)
+                    if v < best:
+                        best, best_i = v, i
+                continue
+            for child in node.children:
+                counter += 1
+                heapq.heappush(
+                    heap, (rect_mindist(q, child.bbox), counter, child)
+                )
+        return best_i, best

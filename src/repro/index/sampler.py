@@ -1,0 +1,79 @@
+"""Discrete-distribution samplers.
+
+Theorem 4.3 instantiates each uncertain point ``P_i`` in ``O(log k)``
+time "after preprocessing each ``P_i`` into a balanced binary tree"
+([MR95]); :class:`CdfSampler` is that structure.  :class:`AliasSampler`
+(Vose's method) improves the draw to O(1) and is the default.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence
+
+from ..errors import DistributionError
+
+
+def _validate(weights: Sequence[float]) -> List[float]:
+    ws = [float(w) for w in weights]
+    if not ws:
+        raise DistributionError("empty weight vector")
+    if any(w < 0.0 for w in ws):
+        raise DistributionError("negative weight")
+    total = sum(ws)
+    if total <= 0.0:
+        raise DistributionError("weights sum to zero")
+    return [w / total for w in ws]
+
+
+class CdfSampler:
+    """O(log k) inverse-cdf sampling via binary search."""
+
+    def __init__(self, weights: Sequence[float]):
+        probs = _validate(weights)
+        self.cdf: List[float] = []
+        acc = 0.0
+        for p in probs:
+            acc += p
+            self.cdf.append(acc)
+        self.cdf[-1] = 1.0  # guard against accumulated rounding
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self.cdf, rng.random())
+
+
+class AliasSampler:
+    """O(1) sampling by Vose's alias method."""
+
+    def __init__(self, weights: Sequence[float]):
+        probs = _validate(weights)
+        k = len(probs)
+        self.k = k
+        scaled = [p * k for p in probs]
+        self.prob: List[float] = [0.0] * k
+        self.alias: List[int] = [0] * k
+        small = [i for i, s in enumerate(scaled) if s < 1.0]
+        large = [i for i, s in enumerate(scaled) if s >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.prob[s] = scaled[s]
+            self.alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large:
+            self.prob[i] = 1.0
+        for i in small:
+            self.prob[i] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random() * self.k
+        i = int(u)
+        if i >= self.k:  # u == k on the boundary
+            i = self.k - 1
+        frac = u - i
+        return i if frac < self.prob[i] else self.alias[i]

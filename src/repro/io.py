@@ -1,0 +1,114 @@
+"""Serialization of uncertain relations.
+
+Uncertain points are rows of a probabilistic database table; this module
+round-trips every distribution model through plain JSON so data sets,
+workloads, and experiment inputs can be stored and shared.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .errors import DistributionError
+from .uncertain.base import UncertainPoint
+from .uncertain.discrete import DiscreteUncertainPoint
+from .uncertain.disk_uniform import UniformDiskPoint
+from .uncertain.gaussian import TruncatedGaussianPoint
+from .uncertain.histogram import HistogramPoint
+from .uncertain.polygon_uniform import UniformPolygonPoint
+from .uncertain.rect_uniform import UniformRectPoint
+
+
+def point_to_dict(point: UncertainPoint) -> Dict:
+    """Encode one uncertain point as a JSON-compatible dict."""
+    if isinstance(point, UniformDiskPoint):
+        c = point.disk.center
+        return {
+            "type": "disk_uniform",
+            "center": [c.x, c.y],
+            "radius": point.disk.radius,
+            "name": point.name,
+        }
+    if isinstance(point, DiscreteUncertainPoint):
+        return {
+            "type": "discrete",
+            "locations": [list(l) for l in point.locations],
+            "weights": list(point.weights),
+            "name": point.name,
+        }
+    if isinstance(point, TruncatedGaussianPoint):
+        c = point.disk.center
+        return {
+            "type": "truncated_gaussian",
+            "center": [c.x, c.y],
+            "sigma": point.sigma,
+            "cutoff": point.cutoff,
+            "name": point.name,
+        }
+    if isinstance(point, HistogramPoint):
+        return {
+            "type": "histogram",
+            "origin": list(point.origin),
+            "cell": point.cell,
+            "weights": point.grid_weights,
+            "name": point.name,
+        }
+    if isinstance(point, UniformPolygonPoint):
+        return {
+            "type": "polygon_uniform",
+            "vertices": [[v.x, v.y] for v in point.vertices],
+            "name": point.name,
+        }
+    if isinstance(point, UniformRectPoint):
+        return {"type": "rect_uniform", "rect": list(point.rect), "name": point.name}
+    raise DistributionError(f"cannot serialise {type(point).__name__}")
+
+
+def point_from_dict(data: Dict) -> UncertainPoint:
+    """Decode one uncertain point from its dict encoding."""
+    kind = data.get("type")
+    name = data.get("name")
+    if kind == "disk_uniform":
+        return UniformDiskPoint(data["center"], data["radius"], name=name)
+    if kind == "discrete":
+        return DiscreteUncertainPoint(
+            [tuple(l) for l in data["locations"]], data["weights"], name=name
+        )
+    if kind == "truncated_gaussian":
+        return TruncatedGaussianPoint(
+            data["center"], data["sigma"], cutoff=data.get("cutoff"), name=name
+        )
+    if kind == "histogram":
+        return HistogramPoint(
+            data["origin"], data["cell"], data["weights"], name=name
+        )
+    if kind == "polygon_uniform":
+        return UniformPolygonPoint(
+            [tuple(v) for v in data["vertices"]], name=name
+        )
+    if kind == "rect_uniform":
+        return UniformRectPoint(tuple(data["rect"]), name=name)
+    raise DistributionError(f"unknown uncertain point type {kind!r}")
+
+
+def dumps(points: Sequence[UncertainPoint], **json_kwargs) -> str:
+    """Encode a whole uncertain relation as a JSON string."""
+    return json.dumps([point_to_dict(p) for p in points], **json_kwargs)
+
+
+def loads(text: str) -> List[UncertainPoint]:
+    """Decode an uncertain relation from a JSON string."""
+    return [point_from_dict(d) for d in json.loads(text)]
+
+
+def save(points: Sequence[UncertainPoint], path: str) -> None:
+    """Write an uncertain relation to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps(points, indent=1))
+
+
+def load(path: str) -> List[UncertainPoint]:
+    """Read an uncertain relation from a JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return loads(f.read())

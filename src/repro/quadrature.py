@@ -1,0 +1,63 @@
+"""Adaptive Simpson quadrature.
+
+Self-contained 1-D integration used for continuous distance cdfs
+(truncated Gaussians), the quantification-probability integral Eq. (1),
+and expected distances ([AESZ12] comparison module).  scipy stays a
+test-only cross-check dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+def adaptive_simpson(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    tol: float = 1e-10,
+    max_depth: int = 24,
+) -> float:
+    """Integral of ``f`` over ``[a, b]`` with adaptive error control."""
+    if a == b:
+        return 0.0
+    fa, fb = f(a), f(b)
+    m = 0.5 * (a + b)
+    fm = f(m)
+    whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+    return _simpson_rec(f, a, b, fa, fb, fm, whole, tol, max_depth)
+
+
+def _simpson_rec(f, a, b, fa, fb, fm, whole, tol, depth) -> float:
+    m = 0.5 * (a + b)
+    lm = 0.5 * (a + m)
+    rm = 0.5 * (m + b)
+    flm, frm = f(lm), f(rm)
+    left = (m - a) / 6.0 * (fa + 4.0 * flm + fm)
+    right = (b - m) / 6.0 * (fm + 4.0 * frm + fb)
+    if depth <= 0 or abs(left + right - whole) <= 15.0 * tol:
+        return left + right + (left + right - whole) / 15.0
+    half_tol = tol / 2.0
+    return _simpson_rec(
+        f, a, m, fa, fm, flm, left, half_tol, depth - 1
+    ) + _simpson_rec(f, m, b, fm, fb, frm, right, half_tol, depth - 1)
+
+
+def integrate_piecewise(
+    f: Callable[[float], float],
+    breakpoints,
+    tol: float = 1e-10,
+) -> float:
+    """Integrate ``f`` over consecutive intervals between ``breakpoints``.
+
+    Useful when the integrand has known kinks (e.g. distance cdfs switch
+    regimes at ``|d - R|`` and ``d + R``); integrating each smooth piece
+    separately keeps the adaptive rule efficient and accurate.
+    """
+    pts = sorted(breakpoints)
+    total = 0.0
+    for a, b in zip(pts, pts[1:]):
+        if b > a:
+            total += adaptive_simpson(f, a, b, tol=tol)
+    return total

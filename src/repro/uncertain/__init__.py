@@ -1,0 +1,20 @@
+"""Uncertain-point models: the locational data model of Section 1.1."""
+
+from .base import UncertainPoint
+from .discrete import DiscreteUncertainPoint, discretize
+from .disk_uniform import UniformDiskPoint
+from .gaussian import TruncatedGaussianPoint
+from .histogram import HistogramPoint
+from .polygon_uniform import UniformPolygonPoint
+from .rect_uniform import UniformRectPoint
+
+__all__ = [
+    "DiscreteUncertainPoint",
+    "HistogramPoint",
+    "TruncatedGaussianPoint",
+    "UncertainPoint",
+    "UniformDiskPoint",
+    "UniformPolygonPoint",
+    "UniformRectPoint",
+    "discretize",
+]

@@ -1,0 +1,98 @@
+"""The uncertain-point interface (the paper's data model, Section 1.1).
+
+An uncertain point ``P_i`` is a probability distribution over locations
+in the plane with bounded support.  Every algorithm in
+:mod:`repro.core` is written against this interface:
+
+* ``dmin(q)`` / ``dmax(q)`` — the extremal distances ``delta_i(q)`` and
+  ``Delta_i(q)`` to the support (all of Section 2 depends only on these);
+* ``distance_cdf(q, r)`` — ``G_{q,i}(r) = Pr[d(q, P_i) <= r]`` (Eq. (1));
+* ``distance_pdf(q, r)`` — ``g_{q,i}(r)`` (Fig. 1);
+* ``sample(rng)`` — one instantiation (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Optional, Tuple
+
+from ..quadrature import adaptive_simpson
+
+
+class UncertainPoint(abc.ABC):
+    """Abstract uncertain point."""
+
+    #: Optional display name (useful in examples and experiment output).
+    name: Optional[str] = None
+
+    # -- support geometry ---------------------------------------------------
+    @abc.abstractmethod
+    def support_bbox(self) -> Tuple[float, float, float, float]:
+        """Bounding box of the uncertainty region."""
+
+    @abc.abstractmethod
+    def dmin(self, q) -> float:
+        """``delta_i(q)``: minimum possible distance from ``q``."""
+
+    @abc.abstractmethod
+    def dmax(self, q) -> float:
+        """``Delta_i(q)``: maximum possible distance from ``q``."""
+
+    # -- probability ---------------------------------------------------------
+    @abc.abstractmethod
+    def distance_cdf(self, q, r: float) -> float:
+        """``G_{q,i}(r) = Pr[d(q, P_i) <= r]``."""
+
+    def distance_pdf(self, q, r: float, dr: Optional[float] = None) -> float:
+        """``g_{q,i}(r)``; default is a central difference of the cdf."""
+        if dr is None:
+            dr = 1e-6 * max(1.0, abs(r))
+        lo = max(r - dr, 0.0)
+        hi = r + dr
+        return (self.distance_cdf(q, hi) - self.distance_cdf(q, lo)) / (hi - lo)
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> Tuple[float, float]:
+        """Draw one location according to the distribution."""
+
+    # -- derived quantities ----------------------------------------------------
+    @property
+    def is_discrete(self) -> bool:
+        return False
+
+    def expected_distance(self, q, tol: float = 1e-9) -> float:
+        """``E[d(q, P_i)]`` — the ranking criterion of [AESZ12].
+
+        Computed as ``dmin + integral of (1 - G(r)) dr`` over
+        ``[dmin, dmax]``, exact for the cdf supplied by the subclass.
+        """
+        lo, hi = self.dmin(q), self.dmax(q)
+        if hi <= lo:
+            return lo
+        tail = adaptive_simpson(
+            lambda r: 1.0 - self.distance_cdf(q, r), lo, hi, tol=tol
+        )
+        return lo + tail
+
+    def survival(self, q, r: float) -> float:
+        """``1 - G_{q,i}(r)``, the term appearing in Eq. (1)."""
+        return 1.0 - self.distance_cdf(q, r)
+
+    # -- diagnostics -------------------------------------------------------------
+    def check_distance_cdf(
+        self, q, rng: random.Random, samples: int = 4000, tol: float = 0.05
+    ) -> bool:
+        """Monte-Carlo self-check of ``distance_cdf`` (used by tests)."""
+        lo, hi = self.dmin(q), self.dmax(q)
+        for frac in (0.25, 0.5, 0.75):
+            r = lo + frac * (hi - lo)
+            hits = sum(
+                1
+                for _ in range(samples)
+                if math.dist(self.sample(rng), (q[0], q[1])) <= r
+            )
+            if abs(hits / samples - self.distance_cdf(q, r)) > tol:
+                return False
+        return True

@@ -1,0 +1,114 @@
+"""Discrete uncertain points (Section 1.1, "discrete distribution of
+description complexity k")."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import DistributionError
+from ..geometry.convex_hull import convex_hull, farthest_point_from
+from ..geometry.sec import smallest_enclosing_circle
+from ..index.sampler import AliasSampler
+from .base import UncertainPoint
+
+
+class DiscreteUncertainPoint(UncertainPoint):
+    """Uncertain point with locations ``p_1..p_k`` and weights ``w_1..w_k``.
+
+    Weights must be positive and sum to one (up to rounding).  The hull
+    and smallest enclosing circle of the support are precomputed; they
+    drive ``dmax`` and the discrete two-stage index bounds.
+    """
+
+    def __init__(self, locations: Sequence, weights: Sequence[float], name=None):
+        self.locations: List[Tuple[float, float]] = [
+            (float(p[0]), float(p[1])) for p in locations
+        ]
+        self.weights: List[float] = [float(w) for w in weights]
+        if len(self.locations) != len(self.weights):
+            raise DistributionError("locations/weights length mismatch")
+        if not self.locations:
+            raise DistributionError("empty discrete distribution")
+        if any(w <= 0.0 for w in self.weights):
+            raise DistributionError("location probabilities must be positive")
+        total = sum(self.weights)
+        if abs(total - 1.0) > 1e-9:
+            raise DistributionError(f"weights sum to {total}, expected 1")
+        self.name = name
+        self._sampler = AliasSampler(self.weights)
+        self.hull = convex_hull(self.locations)
+        self.enclosing = smallest_enclosing_circle(self.locations)
+
+    def __repr__(self) -> str:
+        return f"DiscreteUncertainPoint(k={len(self.locations)})"
+
+    @property
+    def k(self) -> int:
+        """Description complexity (number of possible locations)."""
+        return len(self.locations)
+
+    @property
+    def is_discrete(self) -> bool:
+        return True
+
+    # -- support ----------------------------------------------------------
+    def support_bbox(self):
+        xs = [p[0] for p in self.locations]
+        ys = [p[1] for p in self.locations]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def dmin(self, q) -> float:
+        qx, qy = q[0], q[1]
+        return math.sqrt(
+            min((px - qx) ** 2 + (py - qy) ** 2 for px, py in self.locations)
+        )
+
+    def dmax(self, q) -> float:
+        if len(self.hull) >= 2:
+            _, d = farthest_point_from(self.hull, q)
+            return d
+        px, py = self.locations[0]
+        return math.hypot(px - q[0], py - q[1])
+
+    # -- probability --------------------------------------------------------
+    def distance_cdf(self, q, r: float) -> float:
+        """``G_{q,i}(r)``: total weight of locations with ``d <= r``
+        (closed inequality, matching Eq. (2))."""
+        qx, qy = q[0], q[1]
+        r2 = r * r
+        return sum(
+            w
+            for (px, py), w in zip(self.locations, self.weights)
+            if (px - qx) ** 2 + (py - qy) ** 2 <= r2
+        )
+
+    def sample(self, rng: random.Random) -> Tuple[float, float]:
+        return self.locations[self._sampler.sample(rng)]
+
+    def expected_distance(self, q, tol: float = 0.0) -> float:
+        """Exact expected distance (finite weighted sum)."""
+        qx, qy = q[0], q[1]
+        return sum(
+            w * math.hypot(px - qx, py - qy)
+            for (px, py), w in zip(self.locations, self.weights)
+        )
+
+
+def discretize(
+    point: UncertainPoint,
+    k: int,
+    rng: Optional[random.Random] = None,
+) -> DiscreteUncertainPoint:
+    """Random ``k``-sample discretisation of a continuous point.
+
+    This is the reduction of Section 4.2 (continuous case): ``P_i-bar`` is
+    a uniform discrete distribution over ``k`` draws from ``P_i``; by
+    [VC71]/[LLS01] sampling theory (Eq. (7)) the distance cdf is preserved
+    to ``+- alpha`` with ``k = O(alpha^-2 log(1/delta'))``.
+    """
+    rng = rng or random.Random()
+    locations = [point.sample(rng) for _ in range(k)]
+    weights = [1.0 / k] * k
+    return DiscreteUncertainPoint(locations, weights, name=point.name)

@@ -1,0 +1,70 @@
+"""Uniform distribution over a disk (the paper's canonical example).
+
+Figure 1 of the paper plots ``g_{q,i}(r)`` for ``P_i`` uniform on the
+disk of radius 5 at the origin with ``q = (6, 8)``; both the cdf and pdf
+here are closed-form (lens area / boundary arc length).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Tuple
+
+from ..geometry.circle import Circle, lens_area
+from ..geometry.point import distance
+from .base import UncertainPoint
+
+
+class UniformDiskPoint(UncertainPoint):
+    """Uncertain point uniform over the disk ``(center, radius)``."""
+
+    def __init__(self, center, radius: float, name=None):
+        if radius <= 0.0:
+            raise ValueError("UniformDiskPoint requires positive radius")
+        self.disk = Circle(center, radius)
+        self.name = name
+
+    def __repr__(self) -> str:
+        c = self.disk.center
+        return f"UniformDiskPoint(({c.x:.6g}, {c.y:.6g}), r={self.disk.radius:.6g})"
+
+    # -- support ----------------------------------------------------------
+    def support_bbox(self):
+        return self.disk.bbox()
+
+    def dmin(self, q) -> float:
+        return self.disk.min_distance(q)
+
+    def dmax(self, q) -> float:
+        return self.disk.max_distance(q)
+
+    # -- probability --------------------------------------------------------
+    def distance_cdf(self, q, r: float) -> float:
+        if r <= 0.0:
+            return 0.0
+        return lens_area(Circle(q, r), self.disk) / self.disk.area()
+
+    def distance_pdf(self, q, r: float, dr=None) -> float:
+        """Closed-form ``g_{q,i}(r)``: length of the circle of radius
+        ``r`` about ``q`` inside the disk, over the disk area."""
+        if r <= 0.0:
+            return 0.0
+        d = distance(q, self.disk.center)
+        R = self.disk.radius
+        if r <= d - R or r >= d + R:
+            return 0.0
+        if r <= R - d:
+            # Whole circle inside the disk.
+            return 2.0 * math.pi * r / self.disk.area()
+        cos_half = (d * d + r * r - R * R) / (2.0 * d * r)
+        half = math.acos(min(1.0, max(-1.0, cos_half)))
+        return 2.0 * half * r / self.disk.area()
+
+    def sample(self, rng: random.Random) -> Tuple[float, float]:
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        rad = self.disk.radius * math.sqrt(rng.random())
+        return (
+            self.disk.center.x + rad * math.cos(theta),
+            self.disk.center.y + rad * math.sin(theta),
+        )

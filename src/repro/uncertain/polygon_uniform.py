@@ -1,0 +1,84 @@
+"""Uniform distribution over a convex polygon.
+
+The semialgebraic-region example of Theorem 2.6: "a polygon with constant
+number of edges ... is a semialgebraic set of constant description
+complexity".  All quantities are exact (polygon/disk intersection areas).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..errors import DistributionError
+from ..geometry.areas import polygon_circle_area
+from ..geometry.convex_hull import convex_hull
+from ..geometry.point import Point
+from ..geometry.polygon import (
+    convex_polygon_max_distance,
+    convex_polygon_min_distance,
+    polygon_area,
+    triangulate_fan,
+)
+from .base import UncertainPoint
+
+
+class UniformPolygonPoint(UncertainPoint):
+    """Uncertain point uniform over a convex polygon."""
+
+    def __init__(self, vertices, name=None):
+        hull = convex_hull(vertices)
+        if len(hull) < 3:
+            raise DistributionError("polygon support must have positive area")
+        self.vertices: List[Point] = hull  # CCW
+        self.area = polygon_area(self.vertices)
+        self.name = name
+        self._triangles = triangulate_fan(self.vertices)
+        self._tri_weights = [abs(polygon_area(t)) for t in self._triangles]
+        total = sum(self._tri_weights)
+        self._tri_cdf = []
+        acc = 0.0
+        for w in self._tri_weights:
+            acc += w / total
+            self._tri_cdf.append(acc)
+
+    def __repr__(self) -> str:
+        return f"UniformPolygonPoint(vertices={len(self.vertices)})"
+
+    # -- support ----------------------------------------------------------
+    def support_bbox(self):
+        xs = [v.x for v in self.vertices]
+        ys = [v.y for v in self.vertices]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def dmin(self, q) -> float:
+        return convex_polygon_min_distance(q, self.vertices)
+
+    def dmax(self, q) -> float:
+        return convex_polygon_max_distance(q, self.vertices)
+
+    # -- probability --------------------------------------------------------
+    def distance_cdf(self, q, r: float) -> float:
+        if r <= 0.0:
+            return 0.0
+        if r >= self.dmax(q):
+            return 1.0
+        return polygon_circle_area(self.vertices, q, r) / self.area
+
+    def sample(self, rng: random.Random) -> Tuple[float, float]:
+        # Pick a fan triangle by area, then a uniform point inside it.
+        u = rng.random()
+        lo, hi = 0, len(self._tri_cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._tri_cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        a, b, c = self._triangles[lo]
+        r1, r2 = rng.random(), rng.random()
+        s1 = math.sqrt(r1)
+        x = (1 - s1) * a.x + s1 * (1 - r2) * b.x + s1 * r2 * c.x
+        y = (1 - s1) * a.y + s1 * (1 - r2) * b.y + s1 * r2 * c.y
+        return (x, y)

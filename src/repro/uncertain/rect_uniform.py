@@ -1,0 +1,64 @@
+"""Uniform distribution over an axis-aligned rectangle.
+
+Doubles as (i) another constant-complexity semialgebraic region for
+Theorem 2.6 under L2, and (ii) the natural uncertainty region for the
+Linf variant of the remark after Theorem 3.1 ("disks in Linf", i.e.
+squares), where its extremal Chebyshev distances are exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..errors import DistributionError
+from ..geometry.areas import rect_circle_area
+from ..geometry.metrics import rect_max_chebyshev, rect_min_chebyshev
+from ..index.rtree import rect_maxdist, rect_mindist
+from .base import UncertainPoint
+
+
+class UniformRectPoint(UncertainPoint):
+    """Uncertain point uniform over ``(xmin, ymin, xmax, ymax)``."""
+
+    def __init__(self, rect: Tuple[float, float, float, float], name=None):
+        xmin, ymin, xmax, ymax = map(float, rect)
+        if xmax <= xmin or ymax <= ymin:
+            raise DistributionError("rectangle support must have positive area")
+        self.rect = (xmin, ymin, xmax, ymax)
+        self.name = name
+        self._area = (xmax - xmin) * (ymax - ymin)
+
+    def __repr__(self) -> str:
+        return f"UniformRectPoint({self.rect})"
+
+    # -- support (L2 interface) ----------------------------------------------
+    def support_bbox(self):
+        return self.rect
+
+    def dmin(self, q) -> float:
+        return rect_mindist(q, self.rect)
+
+    def dmax(self, q) -> float:
+        return rect_maxdist(q, self.rect)
+
+    # -- Linf extremal distances (rectilinear variant) --------------------------
+    def dmin_chebyshev(self, q) -> float:
+        return rect_min_chebyshev(q, self.rect)
+
+    def dmax_chebyshev(self, q) -> float:
+        return rect_max_chebyshev(q, self.rect)
+
+    # -- probability ----------------------------------------------------------
+    def distance_cdf(self, q, r: float) -> float:
+        if r <= 0.0:
+            return 0.0
+        return min(
+            1.0, max(0.0, rect_circle_area(self.rect, q, r) / self._area)
+        )
+
+    def sample(self, rng: random.Random) -> Tuple[float, float]:
+        return (
+            rng.uniform(self.rect[0], self.rect[2]),
+            rng.uniform(self.rect[1], self.rect[3]),
+        )

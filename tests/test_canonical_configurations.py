@@ -1,0 +1,143 @@
+"""Canonical configurations with fully known answers.
+
+Small instances where the entire structure of ``V!=0`` and the
+quantification probabilities can be derived by hand; these pin down the
+semantics end-to-end.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    MonteCarloPNN,
+    NonzeroVoronoiDiagram,
+    UncertainSet,
+    UniformDiskPoint,
+    continuous_quantification_all,
+    gamma_curves,
+    nonzero_voronoi_census,
+)
+
+
+class TestTwoDisjointDisks:
+    """Two disjoint unit disks: three regions, fully understood."""
+
+    def setup_method(self):
+        self.points = [
+            UniformDiskPoint((0, 0), 1.0),
+            UniformDiskPoint((10, 0), 1.0),
+        ]
+        self.uset = UncertainSet(self.points)
+
+    def test_three_label_regions(self):
+        diagram = NonzeroVoronoiDiagram(self.points)
+        labels = {l for l in diagram.labels if l is not None}
+        assert labels == {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({0, 1}),
+        }
+
+    def test_gamma_curve_crossings_on_axis(self):
+        # gamma_0 = {x : d(x, c_0) - 1 = d(x, c_1) + 1}: on the x-axis it
+        # crosses at x = 6 (d0 - 1 = d1 + 1 -> x - 1 = 10 - x + 1).
+        curves = gamma_curves(self.points)
+        g0 = curves[0]
+        p = g0.point_at(0.0)  # direction from c_0 toward c_1
+        assert p is not None
+        assert math.isclose(p.x, 6.0, rel_tol=1e-9)
+        assert math.isclose(p.y, 0.0, abs_tol=1e-9)
+        g1 = curves[1]
+        p = g1.point_at(math.pi)  # from c_1 toward c_0
+        assert math.isclose(p.x, 4.0, rel_tol=1e-9)
+
+    def test_no_census_vertices(self):
+        assert nonzero_voronoi_census(self.points).num_vertices == 0
+
+    def test_membership_boundaries(self):
+        # On the axis: only P_0 for x < 4, both in (4, 6), only P_1 after 6.
+        assert self.uset.nonzero_nn((3.9, 0)) == frozenset({0})
+        assert self.uset.nonzero_nn((5.0, 0)) == frozenset({0, 1})
+        assert self.uset.nonzero_nn((6.1, 0)) == frozenset({1})
+
+    def test_probabilities_at_center(self):
+        pis = continuous_quantification_all(self.points, (5.0, 0.0))
+        assert math.isclose(pis[0], 0.5, abs_tol=1e-6)
+        assert math.isclose(pis[1], 0.5, abs_tol=1e-6)
+
+
+class TestThreeCollinearEqualDisks:
+    """The m=1.5-flavoured core of the Fig. 8 construction by hand."""
+
+    def setup_method(self):
+        # Unit disks at -6, -2, 2 (the Theorem 2.10 layout for m = 1.5).
+        self.points = [
+            UniformDiskPoint((-6.0, 0.0), 1.0),
+            UniformDiskPoint((-2.0, 0.0), 1.0),
+            UniformDiskPoint((2.0, 0.0), 1.0),
+        ]
+
+    def test_fig_8_vertex_formula(self):
+        # The paper: pair (i, j) = (1, 3) with k = 2 gives vertices at
+        # (2(i + j - 2m - 1), +-((j - i)^2 - 1)) with m = 1.5 -> x = -2,
+        # y = +-3.
+        census = nonzero_voronoi_census(self.points, include_breakpoints=False)
+        coords = {(round(v.x, 6), round(v.y, 6)) for v in census.vertices}
+        assert (-2.0, 3.0) in coords
+        assert (-2.0, -3.0) in coords
+
+    def test_vertex_witness_conditions(self):
+        # At v = (-2, 3): delta_1 = delta_3 = Delta_2 = 4.
+        uset = UncertainSet(self.points)
+        v = (-2.0, 3.0)
+        assert math.isclose(uset.delta(0, v), 4.0, rel_tol=1e-12)
+        assert math.isclose(uset.delta(2, v), 4.0, rel_tol=1e-12)
+        assert math.isclose(uset.big_delta(1, v), 4.0, rel_tol=1e-12)
+
+    def test_census_matches_envelope_breakpoints(self):
+        # Two independent computations of the type-(a) vertex count.
+        census = nonzero_voronoi_census(self.points)
+        envelope_total = sum(
+            c.num_breakpoints() for c in gamma_curves(self.points)
+        )
+        assert census.num_breakpoints == envelope_total
+
+    def test_middle_disk_dominates_nearby(self):
+        uset = UncertainSet(self.points)
+        assert uset.nonzero_nn((-2.0, 0.0)) == frozenset({1})
+
+
+class TestNestedUncertainty:
+    """A small disk strictly inside a big one (extreme overlap)."""
+
+    def test_both_always_candidates(self):
+        points = [
+            UniformDiskPoint((0, 0), 5.0),
+            UniformDiskPoint((1, 0), 0.5),
+        ]
+        uset = UncertainSet(points)
+        rng = random.Random(0)
+        for _ in range(50):
+            q = (rng.uniform(-20, 20), rng.uniform(-20, 20))
+            assert uset.nonzero_nn(q) == frozenset({0, 1})
+
+    def test_small_disk_usually_wins_at_its_center(self):
+        points = [
+            UniformDiskPoint((0, 0), 5.0),
+            UniformDiskPoint((1, 0), 0.5),
+        ]
+        mc = MonteCarloPNN(points, s=4000, seed=1)
+        est = mc.query((1.0, 0.0))
+        assert est.get(1, 0.0) > 0.7  # concentrated small disk wins
+
+    def test_gamma_curves_empty(self):
+        # Intersecting supports: no exclusion curve exists at all.
+        points = [
+            UniformDiskPoint((0, 0), 5.0),
+            UniformDiskPoint((1, 0), 0.5),
+        ]
+        for curve in gamma_curves(points):
+            assert curve.branches == []
+            assert curve.num_breakpoints() == 0

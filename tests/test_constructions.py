@@ -1,0 +1,126 @@
+"""Tests for the lower-bound constructions and workload generators."""
+
+import math
+
+import pytest
+
+from repro.constructions import (
+    clustered_gaussian_points,
+    disjoint_disk_points,
+    lemma_4_1,
+    random_discrete_points,
+    random_disk_points,
+    random_queries,
+    theorem_2_10_quadratic,
+    theorem_2_7,
+    theorem_2_8,
+    weights_with_spread,
+)
+from repro.errors import QueryError
+
+
+class TestLowerBoundConstructions:
+    def test_theorem_2_7_shape(self):
+        points, predicted = theorem_2_7(2)
+        assert len(points) == 8  # n = 4m
+        assert predicted == 4 * 2 ** 3
+        radii = {p.disk.radius for p in points}
+        assert 1.0 in radii and max(radii) == 8.0 * 8 ** 2
+
+    def test_theorem_2_8_shape(self):
+        points, predicted = theorem_2_8(3)
+        assert len(points) == 9  # n = 3m
+        assert predicted == 27
+        assert all(p.disk.radius == 1.0 for p in points)
+
+    def test_theorem_2_8_d0_tangency(self):
+        # Every D0_k touches D+_1 from the outside by construction.
+        points, _ = theorem_2_8(4)
+        dplus1 = next(p for p in points if p.name == "D+_1")
+        for p in points:
+            if p.name.startswith("D0"):
+                d = math.dist(
+                    p.disk.center.as_tuple(), dplus1.disk.center.as_tuple()
+                )
+                assert math.isclose(d, 2.0, rel_tol=1e-9)
+
+    def test_theorem_2_10_disjoint_unit_disks(self):
+        points, predicted = theorem_2_10_quadratic(3)
+        assert len(points) == 6
+        for a in points:
+            assert a.disk.radius == 1.0
+            for b in points:
+                if a is not b:
+                    d = math.dist(
+                        a.disk.center.as_tuple(), b.disk.center.as_tuple()
+                    )
+                    assert d >= 4.0 - 1e-9
+        # predicted = 2 * #{(i, j): j - i >= 2} = 2 * C(n-1, 2)
+        assert predicted == 2 * (4 + 3 + 2 + 1)
+
+    def test_lemma_4_1_structure(self):
+        points, radius = lemma_4_1(6, seed=1)
+        assert len(points) == 6
+        assert radius == 0.5
+        for p in points:
+            assert p.k == 2
+            assert p.weights == [0.5, 0.5]
+            near = p.locations[0]
+            assert math.hypot(*near) <= radius + 1e-12
+            assert p.locations[1] == (100.0, 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            theorem_2_7(0)
+        with pytest.raises(QueryError):
+            lemma_4_1(1)
+
+
+class TestGenerators:
+    def test_disjointness(self):
+        points = disjoint_disk_points(20, seed=0, lam=2.0)
+        for i, a in enumerate(points):
+            for b in points[i + 1 :]:
+                d = math.dist(a.disk.center.as_tuple(), b.disk.center.as_tuple())
+                assert d > a.disk.radius + b.disk.radius
+
+    def test_radius_ratio_bounded(self):
+        points = disjoint_disk_points(15, seed=1, lam=3.0)
+        radii = [p.disk.radius for p in points]
+        assert max(radii) / min(radii) <= 3.0
+
+    def test_weights_with_spread_exact(self):
+        import random
+
+        rng = random.Random(0)
+        ws = weights_with_spread(5, rho=7.0, rng=rng)
+        assert math.isclose(sum(ws), 1.0, rel_tol=1e-12)
+        assert math.isclose(max(ws) / min(ws), 7.0, rel_tol=1e-9)
+
+    def test_weights_spread_one_point(self):
+        import random
+
+        assert weights_with_spread(1, 5.0, random.Random(0)) == [1.0]
+
+    def test_discrete_generator_spread(self):
+        from repro import spread
+
+        points = random_discrete_points(10, k=4, seed=2, rho=5.0)
+        assert math.isclose(spread(points), 5.0, rel_tol=1e-9)
+
+    def test_generators_reproducible(self):
+        a = random_disk_points(5, seed=42)
+        b = random_disk_points(5, seed=42)
+        for pa, pb in zip(a, b):
+            assert pa.disk.center == pb.disk.center
+            assert pa.disk.radius == pb.disk.radius
+
+    def test_queries_in_bbox(self):
+        qs = random_queries(50, seed=3, bbox=(0, 0, 10, 5))
+        assert len(qs) == 50
+        for x, y in qs:
+            assert 0 <= x <= 10 and 0 <= y <= 5
+
+    def test_gaussian_clusters(self):
+        points = clustered_gaussian_points(12, seed=4, clusters=3)
+        assert len(points) == 12

@@ -1,0 +1,78 @@
+"""Tests for Eq. (1) quadrature (continuous quantification)."""
+
+import math
+import random
+
+from repro import (
+    MonteCarloPNN,
+    TruncatedGaussianPoint,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    continuous_quantification,
+    continuous_quantification_all,
+)
+
+
+class TestClosedConfigurations:
+    def test_two_symmetric_disks(self):
+        points = [
+            UniformDiskPoint((-3, 0), 1.0),
+            UniformDiskPoint((3, 0), 1.0),
+        ]
+        q = (0.0, 0.0)
+        pi0 = continuous_quantification(points, q, 0)
+        pi1 = continuous_quantification(points, q, 1)
+        assert math.isclose(pi0, 0.5, abs_tol=1e-6)
+        assert math.isclose(pi1, 0.5, abs_tol=1e-6)
+
+    def test_dominated_disk_zero(self):
+        points = [
+            UniformDiskPoint((0, 0), 1.0),
+            UniformDiskPoint((20, 0), 1.0),
+        ]
+        q = (0.0, 0.0)
+        assert continuous_quantification(points, q, 0) > 0.999999
+        assert continuous_quantification(points, q, 1) == 0.0
+
+    def test_sum_to_one_random(self):
+        rng = random.Random(3)
+        points = [
+            UniformDiskPoint((rng.uniform(0, 10), rng.uniform(0, 10)), 1.5)
+            for _ in range(4)
+        ]
+        q = (5.0, 5.0)
+        pis = continuous_quantification_all(points, q, tol=1e-9)
+        assert math.isclose(sum(pis), 1.0, abs_tol=1e-5)
+
+    def test_three_disks_against_monte_carlo(self):
+        points = [
+            UniformDiskPoint((0, 0), 2.0),
+            UniformDiskPoint((5, 1), 2.0),
+            UniformDiskPoint((2, 5), 2.0),
+        ]
+        q = (2.5, 2.0)
+        exact = continuous_quantification_all(points, q)
+        mc = MonteCarloPNN(points, s=40_000, seed=1)
+        est = mc.query_vector(q)
+        for a, b in zip(exact, est):
+            assert abs(a - b) < 0.01
+
+    def test_mixed_models(self):
+        points = [
+            UniformDiskPoint((0, 0), 1.5),
+            TruncatedGaussianPoint((4, 0), sigma=0.6),
+            UniformPolygonPoint([(1, 3), (3, 3), (3, 5), (1, 5)]),
+        ]
+        q = (2.0, 1.5)
+        pis = continuous_quantification_all(points, q, tol=1e-7)
+        assert math.isclose(sum(pis), 1.0, abs_tol=1e-3)
+        mc = MonteCarloPNN(points, s=30_000, seed=2)
+        est = mc.query_vector(q)
+        for a, b in zip(pis, est):
+            assert abs(a - b) < 0.015
+
+    def test_single_point(self):
+        points = [UniformDiskPoint((0, 0), 1.0)]
+        assert math.isclose(
+            continuous_quantification(points, (5, 5), 0), 1.0, abs_tol=1e-9
+        )

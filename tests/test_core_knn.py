@@ -1,0 +1,131 @@
+"""Tests for probabilistic k-NN queries (Section 1.2 extensions)."""
+
+import math
+import random
+
+import pytest
+
+from repro import QueryError, UniformDiskPoint, quantification_probabilities
+from repro.constructions import random_discrete_points, random_disk_points
+from repro.core.knn import (
+    _poisson_binomial_below,
+    expected_knn,
+    knn_probabilities,
+    monte_carlo_knn,
+)
+
+
+class TestPoissonBinomial:
+    def test_empty(self):
+        assert _poisson_binomial_below([], 1) == 1.0
+
+    def test_single_bernoulli(self):
+        assert math.isclose(_poisson_binomial_below([0.3], 1), 0.7)
+        assert _poisson_binomial_below([0.3], 2) == 1.0
+
+    def test_certain_successes(self):
+        assert _poisson_binomial_below([1.0, 1.0], 2) == 0.0
+        assert math.isclose(_poisson_binomial_below([1.0, 0.5], 2), 0.5)
+
+    def test_matches_binomial(self):
+        # Identical probabilities: closed-form binomial tail.
+        p, n, k = 0.3, 6, 3
+        want = sum(
+            math.comb(n, c) * p ** c * (1 - p) ** (n - c) for c in range(k)
+        )
+        got = _poisson_binomial_below([p] * n, k)
+        assert math.isclose(got, want, rel_tol=1e-12)
+
+    def test_matches_enumeration(self):
+        rng = random.Random(1)
+        probs = [rng.random() for _ in range(5)]
+        for k in (1, 2, 4):
+            want = 0.0
+            for mask in range(1 << 5):
+                if bin(mask).count("1") < k:
+                    pr = 1.0
+                    for b in range(5):
+                        pr *= probs[b] if (mask >> b) & 1 else 1 - probs[b]
+                    want += pr
+            assert math.isclose(
+                _poisson_binomial_below(probs, k), want, rel_tol=1e-12
+            )
+
+
+class TestExactKnnProbabilities:
+    def test_k1_matches_quantification(self):
+        # Away from ties, pi^(1) equals the Eq. (2) probabilities.
+        points = random_discrete_points(6, k=3, seed=2, box=25, scatter=4)
+        rng = random.Random(3)
+        for _ in range(5):
+            q = (rng.uniform(0, 25), rng.uniform(0, 25))
+            a = knn_probabilities(points, q, k=1)
+            b = quantification_probabilities(points, q)
+            for x, y in zip(a, b):
+                assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_kn_gives_all_ones(self):
+        points = random_discrete_points(5, k=2, seed=4)
+        q = (10.0, 10.0)
+        pi = knn_probabilities(points, q, k=5)
+        for v in pi:
+            assert math.isclose(v, 1.0, rel_tol=1e-12)
+
+    def test_monotone_in_k(self):
+        points = random_discrete_points(7, k=3, seed=5, box=20)
+        q = (10.0, 10.0)
+        prev = [0.0] * 7
+        for k in (1, 2, 3, 5, 7):
+            cur = knn_probabilities(points, q, k)
+            for a, b in zip(prev, cur):
+                assert b >= a - 1e-12, "pi^(k) must be monotone in k"
+            prev = cur
+
+    def test_sum_equals_k(self):
+        # Expected number of points among the k nearest is exactly k.
+        points = random_discrete_points(8, k=3, seed=6, box=20)
+        q = (5.0, 5.0)
+        for k in (1, 2, 4):
+            pi = knn_probabilities(points, q, k)
+            assert math.isclose(sum(pi), float(k), rel_tol=1e-9)
+
+    def test_matches_monte_carlo(self):
+        points = random_discrete_points(6, k=3, seed=7, box=20, scatter=5)
+        q = (10.0, 8.0)
+        exact = knn_probabilities(points, q, k=2)
+        est = monte_carlo_knn(points, q, k=2, s=30_000, seed=8)
+        for i, v in enumerate(exact):
+            assert abs(v - est.get(i, 0.0)) < 0.015
+
+    def test_invalid_k(self):
+        points = random_discrete_points(4, k=2, seed=0)
+        with pytest.raises(QueryError):
+            knn_probabilities(points, (0, 0), 0)
+        with pytest.raises(QueryError):
+            knn_probabilities(points, (0, 0), 5)
+
+    def test_continuous_rejected(self):
+        with pytest.raises(QueryError):
+            knn_probabilities([UniformDiskPoint((0, 0), 1)] * 2, (0, 0), 1)
+
+
+class TestMonteCarloAndExpectedKnn:
+    def test_continuous_knn_estimates(self):
+        points = random_disk_points(5, seed=9, box=15, radius_range=(1, 2))
+        q = (7.0, 7.0)
+        est = monte_carlo_knn(points, q, k=2, s=5000, seed=10)
+        assert math.isclose(sum(est.values()), 2.0, rel_tol=1e-9)
+        assert all(0 < v <= 1.0 for v in est.values())
+
+    def test_expected_knn_ordering(self):
+        points = [
+            UniformDiskPoint((0, 0), 1.0),
+            UniformDiskPoint((5, 0), 1.0),
+            UniformDiskPoint((10, 0), 1.0),
+        ]
+        assert expected_knn(points, (0.0, 0.0), 2) == [0, 1]
+        assert expected_knn(points, (10.0, 0.0), 2) == [2, 1]
+
+    def test_expected_knn_invalid_k(self):
+        with pytest.raises(QueryError):
+            expected_knn([UniformDiskPoint((0, 0), 1)], (0, 0), 2)

@@ -1,0 +1,113 @@
+"""Tests for the Monte-Carlo PNN structure (Theorems 4.3 / 4.5)."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    MonteCarloPNN,
+    QueryError,
+    UniformDiskPoint,
+    discretize,
+    quantification_probabilities,
+    rounds_for_all_queries,
+    rounds_for_fixed_query,
+)
+from repro.constructions import random_discrete_points, random_disk_points
+
+
+class TestRoundFormulas:
+    def test_fixed_query_formula(self):
+        s = rounds_for_fixed_query(0.1, 0.05, n=10)
+        want = math.ceil(math.log(2 * 10 / 0.05) / (2 * 0.01))
+        assert s == want
+
+    def test_all_queries_larger(self):
+        fixed = rounds_for_fixed_query(0.1, 0.05, n=10)
+        all_q = rounds_for_all_queries(0.1, 0.05, n=10, k=3)
+        assert all_q > fixed
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            rounds_for_fixed_query(0.0, 0.5, 10)
+        with pytest.raises(QueryError):
+            rounds_for_fixed_query(0.1, 1.5, 10)
+        with pytest.raises(QueryError):
+            MonteCarloPNN([UniformDiskPoint((0, 0), 1)])  # no s, no epsilon
+
+
+class TestDiscreteAccuracy:
+    def test_error_within_epsilon(self):
+        # Theorem 4.3 guarantee, checked empirically per query.
+        points = random_discrete_points(8, k=3, seed=2, box=20, scatter=6)
+        eps, delta = 0.05, 0.01
+        mc = MonteCarloPNN(points, epsilon=eps, delta=delta, seed=3)
+        rng = random.Random(4)
+        failures = 0
+        trials = 0
+        for _ in range(20):
+            q = (rng.uniform(0, 20), rng.uniform(0, 20))
+            exact = quantification_probabilities(points, q)
+            est = mc.query_vector(q)
+            for a, b in zip(exact, est):
+                trials += 1
+                if abs(a - b) > eps:
+                    failures += 1
+        assert failures <= max(1, int(0.02 * trials))
+
+    def test_estimates_are_frequencies(self):
+        points = random_discrete_points(5, k=2, seed=0)
+        mc = MonteCarloPNN(points, s=100, seed=1)
+        est = mc.query((10.0, 10.0))
+        total = sum(est.values())
+        assert math.isclose(total, 1.0, rel_tol=1e-12)
+        for v in est.values():
+            assert v * 100 == int(round(v * 100))  # multiples of 1/s
+
+    def test_at_most_s_nonzero_estimates(self):
+        points = random_discrete_points(50, k=2, seed=5)
+        mc = MonteCarloPNN(points, s=10, seed=2)
+        est = mc.query((50.0, 50.0))
+        assert len(est) <= 10
+
+    def test_locator_backends_agree(self):
+        points = random_discrete_points(10, k=3, seed=7)
+        kd = MonteCarloPNN(points, s=200, seed=9, locator="kdtree")
+        vo = MonteCarloPNN(points, s=200, seed=9, locator="voronoi")
+        q = (40.0, 60.0)
+        assert kd.query(q) == vo.query(q)
+
+    def test_unknown_locator_rejected(self):
+        with pytest.raises(QueryError):
+            MonteCarloPNN(
+                random_discrete_points(3, k=2, seed=0), s=5, locator="quadtree"
+            )
+
+
+class TestContinuousAccuracy:
+    def test_symmetric_disks_half_half(self):
+        points = [UniformDiskPoint((-3, 0), 1.0), UniformDiskPoint((3, 0), 1.0)]
+        mc = MonteCarloPNN(points, s=20_000, seed=11)
+        est = mc.query((0.0, 0.0))
+        assert abs(est.get(0, 0.0) - 0.5) < 0.02
+        assert abs(est.get(1, 0.0) - 0.5) < 0.02
+
+    def test_lemma_4_4_discretisation(self):
+        # Sampling each continuous point into a discrete one preserves
+        # pi up to alpha * n (Lemma 4.4): compare MC on the continuous
+        # set against the exact sweep on the discretised set.
+        rng = random.Random(13)
+        points = random_disk_points(4, seed=13, box=12, radius_range=(1.5, 2.5))
+        disc = [discretize(p, k=900, rng=rng) for p in points]
+        mc = MonteCarloPNN(points, s=30_000, seed=14)
+        q = (6.0, 6.0)
+        est = mc.query_vector(q)
+        exact_disc = quantification_probabilities(disc, q)
+        for a, b in zip(est, exact_disc):
+            assert abs(a - b) < 0.03
+
+    def test_space_estimate(self):
+        points = random_disk_points(7, seed=1)
+        mc = MonteCarloPNN(points, s=50, seed=0)
+        assert mc.space_estimate() == 7 * 50

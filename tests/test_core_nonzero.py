@@ -1,0 +1,122 @@
+"""Tests for the NN!=0 oracle (Lemma 2.1) and UncertainSet."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    DiscreteUncertainPoint,
+    QueryError,
+    UncertainSet,
+    UniformDiskPoint,
+    brute_force_nonzero,
+)
+from repro.constructions import random_disk_points, random_discrete_points
+
+
+class TestOracleBasics:
+    def test_empty_set_rejected(self):
+        with pytest.raises(QueryError):
+            UncertainSet([])
+
+    def test_single_point_always_nonzero(self):
+        uset = UncertainSet([UniformDiskPoint((0, 0), 1.0)])
+        assert uset.nonzero_nn((100, 100)) == frozenset({0})
+
+    def test_two_distant_disks(self):
+        # Query next to disk 0: disk 1 cannot be the NN.
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((10, 0), 1.0)]
+        uset = UncertainSet(points)
+        assert uset.nonzero_nn((0.5, 0)) == frozenset({0})
+        assert uset.nonzero_nn((9.5, 0)) == frozenset({1})
+
+    def test_midpoint_both_nonzero(self):
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((10, 0), 1.0)]
+        uset = UncertainSet(points)
+        assert uset.nonzero_nn((5, 0)) == frozenset({0, 1})
+
+    def test_overlapping_disks_always_both(self):
+        # Intersecting disks: each can always be the NN of any query
+        # (Lemma 2.1: delta_i < Delta_j whenever the disks intersect).
+        points = [UniformDiskPoint((0, 0), 2.0), UniformDiskPoint((1, 0), 2.0)]
+        uset = UncertainSet(points)
+        rng = random.Random(0)
+        for _ in range(50):
+            q = (rng.uniform(-50, 50), rng.uniform(-50, 50))
+            assert uset.nonzero_nn(q) == frozenset({0, 1})
+
+    def test_lemma_2_1_predicate_form(self):
+        points = random_disk_points(12, seed=3)
+        uset = UncertainSet(points)
+        rng = random.Random(4)
+        for _ in range(30):
+            q = (rng.uniform(-20, 120), rng.uniform(-20, 120))
+            members = uset.nonzero_nn(q)
+            for i in range(len(points)):
+                di = uset.delta(i, q)
+                manual = all(
+                    di < uset.big_delta(j, q)
+                    for j in range(len(points))
+                    if j != i
+                )
+                assert (i in members) == manual
+                assert uset.is_nonzero_nn(i, q) == manual
+
+    def test_envelope_is_min_of_dmax(self):
+        points = random_disk_points(15, seed=7)
+        uset = UncertainSet(points)
+        q = (30.0, 40.0)
+        i, val = uset.envelope(q)
+        assert math.isclose(val, min(p.dmax(q) for p in points), rel_tol=1e-12)
+        assert math.isclose(points[i].dmax(q), val, rel_tol=1e-12)
+
+    def test_nonzero_depends_only_on_regions(self):
+        # Same disk supports, different pdfs: identical NN!=0 sets
+        # (Section 1.1: "NN!=0 depends only on the uncertainty regions").
+        from repro import TruncatedGaussianPoint
+
+        disks = [((0, 0), 2.0), ((5, 1), 1.5), ((2, 6), 1.0)]
+        uniform = [UniformDiskPoint(c, r) for c, r in disks]
+        gauss = [
+            TruncatedGaussianPoint(c, sigma=r / 3.0, cutoff=r) for c, r in disks
+        ]
+        rng = random.Random(8)
+        for _ in range(40):
+            q = (rng.uniform(-5, 10), rng.uniform(-5, 10))
+            assert brute_force_nonzero(uniform, q) == brute_force_nonzero(gauss, q)
+
+
+class TestMixedModels:
+    def test_discrete_and_continuous_mix(self):
+        points = [
+            UniformDiskPoint((0, 0), 1.0),
+            DiscreteUncertainPoint([(5, 0), (6, 1)], [0.5, 0.5]),
+        ]
+        uset = UncertainSet(points)
+        assert uset.nonzero_nn((0, 0)) == frozenset({0})
+        assert uset.nonzero_nn((5.5, 0.5)) == frozenset({1})
+        assert len(uset.nonzero_nn((2.8, 0.2))) == 2
+
+    def test_all_discrete_flag(self):
+        assert UncertainSet(random_discrete_points(3, 2)).all_discrete()
+        assert not UncertainSet(
+            [UniformDiskPoint((0, 0), 1)]
+        ).all_discrete()
+
+    def test_max_description_complexity(self):
+        pts = random_discrete_points(4, k=5, seed=1)
+        assert UncertainSet(pts).max_description_complexity() == 5
+
+    def test_bounding_box_with_margin(self):
+        uset = UncertainSet([UniformDiskPoint((0, 0), 1.0)])
+        assert uset.bounding_box(margin=2.0) == (-3.0, -3.0, 3.0, 3.0)
+
+    def test_instantiate_draws_from_each(self):
+        pts = random_discrete_points(5, k=3, seed=2)
+        uset = UncertainSet(pts)
+        rng = random.Random(0)
+        sample = uset.instantiate(rng)
+        assert len(sample) == 5
+        for i, loc in enumerate(sample):
+            assert loc in pts[i].locations

@@ -1,0 +1,97 @@
+"""Tests for the explicit nonzero Voronoi diagram (disk case)."""
+
+import random
+
+from repro import NonzeroVoronoiDiagram, PersistentNonzeroIndex, UncertainSet
+from repro.constructions import disjoint_disk_points, random_disk_points
+
+
+def _away_from_boundaries(diagram, q, margin=1e-3):
+    """Skip queries too close to any gamma curve (polyline tolerance)."""
+    uset = diagram.uset
+    _, big = uset.envelope(q)
+    for i in range(len(uset)):
+        if abs(uset.delta(i, q) - big) < margin:
+            return False
+    return True
+
+
+class TestNonzeroVoronoiDiagram:
+    def test_small_instance_queries_match_oracle(self):
+        points = random_disk_points(8, seed=1, box=40, radius_range=(1, 3))
+        diagram = NonzeroVoronoiDiagram(points)
+        rng = random.Random(5)
+        bbox = diagram.bbox
+        checked = 0
+        for _ in range(300):
+            q = (
+                rng.uniform(bbox[0], bbox[2]),
+                rng.uniform(bbox[1], bbox[3]),
+            )
+            if not _away_from_boundaries(diagram, q):
+                continue
+            assert diagram.query(q) == diagram.query_exact(q)
+            checked += 1
+        assert checked > 150
+
+    def test_queries_outside_bbox_fall_back(self):
+        points = random_disk_points(5, seed=2, box=20)
+        diagram = NonzeroVoronoiDiagram(points)
+        q = (10_000.0, 10_000.0)
+        assert diagram.query(q) == diagram.query_exact(q)
+
+    def test_disjoint_disks_have_guaranteed_cells(self):
+        points = disjoint_disk_points(6, seed=3, lam=1.5)
+        diagram = NonzeroVoronoiDiagram(points)
+        # Singleton labels must exist: queries right next to a disk.
+        singletons = sum(
+            1
+            for label in diagram.labels
+            if label is not None and len(label) == 1
+        )
+        assert singletons >= 1
+
+    def test_complexity_stats_present(self):
+        points = random_disk_points(6, seed=4, box=30)
+        diagram = NonzeroVoronoiDiagram(points)
+        stats = diagram.complexity()
+        assert stats["faces"] >= 1
+        assert stats["distinct_labels"] >= 2
+
+    def test_every_disk_appears_in_some_label(self):
+        points = random_disk_points(7, seed=6, box=50, radius_range=(1, 2))
+        diagram = NonzeroVoronoiDiagram(points)
+        seen = set()
+        for label in diagram.labels:
+            if label:
+                seen.update(label)
+        assert seen == set(range(len(points)))
+
+
+class TestPersistentIndex:
+    def test_matches_diagram_queries(self):
+        points = random_disk_points(7, seed=9, box=40, radius_range=(1, 3))
+        diagram = NonzeroVoronoiDiagram(points)
+        index = PersistentNonzeroIndex(diagram)
+        rng = random.Random(11)
+        bbox = diagram.bbox
+        checked = 0
+        for _ in range(200):
+            q = (
+                rng.uniform(bbox[0], bbox[2]),
+                rng.uniform(bbox[1], bbox[3]),
+            )
+            if not _away_from_boundaries(diagram, q):
+                continue
+            assert index.query(q) == diagram.query_exact(q)
+            checked += 1
+        assert checked > 100
+
+    def test_space_statistics(self):
+        points = random_disk_points(6, seed=13, box=30)
+        diagram = NonzeroVoronoiDiagram(points)
+        index = PersistentNonzeroIndex(diagram)
+        stats = index.space_statistics()
+        assert stats["cycles"] > 0
+        # Persistence stores far fewer elements than explicit labels.
+        assert stats["delta_elements"] <= stats["explicit_elements"]

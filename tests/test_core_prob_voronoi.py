@@ -1,0 +1,102 @@
+"""Tests for the probabilistic Voronoi diagram VPr (Section 4.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    ProbabilisticVoronoiDiagram,
+    QueryError,
+    UniformDiskPoint,
+    quantification_probabilities,
+)
+from repro.constructions import lemma_4_1, random_discrete_points
+from repro.errors import GeometryError
+
+
+class TestVPr:
+    def test_requires_discrete(self):
+        with pytest.raises(GeometryError):
+            ProbabilisticVoronoiDiagram([UniformDiskPoint((0, 0), 1)])
+
+    def test_size_guard(self):
+        points = random_discrete_points(30, k=5, seed=0)  # 150 locations
+        with pytest.raises(QueryError):
+            ProbabilisticVoronoiDiagram(points)
+
+    def test_queries_match_sweep(self):
+        points = random_discrete_points(3, k=2, seed=4, box=20, scatter=4)
+        vpr = ProbabilisticVoronoiDiagram(points)
+        rng = random.Random(1)
+        bbox = vpr.bbox
+        checked = 0
+        for _ in range(200):
+            q = (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+            want = quantification_probabilities(points, q)
+            got = vpr.query_vector(q)
+            # Skip queries whose probability vector sits on a cell
+            # boundary (point location may legitimately resolve either
+            # side there).
+            if any(abs(a - b) > 1e-9 for a, b in zip(want, got)):
+                # Verify the mismatch is a boundary effect: the vectors
+                # must both be achieved by nearby points.
+                eps = 1e-5
+                candidates = [
+                    quantification_probabilities(
+                        points, (q[0] + dx, q[1] + dy)
+                    )
+                    for dx in (-eps, eps)
+                    for dy in (-eps, eps)
+                ]
+                assert any(
+                    all(abs(a - b) < 1e-9 for a, b in zip(got, c))
+                    for c in candidates
+                ), f"query {q}: {got} vs {want}"
+            else:
+                checked += 1
+        assert checked > 150
+
+    def test_positive_probability_query_form(self):
+        points = random_discrete_points(3, k=2, seed=6, box=15)
+        vpr = ProbabilisticVoronoiDiagram(points)
+        q = (7.0, 7.0)
+        result = vpr.query(q)
+        assert all(v > 0 for v in result.values())
+        assert math.isclose(
+            sum(quantification_probabilities(points, q)), 1.0, rel_tol=1e-9
+        )
+
+    def test_complexity_stats(self):
+        points = random_discrete_points(3, k=2, seed=7, box=15)
+        vpr = ProbabilisticVoronoiDiagram(points)
+        stats = vpr.complexity()
+        assert stats["faces"] > 1
+        assert stats["distinct_probability_cells"] >= 2
+        # Arrangement of L lines has <= 1 + L + C(L,2) faces; with the
+        # bbox it is a bounded refinement. 6 locations -> 15 lines.
+        assert stats["faces"] <= 1 + 15 + 15 * 14 // 2 + 4 * 15 + 8
+
+
+class TestLemma41Construction:
+    def test_adjacent_cells_distinct_small(self):
+        points, radius = lemma_4_1(4, seed=2)
+        vpr = ProbabilisticVoronoiDiagram(
+            points, bbox=(-1.0, -1.0, 1.0, 1.0)
+        )
+        # Within the unit disk, essentially every bisector cell carries a
+        # distinct probability vector (the paper's Fig. 9 argument).
+        stats = vpr.complexity()
+        assert stats["distinct_probability_cells"] >= stats["faces"] * 0.5
+
+    def test_face_count_grows_fast(self):
+        counts = []
+        for n in (3, 4, 5):
+            points, _ = lemma_4_1(n, seed=1)
+            vpr = ProbabilisticVoronoiDiagram(
+                points, bbox=(-1.0, -1.0, 1.0, 1.0)
+            )
+            counts.append(vpr.complexity()["faces"])
+        assert counts[0] < counts[1] < counts[2]
+        # C(n,2) bisectors give ~n^4/8 faces; check superlinear growth.
+        assert counts[2] > counts[0] * 3

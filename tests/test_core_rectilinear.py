@@ -1,0 +1,142 @@
+"""Tests for L1/Linf NN!=0 queries (remark after Theorem 3.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro import ChebyshevNonzeroIndex, ManhattanNonzeroIndex, QueryError
+from repro.core.rectilinear import chebyshev_nonzero_nn, manhattan_nonzero_nn
+from repro.geometry.metrics import (
+    chebyshev,
+    diamond_to_rect,
+    manhattan,
+    rect_max_chebyshev,
+    rect_min_chebyshev,
+    rotate_from_chebyshev,
+    rotate_to_chebyshev,
+)
+
+
+def _random_rects(rng, n, box=80.0):
+    out = []
+    for _ in range(n):
+        x, y = rng.uniform(0, box), rng.uniform(0, box)
+        w, h = rng.uniform(0.5, 5), rng.uniform(0.5, 5)
+        out.append((x, y, x + w, y + h))
+    return out
+
+
+class TestMetricPrimitives:
+    def test_chebyshev_manhattan(self):
+        assert chebyshev((0, 0), (3, 5)) == 5.0
+        assert manhattan((0, 0), (3, 5)) == 8.0
+
+    def test_isometry(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            p = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            q = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            assert math.isclose(
+                manhattan(p, q),
+                chebyshev(rotate_to_chebyshev(p), rotate_to_chebyshev(q)),
+                rel_tol=1e-12,
+            )
+            back = rotate_from_chebyshev(rotate_to_chebyshev(p))
+            assert math.isclose(back[0], p[0]) and math.isclose(back[1], p[1])
+
+    def test_rect_chebyshev_extremes_vs_sampling(self):
+        rng = random.Random(1)
+        rect = (2.0, 3.0, 6.0, 5.0)
+        q = (0.0, 0.0)
+        samples = [
+            (rng.uniform(rect[0], rect[2]), rng.uniform(rect[1], rect[3]))
+            for _ in range(3000)
+        ]
+        dmin = min(chebyshev(q, s) for s in samples)
+        dmax = max(chebyshev(q, s) for s in samples)
+        assert rect_min_chebyshev(q, rect) <= dmin + 1e-9
+        assert rect_max_chebyshev(q, rect) >= dmax - 1e-9
+        assert abs(rect_min_chebyshev(q, rect) - dmin) < 0.05
+        assert abs(rect_max_chebyshev(q, rect) - dmax) < 0.05
+
+    def test_diamond_to_rect_roundtrip(self):
+        center, radius = (3.0, -2.0), 1.5
+        rect = diamond_to_rect(center, radius)
+        rng = random.Random(2)
+        for _ in range(200):
+            p = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            in_diamond = manhattan(p, center) <= radius
+            tp = rotate_to_chebyshev(p)
+            in_rect = (
+                rect[0] - 1e-12 <= tp[0] <= rect[2] + 1e-12
+                and rect[1] - 1e-12 <= tp[1] <= rect[3] + 1e-12
+            )
+            assert in_diamond == in_rect
+
+
+class TestChebyshevIndex:
+    def test_matches_brute_oracle(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            rects = _random_rects(rng, 30)
+            index = ChebyshevNonzeroIndex(rects)
+            for _ in range(25):
+                q = (rng.uniform(-10, 90), rng.uniform(-10, 90))
+                assert index.query(q) == chebyshev_nonzero_nn(rects, q)
+
+    def test_envelope_value(self):
+        rng = random.Random(7)
+        rects = _random_rects(rng, 20)
+        index = ChebyshevNonzeroIndex(rects)
+        q = (40.0, 40.0)
+        want = min(rect_max_chebyshev(q, r) for r in rects)
+        assert math.isclose(index.envelope(q), want, rel_tol=1e-12)
+
+    def test_query_next_to_isolated_square(self):
+        rects = [(0, 0, 2, 2), (50, 50, 52, 52)]
+        index = ChebyshevNonzeroIndex(rects)
+        assert index.query((1.0, 1.0)) == frozenset({0})
+        assert index.query((51.0, 51.0)) == frozenset({1})
+        assert len(index.query((26.0, 26.0))) == 2
+
+    def test_empty_rejected(self):
+        from repro.errors import EmptyIndexError
+
+        with pytest.raises((QueryError, EmptyIndexError)):
+            ChebyshevNonzeroIndex([])
+
+
+class TestManhattanIndex:
+    def test_matches_brute_oracle(self):
+        for seed in range(6):
+            rng = random.Random(seed + 100)
+            diamonds = [
+                ((rng.uniform(0, 60), rng.uniform(0, 60)), rng.uniform(0.5, 4))
+                for _ in range(25)
+            ]
+            index = ManhattanNonzeroIndex(diamonds)
+            for _ in range(25):
+                q = (rng.uniform(-5, 65), rng.uniform(-5, 65))
+                assert index.query(q) == manhattan_nonzero_nn(diamonds, q)
+
+    def test_l1_semantics_directly(self):
+        # Two diamonds far apart: near each one only it is a candidate.
+        diamonds = [((0.0, 0.0), 1.0), ((20.0, 0.0), 1.0)]
+        index = ManhattanNonzeroIndex(diamonds)
+        assert index.query((0.0, 0.5)) == frozenset({0})
+        assert index.query((20.0, -0.5)) == frozenset({1})
+        both = index.query((10.0, 0.0))
+        assert both == frozenset({0, 1})
+
+    def test_envelope_is_min_max_l1(self):
+        diamonds = [((0.0, 0.0), 1.0), ((8.0, 3.0), 2.0)]
+        index = ManhattanNonzeroIndex(diamonds)
+        q = (1.0, 1.0)
+        # Max L1 distance to a diamond = d_1(q, center) + radius.
+        want = min(manhattan(q, c) + r for c, r in diamonds)
+        assert math.isclose(index.envelope(q), want, rel_tol=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            ManhattanNonzeroIndex([])

@@ -1,0 +1,100 @@
+"""Tests for the spiral-search structure (Section 4.3)."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    QueryError,
+    SpiralSearchPNN,
+    UniformDiskPoint,
+    adversarial_instance,
+    quantification_probabilities,
+    spread,
+)
+from repro.constructions import random_discrete_points
+from repro.core.spiral import retrieval_size, weight_threshold_estimate
+
+
+class TestSpread:
+    def test_uniform_weights_spread_one(self):
+        points = random_discrete_points(5, k=3, seed=0, rho=1.0)
+        assert math.isclose(spread(points), 1.0, rel_tol=1e-9)
+
+    def test_controlled_spread(self):
+        points = random_discrete_points(5, k=3, seed=1, rho=8.0)
+        assert math.isclose(spread(points), 8.0, rel_tol=1e-9)
+
+    def test_retrieval_size_monotone_in_eps(self):
+        assert retrieval_size(2.0, 3, 0.01) > retrieval_size(2.0, 3, 0.2)
+
+    def test_retrieval_size_invalid_eps(self):
+        with pytest.raises(QueryError):
+            retrieval_size(2.0, 3, 0.0)
+
+
+class TestLemma46Guarantee:
+    def test_one_sided_error(self):
+        # pihat <= pi <= pihat + eps for every point.
+        for seed in range(5):
+            points = random_discrete_points(
+                15, k=3, seed=seed, box=40, scatter=5, rho=3.0
+            )
+            index = SpiralSearchPNN(points)
+            rng = random.Random(seed + 30)
+            for _ in range(8):
+                q = (rng.uniform(0, 40), rng.uniform(0, 40))
+                eps = 0.05
+                est = index.query_vector(q, eps)
+                exact = quantification_probabilities(points, q)
+                for a, b in zip(est, exact):
+                    assert a <= b + 1e-9, "spiral overestimated"
+                    assert b <= a + eps + 1e-9, "spiral error above eps"
+
+    def test_truncation_actually_truncates(self):
+        points = random_discrete_points(200, k=3, seed=3, rho=2.0, box=300)
+        index = SpiralSearchPNN(points)
+        m = index.m(0.1)
+        assert m < index.total_locations
+
+    def test_requires_discrete(self):
+        with pytest.raises(QueryError):
+            SpiralSearchPNN([UniformDiskPoint((0, 0), 1)])
+
+    def test_exact_when_m_covers_everything(self):
+        points = random_discrete_points(4, k=2, seed=9, rho=1.5)
+        index = SpiralSearchPNN(points)
+        q = (20.0, 20.0)
+        est = index.query_vector(q, epsilon=1e-6)
+        exact = quantification_probabilities(points, q)
+        if index.m(1e-6) == index.total_locations:
+            for a, b in zip(est, exact):
+                assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestAdversarialInstance:
+    def test_remark_i_ranking_flip(self):
+        eps = 0.02
+        points, q = adversarial_instance(epsilon=eps)
+        exact = quantification_probabilities(points, q)
+        # Ground truth: P_1 (index 0) beats P_2 (index 1).
+        assert exact[0] > exact[1]
+        # Weight-threshold pruning (drop w < eps/k) flips the ranking.
+        pruned = weight_threshold_estimate(points, q, threshold=eps / 2)
+        assert pruned[1] > pruned[0], "adversarial flip did not occur"
+        # Spiral search keeps the correct ranking at the same budget.
+        spiral = SpiralSearchPNN(points).query_vector(q, epsilon=eps / 2)
+        assert spiral[0] > spiral[1]
+
+    def test_instance_validation(self):
+        with pytest.raises(QueryError):
+            adversarial_instance(n=7)  # must be even and >= 8
+
+    def test_paper_probability_bounds(self):
+        # pi_{p1} ~ 3 eps; pi_{p2} < 2 eps (the paper's calculation).
+        eps = 0.02
+        points, q = adversarial_instance(epsilon=eps)
+        exact = quantification_probabilities(points, q)
+        assert abs(exact[0] - 3 * eps) < eps  # first location always wins
+        assert exact[1] < 2.5 * eps

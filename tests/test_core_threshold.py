@@ -1,0 +1,108 @@
+"""Tests for threshold and top-k probabilistic NN queries."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    ApproxThresholdIndex,
+    QueryError,
+    quantification_probabilities,
+    threshold_nn_exact,
+    topk_probable_nn_exact,
+)
+from repro.constructions import random_discrete_points
+
+
+class TestExactThreshold:
+    def test_matches_filtered_sweep(self):
+        points = random_discrete_points(12, k=3, seed=1, box=30)
+        rng = random.Random(2)
+        for _ in range(10):
+            q = (rng.uniform(0, 30), rng.uniform(0, 30))
+            tau = rng.uniform(0.05, 0.5)
+            got = threshold_nn_exact(points, q, tau)
+            pi = quantification_probabilities(points, q)
+            want = {i: v for i, v in enumerate(pi) if v > tau}
+            assert got == want
+
+    def test_tau_zero_gives_all_positive(self):
+        points = random_discrete_points(8, k=2, seed=3, box=20)
+        q = (10.0, 10.0)
+        got = threshold_nn_exact(points, q, 0.0)
+        assert all(v > 0 for v in got.values())
+        assert math.isclose(sum(quantification_probabilities(points, q)), 1.0,
+                            rel_tol=1e-9)
+
+    def test_invalid_tau(self):
+        points = random_discrete_points(3, k=2, seed=0)
+        with pytest.raises(QueryError):
+            threshold_nn_exact(points, (0, 0), 1.0)
+        with pytest.raises(QueryError):
+            threshold_nn_exact(points, (0, 0), -0.1)
+
+
+class TestTopK:
+    def test_ranking_is_descending(self):
+        points = random_discrete_points(10, k=3, seed=5, box=25)
+        q = (12.0, 12.0)
+        ranked = topk_probable_nn_exact(points, q, k=5)
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        assert len(ranked) <= 5
+
+    def test_top1_is_argmax(self):
+        points = random_discrete_points(10, k=3, seed=6, box=25)
+        q = (5.0, 20.0)
+        pi = quantification_probabilities(points, q)
+        top = topk_probable_nn_exact(points, q, k=1)
+        assert top[0][0] == max(range(len(pi)), key=lambda i: (pi[i], -i))
+
+    def test_zero_probability_excluded(self):
+        points = random_discrete_points(20, k=2, seed=7, box=200, scatter=1)
+        q = (10.0, 10.0)
+        ranked = topk_probable_nn_exact(points, q, k=20)
+        assert all(v > 0 for _, v in ranked)
+        assert len(ranked) < 20  # far points have pi = 0
+
+    def test_invalid_k(self):
+        points = random_discrete_points(3, k=2, seed=0)
+        with pytest.raises(QueryError):
+            topk_probable_nn_exact(points, (0, 0), 0)
+
+
+class TestApproxThreshold:
+    def test_certificates_sound(self):
+        points = random_discrete_points(25, k=3, seed=8, box=40, rho=2.0)
+        index = ApproxThresholdIndex(points)
+        rng = random.Random(9)
+        for _ in range(10):
+            q = (rng.uniform(0, 40), rng.uniform(0, 40))
+            tau, eps = 0.2, 0.05
+            ans = index.query(q, tau, eps)
+            pi = quantification_probabilities(points, q)
+            # Soundness of the certificates.
+            for i in ans.above:
+                assert pi[i] >= tau - 1e-9
+            # Completeness: every point above tau is reported somewhere.
+            for i, v in enumerate(pi):
+                if v > tau:
+                    assert i in ans.candidates(), (
+                        f"pi_{i} = {v} > tau but not reported"
+                    )
+
+    def test_undecided_band_is_narrow(self):
+        points = random_discrete_points(15, k=3, seed=10, box=30, rho=2.0)
+        index = ApproxThresholdIndex(points)
+        q = (15.0, 15.0)
+        ans = index.query(q, tau=0.3, eps=0.02)
+        pi = quantification_probabilities(points, q)
+        for i in ans.undecided:
+            assert 0.3 - 0.02 - 1e-9 <= pi[i] <= 0.3 + 0.02 + 1e-9
+
+    def test_invalid_tau(self):
+        points = random_discrete_points(3, k=2, seed=0)
+        index = ApproxThresholdIndex(points)
+        with pytest.raises(QueryError):
+            index.query((0, 0), tau=0.0, eps=0.1)

@@ -1,0 +1,140 @@
+"""Failure injection: malformed inputs must raise library errors, not
+arbitrary exceptions, across the public API."""
+
+import math
+
+import pytest
+
+from repro import (
+    DegenerateInputError,
+    DiscreteUncertainPoint,
+    DistributionError,
+    EmptyIndexError,
+    GeometryError,
+    MonteCarloPNN,
+    QueryError,
+    ReproError,
+    SpiralSearchPNN,
+    UncertainSet,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    UniformRectPoint,
+)
+
+
+class TestDistributionValidation:
+    def test_zero_radius_disk(self):
+        with pytest.raises((ValueError, ReproError)):
+            UniformDiskPoint((0, 0), 0.0)
+
+    def test_negative_weights(self):
+        with pytest.raises(DistributionError):
+            DiscreteUncertainPoint([(0, 0), (1, 1)], [1.2, -0.2])
+
+    def test_weights_not_normalised(self):
+        with pytest.raises(DistributionError):
+            DiscreteUncertainPoint([(0, 0), (1, 1)], [0.5, 0.6])
+
+    def test_degenerate_polygon(self):
+        with pytest.raises(DistributionError):
+            UniformPolygonPoint([(0, 0), (1, 0)])
+
+    def test_empty_rect(self):
+        with pytest.raises(DistributionError):
+            UniformRectPoint((0, 0, 0, 1))
+
+    def test_gaussian_bad_sigma(self):
+        from repro import TruncatedGaussianPoint
+
+        with pytest.raises(ValueError):
+            TruncatedGaussianPoint((0, 0), sigma=-1.0)
+
+
+class TestQueryValidation:
+    def test_empty_uncertain_set(self):
+        with pytest.raises(QueryError):
+            UncertainSet([])
+
+    def test_monte_carlo_without_budget(self):
+        with pytest.raises(QueryError):
+            MonteCarloPNN([UniformDiskPoint((0, 0), 1)])
+
+    def test_monte_carlo_bad_epsilon(self):
+        with pytest.raises(QueryError):
+            MonteCarloPNN([UniformDiskPoint((0, 0), 1)], epsilon=2.0)
+
+    def test_spiral_on_continuous(self):
+        with pytest.raises(QueryError):
+            SpiralSearchPNN([UniformDiskPoint((0, 0), 1)])
+
+    def test_exact_quantification_on_continuous(self):
+        from repro import quantification_probabilities
+
+        with pytest.raises(QueryError):
+            quantification_probabilities([UniformDiskPoint((0, 0), 1)], (0, 0))
+
+    def test_gamma_curves_on_non_disk(self):
+        from repro import gamma_curves
+
+        with pytest.raises(GeometryError):
+            gamma_curves([DiscreteUncertainPoint([(0, 0), (1, 1)], [0.5, 0.5])])
+
+
+class TestGeometryErrors:
+    def test_circumcircle_collinear(self):
+        from repro.geometry import circumcircle
+
+        with pytest.raises(DegenerateInputError):
+            circumcircle((0, 0), (1, 0), (2, 0))
+
+    def test_apollonius_empty_branch(self):
+        from repro.geometry import ApolloniusBranch
+
+        with pytest.raises(GeometryError):
+            ApolloniusBranch((0, 0), (1, 0), K=5.0)
+
+    def test_kdtree_empty(self):
+        from repro.index import KdTree
+
+        with pytest.raises(EmptyIndexError):
+            KdTree([])
+
+    def test_error_hierarchy(self):
+        # Everything library-specific derives from ReproError.
+        for exc in (
+            DegenerateInputError,
+            DistributionError,
+            EmptyIndexError,
+            GeometryError,
+            QueryError,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+class TestNumericalEdgeCases:
+    def test_huge_coordinates(self):
+        points = [
+            UniformDiskPoint((1e7, 1e7), 10.0),
+            UniformDiskPoint((1e7 + 100, 1e7), 10.0),
+        ]
+        uset = UncertainSet(points)
+        members = uset.nonzero_nn((1e7 + 50, 1e7))
+        assert members == frozenset({0, 1})
+
+    def test_tiny_disks(self):
+        points = [
+            UniformDiskPoint((0, 0), 1e-9),
+            UniformDiskPoint((1, 0), 1e-9),
+        ]
+        uset = UncertainSet(points)
+        assert uset.nonzero_nn((0.1, 0)) == frozenset({0})
+
+    def test_query_at_disk_center(self):
+        points = [UniformDiskPoint((0, 0), 1.0), UniformDiskPoint((5, 0), 1.0)]
+        assert UncertainSet(points).nonzero_nn((0, 0)) == frozenset({0})
+
+    def test_coincident_discrete_locations(self):
+        # All mass at one location duplicated k times.
+        p = DiscreteUncertainPoint([(1, 1), (1, 1), (1, 1)], [0.3, 0.3, 0.4])
+        assert p.dmin((0, 0)) == p.dmax((0, 0))
+        assert p.distance_cdf((0, 0), math.sqrt(2)) == 1.0

@@ -1,0 +1,107 @@
+"""Tests for exact intersection areas and adaptive quadrature."""
+
+import math
+import random
+
+from repro.geometry.areas import polygon_circle_area, rect_circle_area
+from repro.quadrature import adaptive_simpson, integrate_piecewise
+
+SQUARE = [(0, 0), (2, 0), (2, 2), (0, 2)]
+
+
+def _mc_area(poly_test, n=200_000, seed=0, bbox=(-1, -1, 3, 3)):
+    rng = random.Random(seed)
+    xmin, ymin, xmax, ymax = bbox
+    hits = sum(
+        1
+        for _ in range(n)
+        if poly_test(rng.uniform(xmin, xmax), rng.uniform(ymin, ymax))
+    )
+    return hits / n * (xmax - xmin) * (ymax - ymin)
+
+
+class TestPolygonCircleArea:
+    def test_disk_inside_polygon(self):
+        a = polygon_circle_area(SQUARE, (1, 1), 0.5)
+        assert math.isclose(a, math.pi * 0.25, rel_tol=1e-12)
+
+    def test_polygon_inside_disk(self):
+        a = polygon_circle_area(SQUARE, (1, 1), 10.0)
+        assert math.isclose(a, 4.0, rel_tol=1e-12)
+
+    def test_disjoint(self):
+        a = polygon_circle_area(SQUARE, (10, 10), 1.0)
+        assert abs(a) < 1e-12
+
+    def test_half_disk(self):
+        # Disk centered on an edge midpoint, small enough to see a halfplane.
+        a = polygon_circle_area(SQUARE, (1.0, 0.0), 0.5)
+        assert math.isclose(a, math.pi * 0.25 / 2.0, rel_tol=1e-9)
+
+    def test_quarter_disk_at_corner(self):
+        a = polygon_circle_area(SQUARE, (0.0, 0.0), 0.5)
+        assert math.isclose(a, math.pi * 0.25 / 4.0, rel_tol=1e-9)
+
+    def test_against_monte_carlo(self):
+        center, r = (1.7, 0.4), 1.1
+
+        def inside(x, y):
+            return (
+                0 <= x <= 2
+                and 0 <= y <= 2
+                and (x - center[0]) ** 2 + (y - center[1]) ** 2 <= r * r
+            )
+
+        exact = polygon_circle_area(SQUARE, center, r)
+        approx = _mc_area(inside)
+        assert abs(exact - approx) < 0.02
+
+    def test_non_convex_polygon(self):
+        # L-shaped polygon.
+        poly = [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        center, r = (0.9, 0.9), 0.8
+
+        def inside(x, y):
+            in_l = (0 <= x <= 2 and 0 <= y <= 1) or (0 <= x <= 1 and 0 <= y <= 2)
+            return in_l and (x - center[0]) ** 2 + (y - center[1]) ** 2 <= r * r
+
+        exact = polygon_circle_area(poly, center, r)
+        approx = _mc_area(inside)
+        assert abs(exact - approx) < 0.02
+
+    def test_rect_helper_equivalent(self):
+        a1 = rect_circle_area((0, 0, 2, 2), (1.2, 0.7), 0.9)
+        a2 = polygon_circle_area(SQUARE, (1.2, 0.7), 0.9)
+        assert math.isclose(a1, a2, rel_tol=1e-12)
+
+    def test_monotone_in_radius(self):
+        prev = 0.0
+        for r in (0.2, 0.5, 1.0, 1.5, 2.0, 3.0):
+            a = polygon_circle_area(SQUARE, (0.3, 1.2), r)
+            assert a >= prev - 1e-12
+            prev = a
+
+
+class TestQuadrature:
+    def test_polynomial_exact(self):
+        got = adaptive_simpson(lambda x: x * x * x - 2 * x + 1, 0.0, 2.0)
+        assert math.isclose(got, 4.0 - 4.0 + 2.0, rel_tol=1e-12)
+
+    def test_sine(self):
+        got = adaptive_simpson(math.sin, 0.0, math.pi)
+        assert math.isclose(got, 2.0, rel_tol=1e-9)
+
+    def test_empty_interval(self):
+        assert adaptive_simpson(math.sin, 1.0, 1.0) == 0.0
+
+    def test_kinked_integrand_piecewise(self):
+        f = lambda x: abs(x - 1.0)
+        got = integrate_piecewise(f, [0.0, 1.0, 2.0])
+        assert math.isclose(got, 1.0, rel_tol=1e-10)
+
+    def test_sharp_peak(self):
+        # Narrow Gaussian-like bump; adaptive subdivision must find it.
+        f = lambda x: math.exp(-((x - 0.5) ** 2) / 1e-4)
+        got = adaptive_simpson(f, 0.0, 1.0, tol=1e-12)
+        want = math.sqrt(math.pi * 1e-4)
+        assert math.isclose(got, want, rel_tol=1e-6)

@@ -1,0 +1,151 @@
+"""Unit tests for circles, lens areas, and the tangent-disk solver."""
+
+import math
+
+import pytest
+
+from repro.errors import DegenerateInputError
+from repro.geometry import (
+    Circle,
+    Point,
+    apollonius_tangent_circles,
+    circle_circle_intersections,
+    circumcircle,
+    disk_through_tangencies,
+    lens_area,
+)
+
+
+class TestCircleBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(DegenerateInputError):
+            Circle((0, 0), -1.0)
+
+    def test_min_max_distance(self):
+        c = Circle((0, 0), 2.0)
+        assert c.min_distance((5, 0)) == 3.0
+        assert c.max_distance((5, 0)) == 7.0
+        assert c.min_distance((1, 0)) == 0.0  # inside
+
+    def test_containment(self):
+        c = Circle((0, 0), 2.0)
+        assert c.contains_point((1, 1))
+        assert not c.contains_point((2, 2))
+        assert c.contains_disk(Circle((0.5, 0), 1.0))
+        assert not c.contains_disk(Circle((1.5, 0), 1.0))
+
+    def test_tangency_classification(self):
+        a = Circle((0, 0), 1.0)
+        b = Circle((3, 0), 2.0)
+        assert a.touches_from_outside(b)
+        big = Circle((0, 0), 3.0)
+        small = Circle((2, 0), 1.0)
+        assert big.touches_from_inside(small)
+
+
+class TestIntersections:
+    def test_two_points(self):
+        pts = circle_circle_intersections(Circle((0, 0), 1), Circle((1, 0), 1))
+        assert len(pts) == 2
+        for p in pts:
+            assert math.isclose(p.norm(), 1.0, abs_tol=1e-12)
+            assert math.isclose((p - Point(1, 0)).norm(), 1.0, abs_tol=1e-12)
+
+    def test_tangent_single_point(self):
+        pts = circle_circle_intersections(Circle((0, 0), 1), Circle((2, 0), 1))
+        assert len(pts) == 1
+        assert pts[0] == Point(1, 0)
+
+    def test_disjoint_and_nested(self):
+        assert circle_circle_intersections(Circle((0, 0), 1), Circle((5, 0), 1)) == []
+        assert circle_circle_intersections(Circle((0, 0), 3), Circle((0.5, 0), 1)) == []
+
+
+class TestLensArea:
+    def test_disjoint_zero(self):
+        assert lens_area(Circle((0, 0), 1), Circle((5, 0), 1)) == 0.0
+
+    def test_nested_full(self):
+        a = lens_area(Circle((0, 0), 3), Circle((1, 0), 1))
+        assert math.isclose(a, math.pi)
+
+    def test_identical(self):
+        a = lens_area(Circle((0, 0), 2), Circle((0, 0), 2))
+        assert math.isclose(a, 4 * math.pi)
+
+    def test_half_overlap_symmetry(self):
+        a = lens_area(Circle((0, 0), 1), Circle((1, 0), 1))
+        b = lens_area(Circle((1, 0), 1), Circle((0, 0), 1))
+        assert math.isclose(a, b)
+        # Known closed form for two unit circles at distance 1.
+        expected = 2 * math.acos(0.5) - 0.5 * math.sqrt(3)
+        assert math.isclose(a, expected, rel_tol=1e-12)
+
+    def test_monotone_in_distance(self):
+        areas = [
+            lens_area(Circle((0, 0), 1), Circle((d, 0), 1))
+            for d in (0.0, 0.5, 1.0, 1.5, 2.0)
+        ]
+        assert all(areas[i] >= areas[i + 1] for i in range(len(areas) - 1))
+
+
+class TestCircumcircle:
+    def test_right_triangle(self):
+        c = circumcircle((0, 0), (2, 0), (0, 2))
+        assert c.center == Point(1, 1)
+        assert math.isclose(c.radius, math.sqrt(2))
+
+    def test_collinear_raises(self):
+        with pytest.raises(DegenerateInputError):
+            circumcircle((0, 0), (1, 1), (2, 2))
+
+
+class TestTangentDisks:
+    def test_symmetric_configuration(self):
+        # Two unit disks on the x-axis, one small disk between them above:
+        # witness disks touching both from outside and containing the
+        # small one must exist by symmetry on the y-axis.
+        d1 = Circle((-3, 0), 1.0)
+        d2 = Circle((3, 0), 1.0)
+        inner = Circle((0, 1.0), 0.25)
+        sols = disk_through_tangencies(d1, d2, inner)
+        assert len(sols) >= 1
+        for w in sols:
+            assert math.isclose(w.center.x, 0.0, abs_tol=1e-9)
+            # Tangency residuals.
+            assert math.isclose(
+                (w.center - d1.center).norm(), w.radius + d1.radius, rel_tol=1e-9
+            )
+            assert math.isclose(
+                (w.center - d2.center).norm(), w.radius + d2.radius, rel_tol=1e-9
+            )
+            assert math.isclose(
+                (w.center - inner.center).norm(),
+                w.radius - inner.radius,
+                abs_tol=1e-9,
+            )
+
+    def test_signed_solver_all_external(self):
+        # Classic Apollonius: circle tangent externally to three mutually
+        # tangent unit circles (inner Soddy circle).
+        r = 1.0
+        centers = [
+            (0.0, 0.0),
+            (2.0, 0.0),
+            (1.0, math.sqrt(3.0)),
+        ]
+        sols = apollonius_tangent_circles([(x, y, r) for x, y in centers])
+        assert sols, "inner Soddy circle must exist"
+        inner = min(sols, key=lambda c: c.radius)
+        # Soddy radius for three mutually tangent unit circles: 1/(2/sqrt(3)+1) - adjusted
+        # via Descartes: k4 = k1+k2+k3 + 2 sqrt(k1k2+k2k3+k3k1) = 3 + 2*sqrt(3)
+        expected = 1.0 / (3.0 + 2.0 * math.sqrt(3.0))
+        assert math.isclose(inner.radius, expected, rel_tol=1e-9)
+
+    def test_no_solution_when_impossible(self):
+        # Inner disk far away from the two outer disks: a disk touching
+        # both small outer disks cannot reach around the huge inner one.
+        d1 = Circle((0, 0), 1.0)
+        d2 = Circle((4, 0), 1.0)
+        inner = Circle((2, 0), 10.0)  # swallows both
+        assert disk_through_tangencies(d1, d2, inner) == []

@@ -1,0 +1,96 @@
+"""Tests for Delaunay triangulation and Voronoi nearest-site location."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    VoronoiLocator,
+    delaunay_triangulation,
+    distance2,
+    in_circle,
+    point_in_convex_polygon,
+    polygon_area,
+)
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+site_lists = st.lists(
+    st.tuples(coords, coords), min_size=1, max_size=25, unique=True
+)
+
+
+class TestDelaunay:
+    def test_square_two_triangles(self):
+        tris = delaunay_triangulation([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(tris) == 2
+
+    def test_empty_circumcircle_property(self):
+        rng = random.Random(11)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(30)]
+        tris = delaunay_triangulation(pts)
+        assert tris
+        for (a, b, c) in tris:
+            for j, p in enumerate(pts):
+                if j in (a, b, c):
+                    continue
+                assert in_circle(pts[a], pts[b], pts[c], p) <= 0
+
+    def test_collinear_points_no_triangles(self):
+        assert delaunay_triangulation([(0, 0), (1, 0), (2, 0)]) == []
+
+    def test_duplicates_tolerated(self):
+        tris = delaunay_triangulation([(0, 0), (1, 0), (0, 1), (0, 0)])
+        assert len(tris) == 1
+
+    def test_triangulation_covers_hull_area(self):
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(40)]
+        tris = delaunay_triangulation(pts)
+        tri_area = 0.0
+        for (a, b, c) in tris:
+            tri_area += abs(polygon_area([pts[a], pts[b], pts[c]]))
+        from repro.geometry import convex_hull
+
+        hull_area = polygon_area(convex_hull(pts))
+        assert math.isclose(tri_area, hull_area, rel_tol=1e-9)
+
+
+class TestVoronoiLocator:
+    @given(site_lists, st.tuples(coords, coords))
+    @settings(max_examples=100, deadline=None)
+    def test_nearest_matches_linear_scan(self, sites, q):
+        loc = VoronoiLocator(sites)
+        got = loc.nearest(q)
+        want_d = min(distance2(s, q) for s in sites)
+        assert math.isclose(distance2(sites[got], q), want_d, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_hint_does_not_change_answer(self):
+        rng = random.Random(2)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(20)]
+        loc = VoronoiLocator(sites)
+        q = (3.0, 3.0)
+        base = loc.nearest(q)
+        for hint in range(len(sites)):
+            assert loc.nearest(q, hint=hint) == base
+
+    def test_cell_polygon_contains_site(self):
+        rng = random.Random(4)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(15)]
+        loc = VoronoiLocator(sites)
+        bbox = (-5, -5, 15, 15)
+        for i, s in enumerate(sites):
+            poly = loc.cell_polygon(i, bbox)
+            assert poly, f"empty Voronoi cell for site {i}"
+            assert point_in_convex_polygon(s, poly, eps=1e-7)
+
+    def test_cells_partition_box(self):
+        rng = random.Random(9)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(12)]
+        loc = VoronoiLocator(sites)
+        bbox = (0.0, 0.0, 10.0, 10.0)
+        total = sum(
+            abs(polygon_area(loc.cell_polygon(i, bbox))) for i in range(len(sites))
+        )
+        assert math.isclose(total, 100.0, rel_tol=1e-6)

@@ -1,0 +1,83 @@
+"""Unit tests for Apollonius bisector branches (the gamma_ij curves)."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import ApolloniusBranch, apollonius_branch_for_disks
+
+import numpy as np
+
+
+class TestBranchConstruction:
+    def test_empty_branch_raises(self):
+        with pytest.raises(GeometryError):
+            ApolloniusBranch((0, 0), (1, 0), K=2.0)  # K > focal distance
+
+    def test_negative_k_raises(self):
+        with pytest.raises(GeometryError):
+            ApolloniusBranch((0, 0), (4, 0), K=-1.0)
+
+    def test_disk_helper_empty_when_disks_intersect(self):
+        assert apollonius_branch_for_disks((0, 0), 1.0, (1.5, 0), 1.0) is None
+
+    def test_disk_helper_exists_when_disjoint(self):
+        br = apollonius_branch_for_disks((0, 0), 1.0, (10, 0), 2.0)
+        assert br is not None
+        assert br.K == 3.0
+
+
+class TestBranchGeometry:
+    def test_residual_zero_along_branch(self):
+        br = ApolloniusBranch((0, 0), (10, 0), K=4.0)
+        for p in br.sample(64):
+            assert abs(br.residual(p)) < 1e-8
+
+    def test_vertex_location(self):
+        # At phi = 0 the branch crosses the focal axis at c + K/2 from f1.
+        br = ApolloniusBranch((0, 0), (10, 0), K=4.0)
+        v = br.point_at(0.0)
+        assert math.isclose(v.x, 5.0 + 2.0, rel_tol=1e-12)
+        assert math.isclose(v.y, 0.0, abs_tol=1e-12)
+
+    def test_bisector_degenerate_case(self):
+        # K = 0 is the perpendicular bisector.
+        br = ApolloniusBranch((0, 0), (10, 0), K=0.0)
+        for p in br.sample(32):
+            assert math.isclose(
+                math.hypot(p.x, p.y), math.hypot(p.x - 10.0, p.y), rel_tol=1e-9
+            )
+
+    def test_radius_outside_support_infinite(self):
+        br = ApolloniusBranch((0, 0), (10, 0), K=4.0)
+        assert math.isinf(br.radius(math.pi))  # opposite direction
+
+    def test_radius_array_matches_scalar(self):
+        br = ApolloniusBranch((1, 2), (7, -3), K=2.5)
+        thetas = np.linspace(0, 2 * math.pi, 100)
+        arr = br.radius_array(thetas)
+        for t, r in zip(thetas, arr):
+            scalar = br.radius(float(t))
+            if math.isinf(scalar):
+                assert math.isinf(r)
+            else:
+                assert math.isclose(scalar, float(r), rel_tol=1e-12)
+
+    def test_support_width(self):
+        br = ApolloniusBranch((0, 0), (10, 0), K=4.0)
+        lo, hi = br.support()
+        assert math.isclose(hi - lo, 2 * math.acos(4.0 / 10.0), rel_tol=1e-12)
+
+    def test_point_at_outside_support_raises(self):
+        br = ApolloniusBranch((0, 0), (10, 0), K=4.0)
+        with pytest.raises(GeometryError):
+            br.point_at(math.pi)
+
+    def test_branch_bends_around_f2(self):
+        # Points on the branch are closer to f2 than to f1 (for K > 0).
+        br = ApolloniusBranch((0, 0), (10, 0), K=4.0)
+        for p in br.sample(32):
+            d1 = math.hypot(p.x, p.y)
+            d2 = math.hypot(p.x - 10.0, p.y)
+            assert d1 > d2

@@ -1,0 +1,113 @@
+"""Tests for the planar overlay engine and the DCEL."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    PlanarSubdivision,
+    box_border_segments,
+    planarize,
+    point_in_polygon,
+)
+
+
+def _grid_cross():
+    """A plus sign inside a box: box border + horizontal + vertical line."""
+    segs = box_border_segments(0, 0, 4, 4)
+    segs.append(((0, 2), (4, 2)))
+    segs.append(((2, 0), (2, 4)))
+    return segs
+
+
+class TestPlanarize:
+    def test_crossing_segments_split(self):
+        vertices, edges = planarize([((0, 0), (2, 2)), ((0, 2), (2, 0))])
+        # One intersection vertex + 4 endpoints, 4 sub-edges.
+        assert len(vertices) == 5
+        assert len(edges) == 4
+
+    def test_shared_endpoint_not_duplicated(self):
+        vertices, edges = planarize([((0, 0), (1, 0)), ((1, 0), (2, 1))])
+        assert len(vertices) == 3
+        assert len(edges) == 2
+
+    def test_collinear_overlap_handled(self):
+        vertices, edges = planarize([((0, 0), (10, 0)), ((4, 0), (6, 0))])
+        # Split into 0-4, 4-6, 6-10.
+        assert len(edges) == 3
+
+    def test_zero_length_segments_dropped(self):
+        vertices, edges = planarize([((1, 1), (1, 1))])
+        assert edges == []
+
+    def test_t_junction(self):
+        vertices, edges = planarize([((0, 0), (4, 0)), ((2, -1), (2, 0))])
+        assert len(edges) == 3  # the horizontal is split at (2, 0)
+
+    def test_grid_cross_counts(self):
+        vertices, edges = planarize(_grid_cross())
+        # Vertices: 4 corners + 4 edge midpoints + 1 center = 9.
+        assert len(vertices) == 9
+        # Edges: border split into 8 + cross split into 4 = 12.
+        assert len(edges) == 12
+
+
+class TestDCEL:
+    def test_euler_formula_grid(self):
+        vertices, edges = planarize(_grid_cross())
+        sub = PlanarSubdivision(vertices, edges)
+        v, e, f = sub.num_vertices(), sub.num_edges(), sub.num_faces()
+        # Connected planar graph: V - E + F = 2 counting the outer face.
+        assert v - e + (f + 1) == 2
+        assert f == 4  # four quadrants
+
+    def test_cycle_areas_sum_to_box(self):
+        vertices, edges = planarize(_grid_cross())
+        sub = PlanarSubdivision(vertices, edges)
+        total = sum(sub.cycle_area(c) for c in sub.bounded_cycles())
+        assert math.isclose(total, 16.0, rel_tol=1e-9)
+
+    def test_representative_points_inside_faces(self):
+        vertices, edges = planarize(_grid_cross())
+        sub = PlanarSubdivision(vertices, edges)
+        quadrants = {(0, 0): False, (0, 1): False, (1, 0): False, (1, 1): False}
+        for cid in sub.bounded_cycles():
+            rep = sub.representative_point(cid)
+            assert rep is not None
+            qx, qy = int(rep[0] > 2), int(rep[1] > 2)
+            quadrants[(qx, qy)] = True
+            # Inside the box, not on the cross lines.
+            assert 0 < rep[0] < 4 and 0 < rep[1] < 4
+            assert abs(rep[0] - 2) > 1e-12 and abs(rep[1] - 2) > 1e-12
+        assert all(quadrants.values())
+
+    def test_labelling(self):
+        vertices, edges = planarize(_grid_cross())
+        sub = PlanarSubdivision(vertices, edges)
+        labels = sub.label_cycles(lambda x, y: (x > 2, y > 2))
+        bounded = sub.bounded_cycles()
+        assert len({labels[c] for c in bounded}) == 4
+
+    def test_hole_cycles(self):
+        # A small box inside a big box: the annulus region has a hole.
+        segs = box_border_segments(0, 0, 10, 10)
+        segs += box_border_segments(4, 4, 6, 6)
+        vertices, edges = planarize(segs)
+        sub = PlanarSubdivision(vertices, edges)
+        # Bounded CCW cycles: outer box interior and inner box interior.
+        assert sub.num_faces() == 2
+        areas = sorted(sub.cycle_area(c) for c in sub.bounded_cycles())
+        assert math.isclose(areas[0], 4.0, rel_tol=1e-9)
+        assert math.isclose(areas[1], 100.0, rel_tol=1e-9)
+        # The annulus is labelled via the hole's clockwise cycle: a cycle
+        # with negative area whose representative point is in the annulus.
+        found_annulus_rep = False
+        for cid in range(len(sub.cycles)):
+            if sub.cycle_area(cid) < 0:
+                rep = sub.representative_point(cid)
+                if rep is None:
+                    continue
+                if 0 < rep[0] < 10 and not (4 < rep[0] < 6 and 4 < rep[1] < 6):
+                    found_annulus_rep = True
+        assert found_annulus_rep

@@ -1,0 +1,77 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, as_point, centroid, distance, distance2, lerp, midpoint
+
+
+class TestPoint:
+    def test_immutable(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 3
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert hash(Point(1, 2)) == hash(Point(1.0, 2.0))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_arithmetic(self):
+        a, b = Point(1, 2), Point(3, -1)
+        assert a + b == Point(4, 1)
+        assert a - b == Point(-2, 3)
+        assert 2 * a == Point(2, 4)
+        assert a / 2 == Point(0.5, 1)
+        assert -a == Point(-1, -2)
+
+    def test_dot_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+        assert Point(3, 4).norm2() == 25.0
+        n = Point(3, 4).normalized()
+        assert math.isclose(n.norm(), 1.0)
+
+    def test_perp_is_ccw(self):
+        assert Point(1, 0).perp() == Point(0, 1)
+        assert Point(1, 0).cross(Point(1, 0).perp()) > 0
+
+    def test_rotation(self):
+        r = Point(1, 0).rotated(math.pi / 2)
+        assert math.isclose(r.x, 0.0, abs_tol=1e-15)
+        assert math.isclose(r.y, 1.0)
+
+    def test_iteration_and_indexing(self):
+        p = Point(1, 2)
+        assert list(p) == [1.0, 2.0]
+        assert p[0] == 1.0 and p[1] == 2.0
+        assert p.as_tuple() == (1.0, 2.0)
+
+
+class TestHelpers:
+    def test_as_point_passthrough(self):
+        p = Point(1, 2)
+        assert as_point(p) is p
+        assert as_point((1, 2)) == p
+        assert as_point([1, 2]) == p
+
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+        assert distance2((0, 0), (3, 4)) == 25.0
+
+    def test_midpoint_lerp(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1, 2)
+        assert lerp((0, 0), (10, 0), 0.3) == Point(3, 0)
+
+    def test_centroid(self):
+        c = centroid([(0, 0), (2, 0), (1, 3)])
+        assert c == Point(1, 1)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

@@ -1,0 +1,97 @@
+"""Tests for slab-based point location."""
+
+import math
+import random
+
+from repro.geometry import (
+    LabelledSubdivision,
+    PlanarSubdivision,
+    SlabLocator,
+    box_border_segments,
+    planarize,
+)
+
+
+def _build_grid_subdivision(k=3, size=6.0):
+    """A (k x k)-cell grid subdivision inside a box."""
+    segs = box_border_segments(0, 0, size, size)
+    for i in range(1, k):
+        t = size * i / k
+        segs.append(((0, t), (size, t)))
+        segs.append(((t, 0), (t, size)))
+    vertices, edges = planarize(segs)
+    return PlanarSubdivision(vertices, edges)
+
+
+class TestSlabLocator:
+    def test_grid_cells_located(self):
+        sub = _build_grid_subdivision(k=3, size=6.0)
+        locator = SlabLocator(sub)
+        labels = sub.label_cycles(lambda x, y: (int(x // 2), int(y // 2)))
+        rng = random.Random(7)
+        for _ in range(200):
+            x, y = rng.uniform(0.01, 5.99), rng.uniform(0.01, 5.99)
+            if abs(x % 2) < 1e-6 or abs(y % 2) < 1e-6:
+                continue  # skip points on grid lines
+            cid = locator.locate_cycle(x, y)
+            assert cid is not None
+            assert labels[cid] == (int(x // 2), int(y // 2))
+
+    def test_outside_box_returns_none(self):
+        sub = _build_grid_subdivision()
+        locator = SlabLocator(sub)
+        assert locator.locate_cycle(-1.0, 3.0) is None
+        assert locator.locate_cycle(3.0, -1.0) is None
+        assert locator.locate_cycle(3.0, 100.0) is None
+
+    def test_query_on_edge_resolves_above(self):
+        sub = _build_grid_subdivision(k=3, size=6.0)
+        locator = SlabLocator(sub)
+        labels = sub.label_cycles(lambda x, y: (int(x // 2), int(y // 2)))
+        cid = locator.locate_cycle(1.0, 2.0)  # on a horizontal grid line
+        assert labels[cid] == (0, 1)  # region above the line
+
+
+class TestLabelledSubdivision:
+    def test_query_api(self):
+        sub = _build_grid_subdivision(k=2, size=4.0)
+        labels = sub.label_cycles(lambda x, y: (int(x // 2), int(y // 2)))
+        ls = LabelledSubdivision(sub, labels, outside_label="outside")
+        assert ls.query(1.0, 1.0) == (0, 0)
+        assert ls.query(3.0, 3.0) == (1, 1)
+        assert ls.query(-5.0, 0.0) == "outside"
+
+    def test_random_triangle_fan(self):
+        # A fan of triangles sharing the origin corner: locate many points.
+        import math as m
+
+        from repro.geometry import Segment, clip_segment_to_box
+
+        segs = box_border_segments(-2, -2, 2, 2)
+        for k in range(8):
+            ang = 2 * m.pi * k / 8
+            ray = Segment((0, 0), (4 * m.cos(ang), 4 * m.sin(ang)))
+            clipped = clip_segment_to_box(ray, -2, -2, 2, 2)
+            segs.append(((clipped.a.x, clipped.a.y), (clipped.b.x, clipped.b.y)))
+        vertices, edges = planarize(segs)
+        sub = PlanarSubdivision(vertices, edges)
+
+        def sector(x, y):
+            a = m.atan2(y, x) % (2 * m.pi)
+            return int(a // (m.pi / 4))
+
+        labels = sub.label_cycles(lambda x, y: sector(x, y))
+        ls = LabelledSubdivision(sub, labels)
+        rng = random.Random(3)
+        hits = 0
+        for _ in range(300):
+            r = rng.uniform(0.1, 0.9)
+            a = rng.uniform(0, 2 * m.pi)
+            # Stay away from the fan lines.
+            if min(abs((a % (m.pi / 4))), m.pi / 4 - (a % (m.pi / 4))) < 0.02:
+                continue
+            x, y = r * m.cos(a), r * m.sin(a)
+            got = ls.query(x, y)
+            assert got == sector(x, y)
+            hits += 1
+        assert hits > 200

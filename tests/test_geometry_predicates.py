@@ -1,0 +1,76 @@
+"""Unit + property tests for the robust geometric predicates."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import collinear, convex_position, in_circle, orientation
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.tuples(coords, coords)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_cw(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear_exact(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+        assert collinear((0, 0), (1, 1), (3, 3))
+
+    def test_nearly_collinear_exact_fallback(self):
+        # Points collinear by construction but with tiny float offsets the
+        # filter cannot certify; the Fraction fallback must decide.
+        a = (0.0, 0.0)
+        b = (1e-30, 1e-30)
+        c = (2e-30, 2e-30)
+        assert orientation(a, b, c) == 0
+
+    @given(points, points, points)
+    @settings(max_examples=200)
+    def test_antisymmetry(self, a, b, c):
+        assert orientation(a, b, c) == -orientation(b, a, c)
+
+    @given(points, points, points)
+    @settings(max_examples=200)
+    def test_cyclic_invariance(self, a, b, c):
+        assert orientation(a, b, c) == orientation(b, c, a) == orientation(c, a, b)
+
+
+class TestInCircle:
+    def test_inside(self):
+        # Unit circle through three CCW points; origin is inside.
+        assert in_circle((1, 0), (0, 1), (-1, 0), (0, 0)) == 1
+
+    def test_outside(self):
+        assert in_circle((1, 0), (0, 1), (-1, 0), (5, 5)) == -1
+
+    def test_on_circle(self):
+        assert in_circle((1, 0), (0, 1), (-1, 0), (0, -1)) == 0
+
+    def test_orientation_flip_flips_sign(self):
+        inside = in_circle((1, 0), (0, 1), (-1, 0), (0, 0))
+        flipped = in_circle((0, 1), (1, 0), (-1, 0), (0, 0))
+        assert inside == -flipped == 1
+
+    @given(points, points, points, points)
+    @settings(max_examples=100)
+    def test_swap_antisymmetry(self, a, b, c, d):
+        assert in_circle(a, b, c, d) == -in_circle(b, a, c, d)
+
+
+class TestConvexPosition:
+    def test_square(self):
+        assert convex_position([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+    def test_reflex(self):
+        assert not convex_position([(0, 0), (2, 0), (1, 0.1), (1, 2)])
+
+    def test_collinear_rejected(self):
+        assert not convex_position([(0, 0), (1, 0), (2, 0), (1, 1)])

@@ -1,0 +1,112 @@
+"""Unit tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    Segment,
+    clip_line_to_box,
+    clip_segment_to_box,
+    collinear_overlap,
+    line_intersection,
+    segment_intersection,
+    segments_properly_intersect,
+)
+
+
+class TestSegmentBasics:
+    def test_length_midpoint(self):
+        s = Segment((0, 0), (3, 4))
+        assert s.length() == 5.0
+        assert s.midpoint() == Point(1.5, 2)
+
+    def test_point_at(self):
+        s = Segment((0, 0), (10, 0))
+        assert s.point_at(0.25) == Point(2.5, 0)
+
+    def test_bbox(self):
+        s = Segment((3, -1), (0, 4))
+        assert s.bbox() == (0, -1, 3, 4)
+
+    def test_distance_to_point(self):
+        s = Segment((0, 0), (10, 0))
+        assert s.distance_to_point((5, 3)) == 3.0
+        assert s.distance_to_point((-3, 4)) == 5.0  # beyond endpoint
+        assert s.contains_point((5, 0))
+
+
+class TestIntersection:
+    def test_crossing(self):
+        p = segment_intersection(Segment((0, 0), (2, 2)), Segment((0, 2), (2, 0)))
+        assert p == Point(1, 1)
+
+    def test_touching_endpoint(self):
+        p = segment_intersection(Segment((0, 0), (1, 1)), Segment((1, 1), (2, 0)))
+        assert p is not None
+        assert math.isclose(p.x, 1.0) and math.isclose(p.y, 1.0)
+
+    def test_disjoint(self):
+        assert (
+            segment_intersection(Segment((0, 0), (1, 0)), Segment((0, 1), (1, 1)))
+            is None
+        )
+
+    def test_parallel(self):
+        assert (
+            segment_intersection(Segment((0, 0), (1, 0)), Segment((0, 0.5), (1, 0.5)))
+            is None
+        )
+
+    def test_proper_intersection_predicate(self):
+        assert segments_properly_intersect(
+            Segment((0, 0), (2, 2)), Segment((0, 2), (2, 0))
+        )
+        assert not segments_properly_intersect(
+            Segment((0, 0), (1, 1)), Segment((1, 1), (2, 0))
+        )
+
+    def test_collinear_overlap(self):
+        ov = collinear_overlap(Segment((0, 0), (10, 0)), Segment((4, 0), (20, 0)))
+        assert ov is not None
+        assert math.isclose(ov.a.x, 4.0)
+        assert math.isclose(ov.b.x, 10.0)
+
+    def test_collinear_no_overlap(self):
+        assert (
+            collinear_overlap(Segment((0, 0), (1, 0)), Segment((2, 0), (3, 0))) is None
+        )
+
+
+class TestLines:
+    def test_line_intersection(self):
+        p = line_intersection(Point(0, 0), Point(1, 1), Point(0, 2), Point(1, -1))
+        assert p == Point(1, 1)
+
+    def test_parallel_lines(self):
+        assert (
+            line_intersection(Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 0))
+            is None
+        )
+
+
+class TestClipping:
+    def test_clip_inside(self):
+        s = clip_segment_to_box(Segment((1, 1), (2, 2)), 0, 0, 10, 10)
+        assert s == Segment((1, 1), (2, 2))
+
+    def test_clip_crossing(self):
+        s = clip_segment_to_box(Segment((-5, 5), (15, 5)), 0, 0, 10, 10)
+        assert math.isclose(s.a.x, 0.0) and math.isclose(s.b.x, 10.0)
+
+    def test_clip_outside(self):
+        assert clip_segment_to_box(Segment((20, 20), (30, 30)), 0, 0, 10, 10) is None
+
+    def test_clip_line(self):
+        s = clip_line_to_box(Point(5, 5), Point(0, 1), 0, 0, 10, 10)
+        assert s is not None
+        ys = sorted([s.a.y, s.b.y])
+        assert math.isclose(ys[0], 0.0, abs_tol=1e-9)
+        assert math.isclose(ys[1], 10.0, abs_tol=1e-9)
+        assert math.isclose(s.a.x, 5.0)

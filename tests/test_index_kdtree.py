@@ -1,0 +1,106 @@
+"""Tests for the (weighted) kd-tree."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyIndexError
+from repro.index import KdTree
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points_strategy = st.lists(st.tuples(coords, coords), min_size=1, max_size=60)
+
+
+def _brute_nearest(points, q):
+    return min(range(len(points)), key=lambda i: math.dist(points[i], q))
+
+
+class TestPlainQueries:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            KdTree([])
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            KdTree([(0, 0)], weights=[1.0, 2.0])
+
+    @given(points_strategy, st.tuples(coords, coords))
+    @settings(max_examples=100, deadline=None)
+    def test_nearest_matches_brute(self, pts, q):
+        tree = KdTree(pts)
+        idx, d = tree.nearest(q)
+        want = min(math.dist(p, q) for p in pts)
+        assert math.isclose(d, want, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(points_strategy, st.tuples(coords, coords), st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_k_nearest_matches_sorted_brute(self, pts, q, k):
+        tree = KdTree(pts)
+        got = tree.k_nearest(q, k)
+        dists = sorted(math.dist(p, q) for p in pts)[: min(k, len(pts))]
+        assert len(got) == len(dists)
+        for (d, _), want in zip(got, dists):
+            assert math.isclose(d, want, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(points_strategy, st.tuples(coords, coords), st.floats(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_range_disk_matches_brute(self, pts, q, r):
+        tree = KdTree(pts)
+        got = sorted(tree.range_disk(q, r))
+        want = sorted(i for i, p in enumerate(pts) if math.dist(p, q) <= r)
+        assert got == want
+
+
+class TestWeightedQueries:
+    def _random_instance(self, seed, n=50):
+        rng = random.Random(seed)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
+        ws = [rng.uniform(0.1, 5.0) for _ in range(n)]
+        return pts, ws
+
+    def test_weighted_nearest_matches_brute(self):
+        for seed in range(20):
+            pts, ws = self._random_instance(seed)
+            tree = KdTree(pts, weights=ws)
+            rng = random.Random(seed + 1000)
+            for _ in range(10):
+                q = (rng.uniform(-10, 110), rng.uniform(-10, 110))
+                idx, val = tree.weighted_nearest(q)
+                want = min(math.dist(p, q) + w for p, w in zip(pts, ws))
+                assert math.isclose(val, want, rel_tol=1e-12)
+
+    def test_report_weighted_below_matches_brute(self):
+        for seed in range(20):
+            pts, ws = self._random_instance(seed)
+            tree = KdTree(pts, weights=ws)
+            rng = random.Random(seed + 2000)
+            for _ in range(10):
+                q = (rng.uniform(0, 100), rng.uniform(0, 100))
+                bound = rng.uniform(1.0, 60.0)
+                got = sorted(tree.report_weighted_below(q, bound))
+                want = sorted(
+                    i
+                    for i, (p, w) in enumerate(zip(pts, ws))
+                    if math.dist(p, q) - w < bound
+                )
+                assert got == want
+
+    def test_two_stage_is_nonzero_nn(self):
+        # Weighted NN gives Delta(q); weighted report below Delta(q) gives
+        # NN!=0(q) for disks (Lemma 2.1) — sanity-check the composition.
+        pts, ws = self._random_instance(7, n=40)
+        tree = KdTree(pts, weights=ws)
+        q = (50.0, 50.0)
+        _, delta = tree.weighted_nearest(q)
+        got = set(tree.report_weighted_below(q, delta))
+        want = {
+            i
+            for i, (p, w) in enumerate(zip(pts, ws))
+            if max(math.dist(p, q) - w, 0.0)
+            < min(math.dist(pp, q) + wq for pp, wq in zip(pts, ws))
+        }
+        assert got == want
+        assert got, "the weighted-NN disk itself is always reported"

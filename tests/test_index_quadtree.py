@@ -1,0 +1,82 @@
+"""Tests for the quadtree (Remark (ii) retrieval alternative)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyIndexError
+from repro.index import KdTree, QuadTree
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=80)
+
+
+class TestQuadTree:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            QuadTree([])
+
+    @given(point_lists, st.tuples(coords, coords), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_k_nearest_matches_brute(self, pts, q, k):
+        tree = QuadTree(pts)
+        got = tree.k_nearest(q, k)
+        want = sorted(math.dist(p, q) for p in pts)[: min(k, len(pts))]
+        assert len(got) == len(want)
+        for (d, _), w in zip(got, want):
+            assert math.isclose(d, w, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(point_lists, st.tuples(coords, coords), st.floats(0, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_range_disk_matches_brute(self, pts, q, r):
+        tree = QuadTree(pts)
+        got = sorted(tree.range_disk(q, r))
+        want = sorted(i for i, p in enumerate(pts) if math.dist(p, q) <= r)
+        assert got == want
+
+    def test_duplicate_points_handled(self):
+        pts = [(1.0, 1.0)] * 30 + [(2.0, 2.0)]
+        tree = QuadTree(pts)
+        got = tree.k_nearest((1.0, 1.0), 5)
+        assert all(d == 0.0 for d, _ in got)
+
+    def test_agrees_with_kdtree(self):
+        rng = random.Random(3)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
+        qt = QuadTree(pts)
+        kt = KdTree(pts)
+        for _ in range(20):
+            q = (rng.uniform(-10, 110), rng.uniform(-10, 110))
+            a = [d for d, _ in qt.k_nearest(q, 10)]
+            b = [d for d, _ in kt.k_nearest(q, 10)]
+            for x, y in zip(a, b):
+                assert math.isclose(x, y, rel_tol=1e-12)
+
+
+class TestSpiralBackends:
+    def test_backends_identical_answers(self):
+        from repro import SpiralSearchPNN
+        from repro.constructions import random_discrete_points
+
+        points = random_discrete_points(20, k=3, seed=11, box=40, rho=2.0)
+        kd = SpiralSearchPNN(points, backend="kdtree")
+        qt = SpiralSearchPNN(points, backend="quadtree")
+        rng = random.Random(12)
+        for _ in range(10):
+            q = (rng.uniform(0, 40), rng.uniform(0, 40))
+            a = kd.query_vector(q, 0.05)
+            b = qt.query_vector(q, 0.05)
+            for x, y in zip(a, b):
+                assert math.isclose(x, y, rel_tol=1e-12, abs_tol=1e-15)
+
+    def test_unknown_backend(self):
+        from repro import QueryError, SpiralSearchPNN
+        from repro.constructions import random_discrete_points
+
+        with pytest.raises(QueryError):
+            SpiralSearchPNN(
+                random_discrete_points(3, k=2, seed=0), backend="rtree"
+            )

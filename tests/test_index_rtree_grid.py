@@ -1,0 +1,103 @@
+"""Tests for the R-tree and the grid index."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EmptyIndexError
+from repro.index import GridIndex, RTree, rect_mindist, rects_intersect
+
+
+def _random_rects(seed, n=80):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        w, h = rng.uniform(0.5, 8), rng.uniform(0.5, 8)
+        out.append((x, y, x + w, y + h))
+    return out
+
+
+class TestRTree:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            RTree([])
+
+    def test_query_rect_matches_brute(self):
+        for seed in range(10):
+            rects = _random_rects(seed)
+            tree = RTree(rects)
+            rng = random.Random(seed + 99)
+            for _ in range(15):
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                qr = (x, y, x + rng.uniform(1, 20), y + rng.uniform(1, 20))
+                got = sorted(tree.query_rect(qr))
+                want = sorted(
+                    i for i, r in enumerate(rects) if rects_intersect(r, qr)
+                )
+                assert got == want
+
+    def test_query_disk_matches_brute(self):
+        rects = _random_rects(3)
+        tree = RTree(rects)
+        rng = random.Random(42)
+        for _ in range(25):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            rad = rng.uniform(1, 25)
+            got = sorted(tree.query_disk(q, rad))
+            want = sorted(
+                i for i, r in enumerate(rects) if rect_mindist(q, r) <= rad
+            )
+            assert got == want
+
+    def test_best_first_min(self):
+        # exact(i) = maxdist from q to rect i, lower-bounded by mindist.
+        from repro.index import rect_maxdist
+
+        rects = _random_rects(5)
+        tree = RTree(rects)
+        rng = random.Random(17)
+        for _ in range(20):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            idx, val = tree.best_first_min(q, lambda i: rect_maxdist(q, rects[i]))
+            want = min(rect_maxdist(q, r) for r in rects)
+            assert math.isclose(val, want, rel_tol=1e-12)
+
+    def test_single_rect(self):
+        tree = RTree([(0, 0, 1, 1)])
+        assert tree.query_rect((0.5, 0.5, 2, 2)) == [0]
+        assert tree.query_rect((5, 5, 6, 6)) == []
+
+
+class TestGridIndex:
+    def test_empty_raises(self):
+        with pytest.raises(EmptyIndexError):
+            GridIndex([])
+
+    def test_range_disk_matches_brute(self):
+        rng = random.Random(1)
+        pts = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(200)]
+        grid = GridIndex(pts)
+        for _ in range(25):
+            q = (rng.uniform(0, 50), rng.uniform(0, 50))
+            r = rng.uniform(0.5, 15)
+            got = sorted(grid.range_disk(q, r))
+            want = sorted(i for i, p in enumerate(pts) if math.dist(p, q) <= r)
+            assert got == want
+
+    def test_nearest(self):
+        rng = random.Random(2)
+        pts = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(100)]
+        grid = GridIndex(pts)
+        for _ in range(25):
+            q = (rng.uniform(-10, 60), rng.uniform(-10, 60))
+            idx, d = grid.nearest(q)
+            want = min(math.dist(p, q) for p in pts)
+            assert math.isclose(d, want, rel_tol=1e-12)
+
+    def test_strict_vs_closed(self):
+        pts = [(0.0, 0.0), (1.0, 0.0)]
+        grid = GridIndex(pts, cell=1.0)
+        assert sorted(grid.range_disk((0, 0), 1.0)) == [0, 1]
+        assert grid.range_disk((0, 0), 1.0, strict=True) == [0]

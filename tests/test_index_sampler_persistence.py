@@ -1,0 +1,105 @@
+"""Tests for samplers and the persistent delta-set store."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.index import AliasSampler, CdfSampler, DeltaSetStore
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("cls", [AliasSampler, CdfSampler])
+    def test_invalid_weights(self, cls):
+        with pytest.raises(DistributionError):
+            cls([])
+        with pytest.raises(DistributionError):
+            cls([-1.0, 2.0])
+        with pytest.raises(DistributionError):
+            cls([0.0, 0.0])
+
+    @pytest.mark.parametrize("cls", [AliasSampler, CdfSampler])
+    def test_frequencies_converge(self, cls):
+        weights = [0.5, 0.25, 0.15, 0.1]
+        sampler = cls(weights)
+        rng = random.Random(123)
+        n = 40_000
+        counts = [0] * len(weights)
+        for _ in range(n):
+            counts[sampler.sample(rng)] += 1
+        for c, w in zip(counts, weights):
+            assert abs(c / n - w) < 0.01
+
+    @pytest.mark.parametrize("cls", [AliasSampler, CdfSampler])
+    def test_single_outcome(self, cls):
+        sampler = cls([3.0])
+        rng = random.Random(0)
+        assert all(sampler.sample(rng) == 0 for _ in range(100))
+
+    @pytest.mark.parametrize("cls", [AliasSampler, CdfSampler])
+    def test_unnormalised_weights_accepted(self, cls):
+        sampler = cls([2.0, 6.0])  # normalised internally to 0.25/0.75
+        rng = random.Random(7)
+        n = 20_000
+        ones = sum(sampler.sample(rng) for _ in range(n))
+        assert abs(ones / n - 0.75) < 0.02
+
+
+class TestDeltaSetStore:
+    def _chain(self, n=50):
+        # Cells 0..n-1 in a path; cell i has labels {0..i}.
+        sets = [set(range(i + 1)) for i in range(n)]
+        adjacency = [(i, i + 1) for i in range(n - 1)]
+        return sets, adjacency
+
+    def test_retrieval_matches_input(self):
+        sets, adjacency = self._chain()
+        store = DeltaSetStore(sets, adjacency)
+        for i, s in enumerate(sets):
+            assert store.get(i) == frozenset(s)
+
+    def test_delta_space_linear_not_quadratic(self):
+        sets, adjacency = self._chain(n=60)
+        store = DeltaSetStore(sets, adjacency)
+        # Storing all sets explicitly costs sum |S_i| = O(n^2); the delta
+        # store keeps one element per tree edge.
+        assert store.delta_space() == 59
+        explicit = sum(len(s) for s in sets)
+        assert store.delta_space() < explicit / 10
+
+    def test_disconnected_components(self):
+        sets = [{1}, {1, 2}, {7}, {7, 8}]
+        adjacency = [(0, 1), (2, 3)]
+        store = DeltaSetStore(sets, adjacency)
+        for i, s in enumerate(sets):
+            assert store.get(i) == frozenset(s)
+        assert len(store.roots) == 2
+
+    def test_random_adjacent_labels(self):
+        # Random spanning structure with +-1 deltas, as in V!=0 cells.
+        rng = random.Random(5)
+        n = 120
+        sets = [set()] * n
+        sets[0] = {0}
+        adjacency = []
+        for i in range(1, n):
+            j = rng.randrange(i)  # random tree parent
+            s = set(sets[j])
+            if s and rng.random() < 0.4:
+                s.discard(next(iter(s)))
+            else:
+                s.add(100 + i)
+            sets[i] = s
+            adjacency.append((j, i))
+        store = DeltaSetStore(sets, adjacency)
+        for i in rng.sample(range(n), 40):
+            assert store.get(i) == frozenset(sets[i])
+
+    def test_cache_does_not_change_answers(self):
+        sets, adjacency = self._chain(n=30)
+        store = DeltaSetStore(sets, adjacency, cache_size=4)
+        order = list(range(30))
+        random.Random(9).shuffle(order)
+        for i in order:
+            assert store.get(i) == frozenset(sets[i])

@@ -1,0 +1,107 @@
+"""End-to-end integration tests: full PNN pipelines across subsystems."""
+
+import math
+import random
+
+from repro import (
+    DiscreteNonzeroVoronoi,
+    DiscreteTwoStageIndex,
+    MonteCarloPNN,
+    NonzeroVoronoiDiagram,
+    PersistentNonzeroIndex,
+    SpiralSearchPNN,
+    UncertainSet,
+    quantification_probabilities,
+)
+from repro.constructions import (
+    random_discrete_points,
+    random_disk_points,
+    random_queries,
+)
+
+
+class TestDiscretePipeline:
+    """The full discrete stack: one data set through every structure."""
+
+    def setup_method(self):
+        self.points = random_discrete_points(
+            12, k=3, seed=21, box=30, scatter=4, rho=3.0
+        )
+        self.uset = UncertainSet(self.points)
+        self.queries = random_queries(
+            15, seed=22, bbox=self.uset.bounding_box(margin=10)
+        )
+
+    def test_all_structures_agree_on_nonzero_support(self):
+        two_stage = DiscreteTwoStageIndex(self.points)
+        for q in self.queries:
+            members = self.uset.nonzero_nn(q)
+            assert two_stage.query(q) == members
+            # Exact quantification positive <=> member (up to ties).
+            pi = quantification_probabilities(self.points, q)
+            positive = {i for i, v in enumerate(pi) if v > 1e-12}
+            assert positive <= members
+
+    def test_estimators_bracket_exact(self):
+        eps = 0.08
+        mc = MonteCarloPNN(self.points, epsilon=eps, delta=0.02, seed=23)
+        spiral = SpiralSearchPNN(self.points)
+        for q in self.queries[:6]:
+            exact = quantification_probabilities(self.points, q)
+            mc_est = mc.query_vector(q)
+            sp_est = spiral.query_vector(q, eps)
+            for i in range(len(self.points)):
+                assert abs(mc_est[i] - exact[i]) <= eps + 0.03
+                assert sp_est[i] <= exact[i] + 1e-9 <= sp_est[i] + eps + 2e-9
+
+    def test_subdivision_consistent_with_indexes(self):
+        points = self.points[:6]
+        uset = UncertainSet(points)
+        diagram = DiscreteNonzeroVoronoi(points)
+        rng = random.Random(24)
+        bbox = diagram.bbox
+        agreements = 0
+        for _ in range(60):
+            q = (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+            _, big = uset.envelope(q)
+            if any(abs(uset.delta(i, q) - big) < 1e-3 for i in range(len(uset))):
+                continue
+            assert diagram.query(q) == uset.nonzero_nn(q)
+            agreements += 1
+        assert agreements > 20
+
+
+class TestContinuousPipeline:
+    def test_disk_stack(self):
+        points = random_disk_points(10, seed=31, box=40, radius_range=(1, 3))
+        uset = UncertainSet(points)
+        diagram = NonzeroVoronoiDiagram(points)
+        index = PersistentNonzeroIndex(diagram)
+        mc = MonteCarloPNN(points, s=2000, seed=32)
+        rng = random.Random(33)
+        bbox = diagram.bbox
+        checked = 0
+        for _ in range(80):
+            q = (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
+            _, big = uset.envelope(q)
+            if any(abs(uset.delta(i, q) - big) < 1e-2 for i in range(len(uset))):
+                continue
+            members = uset.nonzero_nn(q)
+            assert diagram.query(q) == members
+            assert index.query(q) == members
+            # Monte-Carlo winners are always nonzero members.
+            for i, v in mc.query(q).items():
+                if v > 0.01:
+                    assert i in members
+            checked += 1
+        assert checked > 30
+
+    def test_probability_mass_concentrated_on_members(self):
+        points = random_disk_points(8, seed=41, box=30, radius_range=(1, 4))
+        uset = UncertainSet(points)
+        mc = MonteCarloPNN(points, s=5000, seed=42)
+        q = (15.0, 15.0)
+        members = uset.nonzero_nn(q)
+        est = mc.query(q)
+        member_mass = sum(v for i, v in est.items() if i in members)
+        assert member_mass == 1.0

@@ -1,0 +1,156 @@
+"""Metamorphic tests: rigid motions and scalings of the whole instance.
+
+All L2 quantities of the paper are invariant under translation,
+rotation, and (for the set-valued and probability-valued queries)
+uniform scaling of points and query together.  These transformations
+catch coordinate-handling bugs that fixed-instance tests cannot.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    DiscreteUncertainPoint,
+    UncertainSet,
+    UniformDiskPoint,
+    quantification_probabilities,
+)
+from repro.constructions import random_discrete_points, random_disk_points
+
+
+def _translate_disk(p, dx, dy):
+    c = p.disk.center
+    return UniformDiskPoint((c.x + dx, c.y + dy), p.disk.radius)
+
+def _rotate_disk(p, theta):
+    c = p.disk.center.rotated(theta)
+    return UniformDiskPoint((c.x, c.y), p.disk.radius)
+
+def _scale_disk(p, s):
+    c = p.disk.center
+    return UniformDiskPoint((c.x * s, c.y * s), p.disk.radius * s)
+
+
+def _translate_discrete(p, dx, dy):
+    return DiscreteUncertainPoint(
+        [(x + dx, y + dy) for x, y in p.locations], p.weights
+    )
+
+def _rotate_discrete(p, theta):
+    c, s = math.cos(theta), math.sin(theta)
+    return DiscreteUncertainPoint(
+        [(c * x - s * y, s * x + c * y) for x, y in p.locations], p.weights
+    )
+
+def _scale_discrete(p, s):
+    return DiscreteUncertainPoint(
+        [(x * s, y * s) for x, y in p.locations], p.weights
+    )
+
+
+class TestNonzeroInvariance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_translation(self, seed):
+        rng = random.Random(seed)
+        points = random_disk_points(10, seed=seed, box=30)
+        q = (rng.uniform(0, 30), rng.uniform(0, 30))
+        dx, dy = rng.uniform(-100, 100), rng.uniform(-100, 100)
+        moved = [_translate_disk(p, dx, dy) for p in points]
+        assert UncertainSet(points).nonzero_nn(q) == UncertainSet(
+            moved
+        ).nonzero_nn((q[0] + dx, q[1] + dy))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rotation(self, seed):
+        rng = random.Random(seed + 10)
+        points = random_disk_points(10, seed=seed, box=30)
+        q = (rng.uniform(0, 30), rng.uniform(0, 30))
+        theta = rng.uniform(0, 2 * math.pi)
+        rotated = [_rotate_disk(p, theta) for p in points]
+        c, s = math.cos(theta), math.sin(theta)
+        q2 = (c * q[0] - s * q[1], s * q[0] + c * q[1])
+        assert UncertainSet(points).nonzero_nn(q) == UncertainSet(
+            rotated
+        ).nonzero_nn(q2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_scaling(self, seed):
+        rng = random.Random(seed + 20)
+        points = random_disk_points(10, seed=seed, box=30)
+        q = (rng.uniform(0, 30), rng.uniform(0, 30))
+        s = rng.uniform(0.1, 10.0)
+        scaled = [_scale_disk(p, s) for p in points]
+        assert UncertainSet(points).nonzero_nn(q) == UncertainSet(
+            scaled
+        ).nonzero_nn((q[0] * s, q[1] * s))
+
+
+class TestQuantificationInvariance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_translation(self, seed):
+        rng = random.Random(seed + 30)
+        points = random_discrete_points(6, k=3, seed=seed, box=25)
+        q = (rng.uniform(0, 25), rng.uniform(0, 25))
+        dx, dy = rng.uniform(-50, 50), rng.uniform(-50, 50)
+        moved = [_translate_discrete(p, dx, dy) for p in points]
+        a = quantification_probabilities(points, q)
+        b = quantification_probabilities(moved, (q[0] + dx, q[1] + dy))
+        for x, y in zip(a, b):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rotation(self, seed):
+        rng = random.Random(seed + 40)
+        points = random_discrete_points(6, k=3, seed=seed, box=25)
+        q = (rng.uniform(0, 25), rng.uniform(0, 25))
+        theta = rng.uniform(0, 2 * math.pi)
+        rotated = [_rotate_discrete(p, theta) for p in points]
+        c, s = math.cos(theta), math.sin(theta)
+        q2 = (c * q[0] - s * q[1], s * q[0] + c * q[1])
+        a = quantification_probabilities(points, q)
+        b = quantification_probabilities(rotated, q2)
+        for x, y in zip(a, b):
+            # Rotation perturbs distances at the last ulp; the rank order
+            # (which determines pi) survives except at exact ties.
+            assert math.isclose(x, y, rel_tol=1e-6, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_scaling(self, seed):
+        rng = random.Random(seed + 50)
+        points = random_discrete_points(6, k=3, seed=seed, box=25)
+        q = (rng.uniform(0, 25), rng.uniform(0, 25))
+        s = rng.uniform(0.5, 4.0)
+        scaled = [_scale_discrete(p, s) for p in points]
+        a = quantification_probabilities(points, q)
+        b = quantification_probabilities(scaled, (q[0] * s, q[1] * s))
+        for x, y in zip(a, b):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestIndexInvariance:
+    def test_two_stage_index_translation(self):
+        from repro import DiskNonzeroIndex
+
+        points = random_disk_points(15, seed=3, box=40)
+        moved = [_translate_disk(p, 1e6, -1e6) for p in points]
+        a = DiskNonzeroIndex(points)
+        b = DiskNonzeroIndex(moved)
+        rng = random.Random(4)
+        for _ in range(15):
+            q = (rng.uniform(0, 40), rng.uniform(0, 40))
+            assert a.query(q) == b.query((q[0] + 1e6, q[1] - 1e6))
+
+    def test_spiral_search_scaling(self):
+        from repro import SpiralSearchPNN
+
+        points = random_discrete_points(10, k=3, seed=5, box=30, rho=2.0)
+        scaled = [_scale_discrete(p, 7.0) for p in points]
+        a = SpiralSearchPNN(points)
+        b = SpiralSearchPNN(scaled)
+        q = (15.0, 15.0)
+        va = a.query_vector(q, 0.05)
+        vb = b.query_vector((q[0] * 7, q[1] * 7), 0.05)
+        for x, y in zip(va, vb):
+            assert math.isclose(x, y, rel_tol=1e-9, abs_tol=1e-12)

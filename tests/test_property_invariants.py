@@ -1,0 +1,201 @@
+"""Property-based tests of cross-module invariants (hypothesis)."""
+
+import math
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DiscreteUncertainPoint,
+    UncertainSet,
+    UniformDiskPoint,
+    quantification_probabilities,
+)
+from repro.core.quantification import sweep_quantification
+from repro.geometry import PlanarSubdivision, box_border_segments, planarize
+from repro.geometry.areas import polygon_circle_area
+from repro.geometry.circle import Circle, lens_area
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def _discrete_set(seed, n, k):
+    rng = random.Random(seed)
+    points = []
+    for _ in range(n):
+        ax, ay = rng.uniform(0, 30), rng.uniform(0, 30)
+        locs = [(ax + rng.gauss(0, 3), ay + rng.gauss(0, 3)) for _ in range(k)]
+        raw = [rng.uniform(0.2, 1.0) for _ in range(k)]
+        total = sum(raw)
+        points.append(DiscreteUncertainPoint(locs, [w / total for w in raw]))
+    return points
+
+
+class TestQuantificationInvariants:
+    @given(st.integers(0, 10_000), st.integers(2, 8), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_vector_valid(self, seed, n, k):
+        points = _discrete_set(seed, n, k)
+        rng = random.Random(seed + 1)
+        q = (rng.uniform(-10, 40), rng.uniform(-10, 40))
+        pi = quantification_probabilities(points, q)
+        assert all(-1e-12 <= v <= 1.0 + 1e-12 for v in pi)
+        assert sum(pi) <= 1.0 + 1e-9  # == 1 without ties; < 1 with ties
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sweep_invariant_under_entry_order(self, seed):
+        rng = random.Random(seed)
+        entries = [
+            (rng.uniform(0, 10), rng.randrange(4), rng.uniform(0.01, 0.5))
+            for _ in range(12)
+        ]
+        a = sweep_quantification(entries, 4)
+        shuffled = entries[:]
+        rng.shuffle(shuffled)
+        b = sweep_quantification(shuffled, 4)
+        for x, y in zip(a, b):
+            assert math.isclose(x, y, rel_tol=1e-12, abs_tol=1e-15)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_domination_gives_probability_one(self, seed):
+        # When every location of P_0 is strictly closer to q than every
+        # location of every other point, pi_0(q) = 1 and the rest are 0.
+        points = _discrete_set(seed, 4, 3)
+        target = points[0]
+        cx = sum(p[0] for p in target.locations) / len(target.locations)
+        cy = sum(p[1] for p in target.locations) / len(target.locations)
+        q = (cx, cy)
+        dominated = target.dmax(q) < min(p.dmin(q) for p in points[1:])
+        assume(dominated)
+        pi = quantification_probabilities(points, q)
+        assert math.isclose(pi[0], 1.0, rel_tol=1e-12)
+        assert all(v == 0.0 for v in pi[1:])
+
+
+class TestGeometryInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+                st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_planarize_euler_formula(self, raw_segments):
+        # Integer endpoints keep every bounded face's area well above the
+        # subdivision's degeneracy threshold (Pick's theorem), so the
+        # Euler count is exact.
+        segs = [s for s in raw_segments if s[0] != s[1]]
+        assume(segs)
+        segs = box_border_segments(-60, -60, 60, 60) + segs
+        vertices, edges = planarize(segs)
+        sub = PlanarSubdivision(vertices, edges)
+        v, e = sub.num_vertices(), sub.num_edges()
+        f = sub.num_faces()
+        # V - E + F = 1 + C for a planar graph with C components
+        # (counting the outer face separately: V - E + (F + 1) = 1 + C).
+        components = _count_components(v, edges)
+        assert v - e + (f + 1) == 1 + components
+
+    @given(
+        st.tuples(coords, coords),
+        st.floats(min_value=0.1, max_value=20),
+        st.tuples(coords, coords),
+        st.floats(min_value=0.1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lens_area_bounds(self, c1, r1, c2, r2):
+        a = lens_area(Circle(c1, r1), Circle(c2, r2))
+        assert -1e-9 <= a <= math.pi * min(r1, r2) ** 2 + 1e-9
+        b = lens_area(Circle(c2, r2), Circle(c1, r1))
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(st.integers(8, 64), st.floats(min_value=0.5, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_polygon_circle_area_converges_to_lens(self, sides, r):
+        # A regular polygon approximating a disk: its intersection area
+        # with another disk converges to the lens area.
+        from repro.geometry import regular_polygon
+
+        poly = regular_polygon((0, 0), 2.0, sides)
+        got = polygon_circle_area(poly, (1.5, 0.3), r)
+        want = lens_area(Circle((0, 0), 2.0), Circle((1.5, 0.3), r))
+        # Polygon inscribed in the disk: the lens can only shrink, and
+        # the gap is bounded by the disk-minus-polygon area.
+        from repro.geometry import polygon_area
+
+        assert got <= want + 1e-9
+        slack = math.pi * 4.0 - polygon_area(poly)
+        assert want - got <= slack + 1e-9
+
+
+def _count_components(n_vertices, edges):
+    parent = list(range(n_vertices))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    return len({find(i) for i in range(n_vertices)})
+
+
+class TestOracleInvariants:
+    @given(st.integers(0, 10_000), st.integers(2, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_nonzero_nn_never_empty(self, seed, n):
+        rng = random.Random(seed)
+        points = [
+            UniformDiskPoint(
+                (rng.uniform(0, 40), rng.uniform(0, 40)), rng.uniform(0.5, 4)
+            )
+            for _ in range(n)
+        ]
+        q = (rng.uniform(-10, 50), rng.uniform(-10, 50))
+        members = UncertainSet(points).nonzero_nn(q)
+        assert members, "someone must be able to be the nearest neighbor"
+
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_envelope_owner_is_member(self, seed, n):
+        rng = random.Random(seed)
+        points = [
+            UniformDiskPoint(
+                (rng.uniform(0, 40), rng.uniform(0, 40)), rng.uniform(0.5, 4)
+            )
+            for _ in range(n)
+        ]
+        uset = UncertainSet(points)
+        q = (rng.uniform(0, 40), rng.uniform(0, 40))
+        owner, _ = uset.envelope(q)
+        assert owner in uset.nonzero_nn(q)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_shrinking_region_shrinks_membership(self, seed):
+        # Replacing every disk by a concentric smaller one can only
+        # remove *other* points from a fixed point's exclusion set.
+        rng = random.Random(seed)
+        centers = [(rng.uniform(0, 30), rng.uniform(0, 30)) for _ in range(6)]
+        radii = [rng.uniform(1.0, 4.0) for _ in range(6)]
+        big = [UniformDiskPoint(c, r) for c, r in zip(centers, radii)]
+        q = (rng.uniform(0, 30), rng.uniform(0, 30))
+        members_big = UncertainSet(big).nonzero_nn(q)
+        # Shrink only disks NOT in the membership set: members must survive.
+        small = [
+            UniformDiskPoint(c, r * (0.5 if i not in members_big else 1.0))
+            for i, (c, r) in enumerate(zip(centers, radii))
+        ]
+        members_small = UncertainSet(small).nonzero_nn(q)
+        assert members_big <= members_small | members_big

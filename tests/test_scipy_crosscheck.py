@@ -1,0 +1,117 @@
+"""Independent cross-checks against scipy (test-only dependency).
+
+The library implements every algorithm from scratch; these tests verify
+the substrate against scipy's independent implementations where they
+overlap (quadrature, Delaunay, nearest neighbors).
+"""
+
+import math
+import random
+
+import pytest
+
+scipy = pytest.importorskip("scipy")
+
+from scipy import integrate as scipy_integrate  # noqa: E402
+from scipy import spatial as scipy_spatial  # noqa: E402
+
+from repro.geometry import delaunay_triangulation  # noqa: E402
+from repro.index import KdTree  # noqa: E402
+from repro.quadrature import adaptive_simpson  # noqa: E402
+from repro.uncertain import TruncatedGaussianPoint, UniformDiskPoint  # noqa: E402
+
+
+class TestQuadratureVsScipy:
+    @pytest.mark.parametrize(
+        "f,a,b",
+        [
+            (lambda x: math.exp(-x * x), 0.0, 3.0),
+            (lambda x: math.sin(5 * x) * x, 0.0, math.pi),
+            (lambda x: 1.0 / (1.0 + x * x), -4.0, 4.0),
+        ],
+    )
+    def test_matches_quad(self, f, a, b):
+        mine = adaptive_simpson(f, a, b, tol=1e-11)
+        theirs, _ = scipy_integrate.quad(f, a, b)
+        assert math.isclose(mine, theirs, rel_tol=1e-8)
+
+    def test_distance_cdf_vs_scipy_romberg(self):
+        p = TruncatedGaussianPoint((0, 0), sigma=1.0, cutoff=3.0)
+        q = (2.0, 0.0)
+        # Independent evaluation of the radial integral via scipy.
+        d = 2.0
+
+        def integrand(s):
+            return p._radial_pdf(s) * p._angular_fraction(d, s, 1.5)
+
+        theirs, _ = scipy_integrate.quad(integrand, 0.0, 3.0, limit=200)
+        assert math.isclose(p.distance_cdf(q, 1.5), theirs, rel_tol=1e-6)
+
+
+class TestDelaunayVsScipy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_triangulation(self, seed):
+        rng = random.Random(seed)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(40)]
+        mine = {tuple(sorted(t)) for t in delaunay_triangulation(pts)}
+        theirs = {
+            tuple(sorted(map(int, simplex)))
+            for simplex in scipy_spatial.Delaunay(pts).simplices
+        }
+
+        def area(t):
+            (ax, ay), (bx, by), (cx, cy) = pts[t[0]], pts[t[1]], pts[t[2]]
+            return abs((bx - ax) * (cy - ay) - (by - ay) * (cx - ax)) / 2.0
+
+        # Both are valid Delaunay triangulations; they may differ on
+        # near-collinear hull slivers that qhull keeps and the exact
+        # in-circle test rejects.  Any disagreement must be such a sliver.
+        for t in mine.symmetric_difference(theirs):
+            assert area(t) < 1e-3, f"non-degenerate disagreement {t}"
+
+
+class TestKdTreeVsScipy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_knn_distances_match(self, seed):
+        rng = random.Random(seed + 50)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200)]
+        mine = KdTree(pts)
+        theirs = scipy_spatial.cKDTree(pts)
+        for _ in range(20):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            my_d = [d for d, _ in mine.k_nearest(q, 7)]
+            their_d, _ = theirs.query(q, k=7)
+            for a, b in zip(my_d, their_d):
+                assert math.isclose(a, float(b), rel_tol=1e-12)
+
+    def test_range_counts_match(self):
+        rng = random.Random(99)
+        pts = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(300)]
+        mine = KdTree(pts)
+        theirs = scipy_spatial.cKDTree(pts)
+        for _ in range(20):
+            q = (rng.uniform(0, 50), rng.uniform(0, 50))
+            r = rng.uniform(1, 15)
+            assert len(mine.range_disk(q, r)) == len(
+                theirs.query_ball_point(q, r)
+            )
+
+
+class TestLensAreaVsScipyDblQuad:
+    def test_lens_area_numeric(self):
+        from repro.geometry import Circle, lens_area
+
+        c1 = Circle((0, 0), 2.0)
+        c2 = Circle((1.5, 0.5), 1.5)
+
+        def indicator(y, x):
+            return float(
+                x * x + y * y <= 4.0
+                and (x - 1.5) ** 2 + (y - 0.5) ** 2 <= 2.25
+            )
+
+        theirs, _ = scipy_integrate.dblquad(
+            indicator, -2.0, 2.0, lambda x: -2.0, lambda x: 2.0,
+            epsabs=1e-4,
+        )
+        assert abs(lens_area(c1, c2) - theirs) < 5e-3

@@ -1,0 +1,146 @@
+"""Stress tests of the planar-overlay + point-location stack.
+
+These harden the engine every diagram is built on: random line
+arrangements, dense overlays, and consistency of the slab locator with
+an independent containment test.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import (
+    LabelledSubdivision,
+    PlanarSubdivision,
+    Point,
+    SlabLocator,
+    box_border_segments,
+    clip_line_to_box,
+    planarize,
+)
+
+
+def _line_arrangement(n_lines, seed, box=20.0):
+    rng = random.Random(seed)
+    segments = box_border_segments(-box, -box, box, box)
+    for _ in range(n_lines):
+        px, py = rng.uniform(-box / 2, box / 2), rng.uniform(-box / 2, box / 2)
+        ang = rng.uniform(0, math.pi)
+        seg = clip_line_to_box(
+            Point(px, py), Point(math.cos(ang), math.sin(ang)),
+            -box, -box, box, box,
+        )
+        segments.append(((seg.a.x, seg.a.y), (seg.b.x, seg.b.y)))
+    return segments
+
+
+class TestLineArrangements:
+    @pytest.mark.parametrize("n_lines", [3, 6, 10])
+    def test_face_count_formula(self, n_lines):
+        # Generic lines crossing a box with X interior pairwise crossings
+        # cut the box into exactly 1 + L + X bounded faces.
+        from repro.geometry import Segment, segment_intersection
+
+        box = 200.0
+        segments = _line_arrangement(n_lines, seed=n_lines, box=box)
+        line_segs = [Segment(a, b) for a, b in segments[4:]]  # skip border
+        crossings = 0
+        for i in range(len(line_segs)):
+            for j in range(i + 1, len(line_segs)):
+                p = segment_intersection(line_segs[i], line_segs[j])
+                if p is not None and (
+                    abs(p.x) < box - 1e-9 and abs(p.y) < box - 1e-9
+                ):
+                    crossings += 1
+        vertices, edges = planarize(segments)
+        sub = PlanarSubdivision(vertices, edges)
+        assert sub.num_faces() == 1 + n_lines + crossings
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_locator_agrees_with_sign_vector(self, seed):
+        # Each region of a line arrangement is identified by the vector
+        # of sides; the slab locator's label must match that signature.
+        rng = random.Random(seed)
+        box = 20.0
+        lines = []
+        for _ in range(6):
+            px, py = rng.uniform(-8, 8), rng.uniform(-8, 8)
+            ang = rng.uniform(0, math.pi)
+            lines.append((px, py, math.cos(ang), math.sin(ang)))
+        segments = box_border_segments(-box, -box, box, box)
+        for (px, py, dx, dy) in lines:
+            seg = clip_line_to_box(Point(px, py), Point(dx, dy), -box, -box, box, box)
+            segments.append(((seg.a.x, seg.a.y), (seg.b.x, seg.b.y)))
+        vertices, edges = planarize(segments)
+        sub = PlanarSubdivision(vertices, edges)
+
+        def signature(x, y):
+            return tuple(
+                (x - px) * dy - (y - py) * dx > 0 for (px, py, dx, dy) in lines
+            )
+
+        labels = sub.label_cycles(lambda x, y: signature(x, y))
+        ls = LabelledSubdivision(sub, labels)
+        hits = 0
+        for _ in range(300):
+            x, y = rng.uniform(-box, box), rng.uniform(-box, box)
+            # Skip points too close to any line (ambiguous side).
+            if any(
+                abs((x - px) * dy - (y - py) * dx) < 1e-3
+                for (px, py, dx, dy) in lines
+            ):
+                continue
+            got = ls.query(x, y)
+            assert got == signature(x, y)
+            hits += 1
+        assert hits > 150
+
+
+class TestDenseOverlays:
+    def test_many_random_segments(self):
+        rng = random.Random(99)
+        segments = box_border_segments(0, 0, 100, 100)
+        for _ in range(60):
+            a = (rng.uniform(0, 100), rng.uniform(0, 100))
+            b = (rng.uniform(0, 100), rng.uniform(0, 100))
+            segments.append((a, b))
+        vertices, edges = planarize(segments)
+        sub = PlanarSubdivision(vertices, edges)
+        # Structural sanity: every half-edge belongs to a cycle, every
+        # bounded face has a representative point inside the box.
+        assert all(c >= 0 for c in sub.cycle_of)
+        locator = SlabLocator(sub)
+        inside = 0
+        for cid in sub.bounded_cycles():
+            rep = sub.representative_point(cid)
+            if rep is None:
+                continue
+            assert -1e-6 <= rep[0] <= 100 + 1e-6
+            assert -1e-6 <= rep[1] <= 100 + 1e-6
+            # The locator must send the representative back to its cycle
+            # (or to a cycle bounding the same region).
+            found = locator.locate_cycle(rep[0], rep[1])
+            if found == cid:
+                inside += 1
+        assert inside >= 0.9 * sub.num_faces()
+
+    def test_signed_area_conservation(self):
+        # Every edge is traversed once per direction, so the signed areas
+        # of all cycles cancel exactly; and the CCW total covers at least
+        # the box (holes from disconnected components add extra CCW area
+        # counted once positively and once inside an enclosing face).
+        rng = random.Random(7)
+        segments = box_border_segments(0, 0, 50, 50)
+        for _ in range(40):
+            a = (rng.uniform(0, 50), rng.uniform(0, 50))
+            b = (rng.uniform(0, 50), rng.uniform(0, 50))
+            segments.append((a, b))
+        vertices, edges = planarize(segments)
+        sub = PlanarSubdivision(vertices, edges)
+        signed_total = sum(
+            sub.cycle_area(c) for c in range(len(sub.cycles))
+        )
+        assert abs(signed_total) < 1e-6
+        ccw_total = sum(sub.cycle_area(c) for c in sub.bounded_cycles())
+        assert ccw_total >= 2500.0 - 1e-6

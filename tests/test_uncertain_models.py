@@ -1,0 +1,202 @@
+"""Tests for the uncertain-point distribution models.
+
+Every model must satisfy the interface contracts the core algorithms
+rely on: cdf monotone in r, 0 at dmin-, 1 at dmax+, consistent with
+sampling, and dmin/dmax correct extremal distances.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.uncertain import (
+    DiscreteUncertainPoint,
+    HistogramPoint,
+    TruncatedGaussianPoint,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    UniformRectPoint,
+    discretize,
+)
+
+
+def _models():
+    return [
+        UniformDiskPoint((2.0, 3.0), 1.5),
+        DiscreteUncertainPoint(
+            [(0, 0), (1, 0), (0.5, 1.0)], [0.2, 0.3, 0.5]
+        ),
+        TruncatedGaussianPoint((1.0, -2.0), sigma=0.8),
+        HistogramPoint((0, 0), 1.0, [[0.25, 0.25], [0.25, 0.25]]),
+        UniformPolygonPoint([(0, 0), (2, 0), (2, 1), (0, 1)]),
+        UniformRectPoint((-1.0, 0.5, 1.5, 2.0)),
+    ]
+
+
+QUERIES = [(5.0, 5.0), (0.0, 0.0), (-3.0, 2.0), (1.0, 1.0)]
+
+
+class TestInterfaceContracts:
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_cdf_monotone_and_bounded(self, model):
+        for q in QUERIES:
+            lo, hi = model.dmin(q), model.dmax(q)
+            assert 0.0 <= lo <= hi
+            prev = -1.0
+            for frac in (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+                r = lo + frac * (hi - lo)
+                v = model.distance_cdf(q, r)
+                assert 0.0 <= v <= 1.0 + 1e-12
+                assert v >= prev - 1e-9
+                prev = v
+
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_cdf_saturates(self, model):
+        for q in QUERIES:
+            lo, hi = model.dmin(q), model.dmax(q)
+            if not model.is_discrete:
+                # Continuous models carry no atoms: negligible mass below
+                # just-under the minimum distance.  (Discrete models may
+                # legitimately have an atom exactly at dmin.)
+                assert model.distance_cdf(q, max(lo - 1e-6, 0.0)) <= 1e-6 + 0.05
+            assert model.distance_cdf(q, hi + 1e-6) >= 1.0 - 1e-6
+
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_samples_within_support_and_distance_range(self, model):
+        rng = random.Random(42)
+        bbox = model.support_bbox()
+        q = (7.0, -1.0)
+        lo, hi = model.dmin(q), model.dmax(q)
+        for _ in range(300):
+            x, y = model.sample(rng)
+            assert bbox[0] - 1e-9 <= x <= bbox[2] + 1e-9
+            assert bbox[1] - 1e-9 <= y <= bbox[3] + 1e-9
+            d = math.hypot(x - q[0], y - q[1])
+            assert lo - 1e-9 <= d <= hi + 1e-9
+
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_cdf_matches_sampling(self, model):
+        rng = random.Random(7)
+        assert model.check_distance_cdf((4.0, 1.0), rng)
+
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_expected_distance_between_extremes(self, model):
+        for q in QUERIES:
+            e = model.expected_distance(q)
+            assert model.dmin(q) - 1e-9 <= e <= model.dmax(q) + 1e-9
+
+    @pytest.mark.parametrize("model", _models(), ids=lambda m: type(m).__name__)
+    def test_expected_distance_matches_sampling(self, model):
+        rng = random.Random(11)
+        q = (3.0, 2.0)
+        n = 6000
+        est = (
+            sum(math.dist(model.sample(rng), q) for _ in range(n)) / n
+        )
+        assert abs(est - model.expected_distance(q)) < 0.05 * (
+            1.0 + model.expected_distance(q)
+        )
+
+
+class TestUniformDisk:
+    def test_figure_1_pdf_shape(self):
+        # Paper Fig. 1: disk R=5 at origin, q=(6,8): support [5, 15].
+        p = UniformDiskPoint((0, 0), 5.0)
+        q = (6.0, 8.0)
+        assert p.dmin(q) == 5.0
+        assert p.dmax(q) == 15.0
+        assert p.distance_pdf(q, 4.9) == 0.0
+        assert p.distance_pdf(q, 15.1) == 0.0
+        assert p.distance_pdf(q, 7.0) > 0.0
+
+    def test_pdf_integrates_to_one(self):
+        from repro.quadrature import adaptive_simpson
+
+        p = UniformDiskPoint((0, 0), 5.0)
+        q = (6.0, 8.0)
+        total = adaptive_simpson(lambda r: p.distance_pdf(q, r), 5.0, 15.0, tol=1e-10)
+        assert math.isclose(total, 1.0, rel_tol=1e-6)
+
+    def test_pdf_matches_cdf_derivative(self):
+        p = UniformDiskPoint((1, 1), 2.0)
+        q = (5.0, 4.0)
+        for r in (3.5, 4.0, 5.0, 6.0):
+            num = (p.distance_cdf(q, r + 1e-6) - p.distance_cdf(q, r - 1e-6)) / 2e-6
+            assert math.isclose(p.distance_pdf(q, r), num, rel_tol=1e-4)
+
+    def test_query_inside_disk(self):
+        p = UniformDiskPoint((0, 0), 2.0)
+        q = (0.5, 0.0)
+        assert p.dmin(q) == 0.0
+        assert math.isclose(p.distance_cdf(q, 1.0), (1.0 / 2.0) ** 2 * 0.0 + p.distance_cdf(q, 1.0))
+        # Whole circle of radius r inside: cdf = r^2 / R^2 while r <= R - d.
+        assert math.isclose(p.distance_cdf(q, 1.0), 1.0 / 4.0, rel_tol=1e-12)
+
+
+class TestDiscrete:
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            DiscreteUncertainPoint([], [])
+        with pytest.raises(DistributionError):
+            DiscreteUncertainPoint([(0, 0)], [0.5])
+        with pytest.raises(DistributionError):
+            DiscreteUncertainPoint([(0, 0), (1, 1)], [1.5, -0.5])
+
+    def test_cdf_is_step_function_with_ties_closed(self):
+        p = DiscreteUncertainPoint([(1, 0), (0, 1)], [0.4, 0.6])
+        q = (0.0, 0.0)
+        assert p.distance_cdf(q, 0.999999) == 0.0
+        assert p.distance_cdf(q, 1.0) == 1.0  # both at distance exactly 1
+
+    def test_exact_expected_distance(self):
+        p = DiscreteUncertainPoint([(3, 4), (0, 0)], [0.5, 0.5])
+        assert math.isclose(p.expected_distance((0, 0)), 2.5)
+
+    def test_discretize_preserves_cdf(self):
+        src = UniformDiskPoint((0, 0), 2.0)
+        rng = random.Random(3)
+        disc = discretize(src, k=4000, rng=rng)
+        q = (3.0, 0.0)
+        for r in (1.5, 2.5, 3.5, 4.5):
+            assert abs(disc.distance_cdf(q, r) - src.distance_cdf(q, r)) < 0.03
+
+
+class TestHistogram:
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            HistogramPoint((0, 0), 1.0, [[0.0]])
+        with pytest.raises(DistributionError):
+            HistogramPoint((0, 0), 1.0, [[0.5, -0.1]])
+        with pytest.raises(DistributionError):
+            HistogramPoint((0, 0), 0.0, [[1.0]])
+
+    def test_zero_cells_removed(self):
+        p = HistogramPoint((0, 0), 1.0, [[0.5, 0.0], [0.0, 0.5]])
+        assert len(p.masses) == 2
+
+    def test_cdf_exact_for_single_cell(self):
+        p = HistogramPoint((0, 0), 2.0, [[1.0]])
+        # Query at the cell center; disk fully inside the cell.
+        q = (1.0, 1.0)
+        r = 0.5
+        assert math.isclose(p.distance_cdf(q, r), math.pi * r * r / 4.0, rel_tol=1e-9)
+
+
+class TestPolygonUniform:
+    def test_degenerate_polygon_rejected(self):
+        with pytest.raises(DistributionError):
+            UniformPolygonPoint([(0, 0), (1, 1), (2, 2)])
+
+    def test_cdf_exact_square(self):
+        p = UniformPolygonPoint([(0, 0), (2, 0), (2, 2), (0, 2)])
+        q = (1.0, 1.0)
+        r = 0.5
+        assert math.isclose(p.distance_cdf(q, r), math.pi * r * r / 4.0, rel_tol=1e-9)
+
+    def test_dmin_dmax(self):
+        p = UniformPolygonPoint([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert p.dmin((1, 1)) == 0.0
+        assert math.isclose(p.dmax((0, 0)), math.hypot(2, 2))
+        assert math.isclose(p.dmin((4, 1)), 2.0)
