@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-Allows ``pip install -e . --no-build-isolation`` to fall back to the
-``setup.py develop`` path in offline environments that lack the ``wheel``
-package required by PEP 517 editable builds.
+Project metadata lives in ``pyproject.toml`` (which makes pip take the
+PEP 517 path, requiring the ``wheel`` package for editable installs).
+In offline environments without ``wheel``, install with
+``python setup.py develop`` directly, or skip installation entirely and
+run with ``PYTHONPATH=src``.
 """
 
 from setuptools import setup

@@ -19,8 +19,9 @@ Quick start::
     print(mc.query((1.4, 0)))              # how likely is each one?
 """
 
-from . import io
+from . import batch, io
 from ._version import __version__
+from .config import Tolerances, TOLERANCES, default_rng, tolerances
 from .core import (
     ApproxThresholdIndex,
     BranchAndPruneIndex,
@@ -30,6 +31,7 @@ from .core import (
     chebyshev_nonzero_nn,
     manhattan_nonzero_nn,
     threshold_nn_exact,
+    threshold_nn_exact_many,
     topk_probable_nn_exact,
     DiscreteNonzeroVoronoi,
     DiscreteTwoStageIndex,
@@ -51,9 +53,11 @@ from .core import (
     disagreement_rate,
     discrete_gamma_census,
     expected_knn,
+    expected_knn_many,
     gamma_curves,
     knn_probabilities,
     monte_carlo_knn,
+    monte_carlo_knn_many,
     guaranteed_area_estimate,
     guaranteed_owner,
     is_guaranteed,
@@ -109,7 +113,9 @@ __all__ = [
     "QueryError",
     "ReproError",
     "SpiralSearchPNN",
+    "TOLERANCES",
     "ThresholdAnswer",
+    "Tolerances",
     "TruncatedGaussianPoint",
     "UncertainPoint",
     "UncertainSet",
@@ -118,17 +124,21 @@ __all__ = [
     "UniformRectPoint",
     "__version__",
     "adversarial_instance",
+    "batch",
     "chebyshev_nonzero_nn",
     "brute_force_nonzero",
+    "default_rng",
     "continuous_quantification",
     "continuous_quantification_all",
     "disagreement_rate",
     "discrete_gamma_census",
     "discretize",
     "expected_knn",
+    "expected_knn_many",
     "gamma_curves",
     "knn_probabilities",
     "monte_carlo_knn",
+    "monte_carlo_knn_many",
     "guaranteed_area_estimate",
     "guaranteed_owner",
     "io",
@@ -142,5 +152,7 @@ __all__ = [
     "rounds_for_fixed_query",
     "spread",
     "threshold_nn_exact",
+    "threshold_nn_exact_many",
+    "tolerances",
     "topk_probable_nn_exact",
 ]

@@ -1,0 +1,121 @@
+"""``repro.batch`` — the one-stop batch-query facade.
+
+Aggregation-style consumers (conformal aggregation over uncertain NN
+answers, benchmark sweeps, tile servers) ask many queries of one fixed
+uncertain data set.  This module is the stable surface for that
+workload: every function takes the point set plus an ``(m, 2)`` query
+matrix (anything :func:`repro.geometry.kernels.as_query_array` accepts)
+and returns NumPy arrays or per-query containers, routing through the
+vectorized ``*_many`` kernels threaded through
+:mod:`repro.uncertain`, :mod:`repro.index` and :mod:`repro.core`.
+
+Quick start::
+
+    import numpy as np
+    from repro import UniformDiskPoint
+    from repro import batch
+
+    points = [UniformDiskPoint((0, 0), 1), UniformDiskPoint((3, 0), 1)]
+    Q = np.array([[1.4, 0.0], [2.0, 0.5], [-1.0, 3.0]])
+
+    batch.nonzero_nn_many(points, Q)      # Lemma 2.1 for every row
+    batch.expected_nn_many(points, Q)     # [AESZ12] winners + values
+    batch.monte_carlo_pnn_many(points, Q, s=500, rng=7)
+
+For repeated query batches against the same point set, build the
+underlying engine once (:class:`repro.MonteCarloPNN`,
+:class:`repro.ExpectedNNIndex`, ...) and call its ``query_many`` —
+these helpers construct the engine per call for one-shot convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import SeedLike, default_rng
+from .core.expected_nn import ExpectedNNIndex
+from .core.knn import expected_knn_many, monte_carlo_knn_many
+from .core.monte_carlo import MonteCarloPNN
+from .core.nonzero import UncertainSet
+from .core.threshold import ApproxThresholdIndex, ThresholdAnswer, threshold_nn_exact_many
+from .geometry.kernels import as_query_array
+
+__all__ = [
+    "as_query_array",
+    "dmin_matrix",
+    "dmax_matrix",
+    "envelope_many",
+    "nonzero_nn_many",
+    "expected_nn_many",
+    "expected_distance_matrix",
+    "monte_carlo_pnn_many",
+    "monte_carlo_knn_many",
+    "expected_knn_many",
+    "threshold_nn_exact_many",
+    "approx_threshold_many",
+    "instantiate_many",
+]
+
+
+def dmin_matrix(points: Sequence, qs) -> np.ndarray:
+    """``delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
+    return UncertainSet(points).dmin_matrix(qs)
+
+
+def dmax_matrix(points: Sequence, qs) -> np.ndarray:
+    """``Delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
+    return UncertainSet(points).dmax_matrix(qs)
+
+
+def envelope_many(points: Sequence, qs) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched lower envelope ``Delta(q)``: ``(argmins, values)``."""
+    return UncertainSet(points).envelope_many(qs)
+
+
+def nonzero_nn_many(points: Sequence, qs) -> List[FrozenSet[int]]:
+    """``NN!=0(q, P)`` (Lemma 2.1) for every query row."""
+    return UncertainSet(points).nonzero_nn_many(qs)
+
+
+def expected_nn_many(points: Sequence, qs) -> Tuple[np.ndarray, np.ndarray]:
+    """[AESZ12] expected-distance winners: ``(indices, values)``."""
+    return ExpectedNNIndex(points).query_many(qs)
+
+
+def expected_distance_matrix(points: Sequence, qs) -> np.ndarray:
+    """``E[d(q, P_i)]`` for every query/point pair, shape ``(m, n)``."""
+    return ExpectedNNIndex(points).expected_distance_matrix(qs)
+
+
+def monte_carlo_pnn_many(
+    points: Sequence,
+    qs,
+    s: Optional[int] = None,
+    epsilon: Optional[float] = None,
+    delta: float = 0.05,
+    rng: SeedLike = 0,
+) -> List[Dict[int, float]]:
+    """Theorem 4.3/4.5 estimates ``{i: pihat_i(q)}`` for every query row.
+
+    Builds a :class:`repro.MonteCarloPNN` on the vectorized
+    instantiation path (all rounds drawn as one ``(s, n, 2)`` array) and
+    answers the whole matrix with its batched argmin engine.
+    """
+    mc = MonteCarloPNN(
+        points, s=s, epsilon=epsilon, delta=delta, rng=default_rng(rng)
+    )
+    return mc.query_many(qs)
+
+
+def approx_threshold_many(
+    points: Sequence, qs, tau: float, eps: float
+) -> List[ThresholdAnswer]:
+    """Spiral-search threshold classification for every query row."""
+    return ApproxThresholdIndex(points).query_many(qs, tau, eps)
+
+
+def instantiate_many(points: Sequence, rng: SeedLike, s: int) -> np.ndarray:
+    """``s`` instantiations of the whole set, shape ``(s, n, 2)``."""
+    return UncertainSet(points).instantiate_many(rng, s)

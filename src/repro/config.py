@@ -2,12 +2,20 @@
 
 The paper assumes a real-RAM model; this implementation works with IEEE
 doubles plus bracketed root isolation.  All tolerance knobs live here so
-that experiments can tighten or relax them in one place.
+that experiments can tighten or relax them in one place, and the random
+sources used by Monte-Carlo instantiation (Section 4.2) and the batch
+kernels are normalised here to a single :class:`numpy.random.Generator`
+convention.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import random
+from typing import Iterator, Optional, Union
+
+import numpy as np
 
 
 @dataclasses.dataclass
@@ -36,11 +44,95 @@ class Tolerances:
     angle_samples: int = 512
 
 
-#: Module-level default tolerances.  Mutated only by tests/experiments.
+#: Module-level default tolerances.  Kept for back-compat: modules bind the
+#: object itself (``from ..config import TOLERANCES``), so adjustments must
+#: mutate its fields in place — prefer the :func:`tolerances` context
+#: manager, which does exactly that and restores the previous values.
 TOLERANCES = Tolerances()
+
+
+@contextlib.contextmanager
+def tolerances(**overrides: Union[float, int]) -> Iterator[Tolerances]:
+    """Temporarily override fields of the global :data:`TOLERANCES`.
+
+    Usage::
+
+        with config.tolerances(abs_eps=1e-6, angle_samples=2048):
+            ...  # code under relaxed/stressed tolerances
+
+    The overrides are applied by in-place mutation (so modules that
+    imported the ``TOLERANCES`` object see them) and restored on exit,
+    even on exception.  Yields the live :class:`Tolerances` object.
+    """
+    valid = {f.name for f in dataclasses.fields(Tolerances)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown tolerance fields: {sorted(unknown)}")
+    saved = {name: getattr(TOLERANCES, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(TOLERANCES, name, value)
+        yield TOLERANCES
+    finally:
+        for name, value in saved.items():
+            setattr(TOLERANCES, name, value)
 
 
 def almost_equal(a: float, b: float, tol: Tolerances = None) -> bool:
     """Return True when ``a`` and ``b`` agree up to the configured tolerance."""
     tol = tol or TOLERANCES
     return abs(a - b) <= tol.abs_eps + tol.rel_eps * max(abs(a), abs(b))
+
+
+# -- random sources ----------------------------------------------------------
+
+SeedLike = Union[None, int, np.random.Generator, random.Random]
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Normalise any seed-like value to a :class:`numpy.random.Generator`.
+
+    The single entry point for randomness in the batch engine:
+
+    * ``None`` or an ``int`` — a fresh ``numpy.random.default_rng(seed)``;
+    * a ``numpy.random.Generator`` — returned unchanged;
+    * a ``random.Random`` — a Generator seeded from its stream (the two
+      then advance independently).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, random.Random):
+        return np.random.default_rng(seed.getrandbits(64))
+    return np.random.default_rng(seed)
+
+
+class _GeneratorAdapter:
+    """Expose the ``random.Random`` surface the scalar samplers use
+    (``random`` / ``uniform`` / ``gauss``) on top of a numpy Generator,
+    so scalar ``sample()`` implementations accept either source."""
+
+    __slots__ = ("_g",)
+
+    def __init__(self, generator: np.random.Generator):
+        self._g = generator
+
+    def random(self) -> float:
+        return float(self._g.random())
+
+    def uniform(self, a: float, b: float) -> float:
+        return float(self._g.uniform(a, b))
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return float(self._g.normal(mu, sigma))
+
+
+def scalar_rng(rng: SeedLike) -> Union[random.Random, _GeneratorAdapter]:
+    """A ``random.Random``-compatible view of any seed-like value.
+
+    ``random.Random`` instances pass through (preserving legacy streams);
+    Generators are wrapped without reseeding, so scalar and batch draws
+    taken alternately from the same Generator stay one stream.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    return _GeneratorAdapter(default_rng(rng))

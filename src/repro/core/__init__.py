@@ -20,7 +20,13 @@ from .guaranteed import (
     guaranteed_owner,
     is_guaranteed,
 )
-from .knn import expected_knn, knn_probabilities, monte_carlo_knn
+from .knn import (
+    expected_knn,
+    expected_knn_many,
+    knn_probabilities,
+    monte_carlo_knn,
+    monte_carlo_knn_many,
+)
 from .monte_carlo import (
     MonteCarloPNN,
     rounds_for_all_queries,
@@ -50,6 +56,7 @@ from .threshold import (
     ApproxThresholdIndex,
     ThresholdAnswer,
     threshold_nn_exact,
+    threshold_nn_exact_many,
     topk_probable_nn_exact,
 )
 from .spiral import (
@@ -94,9 +101,11 @@ __all__ = [
     "discrete_gamma_census",
     "disks_of",
     "expected_knn",
+    "expected_knn_many",
     "gamma_curves",
     "knn_probabilities",
     "monte_carlo_knn",
+    "monte_carlo_knn_many",
     "gamma_polygon_edges",
     "guaranteed_area_estimate",
     "guaranteed_owner",
@@ -111,5 +120,6 @@ __all__ = [
     "rounds_for_fixed_query",
     "spread",
     "sweep_quantification",
+    "threshold_nn_exact_many",
     "weight_threshold_estimate",
 ]

@@ -14,6 +14,9 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
+from ..geometry import kernels
 from ..index.rtree import RTree
 from .nonzero import UncertainSet
 
@@ -40,14 +43,43 @@ class ExpectedNNIndex:
             q, lambda i: self.points[i].expected_distance(q)
         )
 
+    def query_many(self, qs) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`query`: ``(winner indices, expected distances)``,
+        each of shape ``(m,)``.
+
+        Routes through the R-tree's vectorized batched best-first search;
+        each surviving candidate's expectation is evaluated for its whole
+        surviving query subset in one ``expected_distance_many`` call.
+        """
+        return self._rtree.query_many(
+            qs, lambda i, Qs: self.points[i].expected_distance_many(Qs)
+        )
+
+    def expected_distance_matrix(self, qs) -> np.ndarray:
+        """``E[d(q, P_i)]`` for every query/point pair, shape ``(m, n)``."""
+        Q = kernels.as_query_array(qs)
+        return np.column_stack(
+            [p.expected_distance_many(Q) for p in self.points]
+        )
+
     def rank(self, q, top: int = None) -> List[Tuple[int, float]]:
-        """Points sorted by expected distance (the expected-kNN order)."""
+        """Points sorted by expected distance (the expected-kNN order).
+
+        With ``top`` given, uses the R-tree best-first heap and stops as
+        soon as no subtree's ``rect_mindist`` lower bound can displace
+        the ``top``-th best — the full linear scan only happens for the
+        complete ranking.
+        """
+        if top is not None:
+            if top < 1:
+                return []
+            return self._rtree.best_first_topk(
+                q, lambda i: self.points[i].expected_distance(q), top
+            )
         values = [
             (p.expected_distance(q), i) for i, p in enumerate(self.points)
         ]
         values.sort()
-        if top is not None:
-            values = values[:top]
         return [(i, v) for v, i in values]
 
 

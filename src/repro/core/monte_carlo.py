@@ -24,7 +24,11 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
+from ..config import SeedLike, default_rng
 from ..errors import QueryError
+from ..geometry import kernels
 from ..geometry.voronoi import VoronoiLocator
 from ..index.kdtree import KdTree
 from .nonzero import UncertainSet
@@ -75,6 +79,17 @@ class MonteCarloPNN:
         ``"kdtree"`` (default) or ``"voronoi"`` — the per-round
         nearest-site structure.  Both give identical answers; the
         Voronoi locator mirrors the paper's ``Vor(R_j)`` literally.
+    rng:
+        Optional seed-like value (int / ``numpy.random.Generator`` /
+        ``random.Random``) for the new vectorized instantiation path:
+        all ``s`` rounds are drawn as one ``(s, n, 2)`` array through
+        the models' ``sample_many``.  When omitted, the legacy
+        ``random.Random(seed)`` scalar stream is used, preserving the
+        exact instantiations of earlier releases.
+
+    The per-round locators are built lazily on the first scalar
+    :meth:`query`; the batch :meth:`query_many` works directly off the
+    ``(s, n, 2)`` instantiation array and never needs them.
     """
 
     def __init__(
@@ -85,6 +100,7 @@ class MonteCarloPNN:
         delta: float = 0.05,
         seed: int = 0,
         locator: str = "kdtree",
+        rng: Optional[SeedLike] = None,
     ):
         self.uset = UncertainSet(points)
         n = len(self.uset)
@@ -97,15 +113,31 @@ class MonteCarloPNN:
         self.delta = delta
         if locator not in ("kdtree", "voronoi"):
             raise QueryError(f"unknown locator {locator!r}")
-        rng = random.Random(seed)
-        self._locators: List = []
-        for _ in range(self.s):
-            sample = self.uset.instantiate(rng)
-            if locator == "kdtree":
-                self._locators.append(KdTree(sample))
-            else:
-                self._locators.append(VoronoiLocator(sample))
+        if rng is not None:
+            self._samples = self.uset.instantiate_many(default_rng(rng), self.s)
+        else:
+            legacy = random.Random(seed)
+            self._samples = np.asarray(
+                [self.uset.instantiate(legacy) for _ in range(self.s)],
+                dtype=np.float64,
+            )
+        self._locators: Optional[List] = None
         self._locator_kind = locator
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The stored instantiations ``R_1..R_s`` as an ``(s, n, 2)`` array."""
+        return self._samples
+
+    def _built_locators(self) -> List:
+        if self._locators is None:
+            self._locators = [
+                KdTree(sample)
+                if self._locator_kind == "kdtree"
+                else VoronoiLocator([tuple(p) for p in sample])
+                for sample in self._samples
+            ]
+        return self._locators
 
     # -- queries -------------------------------------------------------------
     def query(self, q) -> Dict[int, float]:
@@ -113,16 +145,45 @@ class MonteCarloPNN:
         nonzero counter; all other estimates are implicitly 0."""
         counts: Dict[int, int] = {}
         if self._locator_kind == "kdtree":
-            for tree in self._locators:
+            for tree in self._built_locators():
                 i, _ = tree.nearest(q)
                 counts[i] = counts.get(i, 0) + 1
         else:
             hint = None
-            for loc in self._locators:
+            for loc in self._built_locators():
                 i = loc.nearest(q, hint=hint)
                 hint = i
                 counts[i] = counts.get(i, 0) + 1
         return {i: c / self.s for i, c in counts.items()}
+
+    def query_matrix(self, qs) -> np.ndarray:
+        """``pihat`` estimates for an ``(m, 2)`` query matrix, ``(m, n)``.
+
+        The vectorized engine behind :meth:`query_many`: each round's
+        instantiation is compared against *all* queries in one
+        ``(m, n)`` squared-distance kernel and the winner counted with a
+        vectorized argmin — no per-query tree walks.
+        """
+        Q = kernels.as_query_array(qs)
+        m = Q.shape[0]
+        n = self._samples.shape[1]
+        winners = np.empty((self.s, m), dtype=np.intp)
+        for j in range(self.s):
+            d2 = kernels.pairwise_sq_distances(Q, self._samples[j])
+            winners[j] = d2.argmin(axis=1)
+        offsets = winners + np.arange(m, dtype=np.intp)[None, :] * n
+        counts = np.bincount(offsets.ravel(), minlength=m * n).reshape(m, n)
+        return counts / float(self.s)
+
+    def query_many(self, qs) -> List[Dict[int, float]]:
+        """Batched :meth:`query`: one sparse ``{i: pihat_i}`` dict per row
+        of the ``(m, 2)`` query matrix."""
+        est = self.query_matrix(qs)
+        out: List[Dict[int, float]] = []
+        for row in est:
+            nz = np.nonzero(row)[0]
+            out.append({int(i): float(row[i]) for i in nz})
+        return out
 
     def estimate(self, q, i: int) -> float:
         """``pihat_i(q)`` for one point."""

@@ -14,7 +14,11 @@ import math
 import random
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..config import SeedLike, default_rng
 from ..errors import QueryError
+from ..geometry import kernels
 from ..uncertain.base import UncertainPoint
 
 
@@ -94,6 +98,60 @@ class UncertainSet:
         return all(
             di < p.dmax(q) for j, p in enumerate(self.points) if j != i
         )
+
+    # -- batch API ------------------------------------------------------------
+    def dmin_matrix(self, qs) -> np.ndarray:
+        """``delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
+        Q = kernels.as_query_array(qs)
+        return np.column_stack([p.dmin_many(Q) for p in self.points])
+
+    def dmax_matrix(self, qs) -> np.ndarray:
+        """``Delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
+        Q = kernels.as_query_array(qs)
+        return np.column_stack([p.dmax_many(Q) for p in self.points])
+
+    def envelope_many(self, qs) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`envelope`: ``(argmins, Delta(q) values)``."""
+        dmaxs = self.dmax_matrix(qs)
+        arg = dmaxs.argmin(axis=1)
+        return arg, dmaxs[np.arange(dmaxs.shape[0]), arg]
+
+    def nonzero_nn_many(self, qs) -> List[FrozenSet[int]]:
+        """Batched :meth:`nonzero_nn` (Lemma 2.1 for a query matrix).
+
+        One ``(m, n)`` dmin and one dmax matrix replace the ``2 m n``
+        scalar extremal-distance calls of the query loop.
+        """
+        dmins = self.dmin_matrix(qs)
+        dmaxs = self.dmax_matrix(qs)
+        m = dmins.shape[0]
+        order = np.argsort(dmaxs, axis=1, kind="stable")
+        best = dmaxs[np.arange(m), order[:, 0]]
+        if dmaxs.shape[1] > 1:
+            second = dmaxs[np.arange(m), order[:, 1]]
+        else:
+            second = np.full(m, np.inf)
+        threshold = np.where(
+            np.arange(dmaxs.shape[1])[None, :] == order[:, 0][:, None],
+            second[:, None],
+            best[:, None],
+        )
+        mask = dmins < threshold
+        return [frozenset(np.nonzero(row)[0].tolist()) for row in mask]
+
+    def instantiate_many(self, rng: SeedLike, s: int) -> np.ndarray:
+        """``s`` random instantiations of every point, shape ``(s, n, 2)``.
+
+        Draws each point's ``s`` locations with one vectorized
+        ``sample_many`` call (per-point columns, not per-round rows — the
+        joint distribution is the same by independence, but the stream
+        order differs from looping :meth:`instantiate`).
+        """
+        g = default_rng(rng)
+        out = np.empty((s, len(self.points), 2), dtype=np.float64)
+        for i, p in enumerate(self.points):
+            out[:, i, :] = p.sample_many(g, s)
+        return out
 
     # -- misc helpers ---------------------------------------------------------------
     def bounding_box(self, margin: float = 0.0) -> Tuple[float, float, float, float]:

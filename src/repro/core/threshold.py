@@ -17,6 +17,7 @@ import dataclasses
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import QueryError
+from ..geometry import kernels
 from .quantification import quantification_probabilities
 from .spiral import SpiralSearchPNN
 
@@ -27,6 +28,18 @@ def threshold_nn_exact(points: Sequence, q, tau: float) -> Dict[int, float]:
         raise QueryError("tau must lie in [0, 1)")
     pi = quantification_probabilities(points, q)
     return {i: v for i, v in enumerate(pi) if v > tau}
+
+
+def threshold_nn_exact_many(
+    points: Sequence, qs, tau: float
+) -> List[Dict[int, float]]:
+    """Batched :func:`threshold_nn_exact`: one answer dict per query row.
+
+    The Eq. (2) sweep is inherently per-query (a sorted event sweep), so
+    this front-end loops it; it exists so batch pipelines have a uniform
+    ``*_many`` surface over every engine.
+    """
+    return [threshold_nn_exact(points, q, tau) for q in kernels.as_query_array(qs)]
 
 
 def topk_probable_nn_exact(
@@ -88,3 +101,9 @@ class ApproxThresholdIndex:
             elif v + eps >= tau:
                 undecided[i] = v
         return ThresholdAnswer(above=above, undecided=undecided)
+
+    def query_many(self, qs, tau: float, eps: float) -> List[ThresholdAnswer]:
+        """Batched :meth:`query`: one :class:`ThresholdAnswer` per row of
+        the ``(m, 2)`` query matrix (the spiral retrieval itself remains
+        a per-query truncated sweep)."""
+        return [self.query(q, tau, eps) for q in kernels.as_query_array(qs)]

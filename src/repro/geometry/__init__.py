@@ -7,6 +7,7 @@ polygons and halfplane intersection (Lemma 2.13), planar overlay + DCEL +
 point location (Theorems 2.11 / 4.2), and Delaunay/Voronoi (Section 4.2).
 """
 
+from . import kernels
 from .circle import (
     Circle,
     apollonius_tangent_circles,
@@ -91,6 +92,7 @@ __all__ = [
     "halfplane_intersection",
     "hull_diameter",
     "in_circle",
+    "kernels",
     "lens_area",
     "lerp",
     "line_intersection",

@@ -1,5 +1,9 @@
 """Database-style indexing substrate: kd-tree, R-tree, grid, samplers,
-and the persistent label store of Section 2.1."""
+and the persistent label store of Section 2.1.
+
+The tree indexes carry batched ``query_many`` probes (vectorized rect
+mindist/maxdist against whole node levels) and the samplers a vectorized
+``sample_many``, feeding the batch engines in :mod:`repro.core`."""
 
 from .grid import GridIndex
 from .kdtree import KdTree

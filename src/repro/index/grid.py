@@ -12,7 +12,10 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import EmptyIndexError
+from ..geometry import kernels
 
 
 class GridIndex:
@@ -33,9 +36,46 @@ class GridIndex:
         self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         for i, (x, y) in enumerate(self.points):
             self._buckets[self._key(x, y)].append(i)
+        self._pts_arr = np.asarray(self.points, dtype=np.float64)
 
     def _key(self, x: float, y: float) -> Tuple[int, int]:
         return (int(math.floor(x / self.cell)), int(math.floor(y / self.cell)))
+
+    # -- batch queries ------------------------------------------------------
+    def query_many(
+        self, qs, chunk: int = 512
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched nearest neighbors: ``(indices, distances)``, each ``(m,)``.
+
+        The batch probe is a chunked dense distance scan rather than the
+        scalar ring-growing walk: for the static point sets this baseline
+        index serves, one vectorized ``(chunk, n)`` matrix beats ``m``
+        Python-level bucket traversals by orders of magnitude.
+        """
+        Q = kernels.as_query_array(qs)
+        pts = self._pts_arr
+        idx = np.empty(Q.shape[0], dtype=np.intp)
+        dist = np.empty(Q.shape[0], dtype=np.float64)
+        for s in range(0, Q.shape[0], chunk):
+            d2 = kernels.pairwise_sq_distances(Q[s : s + chunk], pts)
+            win = d2.argmin(axis=1)
+            idx[s : s + chunk] = win
+            dist[s : s + chunk] = np.sqrt(d2[np.arange(win.shape[0]), win])
+        return idx, dist
+
+    def range_disk_many(
+        self, qs, radius: float, strict: bool = False, chunk: int = 512
+    ) -> List[np.ndarray]:
+        """Batched disk-range reports: one index array per query."""
+        Q = kernels.as_query_array(qs)
+        pts = self._pts_arr
+        r2 = float(radius) * float(radius)
+        out: List[np.ndarray] = []
+        for s in range(0, Q.shape[0], chunk):
+            d2 = kernels.pairwise_sq_distances(Q[s : s + chunk], pts)
+            hits = (d2 < r2) if strict else (d2 <= r2)
+            out.extend(np.nonzero(row)[0] for row in hits)
+        return out
 
     def range_disk(self, q, radius: float, strict: bool = False) -> List[int]:
         """Indices of points within ``radius`` of ``q``."""

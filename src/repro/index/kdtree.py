@@ -19,7 +19,10 @@ import heapq
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import EmptyIndexError
+from ..geometry import kernels
 
 _LEAF_SIZE = 12
 
@@ -88,6 +91,9 @@ class KdTree:
         if len(self.weights) != n:
             raise ValueError("weights length must match points length")
         self.root = self._build(list(range(n)), depth=0)
+        self._pts_arr = np.asarray(self.points, dtype=np.float64)
+        self._w_arr = np.asarray(self.weights, dtype=np.float64)
+        self._leaf_cache: Optional[Tuple[np.ndarray, List[np.ndarray], np.ndarray]] = None
 
     # -- construction ------------------------------------------------------
     def _build(self, idxs: List[int], depth: int) -> _Node:
@@ -104,6 +110,77 @@ class KdTree:
         node.left = self._build(idxs[:mid], depth + 1)
         node.right = self._build(idxs[mid:], depth + 1)
         return node
+
+    # -- batch queries ------------------------------------------------------
+    def _leaves(self) -> Tuple[np.ndarray, List[np.ndarray], np.ndarray]:
+        """``(bboxes (L, 4), per-leaf index arrays, per-leaf min weight)``."""
+        if self._leaf_cache is None:
+            bboxes: List[Tuple[float, float, float, float]] = []
+            members: List[np.ndarray] = []
+            min_w: List[float] = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                if node.indices is not None:
+                    bboxes.append(node.bbox)
+                    members.append(np.asarray(node.indices, dtype=np.intp))
+                    min_w.append(node.min_w)
+                else:
+                    stack.append(node.left)
+                    stack.append(node.right)
+            self._leaf_cache = (
+                np.asarray(bboxes, dtype=np.float64),
+                members,
+                np.asarray(min_w, dtype=np.float64),
+            )
+        return self._leaf_cache
+
+    def query_many(
+        self, qs, use_weights: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched (weighted) nearest neighbors for an ``(m, 2)`` matrix.
+
+        Returns ``(indices, values)`` arrays of shape ``(m,)`` matching
+        :meth:`nearest` (or :meth:`weighted_nearest` with
+        ``use_weights=True``) per row.  Two vectorized passes over the
+        leaf level: the leaf with the smallest lower bound seeds a
+        per-query upper bound, then every leaf whose vectorized
+        ``mindist(q, bbox) (+ min weight)`` bound still beats that upper
+        bound is scanned, best-first by bound column.
+        """
+        Q = kernels.as_query_array(qs)
+        m = Q.shape[0]
+        bboxes, members, min_w = self._leaves()
+        lb = kernels.rect_mindist_many(Q, bboxes)
+        if use_weights:
+            lb = lb + min_w[None, :]
+        best = np.full(m, np.inf)
+        best_i = np.full(m, -1, dtype=np.intp)
+
+        def scan_leaf(leaf: int, rows: np.ndarray) -> None:
+            pts = self._pts_arr[members[leaf]]
+            d = kernels.pairwise_distances(Q[rows], pts)
+            if use_weights:
+                d = d + self._w_arr[members[leaf]][None, :]
+            col = d.argmin(axis=1)
+            vals = d[np.arange(rows.shape[0]), col]
+            better = vals < best[rows]
+            upd = rows[better]
+            best[upd] = vals[better]
+            best_i[upd] = members[leaf][col[better]]
+
+        # Pass 1: seed the upper bound from each query's most promising leaf.
+        seed = lb.argmin(axis=1)
+        for leaf in np.unique(seed):
+            scan_leaf(leaf, np.nonzero(seed == leaf)[0])
+        # Pass 2: remaining leaves that can still contain a better answer,
+        # most promising columns first so ``best`` tightens early.
+        order = np.argsort(lb.min(axis=0), kind="stable")
+        for leaf in order:
+            rows = np.nonzero((lb[:, leaf] < best) & (seed != leaf))[0]
+            if rows.size:
+                scan_leaf(leaf, rows)
+        return best_i, best
 
     # -- plain queries ------------------------------------------------------
     def nearest(self, q) -> Tuple[int, float]:

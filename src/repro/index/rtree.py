@@ -12,7 +12,10 @@ import heapq
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import EmptyIndexError
+from ..geometry import kernels
 
 Rect = Tuple[float, float, float, float]
 
@@ -65,6 +68,7 @@ class RTree:
         if not self.rects:
             raise EmptyIndexError("RTree over empty rectangle set")
         self.root = self._str_build(list(range(len(self.rects))))
+        self._rect_arr = np.asarray(self.rects, dtype=np.float64)
 
     # -- construction ------------------------------------------------------
     def _leaf(self, idxs: List[int]) -> _RNode:
@@ -143,6 +147,95 @@ class RTree:
                 stack.extend(node.children)
         return out
 
+    # -- batch queries ------------------------------------------------------
+    def mindist_many(self, qs) -> np.ndarray:
+        """``rect_mindist(q, rect_i)`` for every query/payload pair, ``(m, n)``."""
+        return kernels.rect_mindist_many(qs, self._rect_arr)
+
+    def maxdist_many(self, qs) -> np.ndarray:
+        """``rect_maxdist(q, rect_i)`` for every query/payload pair, ``(m, n)``."""
+        return kernels.rect_maxdist_many(qs, self._rect_arr)
+
+    def query_many(
+        self, qs, exact_many: Callable[[int, np.ndarray], np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched best-first search for ``argmin_i exact(i, q)``.
+
+        The batch twin of :meth:`best_first_min`: ``exact_many(i, Qsub)``
+        must return the exact values of payload ``i`` for a query
+        submatrix, and must be bracketed by the payload bbox —
+        ``rect_mindist(q, rect_i) <= exact(i, q) <= rect_maxdist(q, rect_i)``
+        (true for min/max/expected distance to a region inside its bbox).
+
+        Descends the tree one level at a time, evaluating the rect
+        mindist/maxdist of *all* surviving nodes of a level against *all*
+        queries in single vectorized kernels; maxdist tightens a
+        per-query upper bound that prunes the next level's frontier.  At
+        the leaf level the surviving payloads are refined best-first, so
+        ``exact_many`` runs only on (payload, query) pairs whose lower
+        bound still beats the best exact value found so far.
+
+        Returns ``(indices, values)`` arrays of shape ``(m,)``.
+        """
+        Q = kernels.as_query_array(qs)
+        m = Q.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        level: List[_RNode] = [self.root]
+        active = np.ones((m, 1), dtype=bool)
+        ub = kernels.rect_maxdist_many(Q, [self.root.bbox])[:, 0]
+        while level[0].children is not None:
+            children: List[_RNode] = []
+            parent_of: List[int] = []
+            for j, node in enumerate(level):
+                for child in node.children:
+                    children.append(child)
+                    parent_of.append(j)
+            bboxes = np.asarray([c.bbox for c in children], dtype=np.float64)
+            mind = kernels.rect_mindist_many(Q, bboxes)
+            maxd = kernels.rect_maxdist_many(Q, bboxes)
+            child_active = active[:, parent_of] & (mind <= ub[:, None])
+            ub = np.minimum(
+                ub, np.where(child_active, maxd, np.inf).min(axis=1)
+            )
+            # Re-prune against the tightened bound, then drop nodes no
+            # query still needs so the next level's kernels only see the
+            # surviving subtrees (never empty: each query keeps at least
+            # the node attaining its upper bound).
+            child_active &= mind <= ub[:, None]
+            keep = np.nonzero(child_active.any(axis=0))[0]
+            level = [children[c] for c in keep]
+            active = child_active[:, keep]
+        best = np.full(m, np.inf)
+        best_i = np.full(m, -1, dtype=np.intp)
+        # Leaf refinement: gather surviving payload entries per leaf and
+        # evaluate exact values best-first by entry lower bound.
+        entry_ids: List[int] = []
+        entry_leaf: List[int] = []
+        for l, leaf in enumerate(level):
+            for i in leaf.entries:
+                entry_ids.append(i)
+                entry_leaf.append(l)
+        elb = kernels.rect_mindist_many(
+            Q, self._rect_arr[np.asarray(entry_ids, dtype=np.intp)]
+        )
+        entry_ok = active[:, entry_leaf] & (elb <= ub[:, None])
+        for col in np.argsort(elb.min(axis=0), kind="stable"):
+            i = entry_ids[col]
+            # Non-strict bound: a degenerate (point) bbox has lb == exact,
+            # and pruning it on equality would drop the true argmin.
+            rows = np.nonzero(
+                entry_ok[:, col] & (elb[:, col] <= np.minimum(best, ub))
+            )[0]
+            if not rows.size:
+                continue
+            vals = np.asarray(exact_many(i, Q[rows]), dtype=np.float64)
+            better = vals < best[rows]
+            upd = rows[better]
+            best[upd] = vals[better]
+            best_i[upd] = i
+        return best_i, best
+
     def best_first_min(
         self, q, exact: Callable[[int], float]
     ) -> Tuple[int, float]:
@@ -175,3 +268,43 @@ class RTree:
                     heap, (rect_mindist(q, child.bbox), counter, child)
                 )
         return best_i, best
+
+    def best_first_topk(
+        self, q, exact: Callable[[int], float], k: int
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` payloads with the smallest ``exact`` values, sorted.
+
+        Same bracket contract as :meth:`best_first_min`; maintains a
+        max-heap of the current ``k`` best exact values and stops
+        descending as soon as a subtree's ``rect_mindist`` lower bound
+        cannot displace the ``k``-th best — the early-terminating engine
+        behind ``ExpectedNNIndex.rank(top=k)``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.rects))
+        worst: List[Tuple[float, int]] = []  # max-heap via negated values
+        counter = 0
+        heap: List[Tuple[float, int, _RNode]] = [
+            (rect_mindist(q, self.root.bbox), counter, self.root)
+        ]
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if len(worst) == k and lb >= -worst[0][0]:
+                break
+            if node.entries is not None:
+                for i in node.entries:
+                    if len(worst) == k and rect_mindist(q, self.rects[i]) >= -worst[0][0]:
+                        continue
+                    v = exact(i)
+                    if len(worst) < k:
+                        heapq.heappush(worst, (-v, i))
+                    elif v < -worst[0][0]:
+                        heapq.heapreplace(worst, (-v, i))
+                continue
+            for child in node.children:
+                counter += 1
+                heapq.heappush(
+                    heap, (rect_mindist(q, child.bbox), counter, child)
+                )
+        return sorted([(i, -nv) for nv, i in worst], key=lambda t: (t[1], t[0]))

@@ -12,6 +12,9 @@ import bisect
 import random
 from typing import List, Sequence
 
+import numpy as np
+
+from ..config import SeedLike, default_rng
 from ..errors import DistributionError
 
 
@@ -41,6 +44,13 @@ class CdfSampler:
 
     def sample(self, rng: random.Random) -> int:
         return bisect.bisect_left(self.cdf, rng.random())
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        """``size`` indices in one vectorized inverse-cdf draw."""
+        g = default_rng(rng)
+        return np.searchsorted(
+            np.asarray(self.cdf), g.random(size), side="left"
+        ).astype(np.intp)
 
 
 class AliasSampler:
@@ -77,3 +87,13 @@ class AliasSampler:
             i = self.k - 1
         frac = u - i
         return i if frac < self.prob[i] else self.alias[i]
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        """``size`` indices by one vectorized alias-table lookup."""
+        g = default_rng(rng)
+        u = g.random(size) * self.k
+        i = np.minimum(u.astype(np.intp), self.k - 1)
+        frac = u - i
+        prob = np.asarray(self.prob)
+        alias = np.asarray(self.alias, dtype=np.intp)
+        return np.where(frac < prob[i], i, alias[i])

@@ -1,4 +1,10 @@
-"""Uncertain-point models: the locational data model of Section 1.1."""
+"""Uncertain-point models: the locational data model of Section 1.1.
+
+Every model answers both scalar queries (``dmin`` / ``dmax`` /
+``distance_cdf`` / ``expected_distance`` / ``sample``) and their batched
+``*_many`` twins over ``(m, 2)`` query matrices, vectorized through
+:mod:`repro.geometry.kernels`.
+"""
 
 from .base import UncertainPoint
 from .discrete import DiscreteUncertainPoint, discretize

@@ -9,6 +9,13 @@ in the plane with bounded support.  Every algorithm in
 * ``distance_cdf(q, r)`` — ``G_{q,i}(r) = Pr[d(q, P_i) <= r]`` (Eq. (1));
 * ``distance_pdf(q, r)`` — ``g_{q,i}(r)`` (Fig. 1);
 * ``sample(rng)`` — one instantiation (Section 4.2).
+
+Each scalar method has a batched twin (``dmin_many``, ``dmax_many``,
+``distance_cdf_many``, ``expected_distance_many``, ``sample_many``)
+taking an ``(m, 2)`` query matrix and returning NumPy arrays.  The base
+class supplies loop fallbacks so any model works with the batch engine;
+the concrete models override them with true vectorized kernels from
+:mod:`repro.geometry.kernels`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,10 @@ import math
 import random
 from typing import Optional, Tuple
 
+import numpy as np
+
+from ..config import SeedLike, scalar_rng
+from ..geometry import kernels
 from ..quadrature import adaptive_simpson
 
 
@@ -79,6 +90,79 @@ class UncertainPoint(abc.ABC):
     def survival(self, q, r: float) -> float:
         """``1 - G_{q,i}(r)``, the term appearing in Eq. (1)."""
         return 1.0 - self.distance_cdf(q, r)
+
+    # -- batch API ----------------------------------------------------------
+    #
+    # Loop fallbacks: correct for every model, overridden with vectorized
+    # kernels by the concrete distributions.
+
+    def dmin_many(self, qs) -> np.ndarray:
+        """``delta_i(q)`` for an ``(m, 2)`` query matrix, shape ``(m,)``."""
+        Q = kernels.as_query_array(qs)
+        return np.array([self.dmin(q) for q in Q], dtype=np.float64)
+
+    def dmax_many(self, qs) -> np.ndarray:
+        """``Delta_i(q)`` for an ``(m, 2)`` query matrix, shape ``(m,)``."""
+        Q = kernels.as_query_array(qs)
+        return np.array([self.dmax(q) for q in Q], dtype=np.float64)
+
+    def distance_cdf_many(self, qs, r) -> np.ndarray:
+        """``G_{q,i}(r)`` for an ``(m, 2)`` query matrix, shape ``(m,)``.
+
+        ``r`` may be a scalar (one radius for all queries) or an ``(m,)``
+        vector of per-query radii.
+        """
+        Q = kernels.as_query_array(qs)
+        rr = np.broadcast_to(
+            np.asarray(r, dtype=np.float64), (Q.shape[0],)
+        )
+        return np.array(
+            [self.distance_cdf(q, float(rv)) for q, rv in zip(Q, rr)],
+            dtype=np.float64,
+        )
+
+    def survival_many(self, qs, r) -> np.ndarray:
+        """``1 - G_{q,i}(r)`` for a query matrix, shape ``(m,)``."""
+        return 1.0 - self.distance_cdf_many(qs, r)
+
+    def expected_distance_many(
+        self, qs, panels: int = 16, order: int = 16
+    ) -> np.ndarray:
+        """``E[d(q, P_i)]`` for an ``(m, 2)`` query matrix, shape ``(m,)``.
+
+        Default: the fixed-node composite Gauss–Legendre tail quadrature
+        ``dmin + integral of (1 - G) dr`` of
+        :func:`repro.geometry.kernels.batched_tail_quadrature`, evaluated
+        through ``distance_cdf_many`` on the whole node grid at once
+        (``m * panels * order`` cdf evaluations in one vectorized call).
+        Models with a closed-form expectation override this exactly.
+        """
+        Q = kernels.as_query_array(qs)
+        lo = self.dmin_many(Q)
+        hi = self.dmax_many(Q)
+        nodes_per_query = panels * order
+        Qrep = np.repeat(Q, nodes_per_query, axis=0)
+
+        def survival(R: np.ndarray) -> np.ndarray:
+            G = self.distance_cdf_many(Qrep, R.ravel())
+            return 1.0 - G.reshape(R.shape)
+
+        tail = kernels.batched_tail_quadrature(
+            survival, lo, hi, panels=panels, order=order
+        )
+        return lo + tail
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        """``size`` independent draws, shape ``(size, 2)``.
+
+        ``rng`` is anything :func:`repro.config.default_rng` accepts; the
+        fallback drives the scalar ``sample`` through an adapter, while
+        vectorized overrides draw whole arrays from the Generator.
+        """
+        rr = scalar_rng(rng)
+        return np.array(
+            [self.sample(rr) for _ in range(size)], dtype=np.float64
+        )
 
     # -- diagnostics -------------------------------------------------------------
     def check_distance_cdf(

@@ -7,7 +7,11 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..config import SeedLike, default_rng, scalar_rng
 from ..errors import DistributionError
+from ..geometry import kernels
 from ..geometry.convex_hull import convex_hull, farthest_point_from
 from ..geometry.sec import smallest_enclosing_circle
 from ..index.sampler import AliasSampler
@@ -40,6 +44,8 @@ class DiscreteUncertainPoint(UncertainPoint):
         self._sampler = AliasSampler(self.weights)
         self.hull = convex_hull(self.locations)
         self.enclosing = smallest_enclosing_circle(self.locations)
+        self._loc_arr = np.asarray(self.locations, dtype=np.float64)
+        self._w_arr = np.asarray(self.weights, dtype=np.float64)
 
     def __repr__(self) -> str:
         return f"DiscreteUncertainPoint(k={len(self.locations)})"
@@ -95,11 +101,33 @@ class DiscreteUncertainPoint(UncertainPoint):
             for (px, py), w in zip(self.locations, self.weights)
         )
 
+    # -- batch API (vectorized over the query matrix) ----------------------
+    def dmin_many(self, qs) -> np.ndarray:
+        d2 = kernels.pairwise_sq_distances(qs, self._loc_arr)
+        return np.sqrt(d2.min(axis=1))
+
+    def dmax_many(self, qs) -> np.ndarray:
+        d2 = kernels.pairwise_sq_distances(qs, self._loc_arr)
+        return np.sqrt(d2.max(axis=1))
+
+    def distance_cdf_many(self, qs, r) -> np.ndarray:
+        d2 = kernels.pairwise_sq_distances(qs, self._loc_arr)
+        rr = np.broadcast_to(np.asarray(r, dtype=np.float64), (d2.shape[0],))
+        return (d2 <= (rr * rr)[:, None]) @ self._w_arr
+
+    def expected_distance_many(self, qs, **_quad) -> np.ndarray:
+        """Exact: the finite weighted sum, for the whole query matrix."""
+        return kernels.pairwise_distances(qs, self._loc_arr) @ self._w_arr
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        idx = self._sampler.sample_many(default_rng(rng), size)
+        return self._loc_arr[idx]
+
 
 def discretize(
     point: UncertainPoint,
     k: int,
-    rng: Optional[random.Random] = None,
+    rng: Optional[SeedLike] = None,
 ) -> DiscreteUncertainPoint:
     """Random ``k``-sample discretisation of a continuous point.
 
@@ -108,7 +136,9 @@ def discretize(
     [VC71]/[LLS01] sampling theory (Eq. (7)) the distance cdf is preserved
     to ``+- alpha`` with ``k = O(alpha^-2 log(1/delta'))``.
     """
-    rng = rng or random.Random()
+    # random.Random inputs keep their legacy stream; ints/Generators are
+    # adapted through config.scalar_rng so one seed type works everywhere.
+    rng = random.Random() if rng is None else scalar_rng(rng)
     locations = [point.sample(rng) for _ in range(k)]
     weights = [1.0 / k] * k
     return DiscreteUncertainPoint(locations, weights, name=point.name)

@@ -11,6 +11,10 @@ import math
 import random
 from typing import Tuple
 
+import numpy as np
+
+from ..config import SeedLike, default_rng
+from ..geometry import kernels
 from ..geometry.circle import Circle, lens_area
 from ..geometry.point import distance
 from .base import UncertainPoint
@@ -67,4 +71,31 @@ class UniformDiskPoint(UncertainPoint):
         return (
             self.disk.center.x + rad * math.cos(theta),
             self.disk.center.y + rad * math.sin(theta),
+        )
+
+    # -- batch API (vectorized over the query matrix) ----------------------
+    def _center_distances(self, qs) -> np.ndarray:
+        Q = kernels.as_query_array(qs)
+        c = self.disk.center
+        return np.hypot(Q[:, 0] - c.x, Q[:, 1] - c.y)
+
+    def dmin_many(self, qs) -> np.ndarray:
+        return np.maximum(self._center_distances(qs) - self.disk.radius, 0.0)
+
+    def dmax_many(self, qs) -> np.ndarray:
+        return self._center_distances(qs) + self.disk.radius
+
+    def distance_cdf_many(self, qs, r) -> np.ndarray:
+        d = self._center_distances(qs)
+        rr = np.broadcast_to(np.asarray(r, dtype=np.float64), d.shape)
+        lens = kernels.lens_area_many(d, rr, self.disk.radius)
+        return np.where(rr > 0.0, lens / self.disk.area(), 0.0)
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        g = default_rng(rng)
+        theta = g.uniform(0.0, 2.0 * math.pi, size)
+        rad = self.disk.radius * np.sqrt(g.random(size))
+        c = self.disk.center
+        return np.column_stack(
+            (c.x + rad * np.cos(theta), c.y + rad * np.sin(theta))
         )

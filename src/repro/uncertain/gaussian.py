@@ -12,6 +12,10 @@ import math
 import random
 from typing import Tuple
 
+import numpy as np
+
+from ..config import SeedLike, default_rng
+from ..geometry import kernels
 from ..geometry.circle import Circle
 from ..geometry.point import distance
 from ..quadrature import adaptive_simpson
@@ -119,3 +123,95 @@ class TruncatedGaussianPoint(UncertainPoint):
             y = rng.gauss(0.0, self.sigma)
             if x * x + y * y <= self.cutoff * self.cutoff:
                 return (cx + x, cy + y)
+
+    # -- batch API (vectorized over the query matrix) ----------------------
+    def _center_distances(self, qs) -> np.ndarray:
+        Q = kernels.as_query_array(qs)
+        c = self.disk.center
+        return np.hypot(Q[:, 0] - c.x, Q[:, 1] - c.y)
+
+    def dmin_many(self, qs) -> np.ndarray:
+        return np.maximum(self._center_distances(qs) - self.cutoff, 0.0)
+
+    def dmax_many(self, qs) -> np.ndarray:
+        return self._center_distances(qs) + self.cutoff
+
+    def _radial_cdf(self, s: np.ndarray) -> np.ndarray:
+        """Closed-form antiderivative of :meth:`_radial_pdf` on
+        ``[0, cutoff]`` (truncated Rayleigh cdf)."""
+        s = np.clip(s, 0.0, self.cutoff)
+        return -np.expm1(-0.5 * (s / self.sigma) ** 2) / self._mass
+
+    def distance_cdf_many(
+        self, qs, r, panels: int = 8, order: int = 16
+    ) -> np.ndarray:
+        """Vectorized ``G_{q,i}(r)``.
+
+        Conditions on the radial distance ``s`` as in the scalar method:
+        the full-coverage region ``s <= r - d`` integrates in closed form
+        (truncated Rayleigh cdf), the partial ring
+        ``|d - r| < s < d + r`` by fixed-node Gauss–Legendre over the
+        angular-fraction integrand.  Accuracy follows the node count;
+        the angular fraction has square-root kinks where the query
+        circle grazes the ring, so the defaults land near ``1e-6``
+        (versus the scalar adaptive rule's ``1e-10`` target).
+        """
+        d = self._center_distances(qs)
+        rr = np.broadcast_to(np.asarray(r, dtype=np.float64), d.shape).copy()
+        rr[rr < 0.0] = 0.0
+        # Full-coverage term: every circle of radius s <= r - d about the
+        # center lies inside the query disk.
+        total = self._radial_cdf(np.clip(rr - d, 0.0, self.cutoff))
+        # Partial ring [a, b]: angular fraction in (0, 1).
+        a = np.clip(np.abs(d - rr), 0.0, self.cutoff)
+        b = np.clip(d + rr, 0.0, self.cutoff)
+        span = np.maximum(b - a, 0.0)
+        active = (span > 0.0) & (rr > 0.0)
+        if np.any(active):
+            nodes, weights = kernels.gauss_legendre_nodes(panels, order)
+            da = d[active][:, None]
+            ra = rr[active][:, None]
+            S = a[active][:, None] + span[active][:, None] * nodes[None, :]
+            pdf = (
+                S
+                / (self.sigma * self.sigma)
+                * np.exp(-0.5 * (S / self.sigma) ** 2)
+                / self._mass
+            )
+            denom = 2.0 * da * S
+            cos_half = np.divide(
+                da * da + S * S - ra * ra,
+                denom,
+                out=np.ones_like(S),
+                where=denom > 0.0,
+            )
+            frac = np.arccos(np.clip(cos_half, -1.0, 1.0)) / np.pi
+            frac = np.where(S + da <= ra, 1.0, frac)
+            frac = np.where(np.abs(da - S) >= ra, 0.0, frac)
+            total[active] += span[active] * (
+                pdf * frac * weights[None, :]
+            ).sum(axis=1)
+        out = np.clip(total, 0.0, 1.0)
+        out[rr >= d + self.cutoff] = 1.0
+        out[rr <= np.maximum(d - self.cutoff, 0.0)] = 0.0
+        return out
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        """Vectorized rejection from the untruncated Gaussian."""
+        g = default_rng(rng)
+        c = self.disk.center
+        out = np.empty((size, 2), dtype=np.float64)
+        filled = 0
+        cut2 = self.cutoff * self.cutoff
+        while filled < size:
+            want = size - filled
+            # Oversample slightly so one round usually suffices.
+            batch = int(want / max(self._mass, 0.5)) + 8
+            xy = g.normal(0.0, self.sigma, (batch, 2))
+            keep = xy[(xy * xy).sum(axis=1) <= cut2]
+            take = min(want, keep.shape[0])
+            out[filled : filled + take] = keep[:take]
+            filled += take
+        out[:, 0] += c.x
+        out[:, 1] += c.y
+        return out

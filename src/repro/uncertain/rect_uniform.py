@@ -11,7 +11,11 @@ from __future__ import annotations
 import random
 from typing import Tuple
 
+import numpy as np
+
+from ..config import SeedLike, default_rng
 from ..errors import DistributionError
+from ..geometry import kernels
 from ..geometry.areas import rect_circle_area
 from ..geometry.metrics import rect_max_chebyshev, rect_min_chebyshev
 from ..index.rtree import rect_maxdist, rect_mindist
@@ -61,4 +65,24 @@ class UniformRectPoint(UncertainPoint):
         return (
             rng.uniform(self.rect[0], self.rect[2]),
             rng.uniform(self.rect[1], self.rect[3]),
+        )
+
+    # -- batch API (vectorized over the query matrix) ----------------------
+    def dmin_many(self, qs) -> np.ndarray:
+        return kernels.rect_mindist_many(qs, self.rect)[:, 0]
+
+    def dmax_many(self, qs) -> np.ndarray:
+        return kernels.rect_maxdist_many(qs, self.rect)[:, 0]
+
+    def distance_cdf_many(self, qs, r) -> np.ndarray:
+        Q = kernels.as_query_array(qs)
+        rr = np.broadcast_to(np.asarray(r, dtype=np.float64), (Q.shape[0],))
+        area = kernels.rect_circle_area_many(self.rect, Q, rr)[:, 0]
+        return np.where(rr > 0.0, np.clip(area / self._area, 0.0, 1.0), 0.0)
+
+    def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
+        g = default_rng(rng)
+        xmin, ymin, xmax, ymax = self.rect
+        return np.column_stack(
+            (g.uniform(xmin, xmax, size), g.uniform(ymin, ymax, size))
         )

@@ -1,0 +1,379 @@
+"""Batch/scalar parity: every ``*_many`` method must reproduce its scalar
+twin elementwise, for every uncertain model and every core engine.
+
+Closed-form batch kernels (discrete sums, rect/disk areas, extremal
+distances) are held to near machine precision; quantities the batch
+engine evaluates by fixed-node quadrature (truncated-Gaussian cdf,
+generic expected distances) get a documented looser budget matching
+their node counts.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscreteUncertainPoint,
+    ExpectedNNIndex,
+    HistogramPoint,
+    MonteCarloPNN,
+    TruncatedGaussianPoint,
+    UncertainSet,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    UniformRectPoint,
+    batch,
+    expected_knn,
+    expected_knn_many,
+    knn_probabilities,
+    monte_carlo_knn_many,
+    threshold_nn_exact,
+    threshold_nn_exact_many,
+)
+from repro.core.threshold import ApproxThresholdIndex
+from repro.constructions import (
+    random_discrete_points,
+    random_disk_points,
+    random_queries,
+)
+from repro.index import AliasSampler, CdfSampler, GridIndex, KdTree, RTree
+
+#: Exact closed-form kernels.
+TIGHT = 1e-9
+#: Fixed-node quadrature paths (see module docstring).
+QUAD = 1e-4
+
+
+def _models():
+    return {
+        "discrete": random_discrete_points(1, k=6, seed=3, box=10, scatter=3)[0],
+        "rect": UniformRectPoint((1.0, 2.0, 4.0, 5.5)),
+        "disk": UniformDiskPoint((2.0, 1.0), 2.5),
+        "gaussian": TruncatedGaussianPoint((0.5, -1.0), sigma=1.2),
+        "histogram": HistogramPoint(
+            (0.0, 0.0), 1.5, [[0.2, 0.0, 0.1], [0.3, 0.4, 0.0]]
+        ),
+        # cdf/expected still exercise the base-class loop fallbacks
+        # (dmin/dmax/sample have vectorized overrides).
+        "polygon": UniformPolygonPoint([(0, 0), (4, 0), (3, 3), (1, 4)]),
+    }
+
+
+def _query_grid(seed, m=60, lo=-6.0, hi=12.0):
+    rng = random.Random(seed)
+    return np.array(
+        [[rng.uniform(lo, hi), rng.uniform(lo, hi)] for _ in range(m)]
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_models()))
+class TestUncertainModelParity:
+    def test_dmin_dmax_many(self, name):
+        p = _models()[name]
+        Q = _query_grid(seed=11)
+        got_min = p.dmin_many(Q)
+        got_max = p.dmax_many(Q)
+        for j, q in enumerate(Q):
+            assert got_min[j] == pytest.approx(p.dmin(q), abs=TIGHT)
+            assert got_max[j] == pytest.approx(p.dmax(q), abs=TIGHT)
+
+    def test_distance_cdf_many(self, name):
+        p = _models()[name]
+        Q = _query_grid(seed=13)
+        tol = QUAD if name == "gaussian" else TIGHT
+        # Fractions stay off 0 and 1 exactly: there ``r`` coincides with a
+        # cdf jump (a support distance), where a 1-ulp difference between
+        # CPython's ``**2`` and NumPy's multiply can legitimately flip a
+        # closed-inequality membership.
+        for frac in (0.01, 0.2, 0.5, 0.8, 1.02):
+            lo = p.dmin_many(Q)
+            hi = p.dmax_many(Q)
+            rs = lo + frac * (hi - lo)
+            got = p.distance_cdf_many(Q, rs)
+            for j, q in enumerate(Q):
+                assert got[j] == pytest.approx(
+                    p.distance_cdf(q, float(rs[j])), abs=tol
+                )
+
+    def test_distance_cdf_many_scalar_radius(self, name):
+        p = _models()[name]
+        Q = _query_grid(seed=17, m=25)
+        tol = QUAD if name == "gaussian" else TIGHT
+        got = p.distance_cdf_many(Q, 3.0)
+        for j, q in enumerate(Q):
+            assert got[j] == pytest.approx(p.distance_cdf(q, 3.0), abs=tol)
+
+    def test_expected_distance_many(self, name):
+        p = _models()[name]
+        Q = _query_grid(seed=19, m=40)
+        got = p.expected_distance_many(Q)
+        # Discrete expectations are exact sums; everything else is
+        # quadrature on at least one side.
+        tol = TIGHT if name == "discrete" else QUAD
+        for j, q in enumerate(Q):
+            assert got[j] == pytest.approx(p.expected_distance(q), abs=tol)
+
+    def test_sample_many_matches_distribution(self, name):
+        p = _models()[name]
+        S = p.sample_many(np.random.default_rng(5), 4000)
+        assert S.shape == (4000, 2)
+        xmin, ymin, xmax, ymax = p.support_bbox()
+        assert (S[:, 0] >= xmin - TIGHT).all() and (S[:, 0] <= xmax + TIGHT).all()
+        assert (S[:, 1] >= ymin - TIGHT).all() and (S[:, 1] <= ymax + TIGHT).all()
+        # Empirical cdf of distances from a probe agrees with distance_cdf.
+        q = (0.5, 0.5)
+        r = 0.5 * (p.dmin(q) + p.dmax(q))
+        emp = float(np.mean(np.hypot(S[:, 0] - q[0], S[:, 1] - q[1]) <= r))
+        assert emp == pytest.approx(p.distance_cdf(q, r), abs=0.05)
+
+
+class TestUncertainSetParity:
+    def _mixed_set(self):
+        ms = _models()
+        return [ms[k] for k in sorted(ms) if k != "polygon"] + random_disk_points(
+            6, seed=9, box=12, radius_range=(0.5, 2.0)
+        )
+
+    def test_matrices_and_envelope(self):
+        points = self._mixed_set()
+        uset = UncertainSet(points)
+        Q = _query_grid(seed=23, m=40)
+        dmins = uset.dmin_matrix(Q)
+        dmaxs = uset.dmax_matrix(Q)
+        arg, val = uset.envelope_many(Q)
+        for j, q in enumerate(Q):
+            for i in range(len(points)):
+                assert dmins[j, i] == pytest.approx(uset.delta(i, q), abs=TIGHT)
+                assert dmaxs[j, i] == pytest.approx(uset.big_delta(i, q), abs=TIGHT)
+            a, v = uset.envelope(q)
+            assert a == arg[j]
+            assert v == pytest.approx(val[j], abs=TIGHT)
+
+    def test_nonzero_nn_many(self):
+        points = self._mixed_set()
+        uset = UncertainSet(points)
+        Q = _query_grid(seed=29, m=60)
+        got = uset.nonzero_nn_many(Q)
+        for q, s in zip(Q, got):
+            assert uset.nonzero_nn(q) == s
+
+    def test_instantiate_many_shape_and_support(self):
+        points = self._mixed_set()
+        uset = UncertainSet(points)
+        S = uset.instantiate_many(np.random.default_rng(31), 50)
+        assert S.shape == (50, len(points), 2)
+        for i, p in enumerate(points):
+            xmin, ymin, xmax, ymax = p.support_bbox()
+            assert (S[:, i, 0] >= xmin - TIGHT).all()
+            assert (S[:, i, 1] <= ymax + TIGHT).all()
+
+
+class TestEngineParity:
+    def test_monte_carlo_query_many_exact_match(self):
+        # Batch and scalar share the stored instantiations, so the
+        # estimates agree exactly (not just statistically), per model mix.
+        points = random_discrete_points(12, k=3, seed=2, box=30) + random_disk_points(
+            8, seed=3, box=30, radius_range=(0.5, 2)
+        )
+        mc = MonteCarloPNN(points, s=150, seed=5)
+        Q = np.array(random_queries(40, seed=6, bbox=(0, 0, 30, 30)))
+        many = mc.query_many(Q)
+        for q, est in zip(Q, many):
+            assert mc.query(tuple(q)) == est
+
+    def test_monte_carlo_query_matrix_rows_sum_to_one(self):
+        points = random_discrete_points(10, k=2, seed=4, box=20)
+        mc = MonteCarloPNN(points, s=64, rng=7)
+        est = mc.query_matrix(np.array(random_queries(25, seed=8, bbox=(0, 0, 20, 20))))
+        assert est.shape == (25, 10)
+        np.testing.assert_allclose(est.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_monte_carlo_generator_path_statistics(self):
+        # The vectorized instantiation path (rng=...) must estimate the
+        # same probabilities as the legacy stream, within MC noise.
+        points = [UniformDiskPoint((-3, 0), 1.0), UniformDiskPoint((3, 0), 1.0)]
+        mc = MonteCarloPNN(points, s=20_000, rng=11)
+        est = mc.query_many([(0.0, 0.0)])[0]
+        assert abs(est.get(0, 0.0) - 0.5) < 0.02
+
+    def test_expected_nn_query_many(self):
+        for points in (
+            random_disk_points(25, seed=12, box=40, radius_range=(0.5, 3)),
+            random_discrete_points(25, k=3, seed=13, box=40),
+        ):
+            index = ExpectedNNIndex(points)
+            Q = np.array(random_queries(30, seed=14, bbox=(-5, -5, 45, 45)))
+            bi, bv = index.query_many(Q)
+            for j, q in enumerate(Q):
+                i, v = index.query(tuple(q))
+                assert bv[j] == pytest.approx(v, abs=QUAD)
+                # Allow a different winner only on a numerical near-tie.
+                if i != bi[j]:
+                    assert index.expected_distance(bi[j], q) == pytest.approx(
+                        v, abs=10 * QUAD
+                    )
+
+    def test_expected_nn_rank_top_matches_full_sort(self):
+        points = random_disk_points(30, seed=15, box=40, radius_range=(0.5, 3))
+        index = ExpectedNNIndex(points)
+        for q in random_queries(15, seed=16, bbox=(0, 0, 40, 40)):
+            full = index.rank(q)
+            for top in (1, 3, 7):
+                assert index.rank(q, top=top) == full[:top]
+
+    def test_threshold_many(self):
+        points = random_discrete_points(10, k=3, seed=17, box=25)
+        Q = np.array(random_queries(10, seed=18, bbox=(0, 0, 25, 25)))
+        tau = 0.2
+        got = threshold_nn_exact_many(points, Q, tau)
+        for q, d in zip(Q, got):
+            assert threshold_nn_exact(points, tuple(q), tau) == d
+        approx = ApproxThresholdIndex(points)
+        answers = approx.query_many(Q, tau=0.3, eps=0.1)
+        for q, ans in zip(Q, answers):
+            scalar = approx.query(tuple(q), tau=0.3, eps=0.1)
+            assert scalar.above == ans.above
+            assert scalar.undecided == ans.undecided
+
+    def test_expected_knn_many(self):
+        points = random_discrete_points(12, k=3, seed=19, box=25)
+        Q = np.array(random_queries(20, seed=20, bbox=(0, 0, 25, 25)))
+        got = expected_knn_many(points, Q, k=4)
+        assert got.shape == (20, 4)
+        for j, q in enumerate(Q):
+            assert expected_knn(points, tuple(q), 4) == got[j].tolist()
+
+    def test_monte_carlo_knn_many_matches_exact(self):
+        points = random_discrete_points(6, k=3, seed=21, box=20, scatter=5)
+        Q = np.array(random_queries(4, seed=22, bbox=(0, 0, 20, 20)))
+        many = monte_carlo_knn_many(points, Q, k=2, s=20_000, rng=23)
+        for j, q in enumerate(Q):
+            exact = knn_probabilities(points, tuple(q), k=2)
+            for i, v in enumerate(exact):
+                assert abs(v - many[j].get(i, 0.0)) < 0.02
+            assert sum(many[j].values()) == pytest.approx(2.0, abs=1e-9)
+
+
+class TestIndexParity:
+    def _points(self, n=200, seed=25):
+        rng = random.Random(seed)
+        return [(rng.uniform(0, 80), rng.uniform(0, 80)) for _ in range(n)]
+
+    def test_kdtree_query_many(self):
+        pts = self._points()
+        rng = random.Random(26)
+        ws = [rng.uniform(0, 4) for _ in pts]
+        tree = KdTree(pts, ws)
+        Q = _query_grid(seed=27, m=80, lo=-10.0, hi=90.0)
+        bi, bv = tree.query_many(Q)
+        wi, wv = tree.query_many(Q, use_weights=True)
+        for j, q in enumerate(Q):
+            i, d = tree.nearest(q)
+            assert (i, d) == (bi[j], pytest.approx(bv[j], abs=TIGHT))
+            i, d = tree.weighted_nearest(q)
+            assert (i, d) == (wi[j], pytest.approx(wv[j], abs=TIGHT))
+
+    def test_grid_query_many(self):
+        pts = self._points(seed=28)
+        grid = GridIndex(pts)
+        Q = _query_grid(seed=29, m=60, lo=-10.0, hi=90.0)
+        gi, gv = grid.query_many(Q)
+        reports = grid.range_disk_many(Q, 12.0)
+        for j, q in enumerate(Q):
+            i, d = grid.nearest(q)
+            assert (i, d) == (gi[j], pytest.approx(gv[j], abs=TIGHT))
+            assert sorted(grid.range_disk(q, 12.0)) == reports[j].tolist()
+
+    def test_rtree_query_many_and_topk(self):
+        rng = random.Random(30)
+        disks = [
+            (rng.uniform(0, 60), rng.uniform(0, 60), rng.uniform(0.5, 4))
+            for _ in range(120)
+        ]
+        tree = RTree([(x - r, y - r, x + r, y + r) for x, y, r in disks])
+
+        def exact(i, q):
+            x, y, r = disks[i]
+            return max(math.hypot(q[0] - x, q[1] - y) - r, 0.0)
+
+        def exact_many(i, Qs):
+            x, y, r = disks[i]
+            return np.maximum(np.hypot(Qs[:, 0] - x, Qs[:, 1] - y) - r, 0.0)
+
+        Q = _query_grid(seed=31, m=50, lo=-10.0, hi=70.0)
+        bi, bv = tree.query_many(Q, exact_many)
+        for j, q in enumerate(Q):
+            i, v = tree.best_first_min(q, lambda ii: exact(ii, q))
+            assert bv[j] == pytest.approx(v, abs=TIGHT)
+            brute = sorted((exact(i, q), i) for i in range(len(disks)))
+            assert tree.best_first_topk(q, lambda ii: exact(ii, q), 5) == [
+                (i, pytest.approx(v, abs=TIGHT)) for v, i in brute[:5]
+            ]
+
+    def test_sampler_sample_many_frequencies(self):
+        weights = [0.5, 0.25, 0.15, 0.1]
+        for cls in (AliasSampler, CdfSampler):
+            sampler = cls(weights)
+            idx = sampler.sample_many(np.random.default_rng(33), 40_000)
+            assert idx.shape == (40_000,)
+            freq = np.bincount(idx, minlength=4) / 40_000
+            np.testing.assert_allclose(freq, weights, atol=0.01)
+
+
+class TestFacade:
+    def test_batch_module_routes(self):
+        points = random_disk_points(10, seed=35, box=20, radius_range=(0.5, 2))
+        Q = np.array(random_queries(12, seed=36, bbox=(0, 0, 20, 20)))
+        uset = UncertainSet(points)
+        assert batch.nonzero_nn_many(points, Q) == uset.nonzero_nn_many(Q)
+        np.testing.assert_allclose(
+            batch.dmin_matrix(points, Q), uset.dmin_matrix(Q)
+        )
+        bi, bv = batch.expected_nn_many(points, Q)
+        assert bi.shape == bv.shape == (12,)
+        est = batch.monte_carlo_pnn_many(points, Q, s=100, rng=37)
+        assert len(est) == 12
+        for d in est:
+            assert sum(d.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_single_query_accepted_as_pair(self):
+        points = random_disk_points(5, seed=38, box=10, radius_range=(0.5, 1.5))
+        single = batch.nonzero_nn_many(points, (4.0, 4.0))
+        assert len(single) == 1
+        assert single[0] == UncertainSet(points).nonzero_nn((4.0, 4.0))
+
+
+class TestHypothesisParity:
+    """Property-based sweep: random models, random queries, one invariant."""
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    def test_discrete_parity_property(self):
+        from hypothesis import given, settings, strategies as st
+
+        coords = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            locs=st.lists(st.tuples(coords, coords), min_size=1, max_size=8),
+            qx=coords,
+            qy=coords,
+            frac=st.floats(0.0, 1.0),
+        )
+        def run(locs, qx, qy, frac):
+            weights = [1.0 / len(locs)] * len(locs)
+            p = DiscreteUncertainPoint(locs, weights)
+            Q = np.array([[qx, qy]])
+            assert p.dmin_many(Q)[0] == pytest.approx(p.dmin((qx, qy)), abs=TIGHT)
+            assert p.dmax_many(Q)[0] == pytest.approx(p.dmax((qx, qy)), abs=TIGHT)
+            r = p.dmin((qx, qy)) + frac * (p.dmax((qx, qy)) - p.dmin((qx, qy)))
+            assert p.distance_cdf_many(Q, r)[0] == pytest.approx(
+                p.distance_cdf((qx, qy), r), abs=TIGHT
+            )
+            assert p.expected_distance_many(Q)[0] == pytest.approx(
+                p.expected_distance((qx, qy)), abs=1e-7
+            )
+
+        run()

@@ -1,0 +1,91 @@
+"""Tests for the config layer: the ``tolerances`` context manager and the
+unified ``default_rng`` / ``scalar_rng`` random-source helpers."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.config import TOLERANCES, default_rng, scalar_rng, tolerances
+
+
+class TestTolerancesContextManager:
+    def test_overrides_and_restores(self):
+        before = TOLERANCES.abs_eps
+        with tolerances(abs_eps=1e-3) as tol:
+            assert tol is TOLERANCES
+            assert TOLERANCES.abs_eps == 1e-3
+        assert TOLERANCES.abs_eps == before
+
+    def test_mutates_in_place_for_from_imports(self):
+        # Modules bind the object (``from ..config import TOLERANCES``);
+        # the context manager must mutate fields, not rebind the global.
+        held = TOLERANCES
+        with tolerances(angle_samples=64):
+            assert held.angle_samples == 64
+        assert held.angle_samples == 512
+
+    def test_restores_on_exception(self):
+        before = TOLERANCES.rel_eps
+        with pytest.raises(RuntimeError):
+            with tolerances(rel_eps=0.5):
+                raise RuntimeError("boom")
+        assert TOLERANCES.rel_eps == before
+
+    def test_nested_overrides(self):
+        with tolerances(abs_eps=1e-3):
+            with tolerances(abs_eps=1e-6):
+                assert TOLERANCES.abs_eps == 1e-6
+            assert TOLERANCES.abs_eps == 1e-3
+        assert TOLERANCES.abs_eps == 1e-9
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            with tolerances(no_such_knob=1.0):
+                pass
+
+    def test_almost_equal_respects_override(self):
+        assert not config.almost_equal(1.0, 1.001)
+        with tolerances(abs_eps=0.01):
+            assert config.almost_equal(1.0, 1.001)
+
+    def test_geometry_consumers_see_override(self):
+        # envelope.py reads TOLERANCES.angle_samples at query time.
+        from repro.geometry import envelope
+
+        assert envelope.TOLERANCES is TOLERANCES
+        with tolerances(angle_samples=1024):
+            assert envelope.TOLERANCES.angle_samples == 1024
+
+
+class TestDefaultRng:
+    def test_accepts_none_int_generator_random(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+        assert isinstance(default_rng(42), np.random.Generator)
+        g = np.random.default_rng(7)
+        assert default_rng(g) is g
+        assert isinstance(default_rng(random.Random(3)), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = default_rng(123).random(5)
+        b = default_rng(123).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_rng_surface(self):
+        # random.Random passes through untouched.
+        r = random.Random(1)
+        assert scalar_rng(r) is r
+        # Generators gain the scalar-sampler surface.
+        adapter = scalar_rng(np.random.default_rng(2))
+        assert 0.0 <= adapter.random() < 1.0
+        assert 3.0 <= adapter.uniform(3.0, 4.0) <= 4.0
+        assert isinstance(adapter.gauss(0.0, 1.0), float)
+
+    def test_scalar_rng_shares_generator_stream(self):
+        g = default_rng(9)
+        adapter = scalar_rng(g)
+        first = adapter.random()
+        # The adapter wraps the same generator, not a reseeded copy.
+        assert default_rng(9).random() == pytest.approx(first)
+        assert adapter.random() != first
