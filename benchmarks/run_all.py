@@ -1,0 +1,368 @@
+"""Run the batch/planner benchmarks and write a machine-readable report.
+
+Measures the prune-then-evaluate planner against the unpruned batch
+paths on the clustered workloads it was built for, verifies the pruned
+answers are identical, and writes ``BENCH_pr2.json`` (timings, speedup
+ratios, prune statistics) so the performance trajectory is tracked
+across PRs.
+
+Usage::
+
+    python benchmarks/run_all.py            # full acceptance config
+    python benchmarks/run_all.py --quick    # CI-sized smoke run
+    python benchmarks/run_all.py --strict   # exit 1 on failed assertions
+
+Soft assertions (reported in the JSON, fatal only with ``--strict``):
+
+* every planner path at least matches the unpruned batch path;
+* in the full configuration, expected-NN (disk models) and Monte-Carlo
+  PNN reach the >= 5x acceptance bar at n = 2000, m = 1000.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import ExpectedNNIndex, MonteCarloPNN, QueryPlanner, UncertainSet, batch
+from repro.constructions import (
+    cluster_centers,
+    clustered_discrete_points,
+    clustered_disk_points,
+    clustered_queries,
+)
+
+from _util import print_table
+
+#: Acceptance bar for the headline scenarios (full config only).
+TARGET_SPEEDUP = 5.0
+
+
+def _timeit(fn, repeats: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_expected_nn_disks(cfg, report):
+    """Expected-distance NN over quadrature-priced disk models.
+
+    The unpruned path evaluates the full ``(m, n)`` expectation matrix
+    (every entry a fixed-node tail quadrature), so it is timed on a
+    query subsample and extrapolated per query; the planner runs the
+    full matrix.  Identity is checked exactly on the subsample.
+    """
+    centers = cluster_centers(cfg["clusters"], seed=101, box=cfg["box"])
+    points = clustered_disk_points(cfg["n"], centers=centers, seed=102)
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=103))
+    Qref = Q[: cfg["m_exact"]]
+    index = ExpectedNNIndex(points)
+    index.query_many(Q[:2])  # warm the planner build + NumPy
+    index.query_many(Qref[:2], exact=True)
+
+    t_planner, (pi, pv) = _timeit(lambda: index.query_many(Q))
+    t_exact_ref, (xi, xv) = _timeit(lambda: index.query_many(Qref, exact=True))
+    t_rtree, _ = _timeit(lambda: index.query_many_rtree(Q))
+    identical = bool(
+        np.array_equal(pi[: len(Qref)], xi) and np.array_equal(pv[: len(Qref)], xv)
+    )
+    per_q_planner = t_planner / len(Q)
+    per_q_exact = t_exact_ref / len(Qref)
+    speedup = per_q_exact / per_q_planner
+    stats = index.planner.prune_stats(Q, criterion="expected")
+    report["results"]["expected_nn_disks"] = {
+        "model": "uniform disks (quadrature expectations)",
+        "n": cfg["n"],
+        "m": cfg["m"],
+        "m_exact_subsample": cfg["m_exact"],
+        "seconds_planner": t_planner,
+        "seconds_exact_subsample": t_exact_ref,
+        "seconds_rtree_batch": t_rtree,
+        "per_query_planner": per_q_planner,
+        "per_query_exact": per_q_exact,
+        "speedup_vs_exact": speedup,
+        "speedup_vs_rtree_batch": (t_rtree / len(Q)) / per_q_planner,
+        "exact_extrapolated": True,
+        "identical_on_subsample": identical,
+        "mean_candidates": stats["mean_candidates"],
+        "mean_candidate_fraction": stats["mean_fraction"],
+    }
+    print_table(
+        f"expected-NN, clustered disks, n={cfg['n']}, m={cfg['m']}",
+        ["path", "sec/query", "speedup"],
+        [
+            ("exact full matrix", f"{per_q_exact:.2e}", "1.0x"),
+            ("rtree batch (PR 1)", f"{t_rtree / len(Q):.2e}",
+             f"{(t_rtree / len(Q)) / per_q_exact:.2f}x"),
+            ("planner (PR 2)", f"{per_q_planner:.2e}", f"{speedup:.1f}x"),
+        ],
+    )
+    _soft(report, "expected_nn_disks identical", identical, "pruned != unpruned", hard=True)
+    _soft(
+        report,
+        "expected_nn_disks beats unpruned",
+        speedup >= 1.0,
+        f"speedup {speedup:.2f}x < 1x",
+    )
+    if not report["quick"]:
+        _soft(
+            report,
+            f"expected_nn_disks >= {TARGET_SPEEDUP}x",
+            speedup >= TARGET_SPEEDUP,
+            f"speedup {speedup:.2f}x below acceptance bar",
+        )
+
+
+def bench_expected_nn_discrete(cfg, report):
+    """Expected-distance NN over cheap closed-form discrete models — the
+    planner's worst case (the evaluator costs about as much as the
+    bounds); reported to keep the trajectory honest, gated only on
+    not regressing."""
+    centers = cluster_centers(cfg["clusters"], seed=111, box=cfg["box"])
+    points = clustered_discrete_points(
+        cfg["n"], k=cfg["k_locations"], centers=centers, seed=112
+    )
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=113))
+    index = ExpectedNNIndex(points)
+    index.query_many(Q[:2])
+    index.query_many(Q[:2], exact=True)
+    t_planner, (pi, pv) = _timeit(lambda: index.query_many(Q), repeats=2)
+    t_exact, (xi, xv) = _timeit(lambda: index.query_many(Q, exact=True), repeats=2)
+    identical = bool(np.array_equal(pi, xi) and np.array_equal(pv, xv))
+    speedup = t_exact / t_planner
+    report["results"]["expected_nn_discrete"] = {
+        "model": f"discrete k={cfg['k_locations']} (closed-form expectations)",
+        "n": cfg["n"],
+        "m": cfg["m"],
+        "seconds_planner": t_planner,
+        "seconds_exact": t_exact,
+        "speedup_vs_exact": speedup,
+        "identical": identical,
+    }
+    print_table(
+        f"expected-NN, clustered discrete, n={cfg['n']}, m={cfg['m']}",
+        ["path", "seconds", "speedup"],
+        [
+            ("exact full matrix", f"{t_exact:.3f}", "1.0x"),
+            ("planner", f"{t_planner:.3f}", f"{speedup:.1f}x"),
+        ],
+    )
+    _soft(report, "expected_nn_discrete identical", identical, "pruned != unpruned", hard=True)
+
+
+def bench_monte_carlo_pnn(cfg, report):
+    """Monte-Carlo PNN: candidate-only rounds vs full (m, n) argmins over
+    the same stored (s, n, 2) instantiations."""
+    centers = cluster_centers(cfg["clusters"], seed=121, box=cfg["box"])
+    points = clustered_discrete_points(cfg["n"], k=3, centers=centers, seed=122)
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=123))
+    mc = MonteCarloPNN(points, s=cfg["s_rounds"], rng=7)
+    planner = QueryPlanner(points)
+    mc.query_many(Q[:2])
+    mc.query_many(Q[:2], planner=planner)
+    t_pruned, pruned = _timeit(lambda: mc.query_matrix(Q, planner=planner))
+    t_full, full = _timeit(lambda: mc.query_matrix(Q))
+    identical = bool(np.array_equal(pruned, full))
+    speedup = t_full / t_pruned
+    stats = planner.prune_stats(Q)
+    report["results"]["monte_carlo_pnn"] = {
+        "n": cfg["n"],
+        "m": cfg["m"],
+        "s_rounds": cfg["s_rounds"],
+        "seconds_planner": t_pruned,
+        "seconds_exact": t_full,
+        "speedup_vs_exact": speedup,
+        "identical": identical,
+        "mean_candidates": stats["mean_candidates"],
+        "mean_candidate_fraction": stats["mean_fraction"],
+    }
+    print_table(
+        f"Monte-Carlo PNN, n={cfg['n']}, m={cfg['m']}, s={cfg['s_rounds']}",
+        ["path", "seconds", "speedup"],
+        [
+            ("full argmin rounds", f"{t_full:.3f}", "1.0x"),
+            ("planner CSR rounds", f"{t_pruned:.3f}", f"{speedup:.1f}x"),
+        ],
+    )
+    _soft(report, "monte_carlo_pnn identical", identical, "pruned != unpruned", hard=True)
+    _soft(
+        report,
+        "monte_carlo_pnn beats unpruned",
+        speedup >= 1.0,
+        f"speedup {speedup:.2f}x < 1x",
+    )
+    if not report["quick"]:
+        _soft(
+            report,
+            f"monte_carlo_pnn >= {TARGET_SPEEDUP}x",
+            speedup >= TARGET_SPEEDUP,
+            f"speedup {speedup:.2f}x below acceptance bar",
+        )
+
+
+def bench_nonzero(cfg, report):
+    """Lemma 2.1 NN!=0: pruned extremal-distance evaluation vs the full
+    (m, n) scan."""
+    centers = cluster_centers(cfg["clusters"], seed=131, box=cfg["box"])
+    points = clustered_disk_points(cfg["n"], centers=centers, seed=132)
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=133))
+    uset = UncertainSet(points)
+    planner = QueryPlanner(points)
+    planner.nonzero_nn_many(Q[:2])
+    uset.nonzero_nn_many(Q[:2])
+    t_pruned, pruned = _timeit(lambda: planner.nonzero_nn_many(Q))
+    t_full, full = _timeit(lambda: uset.nonzero_nn_many(Q))
+    identical = pruned == full
+    speedup = t_full / t_pruned
+    report["results"]["nonzero_nn"] = {
+        "n": cfg["n"],
+        "m": cfg["m"],
+        "seconds_planner": t_pruned,
+        "seconds_exact": t_full,
+        "speedup_vs_exact": speedup,
+        "identical": identical,
+    }
+    print_table(
+        f"NN!=0 scan, clustered disks, n={cfg['n']}, m={cfg['m']}",
+        ["path", "seconds", "speedup"],
+        [
+            ("full scan", f"{t_full:.3f}", "1.0x"),
+            ("planner", f"{t_pruned:.3f}", f"{speedup:.1f}x"),
+        ],
+    )
+    _soft(report, "nonzero identical", identical, "pruned != unpruned", hard=True)
+
+
+def bench_threshold(cfg, report):
+    """Exact threshold sweep on candidate subsets vs all N locations."""
+    centers = cluster_centers(cfg["clusters"], seed=141, box=cfg["box"])
+    points = clustered_discrete_points(
+        cfg["n_threshold"], k=3, centers=centers, seed=142
+    )
+    Q = np.asarray(
+        clustered_queries(cfg["m_threshold"], centers=centers, seed=143)
+    )
+    tau = 0.25
+    t_pruned, pruned = _timeit(
+        lambda: batch.threshold_nn_exact_many(points, Q, tau)
+    )
+    t_full, full = _timeit(
+        lambda: batch.threshold_nn_exact_many(points, Q, tau, exact=True)
+    )
+    identical = pruned == full
+    speedup = t_full / t_pruned
+    report["results"]["threshold_nn"] = {
+        "n": cfg["n_threshold"],
+        "m": cfg["m_threshold"],
+        "tau": tau,
+        "seconds_planner": t_pruned,
+        "seconds_exact": t_full,
+        "speedup_vs_exact": speedup,
+        "identical": identical,
+    }
+    print_table(
+        f"threshold sweep, n={cfg['n_threshold']}, m={cfg['m_threshold']}",
+        ["path", "seconds", "speedup"],
+        [
+            ("full sweep", f"{t_full:.3f}", "1.0x"),
+            ("planner subset sweep", f"{t_pruned:.3f}", f"{speedup:.1f}x"),
+        ],
+    )
+    _soft(report, "threshold identical", identical, "pruned != unpruned", hard=True)
+
+
+def _soft(report, name: str, ok: bool, detail: str, hard: bool = False) -> None:
+    """Record an assertion.  Soft failures (timing bars) only flip the
+    report flag; hard failures (answer identity) always fail the run."""
+    report["soft_assertions"].append(
+        {"name": name, "ok": bool(ok), "hard": bool(hard), "detail": None if ok else detail}
+    )
+    if not ok:
+        kind = "HARD" if hard else "soft"
+        print(f"[{kind}-assert FAILED] {name}: {detail}", file=sys.stderr)
+        if hard:
+            report["hard_failure"] = True
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    ap.add_argument(
+        "--strict", action="store_true", help="exit 1 if a soft assertion fails"
+    )
+    ap.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr2.json"),
+        help="output JSON path (default: repo-root BENCH_pr2.json)",
+    )
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        cfg = {
+            "n": 400,
+            "m": 200,
+            "m_exact": 60,
+            "clusters": 12,
+            "box": 250.0,
+            "s_rounds": 32,
+            "k_locations": 8,
+            "n_threshold": 150,
+            "m_threshold": 40,
+        }
+    else:
+        cfg = {
+            "n": 2000,
+            "m": 1000,
+            "m_exact": 100,
+            "clusters": 25,
+            "box": 600.0,
+            "s_rounds": 128,
+            "k_locations": 8,
+            "n_threshold": 600,
+            "m_threshold": 150,
+        }
+
+    report = {
+        "pr": 2,
+        "benchmark": "structure-of-arrays store + prune-then-evaluate planner",
+        "quick": bool(args.quick),
+        "config": cfg,
+        "results": {},
+        "soft_assertions": [],
+    }
+    bench_expected_nn_disks(cfg, report)
+    bench_expected_nn_discrete(cfg, report)
+    bench_monte_carlo_pnn(cfg, report)
+    bench_nonzero(cfg, report)
+    bench_threshold(cfg, report)
+
+    failed = [a["name"] for a in report["soft_assertions"] if not a["ok"]]
+    report["all_assertions_passed"] = not failed
+
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+    if failed:
+        print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)
+        if report.get("hard_failure"):
+            # Answer-identity regressions are correctness bugs, not
+            # timing jitter: fatal even without --strict.
+            return 1
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

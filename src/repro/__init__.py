@@ -44,6 +44,7 @@ from .core import (
     NonzeroVoronoiDiagram,
     PersistentNonzeroIndex,
     ProbabilisticVoronoiDiagram,
+    QueryPlanner,
     SpiralSearchPNN,
     UncertainSet,
     adversarial_instance,
@@ -80,6 +81,7 @@ from .errors import (
 from .uncertain import (
     DiscreteUncertainPoint,
     HistogramPoint,
+    ModelColumns,
     TruncatedGaussianPoint,
     UncertainPoint,
     UniformDiskPoint,
@@ -106,11 +108,13 @@ __all__ = [
     "HistogramPoint",
     "LinearScanIndex",
     "ManhattanNonzeroIndex",
+    "ModelColumns",
     "MonteCarloPNN",
     "NonzeroVoronoiDiagram",
     "PersistentNonzeroIndex",
     "ProbabilisticVoronoiDiagram",
     "QueryError",
+    "QueryPlanner",
     "ReproError",
     "SpiralSearchPNN",
     "TOLERANCES",

@@ -9,6 +9,15 @@ and returns NumPy arrays or per-query containers, routing through the
 vectorized ``*_many`` kernels threaded through
 :mod:`repro.uncertain`, :mod:`repro.index` and :mod:`repro.core`.
 
+Since PR 2 the answer-producing entry points run **prune-then-evaluate**
+by default: a :class:`repro.QueryPlanner` (over the precomputed
+:class:`repro.ModelColumns` SoA store) shrinks each query's candidate
+set with the vectorized ``dmin <= min dmax`` envelope test before any
+exact evaluator runs.  Pruned answers are exactly identical to the
+unpruned ones; pass ``exact=True`` to skip the planner (useful for
+cross-checking, or when the workload is adversarially spread so pruning
+cannot help).
+
 Quick start::
 
     import numpy as np
@@ -24,8 +33,9 @@ Quick start::
 
 For repeated query batches against the same point set, build the
 underlying engine once (:class:`repro.MonteCarloPNN`,
-:class:`repro.ExpectedNNIndex`, ...) and call its ``query_many`` —
-these helpers construct the engine per call for one-shot convenience.
+:class:`repro.ExpectedNNIndex`, :class:`repro.QueryPlanner`, ...) and
+call its ``query_many`` — these helpers construct the engine per call
+for one-shot convenience.
 """
 
 from __future__ import annotations
@@ -36,10 +46,16 @@ import numpy as np
 
 from .config import SeedLike, default_rng
 from .core.expected_nn import ExpectedNNIndex
-from .core.knn import expected_knn_many, monte_carlo_knn_many
+from .core.knn import expected_knn_many as _expected_knn_many
+from .core.knn import monte_carlo_knn_many
 from .core.monte_carlo import MonteCarloPNN
 from .core.nonzero import UncertainSet
-from .core.threshold import ApproxThresholdIndex, ThresholdAnswer, threshold_nn_exact_many
+from .core.planner import QueryPlanner
+from .core.threshold import (
+    ApproxThresholdIndex,
+    ThresholdAnswer,
+    threshold_nn_exact_many as _threshold_nn_exact_many,
+)
 from .geometry.kernels import as_query_array
 
 __all__ = [
@@ -74,19 +90,43 @@ def envelope_many(points: Sequence, qs) -> Tuple[np.ndarray, np.ndarray]:
     return UncertainSet(points).envelope_many(qs)
 
 
-def nonzero_nn_many(points: Sequence, qs) -> List[FrozenSet[int]]:
-    """``NN!=0(q, P)`` (Lemma 2.1) for every query row."""
-    return UncertainSet(points).nonzero_nn_many(qs)
+def nonzero_nn_many(points: Sequence, qs, exact: bool = False) -> List[FrozenSet[int]]:
+    """``NN!=0(q, P)`` (Lemma 2.1) for every query row.
+
+    Planner-pruned by default; ``exact=True`` runs the unpruned
+    ``(m, n)`` extremal-distance scan.  Both return identical sets.
+    """
+    if exact:
+        return UncertainSet(points).nonzero_nn_many(qs)
+    return QueryPlanner(points).nonzero_nn_many(qs)
 
 
-def expected_nn_many(points: Sequence, qs) -> Tuple[np.ndarray, np.ndarray]:
-    """[AESZ12] expected-distance winners: ``(indices, values)``."""
-    return ExpectedNNIndex(points).query_many(qs)
+def expected_nn_many(
+    points: Sequence, qs, exact: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """[AESZ12] expected-distance winners: ``(indices, values)``.
+
+    Planner-pruned by default; ``exact=True`` evaluates the full
+    expectation matrix.  Both return identical winners and values.
+    """
+    return ExpectedNNIndex(points).query_many(qs, exact=exact)
 
 
 def expected_distance_matrix(points: Sequence, qs) -> np.ndarray:
     """``E[d(q, P_i)]`` for every query/point pair, shape ``(m, n)``."""
     return ExpectedNNIndex(points).expected_distance_matrix(qs)
+
+
+def expected_knn_many(
+    points: Sequence, qs, k: int, exact: bool = False
+) -> np.ndarray:
+    """Expected-distance kNN ranking, an ``(m, k)`` index matrix.
+
+    Planner-pruned by default (candidates of the ``k``-th envelope
+    test); ``exact=True`` ranks the full expectation matrix.
+    """
+    planner = None if exact else QueryPlanner(points)
+    return _expected_knn_many(points, qs, k, planner=planner)
 
 
 def monte_carlo_pnn_many(
@@ -96,17 +136,35 @@ def monte_carlo_pnn_many(
     epsilon: Optional[float] = None,
     delta: float = 0.05,
     rng: SeedLike = 0,
+    exact: bool = False,
 ) -> List[Dict[int, float]]:
     """Theorem 4.3/4.5 estimates ``{i: pihat_i(q)}`` for every query row.
 
     Builds a :class:`repro.MonteCarloPNN` on the vectorized
     instantiation path (all rounds drawn as one ``(s, n, 2)`` array) and
-    answers the whole matrix with its batched argmin engine.
+    answers the whole matrix with its batched argmin engine — by default
+    restricted to each query's planner candidates (an object with
+    ``dmin(q) > min_j dmax_j(q)`` can never win a round, so the
+    estimates are identical); ``exact=True`` compares all ``n`` objects
+    in every round.
     """
     mc = MonteCarloPNN(
         points, s=s, epsilon=epsilon, delta=delta, rng=default_rng(rng)
     )
-    return mc.query_many(qs)
+    planner = None if exact else QueryPlanner(points)
+    return mc.query_many(qs, planner=planner)
+
+
+def threshold_nn_exact_many(
+    points: Sequence, qs, tau: float, exact: bool = False
+) -> List[Dict[int, float]]:
+    """Exact threshold answers ``{i: pi_i(q) > tau}`` for every row.
+
+    Planner-pruned by default (the Eq. (2) sweep runs on each query's
+    candidate subset); ``exact=True`` sweeps all ``N`` locations.
+    """
+    planner = None if exact else QueryPlanner(points)
+    return _threshold_nn_exact_many(points, qs, tau, planner=planner)
 
 
 def approx_threshold_many(

@@ -1,7 +1,11 @@
 """Workload generators and the paper's lower-bound constructions."""
 
 from .generators import (
+    cluster_centers,
+    clustered_discrete_points,
+    clustered_disk_points,
     clustered_gaussian_points,
+    clustered_queries,
     disjoint_disk_points,
     random_disk_points,
     random_discrete_points,
@@ -16,7 +20,11 @@ from .lower_bounds import (
 )
 
 __all__ = [
+    "cluster_centers",
+    "clustered_discrete_points",
+    "clustered_disk_points",
     "clustered_gaussian_points",
+    "clustered_queries",
     "disjoint_disk_points",
     "lemma_4_1",
     "random_discrete_points",

@@ -147,3 +147,93 @@ def random_queries(
         (rng.uniform(bbox[0], bbox[2]), rng.uniform(bbox[1], bbox[3]))
         for _ in range(m)
     ]
+
+
+def cluster_centers(
+    clusters: int, seed: int, box: float = 400.0
+) -> List[Tuple[float, float]]:
+    """``clusters`` anchor locations uniform in the inner 80% of the box.
+
+    Shared by :func:`clustered_discrete_points` and
+    :func:`clustered_queries` so data and queries concentrate around the
+    same spots — the workload shape where the query planner's
+    ``dmin <= min dmax`` prune shines (each query sees a handful of
+    nearby candidates out of thousands of objects).
+    """
+    if clusters < 1:
+        raise QueryError("clusters must be >= 1")
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(0.1 * box, 0.9 * box), rng.uniform(0.1 * box, 0.9 * box))
+        for _ in range(clusters)
+    ]
+
+
+def clustered_discrete_points(
+    n: int,
+    k: int,
+    centers: Sequence[Tuple[float, float]],
+    seed: int = 0,
+    cluster_sigma: float = 4.0,
+    scatter: float = 1.0,
+    rho: float = 4.0,
+) -> List[DiscreteUncertainPoint]:
+    """``n`` discrete points whose anchors cluster around ``centers``.
+
+    Each point picks a cluster round-robin, jitters its anchor by a
+    Gaussian of scale ``cluster_sigma`` and scatters its ``k`` locations
+    by ``scatter``; the weight pattern keeps global spread ``rho`` as in
+    :func:`random_discrete_points`.
+    """
+    rng = random.Random(seed)
+    weights = weights_with_spread(k, rho, rng)
+    points = []
+    for i in range(n):
+        cx, cy = centers[i % len(centers)]
+        ax = cx + rng.gauss(0.0, cluster_sigma)
+        ay = cy + rng.gauss(0.0, cluster_sigma)
+        locations = [
+            (ax + rng.gauss(0, scatter), ay + rng.gauss(0, scatter))
+            for _ in range(k)
+        ]
+        shuffled = weights[:]
+        rng.shuffle(shuffled)
+        points.append(DiscreteUncertainPoint(locations, shuffled, name=f"P_{i}"))
+    return points
+
+
+def clustered_disk_points(
+    n: int,
+    centers: Sequence[Tuple[float, float]],
+    seed: int = 0,
+    cluster_sigma: float = 4.0,
+    radius_range: Tuple[float, float] = (0.3, 1.5),
+) -> List[UniformDiskPoint]:
+    """``n`` uniform-disk points clustered around ``centers``."""
+    rng = random.Random(seed)
+    points = []
+    for i in range(n):
+        cx, cy = centers[i % len(centers)]
+        points.append(
+            UniformDiskPoint(
+                (cx + rng.gauss(0, cluster_sigma), cy + rng.gauss(0, cluster_sigma)),
+                rng.uniform(*radius_range),
+                name=f"P_{i}",
+            )
+        )
+    return points
+
+
+def clustered_queries(
+    m: int,
+    centers: Sequence[Tuple[float, float]],
+    seed: int = 0,
+    sigma: float = 6.0,
+) -> List[Tuple[float, float]]:
+    """``m`` queries Gaussian-scattered around the same cluster anchors."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(m):
+        cx, cy = centers[i % len(centers)]
+        out.append((cx + rng.gauss(0.0, sigma), cy + rng.gauss(0.0, sigma)))
+    return out

@@ -32,7 +32,8 @@ from .monte_carlo import (
     rounds_for_all_queries,
     rounds_for_fixed_query,
 )
-from .nonzero import UncertainSet, brute_force_nonzero
+from .nonzero import UncertainSet, brute_force_nonzero, nonzero_from_matrices
+from .planner import QueryPlanner
 from .nonzero_index import (
     DiscreteTwoStageIndex,
     DiskNonzeroIndex,
@@ -90,6 +91,8 @@ __all__ = [
     "NonzeroVoronoiDiagram",
     "PersistentNonzeroIndex",
     "ProbabilisticVoronoiDiagram",
+    "QueryPlanner",
+    "nonzero_from_matrices",
     "SpiralSearchPNN",
     "UncertainSet",
     "Vertex",

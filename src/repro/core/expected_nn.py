@@ -12,13 +12,14 @@ nearest neighbor.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..geometry import kernels
 from ..index.rtree import RTree
 from .nonzero import UncertainSet
+from .planner import QueryPlanner
 
 
 class ExpectedNNIndex:
@@ -26,13 +27,30 @@ class ExpectedNNIndex:
 
     ``rect_mindist(q, support bbox)`` lower-bounds the expected distance
     (every support point is at least that far), so best-first search
-    prunes exactly.
+    prunes exactly.  Batched queries route through the SoA
+    :class:`repro.QueryPlanner` by default.
     """
 
     def __init__(self, points: Sequence):
         self.uset = UncertainSet(points)
         self.points = list(points)
-        self._rtree = RTree([p.support_bbox() for p in points])
+        self._rtree_cache: Optional[RTree] = None
+        self._planner: Optional[QueryPlanner] = None
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The lazily built prune-then-evaluate planner."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self.points)
+        return self._planner
+
+    @property
+    def _rtree(self) -> RTree:
+        """Lazily built: only the scalar branch-and-bound paths (and the
+        comparison-only ``query_many_rtree``) need the recursive tree."""
+        if self._rtree_cache is None:
+            self._rtree_cache = RTree([p.support_bbox() for p in self.points])
+        return self._rtree_cache
 
     def expected_distance(self, i: int, q) -> float:
         return self.points[i].expected_distance(q)
@@ -43,14 +61,26 @@ class ExpectedNNIndex:
             q, lambda i: self.points[i].expected_distance(q)
         )
 
-    def query_many(self, qs) -> Tuple[np.ndarray, np.ndarray]:
+    def query_many(self, qs, exact: bool = False) -> Tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`query`: ``(winner indices, expected distances)``,
         each of shape ``(m,)``.
 
-        Routes through the R-tree's vectorized batched best-first search;
-        each surviving candidate's expectation is evaluated for its whole
-        surviving query subset in one ``expected_distance_many`` call.
+        The default path prunes each query's candidate set through the
+        planner's vectorized ``dmin <= min dmax`` envelope test and
+        evaluates expectations only on survivors; ``exact=True`` falls
+        back to evaluating the full ``(m, n)`` expectation matrix.  Both
+        return identical winners and values (ties break to the lowest
+        index).
         """
+        if exact:
+            E = self.expected_distance_matrix(qs)
+            arg = E.argmin(axis=1)
+            return arg, E[np.arange(E.shape[0]), arg]
+        return self.planner.expected_nn_many(qs)
+
+    def query_many_rtree(self, qs) -> Tuple[np.ndarray, np.ndarray]:
+        """The R-tree level-wise batched best-first search (the pre-planner
+        batch path, kept for comparison benchmarks)."""
         return self._rtree.query_many(
             qs, lambda i, Qs: self.points[i].expected_distance_many(Qs)
         )

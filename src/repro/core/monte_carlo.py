@@ -156,17 +156,31 @@ class MonteCarloPNN:
                 counts[i] = counts.get(i, 0) + 1
         return {i: c / self.s for i, c in counts.items()}
 
-    def query_matrix(self, qs) -> np.ndarray:
+    def query_matrix(self, qs, planner=None) -> np.ndarray:
         """``pihat`` estimates for an ``(m, 2)`` query matrix, ``(m, n)``.
 
         The vectorized engine behind :meth:`query_many`: each round's
         instantiation is compared against *all* queries in one
         ``(m, n)`` squared-distance kernel and the winner counted with a
         vectorized argmin — no per-query tree walks.
+
+        With a :class:`repro.QueryPlanner` (built over the same points),
+        each query is first reduced to its candidate set — an object
+        with ``dmin(q) > min_j dmax_j(q)`` can never be the instantiated
+        nearest neighbor in *any* round, so only candidate distances are
+        computed (CSR layout, segment argmins) and the estimates are
+        identical to the unpruned pass over the same stored
+        instantiations.
         """
         Q = kernels.as_query_array(qs)
         m = Q.shape[0]
         n = self._samples.shape[1]
+        if planner is not None:
+            if len(planner) != n:
+                raise QueryError(
+                    "planner was built over a different point set"
+                )
+            return self._query_matrix_pruned(Q, planner)
         winners = np.empty((self.s, m), dtype=np.intp)
         for j in range(self.s):
             d2 = kernels.pairwise_sq_distances(Q, self._samples[j])
@@ -175,10 +189,47 @@ class MonteCarloPNN:
         counts = np.bincount(offsets.ravel(), minlength=m * n).reshape(m, n)
         return counts / float(self.s)
 
-    def query_many(self, qs) -> List[Dict[int, float]]:
+    def _query_matrix_pruned(self, Q: np.ndarray, planner) -> np.ndarray:
+        """Candidate-only rounds over the shared ``(s, n, 2)`` array.
+
+        The candidate pairs are laid out once in CSR order (row-major
+        ``np.nonzero``, so columns ascend within each query); every
+        round gathers only those pairs' coordinates and finds each
+        query's winner with two ``np.minimum.reduceat`` segment passes.
+        Ties resolve to the lowest surviving column — the same winner
+        the full argmin picks, since pruned objects are strictly
+        farther in every round.
+        """
+        m = Q.shape[0]
+        n = self._samples.shape[1]
+        if m == 0:
+            return np.zeros((0, n), dtype=np.float64)
+        mask = planner.candidate_mask(Q, criterion="support")
+        rows, cols = np.nonzero(mask)
+        nnz = rows.shape[0]
+        indptr = np.searchsorted(rows, np.arange(m))
+        qx = Q[rows, 0]
+        qy = Q[rows, 1]
+        sx = np.ascontiguousarray(self._samples[:, :, 0])
+        sy = np.ascontiguousarray(self._samples[:, :, 1])
+        pair_pos = np.arange(nnz, dtype=np.intp)
+        winners = np.empty((self.s, m), dtype=np.intp)
+        for j in range(self.s):
+            dx = qx - sx[j, cols]
+            dy = qy - sy[j, cols]
+            d2 = dx * dx + dy * dy
+            minv = np.minimum.reduceat(d2, indptr)
+            pos = np.where(d2 == minv[rows], pair_pos, nnz)
+            winners[j] = cols[np.minimum.reduceat(pos, indptr)]
+        offsets = winners + np.arange(m, dtype=np.intp)[None, :] * n
+        counts = np.bincount(offsets.ravel(), minlength=m * n).reshape(m, n)
+        return counts / float(self.s)
+
+    def query_many(self, qs, planner=None) -> List[Dict[int, float]]:
         """Batched :meth:`query`: one sparse ``{i: pihat_i}`` dict per row
-        of the ``(m, 2)`` query matrix."""
-        est = self.query_matrix(qs)
+        of the ``(m, 2)`` query matrix.  ``planner`` routes through the
+        pruned candidate engine (identical estimates)."""
+        est = self.query_matrix(qs, planner=planner)
         out: List[Dict[int, float]] = []
         for row in est:
             nz = np.nonzero(row)[0]

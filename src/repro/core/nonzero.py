@@ -122,22 +122,7 @@ class UncertainSet:
         One ``(m, n)`` dmin and one dmax matrix replace the ``2 m n``
         scalar extremal-distance calls of the query loop.
         """
-        dmins = self.dmin_matrix(qs)
-        dmaxs = self.dmax_matrix(qs)
-        m = dmins.shape[0]
-        order = np.argsort(dmaxs, axis=1, kind="stable")
-        best = dmaxs[np.arange(m), order[:, 0]]
-        if dmaxs.shape[1] > 1:
-            second = dmaxs[np.arange(m), order[:, 1]]
-        else:
-            second = np.full(m, np.inf)
-        threshold = np.where(
-            np.arange(dmaxs.shape[1])[None, :] == order[:, 0][:, None],
-            second[:, None],
-            best[:, None],
-        )
-        mask = dmins < threshold
-        return [frozenset(np.nonzero(row)[0].tolist()) for row in mask]
+        return nonzero_from_matrices(self.dmin_matrix(qs), self.dmax_matrix(qs))
 
     def instantiate_many(self, rng: SeedLike, s: int) -> np.ndarray:
         """``s`` random instantiations of every point, shape ``(s, n, 2)``.
@@ -176,6 +161,32 @@ class UncertainSet:
         return max(
             (len(p.locations) if p.is_discrete else 1) for p in self.points
         )
+
+
+def nonzero_from_matrices(
+    dmins: np.ndarray, dmaxs: np.ndarray
+) -> List[FrozenSet[int]]:
+    """Lemma 2.1 from precomputed ``(m, n)`` extremal-distance matrices.
+
+    Shared by the brute-force batch oracle and the pruned planner path
+    (which fills non-candidate entries with ``+inf``; by the pruning
+    invariant the minimum and second minimum of each ``dmax`` row are
+    always attained at candidates, so the thresholds are unchanged).
+    """
+    m = dmins.shape[0]
+    order = np.argsort(dmaxs, axis=1, kind="stable")
+    best = dmaxs[np.arange(m), order[:, 0]]
+    if dmaxs.shape[1] > 1:
+        second = dmaxs[np.arange(m), order[:, 1]]
+    else:
+        second = np.full(m, np.inf)
+    threshold = np.where(
+        np.arange(dmaxs.shape[1])[None, :] == order[:, 0][:, None],
+        second[:, None],
+        best[:, None],
+    )
+    mask = dmins < threshold
+    return [frozenset(np.nonzero(row)[0].tolist()) for row in mask]
 
 
 def brute_force_nonzero(points: Sequence[UncertainPoint], q) -> FrozenSet[int]:

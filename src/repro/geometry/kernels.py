@@ -23,6 +23,7 @@ distance-cdf integrands used in this library).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Tuple
 
 import numpy as np
@@ -32,6 +33,8 @@ __all__ = [
     "as_rect_array",
     "pairwise_sq_distances",
     "pairwise_distances",
+    "rect_mindist",
+    "rect_maxdist",
     "rect_mindist_many",
     "rect_maxdist_many",
     "lens_area_many",
@@ -49,10 +52,15 @@ def as_query_array(qs) -> np.ndarray:
     """Normalise queries to a float64 array of shape ``(m, 2)``.
 
     Accepts a single ``(x, y)`` pair, a sequence of pairs, or an
-    ``(m, 2)`` array.  A single pair becomes a one-row matrix.
+    ``(m, 2)`` array.  A single pair becomes a one-row matrix; an empty
+    sequence (``[]``, shape ``(0,)`` or ``(0, 2)``) becomes the empty
+    query matrix.  Malformed shapes are rejected even when empty
+    (``(0, 3)`` is still a shape bug worth surfacing).
     """
     arr = np.asarray(qs, dtype=np.float64)
     if arr.ndim == 1:
+        if arr.shape[0] == 0:
+            return arr.reshape(0, 2)
         if arr.shape[0] != 2:
             raise ValueError(f"query array of shape {arr.shape}; expected (m, 2)")
         arr = arr.reshape(1, 2)
@@ -94,6 +102,24 @@ def pairwise_sq_distances(Q, P) -> np.ndarray:
 def pairwise_distances(Q, P) -> np.ndarray:
     """Euclidean distances, shape ``(m, n)``."""
     return np.sqrt(pairwise_sq_distances(Q, P))
+
+
+def rect_mindist(q, rect) -> float:
+    """Minimum distance from ``q`` to the rectangle ``(x0, y0, x1, y1)``.
+
+    The canonical scalar implementation — the kd-tree and R-tree bbox
+    bounds are thin aliases of this pair.
+    """
+    dx = max(rect[0] - q[0], 0.0, q[0] - rect[2])
+    dy = max(rect[1] - q[1], 0.0, q[1] - rect[3])
+    return math.hypot(dx, dy)
+
+
+def rect_maxdist(q, rect) -> float:
+    """Maximum distance from ``q`` to the rectangle ``(x0, y0, x1, y1)``."""
+    dx = max(abs(q[0] - rect[0]), abs(q[0] - rect[2]))
+    dy = max(abs(q[1] - rect[1]), abs(q[1] - rect[3]))
+    return math.hypot(dx, dy)
 
 
 def rect_mindist_many(Q, rects) -> np.ndarray:

@@ -1,0 +1,94 @@
+"""Array-based bulk loaders for grouping SoA objects into leaves.
+
+The recursive pointer builds of :class:`repro.index.KdTree` /
+:class:`repro.index.RTree` construct one Python node per subtree; the
+query planner only ever needs the *leaf level* — a partition of the
+object indices into spatially coherent groups plus one aggregate bbox
+per group.  These builders produce exactly that, straight from the SoA
+arrays with ``np.argsort`` / ``np.argpartition`` and no recursion:
+
+* :func:`str_leaves` — Sort-Tile-Recursive packing of bbox centers (the
+  classic R-tree bulk load);
+* :func:`kd_leaves` — iterative median splits of a point/center array
+  (the kd-tree layout, medians via ``np.argpartition``).
+
+Both return a list of index arrays partitioning ``range(n)``;
+:func:`group_bboxes` aggregates member bboxes per group.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+__all__ = ["str_leaves", "kd_leaves", "group_bboxes"]
+
+
+def str_leaves(bboxes, capacity: int = 16) -> List[np.ndarray]:
+    """Partition bbox indices into STR tiles of at most ``capacity``."""
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    B = np.asarray(bboxes, dtype=np.float64)
+    if B.ndim != 2 or B.shape[1] != 4:
+        raise ValueError(f"bbox array of shape {B.shape}; expected (n, 4)")
+    n = B.shape[0]
+    if n == 0:
+        return []
+    cx = B[:, 0] + B[:, 2]
+    cy = B[:, 1] + B[:, 3]
+    order = np.argsort(cx, kind="stable")
+    n_leaves = math.ceil(n / capacity)
+    slices = math.ceil(math.sqrt(n_leaves))
+    per_slice = math.ceil(n / slices)
+    leaves: List[np.ndarray] = []
+    for s in range(0, n, per_slice):
+        tile = order[s : s + per_slice]
+        tile = tile[np.argsort(cy[tile], kind="stable")]
+        for t in range(0, tile.shape[0], capacity):
+            leaves.append(tile[t : t + capacity])
+    return leaves
+
+
+def kd_leaves(points, leaf_size: int = 16) -> List[np.ndarray]:
+    """Partition point indices by iterative kd median splits.
+
+    Medians are found with ``np.argpartition`` (linear time), alternating
+    the split axis by depth exactly as the recursive build would; the
+    work list replaces the call stack.
+    """
+    if leaf_size < 1:
+        raise ValueError("leaf_size must be >= 1")
+    P = np.asarray(points, dtype=np.float64)
+    if P.ndim != 2 or P.shape[1] != 2:
+        raise ValueError(f"point array of shape {P.shape}; expected (n, 2)")
+    n = P.shape[0]
+    if n == 0:
+        return []
+    leaves: List[np.ndarray] = []
+    work = [(np.arange(n, dtype=np.intp), 0)]
+    while work:
+        idxs, depth = work.pop()
+        if idxs.shape[0] <= leaf_size:
+            leaves.append(idxs)
+            continue
+        axis = depth % 2
+        mid = idxs.shape[0] // 2
+        part = np.argpartition(P[idxs, axis], mid)
+        work.append((idxs[part[:mid]], depth + 1))
+        work.append((idxs[part[mid:]], depth + 1))
+    return leaves
+
+
+def group_bboxes(bboxes, groups: List[np.ndarray]) -> np.ndarray:
+    """Aggregate member bboxes per group, shape ``(len(groups), 4)``."""
+    B = np.asarray(bboxes, dtype=np.float64)
+    out = np.empty((len(groups), 4), dtype=np.float64)
+    for g, members in enumerate(groups):
+        sub = B[members]
+        out[g, 0] = sub[:, 0].min()
+        out[g, 1] = sub[:, 1].min()
+        out[g, 2] = sub[:, 2].max()
+        out[g, 3] = sub[:, 3].max()
+    return out

@@ -54,16 +54,10 @@ def _bbox_of(points, idxs) -> Tuple[float, float, float, float]:
     return (min(xs), min(ys), max(xs), max(ys))
 
 
-def _mindist_bbox(q, bbox) -> float:
-    dx = max(bbox[0] - q[0], 0.0, q[0] - bbox[2])
-    dy = max(bbox[1] - q[1], 0.0, q[1] - bbox[3])
-    return math.hypot(dx, dy)
-
-
-def _maxdist_bbox(q, bbox) -> float:
-    dx = max(abs(q[0] - bbox[0]), abs(q[0] - bbox[2]))
-    dy = max(abs(q[1] - bbox[1]), abs(q[1] - bbox[3]))
-    return math.hypot(dx, dy)
+# Thin aliases kept for API compatibility: the scalar bbox distance
+# math lives in geometry.kernels alongside its batched twins.
+_mindist_bbox = kernels.rect_mindist
+_maxdist_bbox = kernels.rect_maxdist
 
 
 class KdTree:

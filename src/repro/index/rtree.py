@@ -35,16 +35,10 @@ def rects_intersect(a: Rect, b: Rect) -> bool:
     return not (a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1])
 
 
-def rect_mindist(q, r: Rect) -> float:
-    dx = max(r[0] - q[0], 0.0, q[0] - r[2])
-    dy = max(r[1] - q[1], 0.0, q[1] - r[3])
-    return math.hypot(dx, dy)
-
-
-def rect_maxdist(q, r: Rect) -> float:
-    dx = max(abs(q[0] - r[0]), abs(q[0] - r[2]))
-    dy = max(abs(q[1] - r[1]), abs(q[1] - r[3]))
-    return math.hypot(dx, dy)
+# Thin aliases kept for API compatibility: the scalar rect distance
+# math lives in geometry.kernels alongside its batched twins.
+rect_mindist = kernels.rect_mindist
+rect_maxdist = kernels.rect_maxdist
 
 
 def rect_intersects_disk(r: Rect, center, radius: float) -> bool:

@@ -7,6 +7,7 @@ Every model answers both scalar queries (``dmin`` / ``dmax`` /
 """
 
 from .base import UncertainPoint
+from .columns import TAG_NAMES, ModelColumns
 from .discrete import DiscreteUncertainPoint, discretize
 from .disk_uniform import UniformDiskPoint
 from .gaussian import TruncatedGaussianPoint
@@ -17,6 +18,8 @@ from .rect_uniform import UniformRectPoint
 __all__ = [
     "DiscreteUncertainPoint",
     "HistogramPoint",
+    "ModelColumns",
+    "TAG_NAMES",
     "TruncatedGaussianPoint",
     "UncertainPoint",
     "UniformDiskPoint",

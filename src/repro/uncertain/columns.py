@@ -1,0 +1,266 @@
+"""Structure-of-arrays store of per-object model summaries.
+
+Every batch engine in this library ultimately asks the same questions of
+an uncertain set: where is each support (bbox), how far can each object
+possibly be (enclosing disk), where does each distribution sit on
+average (first moment)?  :class:`ModelColumns` extracts those answers
+**once** from any ``Sequence[UncertainPoint]`` into contiguous NumPy
+columns, so the query planner (:mod:`repro.core.planner`) and every
+future scaling layer (sharding, caching, async) can operate on arrays
+instead of iterating Python model objects.
+
+Columns
+-------
+``bboxes (n, 4)``
+    Support bounding boxes ``(xmin, ymin, xmax, ymax)``.
+``centers (n, 2)`` / ``radii (n,)``
+    An enclosing disk per object: the support of ``P_i`` is contained in
+    ``disk(centers[i], radii[i])``.  Exact for disk/Gaussian models
+    (their own disk), the smallest enclosing circle for discrete
+    supports, and a circumscribing disk of the bbox otherwise.
+``means (n, 2)`` / ``mean_reach (n,)`` / ``has_mean (n,)``
+    First moment ``E[P_i]`` (exact per model) and the maximum distance
+    from the mean to the support.  By convexity of ``d(q, .)`` these
+    bracket the expected distance:
+    ``|q - mean_i| <= E[d(q, P_i)] <= |q - mean_i| + mean_reach_i``.
+``tags (n,)``
+    Model-type codes (``TAG_*`` constants) for dispatch/introspection.
+``loc_offsets (n + 1,)`` / ``locations (N, 2)`` / ``location_weights (N,)``
+    CSR view of the per-object mass points: discrete locations with
+    their weights, histogram cell centers with their masses, and the
+    mean with weight 1 for the continuous models.
+
+Envelope bounds
+---------------
+:meth:`envelope_bounds_many` returns vectorized per-pair brackets
+``lb <= dmin_i(q)`` and ``dmax_i(q) <= ub`` straight from the columns
+(the tighter of the bbox and enclosing-disk bound, with no Python-object
+loop); :meth:`expected_bounds_many` additionally sharpens both sides
+with the first-moment (Jensen) bracket.  These are the bounds behind the
+planner's ``dmin <= min dmax`` pruning test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import kernels
+from ..geometry.sec import smallest_enclosing_circle
+from .base import UncertainPoint
+from .discrete import DiscreteUncertainPoint
+from .disk_uniform import UniformDiskPoint
+from .gaussian import TruncatedGaussianPoint
+from .histogram import HistogramPoint
+from .polygon_uniform import UniformPolygonPoint
+from .rect_uniform import UniformRectPoint
+
+__all__ = [
+    "ModelColumns",
+    "TAG_DISCRETE",
+    "TAG_RECT",
+    "TAG_DISK",
+    "TAG_GAUSSIAN",
+    "TAG_HISTOGRAM",
+    "TAG_POLYGON",
+    "TAG_OTHER",
+    "TAG_NAMES",
+]
+
+TAG_DISCRETE = 0
+TAG_RECT = 1
+TAG_DISK = 2
+TAG_GAUSSIAN = 3
+TAG_HISTOGRAM = 4
+TAG_POLYGON = 5
+TAG_OTHER = 6
+
+TAG_NAMES = {
+    TAG_DISCRETE: "discrete",
+    TAG_RECT: "rect",
+    TAG_DISK: "disk",
+    TAG_GAUSSIAN: "gaussian",
+    TAG_HISTOGRAM: "histogram",
+    TAG_POLYGON: "polygon",
+    TAG_OTHER: "other",
+}
+
+
+def _polygon_centroid(vertices: np.ndarray) -> Tuple[float, float]:
+    """Area centroid of a simple polygon given as an ``(k, 2)`` array."""
+    x, y = vertices[:, 0], vertices[:, 1]
+    xn, yn = np.roll(x, -1), np.roll(y, -1)
+    cross = x * yn - xn * y
+    area6 = 3.0 * cross.sum()
+    if area6 == 0.0:  # degenerate; fall back to the vertex average
+        return float(x.mean()), float(y.mean())
+    return (
+        float(((x + xn) * cross).sum() / area6),
+        float(((y + yn) * cross).sum() / area6),
+    )
+
+
+def _summarise(p: UncertainPoint):
+    """``(tag, center, radius, mean, has_mean, mass_points, masses)``."""
+    bbox = p.support_bbox()
+    bx = (0.5 * (bbox[0] + bbox[2]), 0.5 * (bbox[1] + bbox[3]))
+    half_diag = 0.5 * float(np.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1]))
+    if isinstance(p, UniformDiskPoint):
+        c = (p.disk.center.x, p.disk.center.y)
+        return TAG_DISK, c, p.disk.radius, c, True, [c], [1.0]
+    if isinstance(p, TruncatedGaussianPoint):
+        c = (p.disk.center.x, p.disk.center.y)
+        return TAG_GAUSSIAN, c, p.cutoff, c, True, [c], [1.0]
+    if isinstance(p, UniformRectPoint):
+        return TAG_RECT, bx, half_diag, bx, True, [bx], [1.0]
+    if isinstance(p, DiscreteUncertainPoint):
+        sec = p.enclosing
+        w = np.asarray(p.weights, dtype=np.float64)
+        loc = np.asarray(p.locations, dtype=np.float64)
+        mean = (float(w @ loc[:, 0]), float(w @ loc[:, 1]))
+        return (
+            TAG_DISCRETE,
+            (sec.center.x, sec.center.y),
+            sec.radius,
+            mean,
+            True,
+            p.locations,
+            p.weights,
+        )
+    if isinstance(p, HistogramPoint):
+        rects = np.asarray(p.rects, dtype=np.float64)
+        masses = np.asarray(p.masses, dtype=np.float64)
+        cell_centers = 0.5 * (rects[:, :2] + rects[:, 2:])
+        mean = (
+            float(masses @ cell_centers[:, 0]),
+            float(masses @ cell_centers[:, 1]),
+        )
+        return (
+            TAG_HISTOGRAM,
+            bx,
+            half_diag,
+            mean,
+            True,
+            cell_centers.tolist(),
+            p.masses,
+        )
+    if isinstance(p, UniformPolygonPoint):
+        verts = np.asarray([(v.x, v.y) for v in p.vertices], dtype=np.float64)
+        sec = smallest_enclosing_circle([tuple(v) for v in verts])
+        mean = _polygon_centroid(verts)
+        return (
+            TAG_POLYGON,
+            (sec.center.x, sec.center.y),
+            sec.radius,
+            mean,
+            True,
+            [mean],
+            [1.0],
+        )
+    # Unknown model: the bbox circumscribing disk is always valid; the
+    # first moment is unknown, so the Jensen bracket is disabled.
+    return TAG_OTHER, bx, half_diag, bx, False, [bx], [1.0]
+
+
+class ModelColumns:
+    """Precomputed SoA columns over a fixed sequence of uncertain points."""
+
+    def __init__(self, points: Sequence[UncertainPoint]):
+        points = list(points)
+        if not points:
+            raise ValueError("ModelColumns requires at least one point")
+        self.n = len(points)
+        bboxes: List[Tuple[float, float, float, float]] = []
+        centers: List[Tuple[float, float]] = []
+        radii: List[float] = []
+        means: List[Tuple[float, float]] = []
+        has_mean: List[bool] = []
+        tags: List[int] = []
+        reach: List[float] = []
+        offsets = [0]
+        locs: List[Tuple[float, float]] = []
+        loc_w: List[float] = []
+        for p in points:
+            tag, c, r, mean, hm, mass_points, masses = _summarise(p)
+            bboxes.append(tuple(map(float, p.support_bbox())))
+            centers.append((float(c[0]), float(c[1])))
+            radii.append(float(r))
+            means.append((float(mean[0]), float(mean[1])))
+            has_mean.append(bool(hm))
+            tags.append(tag)
+            reach.append(float(p.dmax(mean)) if hm else np.inf)
+            locs.extend((float(x), float(y)) for x, y in mass_points)
+            loc_w.extend(float(w) for w in masses)
+            offsets.append(len(locs))
+        self.bboxes = np.asarray(bboxes, dtype=np.float64)
+        self.centers = np.asarray(centers, dtype=np.float64)
+        self.radii = np.asarray(radii, dtype=np.float64)
+        self.means = np.asarray(means, dtype=np.float64)
+        self.has_mean = np.asarray(has_mean, dtype=bool)
+        self.mean_reach = np.asarray(reach, dtype=np.float64)
+        self.tags = np.asarray(tags, dtype=np.int8)
+        self.loc_offsets = np.asarray(offsets, dtype=np.intp)
+        self.locations = np.asarray(locs, dtype=np.float64).reshape(-1, 2)
+        self.location_weights = np.asarray(loc_w, dtype=np.float64)
+
+    @classmethod
+    def from_points(cls, points: Sequence[UncertainPoint]) -> "ModelColumns":
+        return cls(points)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- vectorized envelope bounds -----------------------------------------
+    def center_distances(self, qs, members=None) -> np.ndarray:
+        """``|q - centers[i]|`` for every query/object pair, ``(m, n)``
+        (or ``(m, len(members))`` for an index subset)."""
+        centers = self.centers if members is None else self.centers[members]
+        return kernels.pairwise_distances(qs, centers)
+
+    def envelope_bounds_many(
+        self, qs, members=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Brackets ``(lb, ub)`` with ``lb <= dmin_i(q)`` and
+        ``dmax_i(q) <= ub``, each of shape ``(m, n)``.
+
+        Elementwise tighter of the bbox bound and the enclosing-disk
+        bound; exact (equal to ``dmin``/``dmax``) for disk, Gaussian and
+        rectangle models.  ``members`` restricts the columns to an index
+        subset (the planner's grouped leaf prune).
+        """
+        Q = kernels.as_query_array(qs)
+        bboxes = self.bboxes if members is None else self.bboxes[members]
+        radii = self.radii if members is None else self.radii[members]
+        d = self.center_distances(Q, members)
+        lb = np.maximum(
+            kernels.rect_mindist_many(Q, bboxes),
+            np.maximum(d - radii[None, :], 0.0),
+        )
+        ub = np.minimum(
+            kernels.rect_maxdist_many(Q, bboxes),
+            d + radii[None, :],
+        )
+        return lb, ub
+
+    def expected_bounds_many(
+        self, qs, members=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Brackets ``(lb, ub)`` on ``E[d(q, P_i)]``, each ``(m, n)``.
+
+        Starts from the support bracket ``dmin <= E <= dmax`` and
+        sharpens both sides with the first-moment (Jensen) bracket
+        ``|q - mean| <= E <= |q - mean| + mean_reach`` where the mean is
+        known.  ``members`` restricts the columns as in
+        :meth:`envelope_bounds_many`.
+        """
+        Q = kernels.as_query_array(qs)
+        lb, ub = self.envelope_bounds_many(Q, members)
+        means = self.means if members is None else self.means[members]
+        reach = self.mean_reach if members is None else self.mean_reach[members]
+        hm = (self.has_mean if members is None else self.has_mean[members])[None, :]
+        dm = kernels.pairwise_distances(Q, means)
+        lb = np.maximum(lb, np.where(hm, dm, 0.0))
+        with np.errstate(invalid="ignore"):
+            ub = np.minimum(ub, np.where(hm, dm + reach[None, :], np.inf))
+        return lb, ub

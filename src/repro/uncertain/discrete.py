@@ -116,8 +116,16 @@ class DiscreteUncertainPoint(UncertainPoint):
         return (d2 <= (rr * rr)[:, None]) @ self._w_arr
 
     def expected_distance_many(self, qs, **_quad) -> np.ndarray:
-        """Exact: the finite weighted sum, for the whole query matrix."""
-        return kernels.pairwise_distances(qs, self._loc_arr) @ self._w_arr
+        """Exact: the finite weighted sum, for the whole query matrix.
+
+        Reduced with an elementwise product and per-row ``sum`` rather
+        than a BLAS matvec: the rounding of each row's result then
+        depends only on that row, so evaluating any query subset (the
+        planner's pruned dispatch) reproduces the full-matrix values
+        bit for bit.
+        """
+        D = kernels.pairwise_distances(qs, self._loc_arr)
+        return (D * self._w_arr[None, :]).sum(axis=1)
 
     def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
         idx = self._sampler.sample_many(default_rng(rng), size)

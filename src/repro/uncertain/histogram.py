@@ -119,7 +119,10 @@ class HistogramPoint(UncertainPoint):
         r2d = rr[:, None]
         full = maxd <= r2d
         partial = (mind <= r2d) & ~full
-        total = full @ self._mass_arr
+        # Per-row multiply-and-sum reductions (not BLAS matvecs) so any
+        # query subset reproduces the full-matrix values bit for bit —
+        # the planner's pruned dispatch relies on this row independence.
+        total = (full * self._mass_arr[None, :]).sum(axis=1)
         rows = np.nonzero(partial.any(axis=1))[0]
         if rows.size:
             # Exact areas only for the query rows that straddle a cell;
@@ -128,9 +131,8 @@ class HistogramPoint(UncertainPoint):
             areas = kernels.rect_circle_area_many(
                 self._rect_arr, Q[rows], rr[rows]
             )
-            total[rows] += (
-                np.where(partial[rows], areas / self._area, 0.0) @ self._mass_arr
-            )
+            contrib = np.where(partial[rows], areas / self._area, 0.0)
+            total[rows] += (contrib * self._mass_arr[None, :]).sum(axis=1)
         return np.where(rr > 0.0, np.clip(total, 0.0, 1.0), 0.0)
 
     def sample_many(self, rng: SeedLike, size: int) -> np.ndarray:
