@@ -18,6 +18,14 @@ unpruned ones; pass ``exact=True`` to skip the planner (useful for
 cross-checking, or when the workload is adversarially spread so pruning
 cannot help).
 
+Since PR 3 the planner executes in cache-sized query tiles (peak memory
+O(tile), never O(m * n) — knobs in :data:`repro.config.EXECUTION`), and
+``eps=`` opts into the **sublinear approximate tier**: batched point
+location in the ε-quantized lower envelope
+(:class:`repro.QuantizedEnvelopeIndex`) answers certified rows in
+O(log) time and the pruned tier transparently resolves the rest.  The
+default path stays exact-equivalent.
+
 Quick start::
 
     import numpy as np
@@ -72,6 +80,7 @@ __all__ = [
     "threshold_nn_exact_many",
     "approx_threshold_many",
     "instantiate_many",
+    "quantized_index",
 ]
 
 
@@ -90,25 +99,59 @@ def envelope_many(points: Sequence, qs) -> Tuple[np.ndarray, np.ndarray]:
     return UncertainSet(points).envelope_many(qs)
 
 
-def nonzero_nn_many(points: Sequence, qs, exact: bool = False) -> List[FrozenSet[int]]:
+def nonzero_nn_many(
+    points: Sequence,
+    qs,
+    exact: bool = False,
+    eps: Optional[float] = None,
+    rel: float = 0.0,
+) -> List[FrozenSet[int]]:
     """``NN!=0(q, P)`` (Lemma 2.1) for every query row.
 
     Planner-pruned by default; ``exact=True`` runs the unpruned
     ``(m, n)`` extremal-distance scan.  Both return identical sets.
+    ``eps=`` opts into the sublinear quantized-envelope tier: sets are
+    ε-relaxed (exact on envelope interiors — see
+    :class:`repro.QuantizedEnvelopeIndex`), uncertified rows fall back
+    to the pruned scan automatically.
     """
+    if eps is not None:
+        if exact:
+            raise ValueError(
+                "exact=True and eps= are contradictory; pick one tier"
+            )
+        return QueryPlanner(points).nonzero_nn_many(
+            qs, tier="approx", eps=eps, rel=rel
+        )
     if exact:
         return UncertainSet(points).nonzero_nn_many(qs)
     return QueryPlanner(points).nonzero_nn_many(qs)
 
 
 def expected_nn_many(
-    points: Sequence, qs, exact: bool = False
+    points: Sequence,
+    qs,
+    exact: bool = False,
+    eps: Optional[float] = None,
+    rel: float = 0.0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """[AESZ12] expected-distance winners: ``(indices, values)``.
 
     Planner-pruned by default; ``exact=True`` evaluates the full
     expectation matrix.  Both return identical winners and values.
+    ``eps=`` opts into the sublinear quantized-envelope tier: winners
+    and values carry a certified error of at most
+    ``max(eps, rel * true value)``; uncertified rows are resolved by the
+    pruned tier automatically.
     """
+    if eps is not None:
+        if exact:
+            raise ValueError(
+                "exact=True and eps= are contradictory; pick one tier"
+            )
+        return QueryPlanner(points).expected_nn_many(
+            qs, tier="approx", eps=eps, rel=rel
+        )
     return ExpectedNNIndex(points).query_many(qs, exact=exact)
 
 
@@ -137,6 +180,8 @@ def monte_carlo_pnn_many(
     delta: float = 0.05,
     rng: SeedLike = 0,
     exact: bool = False,
+    adaptive: bool = False,
+    tol: Optional[float] = None,
 ) -> List[Dict[int, float]]:
     """Theorem 4.3/4.5 estimates ``{i: pihat_i(q)}`` for every query row.
 
@@ -146,23 +191,46 @@ def monte_carlo_pnn_many(
     restricted to each query's planner candidates (an object with
     ``dmin(q) > min_j dmax_j(q)`` can never win a round, so the
     estimates are identical); ``exact=True`` compares all ``n`` objects
-    in every round.
+    in every round.  ``adaptive=True`` with a ``tol`` turns on
+    per-query empirical-Bernstein early stopping (easy queries consume
+    only a few of the stored rounds; see
+    :meth:`repro.MonteCarloPNN.query_matrix`).
     """
     mc = MonteCarloPNN(
         points, s=s, epsilon=epsilon, delta=delta, rng=default_rng(rng)
     )
     planner = None if exact else QueryPlanner(points)
-    return mc.query_many(qs, planner=planner)
+    return mc.query_many(
+        qs, planner=planner, adaptive=adaptive, tol=tol, delta=delta
+    )
 
 
 def threshold_nn_exact_many(
-    points: Sequence, qs, tau: float, exact: bool = False
+    points: Sequence,
+    qs,
+    tau: float,
+    exact: bool = False,
+    eps: Optional[float] = None,
+    rel: float = 0.0,
 ) -> List[Dict[int, float]]:
     """Exact threshold answers ``{i: pi_i(q) > tau}`` for every row.
 
     Planner-pruned by default (the Eq. (2) sweep runs on each query's
     candidate subset); ``exact=True`` sweeps all ``N`` locations.
+    ``eps=`` answers certified rows from the quantized-envelope tier
+    (settled cells report their certain winner at probability exactly
+    ``1.0``) and sweeps only the rest: the answer sets equal the pruned
+    sweep's, with probabilities matching up to the sweep's float
+    accumulation (a certain winner can land at ``1.0 ± a few ulps``).
     """
+    if eps is not None:
+        if exact:
+            raise ValueError(
+                "exact=True and eps= are contradictory; pick one tier"
+            )
+        return QueryPlanner(points).threshold_nn_exact_many(
+            qs, tau, tier="approx", eps=eps, rel=rel
+        )
     planner = None if exact else QueryPlanner(points)
     return _threshold_nn_exact_many(points, qs, tau, planner=planner)
 
@@ -177,3 +245,14 @@ def approx_threshold_many(
 def instantiate_many(points: Sequence, rng: SeedLike, s: int) -> np.ndarray:
     """``s`` instantiations of the whole set, shape ``(s, n, 2)``."""
     return UncertainSet(points).instantiate_many(rng, s)
+
+
+def quantized_index(
+    points: Sequence, eps: float, criterion: str = "expected", rel: float = 0.0
+):
+    """A :class:`repro.QuantizedEnvelopeIndex` over ``points`` — build
+    it once when the same ``eps`` serves many query batches (the
+    per-call ``eps=`` routing above rebuilds the structure each time)."""
+    from .core.quant_index import QuantizedEnvelopeIndex
+
+    return QuantizedEnvelopeIndex(points, eps=eps, criterion=criterion, rel=rel)

@@ -84,6 +84,72 @@ def almost_equal(a: float, b: float, tol: Tolerances = None) -> bool:
     return abs(a - b) <= tol.abs_eps + tol.rel_eps * max(abs(a), abs(b))
 
 
+# -- execution (tiling / parallelism) ----------------------------------------
+
+
+@dataclasses.dataclass
+class Execution:
+    """Knobs for the tiled, optionally parallel batch execution engine.
+
+    Attributes
+    ----------
+    tile_bytes:
+        Target byte budget for the per-tile floating-point working set of
+        the planner's bound pass.  A batch of ``m`` queries over ``n``
+        objects is processed in row tiles sized so the simultaneous
+        ``(rows, n)`` float64 temporaries stay within this budget —
+        peak memory is O(tile), never O(m * n).  The default (16 MiB)
+        bounds the working set to an L3-cache-sized slice while keeping
+        tiles wide enough to amortize per-object dispatch; shrink it to
+        cap memory harder on huge batches.
+    parallel_backend:
+        ``"serial"`` (default), ``"thread"``, or ``"process"`` — how
+        query tiles are fanned out by :func:`repro.core.parallel.map_tiles`.
+        Results are always assembled in tile order, so every backend
+        returns identical answers.  The planner accepts ``"thread"``
+        only (its tile closures hold model objects and cannot be
+        pickled); ``"process"`` serves picklable workloads driven
+        through ``map_tiles`` directly.
+    parallel_workers:
+        Worker count for the parallel backends (``None`` = CPU count).
+    """
+
+    tile_bytes: int = 16 * 1024 * 1024
+    parallel_backend: str = "serial"
+    parallel_workers: Optional[int] = None
+
+
+#: Module-level default execution settings.  Like :data:`TOLERANCES`,
+#: modules bind the object itself, so overrides mutate it in place —
+#: prefer the :func:`execution` context manager.
+EXECUTION = Execution()
+
+
+@contextlib.contextmanager
+def execution(**overrides: Union[int, str, None]) -> Iterator[Execution]:
+    """Temporarily override fields of the global :data:`EXECUTION`.
+
+    Usage::
+
+        with config.execution(tile_bytes=1 << 20, parallel_backend="thread"):
+            ...  # code under a small-tile, threaded execution regime
+
+    Mirrors :func:`tolerances`: in-place mutation, restored on exit.
+    """
+    valid = {f.name for f in dataclasses.fields(Execution)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown execution fields: {sorted(unknown)}")
+    saved = {name: getattr(EXECUTION, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(EXECUTION, name, value)
+        yield EXECUTION
+    finally:
+        for name, value in saved.items():
+            setattr(EXECUTION, name, value)
+
+
 # -- random sources ----------------------------------------------------------
 
 SeedLike = Union[None, int, np.random.Generator, random.Random]

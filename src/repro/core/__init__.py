@@ -6,6 +6,7 @@ from .census import CensusResult, Vertex, nonzero_voronoi_census
 from .continuous_quant import (
     continuous_quantification,
     continuous_quantification_all,
+    continuous_quantification_many,
 )
 from .discrete_voronoi import (
     DiscreteNonzeroVoronoi,
@@ -33,7 +34,14 @@ from .monte_carlo import (
     rounds_for_fixed_query,
 )
 from .nonzero import UncertainSet, brute_force_nonzero, nonzero_from_matrices
+from .parallel import map_tiles, tile_ranges
 from .planner import QueryPlanner
+from .quant_index import (
+    ApproxNN,
+    ApproxSets,
+    ApproxThreshold,
+    QuantizedEnvelopeIndex,
+)
 from .nonzero_index import (
     DiscreteTwoStageIndex,
     DiskNonzeroIndex,
@@ -70,6 +78,9 @@ from .spiral import (
 from .subdivision_index import PersistentNonzeroIndex
 
 __all__ = [
+    "ApproxNN",
+    "ApproxSets",
+    "ApproxThreshold",
     "ApproxThresholdIndex",
     "BranchAndPruneIndex",
     "CensusResult",
@@ -91,8 +102,11 @@ __all__ = [
     "NonzeroVoronoiDiagram",
     "PersistentNonzeroIndex",
     "ProbabilisticVoronoiDiagram",
+    "QuantizedEnvelopeIndex",
     "QueryPlanner",
+    "map_tiles",
     "nonzero_from_matrices",
+    "tile_ranges",
     "SpiralSearchPNN",
     "UncertainSet",
     "Vertex",
@@ -100,6 +114,7 @@ __all__ = [
     "brute_force_nonzero",
     "continuous_quantification",
     "continuous_quantification_all",
+    "continuous_quantification_many",
     "disagreement_rate",
     "discrete_gamma_census",
     "disks_of",

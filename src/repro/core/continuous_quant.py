@@ -8,26 +8,30 @@ one-dimensional, and this module evaluates it by adaptive Simpson
 quadrature split at the cdf kink radii.  It is the ground-truth baseline
 for the Monte-Carlo structure (Section 4.2) and corresponds to the
 numeric-integration approach of [CKP04].
+
+Besides the scalar entry points, :func:`continuous_quantification_many`
+evaluates the sweep for a whole query matrix (sharing one
+:class:`~repro.core.nonzero.UncertainSet` and accepting per-query
+candidate restrictions); :mod:`repro.core.quant_index` uses it for the
+uncertified center estimates of continuous-candidate threshold cells.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+import numpy as np
+
+from ..geometry.kernels import as_query_array
 from ..quadrature import adaptive_simpson
 from .nonzero import UncertainSet
 
 
-def continuous_quantification(
-    points: Sequence,
-    q,
-    i: int,
-    tol: float = 1e-8,
-) -> float:
-    """``pi_i(q)`` by quadrature of Eq. (1)."""
-    uset = UncertainSet(points)
-    pi_pt = uset[i]
+def _pi_by_quadrature(uset: UncertainSet, q, i: int, tol: float) -> float:
+    """``pi_i(q)`` for a prebuilt uncertain set (the quadrature core)."""
+    points = uset.points
+    pi_pt = points[i]
     lo = pi_pt.dmin(q)
     hi = pi_pt.dmax(q)
     if hi <= lo:
@@ -66,6 +70,16 @@ def continuous_quantification(
     return min(1.0, max(0.0, total))
 
 
+def continuous_quantification(
+    points: Sequence,
+    q,
+    i: int,
+    tol: float = 1e-8,
+) -> float:
+    """``pi_i(q)`` by quadrature of Eq. (1)."""
+    return _pi_by_quadrature(UncertainSet(points), q, i, tol)
+
+
 def continuous_quantification_all(
     points: Sequence, q, tol: float = 1e-8
 ) -> List[float]:
@@ -73,6 +87,41 @@ def continuous_quantification_all(
     uset = UncertainSet(points)
     nonzero = uset.nonzero_nn(q)
     return [
-        continuous_quantification(points, q, i, tol=tol) if i in nonzero else 0.0
+        _pi_by_quadrature(uset, q, i, tol) if i in nonzero else 0.0
         for i in range(len(points))
     ]
+
+
+def continuous_quantification_many(
+    points: Sequence,
+    qs,
+    tol: float = 1e-8,
+    candidates: Optional[Sequence[Sequence[int]]] = None,
+) -> np.ndarray:
+    """``pi_i(q)`` for every query/point pair, shape ``(m, n)``.
+
+    The batch-capable sweep: the :class:`UncertainSet` (and its Lemma
+    2.1 machinery) is built once and reused across all rows.  With
+    ``candidates`` given (one index sequence per query), only those
+    points are integrated for that row — safe whenever each row's
+    sequence is a superset of ``NN!=0(q)``, since every other point has
+    ``pi_i(q) = 0``; the per-point integrands still see the full set,
+    so the returned probabilities equal the unrestricted sweep.
+    """
+    uset = UncertainSet(points)
+    Q = as_query_array(qs)
+    if candidates is not None and len(candidates) != Q.shape[0]:
+        raise ValueError("candidates must provide one sequence per query")
+    n = len(points)
+    out = np.zeros((Q.shape[0], n), dtype=np.float64)
+    for row in range(Q.shape[0]):
+        q = (float(Q[row, 0]), float(Q[row, 1]))
+        nonzero = uset.nonzero_nn(q)
+        scan = (
+            nonzero
+            if candidates is None
+            else [int(i) for i in candidates[row] if i in nonzero]
+        )
+        for i in scan:
+            out[row, i] = _pi_by_quadrature(uset, q, i, tol)
+    return out

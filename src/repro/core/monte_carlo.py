@@ -156,7 +156,17 @@ class MonteCarloPNN:
                 counts[i] = counts.get(i, 0) + 1
         return {i: c / self.s for i, c in counts.items()}
 
-    def query_matrix(self, qs, planner=None) -> np.ndarray:
+    def query_matrix(
+        self,
+        qs,
+        planner=None,
+        adaptive: bool = False,
+        tol: Optional[float] = None,
+        delta: float = 0.05,
+        min_rounds: int = 16,
+        check_every: int = 16,
+        return_rounds: bool = False,
+    ) -> np.ndarray:
         """``pihat`` estimates for an ``(m, 2)`` query matrix, ``(m, n)``.
 
         The vectorized engine behind :meth:`query_many`: each round's
@@ -171,23 +181,130 @@ class MonteCarloPNN:
         computed (CSR layout, segment argmins) and the estimates are
         identical to the unpruned pass over the same stored
         instantiations.
+
+        ``adaptive=True`` turns on per-query empirical-Bernstein early
+        stopping: rounds are consumed in blocks of ``check_every`` (in
+        the stored order, so the procedure is deterministic), and after
+        each block a query whose estimate-confidence half-width
+
+            ``hw = sqrt(2 Vhat ln(3/delta) / t) + 3 ln(3/delta) / t``
+
+        (``Vhat`` the largest empirical Bernoulli variance
+        ``pihat (1 - pihat)`` over its objects, ``t`` the rounds used so
+        far, at least ``min_rounds``) drops below ``tol`` stops drawing
+        — easy queries far from any quantification boundary finish
+        after a few rounds, hard ones use all ``s``.  Each row of the
+        result is normalised by the rounds that query consumed;
+        ``return_rounds=True`` additionally returns that ``(m,)`` count
+        vector.  With ``adaptive=False`` (default) the exact fixed-``s``
+        behavior of earlier releases is preserved bit for bit.
         """
         Q = kernels.as_query_array(qs)
         m = Q.shape[0]
         n = self._samples.shape[1]
+        if planner is not None and len(planner) != n:
+            raise QueryError("planner was built over a different point set")
+        if adaptive:
+            return self._query_matrix_adaptive(
+                Q, planner, tol, delta, min_rounds, check_every, return_rounds
+            )
         if planner is not None:
-            if len(planner) != n:
-                raise QueryError(
-                    "planner was built over a different point set"
-                )
-            return self._query_matrix_pruned(Q, planner)
+            est = self._query_matrix_pruned(Q, planner)
+            return (est, np.full(m, self.s, dtype=np.intp)) if return_rounds else est
         winners = np.empty((self.s, m), dtype=np.intp)
         for j in range(self.s):
             d2 = kernels.pairwise_sq_distances(Q, self._samples[j])
             winners[j] = d2.argmin(axis=1)
         offsets = winners + np.arange(m, dtype=np.intp)[None, :] * n
         counts = np.bincount(offsets.ravel(), minlength=m * n).reshape(m, n)
-        return counts / float(self.s)
+        est = counts / float(self.s)
+        return (est, np.full(m, self.s, dtype=np.intp)) if return_rounds else est
+
+    def _query_matrix_adaptive(
+        self,
+        Q: np.ndarray,
+        planner,
+        tol: Optional[float],
+        delta: float,
+        min_rounds: int,
+        check_every: int,
+        return_rounds: bool,
+    ):
+        """Blockwise rounds with per-query empirical-Bernstein stopping."""
+        if tol is None or not tol > 0.0:
+            raise QueryError("adaptive stopping requires tol > 0")
+        if not 0.0 < delta < 1.0:
+            raise QueryError("delta must lie in (0, 1)")
+        m = Q.shape[0]
+        n = self._samples.shape[1]
+        min_rounds = max(1, min(int(min_rounds), self.s))
+        check_every = max(1, int(check_every))
+        rounds_used = np.zeros(m, dtype=np.intp)
+        active = np.arange(m, dtype=np.intp)
+        if planner is not None:
+            # CSR candidate layout (and per-pair win counters) built
+            # once; per block only the active queries' segments are
+            # gathered — O(active nnz) work, never an (m, n) rescan.
+            mask = planner.candidate_mask(Q, criterion="support")
+            rows_full, cols_full = np.nonzero(mask)
+            indptr_full = np.searchsorted(rows_full, np.arange(m + 1))
+            pair_counts = np.zeros(rows_full.shape[0], dtype=np.int64)
+        else:
+            counts = np.zeros((m, n), dtype=np.int64)
+        sx = np.ascontiguousarray(self._samples[:, :, 0])
+        sy = np.ascontiguousarray(self._samples[:, :, 1])
+        L = math.log(3.0 / delta)
+        t = 0
+        while t < self.s and active.size:
+            # First block runs straight to min_rounds (the first stopping
+            # check), then one check per check_every rounds.
+            t1 = min(self.s, min_rounds if t < min_rounds else t + check_every)
+            Qa = Q[active]
+            if planner is None:
+                for j in range(t, t1):
+                    d2 = kernels.pairwise_sq_distances(Qa, self._samples[j])
+                    counts[active, d2.argmin(axis=1)] += 1
+            else:
+                gather, lens = kernels.csr_segment_gather(indptr_full, active)
+                nnz = gather.shape[0]
+                cols = cols_full[gather]
+                rows = np.repeat(np.arange(active.size, dtype=np.intp), lens)
+                indptr = np.concatenate(([0], np.cumsum(lens)[:-1])).astype(
+                    np.intp
+                )
+                qx = Qa[rows, 0]
+                qy = Qa[rows, 1]
+                pair_pos = np.arange(nnz, dtype=np.intp)
+                for j in range(t, t1):
+                    dx = qx - sx[j, cols]
+                    dy = qy - sy[j, cols]
+                    d2 = dx * dx + dy * dy
+                    minv = np.minimum.reduceat(d2, indptr)
+                    pos = np.where(d2 == minv[rows], pair_pos, nnz)
+                    pair_counts[gather[np.minimum.reduceat(pos, indptr)]] += 1
+            rounds_used[active] += t1 - t
+            t = t1
+            if t >= min_rounds:
+                # Empirical-Bernstein half-width from the largest
+                # per-object Bernoulli variance c (t - c) / t^2; objects
+                # that never won (every non-candidate) contribute 0.
+                if planner is None:
+                    c = counts[active]
+                    v = (c * (t - c)).max(axis=1) / float(t) ** 2
+                else:
+                    cv = pair_counts[gather]
+                    v = (
+                        np.maximum.reduceat(cv * (t - cv), indptr)
+                        if nnz
+                        else np.zeros(active.size, dtype=np.int64)
+                    ) / float(t) ** 2
+                hw = np.sqrt(2.0 * v * L / t) + 3.0 * L / t
+                active = active[hw >= tol]
+        if planner is not None:
+            counts = np.zeros((m, n), dtype=np.int64)
+            counts[rows_full, cols_full] = pair_counts
+        est = counts / np.maximum(rounds_used, 1).astype(np.float64)[:, None]
+        return (est, rounds_used) if return_rounds else est
 
     def _query_matrix_pruned(self, Q: np.ndarray, planner) -> np.ndarray:
         """Candidate-only rounds over the shared ``(s, n, 2)`` array.
@@ -225,11 +342,22 @@ class MonteCarloPNN:
         counts = np.bincount(offsets.ravel(), minlength=m * n).reshape(m, n)
         return counts / float(self.s)
 
-    def query_many(self, qs, planner=None) -> List[Dict[int, float]]:
+    def query_many(
+        self,
+        qs,
+        planner=None,
+        adaptive: bool = False,
+        tol: Optional[float] = None,
+        delta: float = 0.05,
+    ) -> List[Dict[int, float]]:
         """Batched :meth:`query`: one sparse ``{i: pihat_i}`` dict per row
         of the ``(m, 2)`` query matrix.  ``planner`` routes through the
-        pruned candidate engine (identical estimates)."""
-        est = self.query_matrix(qs, planner=planner)
+        pruned candidate engine (identical estimates); ``adaptive`` /
+        ``tol`` turn on empirical-Bernstein early stopping (see
+        :meth:`query_matrix`)."""
+        est = self.query_matrix(
+            qs, planner=planner, adaptive=adaptive, tol=tol, delta=delta
+        )
         out: List[Dict[int, float]] = []
         for row in est:
             nz = np.nonzero(row)[0]

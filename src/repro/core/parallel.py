@@ -1,0 +1,84 @@
+"""Deterministic tile fan-out over ``concurrent.futures`` backends.
+
+The tiled execution engine (:mod:`repro.core.planner`) splits a query
+batch into independent row tiles; this module runs the per-tile work
+either serially, across a thread pool (NumPy kernels release the GIL,
+so bound passes overlap), or across a process pool (requires the tile
+function to be picklable).  Whatever the backend, results are assembled
+**by tile index**, so answers are bit-identical to the serial order —
+parallelism never changes an answer, only the wall clock.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..config import EXECUTION
+from ..errors import QueryError
+
+__all__ = ["map_tiles", "resolve_workers", "tile_ranges"]
+
+T = TypeVar("T")
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: the explicit value, else config, else CPU count."""
+    if workers is None:
+        workers = EXECUTION.parallel_workers
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def tile_ranges(m: int, rows_per_tile: int) -> List[Tuple[int, int]]:
+    """Half-open row ranges ``[(lo, hi), ...]`` covering ``m`` rows.
+
+    ``m == 0`` yields a single empty range so callers still produce a
+    (zero-row) result block of the right type.
+    """
+    rows = max(1, int(rows_per_tile))
+    if m <= 0:
+        return [(0, 0)]
+    return [(lo, min(lo + rows, m)) for lo in range(0, m, rows)]
+
+
+def map_tiles(
+    fn: Callable[[int, int], T],
+    tiles: Sequence[Tuple[int, int]],
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> List[T]:
+    """``[fn(lo, hi) for (lo, hi) in tiles]`` under the chosen backend.
+
+    ``backend=None`` reads :data:`repro.config.EXECUTION`.  The output
+    list is ordered by tile position regardless of completion order, so
+    all backends are interchangeable.  The process backend requires
+    ``fn`` (and everything it closes over) to be picklable; the planner
+    therefore defaults to threads for its model-object workloads.
+    """
+    if backend is None:
+        backend = EXECUTION.parallel_backend
+    if backend not in _BACKENDS:
+        raise QueryError(
+            f"unknown parallel backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    n_workers = resolve_workers(workers)
+    if backend == "serial" or n_workers == 1 or len(tiles) <= 1:
+        return [fn(lo, hi) for lo, hi in tiles]
+    pool_cls = (
+        concurrent.futures.ThreadPoolExecutor
+        if backend == "thread"
+        else concurrent.futures.ProcessPoolExecutor
+    )
+    results: List[T] = [None] * len(tiles)  # type: ignore[list-item]
+    with pool_cls(max_workers=min(n_workers, len(tiles))) as pool:
+        futures = {
+            pool.submit(fn, lo, hi): i for i, (lo, hi) in enumerate(tiles)
+        }
+        for fut in concurrent.futures.as_completed(futures):
+            results[futures[fut]] = fut.result()
+    return results

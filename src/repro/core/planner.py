@@ -1,4 +1,4 @@
-"""The prune-then-evaluate query planner.
+"""The three-tier query planner: exact / pruned / approx.
 
 Every exact structure in this library admits the same pruning argument:
 an object ``P_i`` cannot be the (probable / expected / nonzero) nearest
@@ -17,9 +17,40 @@ identical to the unpruned paths:
   Lemma 2.1 the minimum (and decisive second minimum) of the ``dmax``
   row is always attained at a candidate.
 
-Candidate generation runs either as one flat vectorized pass over the
-``(m, n)`` bound matrices (default for moderate ``n``) or through a
-bulk-loaded leaf grouping over the SoA bboxes (STR tiles or
+Tiered execution
+----------------
+The answer-producing methods take ``tier=``:
+
+``"pruned"`` (default)
+    Prune-then-evaluate, exactly identical to the unpruned answers.
+``"exact"``
+    Skip pruning; evaluate every object (the cross-check tier).
+``"approx"``
+    Point location in a lazily built
+    :class:`repro.core.quant_index.QuantizedEnvelopeIndex` (pass
+    ``eps=``, optionally ``rel=``): certified ε-approximate answers in
+    O(log) per query, with the index's exact-fallback rows transparently
+    resolved by the pruned tier.
+
+Tiled execution
+---------------
+The exact and pruned tiers never materialize ``(m, n)`` floating-point
+matrices.  Queries are processed in row tiles sized from
+``config.EXECUTION.tile_bytes`` (so the bound pass's simultaneous
+``(rows, n)`` float64 temporaries fit the configured budget — the
+default keeps a tile inside a cache slice), and the tiles can be fanned
+out across cores by :func:`repro.core.parallel.map_tiles`
+(``parallel_backend="thread"``; results are assembled in tile order, so
+parallel answers are bit-identical to serial — the ``"process"``
+backend serves picklable workloads through ``map_tiles`` directly, and
+the planner rejects it since its tile closures hold model objects).  A
+single
+scalar-style query is exactly one tile and allocates only ``(1, n)``
+rows — no full-matrix staging, no copies.
+
+Within a tile, candidate generation runs either as one vectorized pass
+over the ``(rows, n)`` bound matrices (default for moderate ``n``) or
+through a bulk-loaded leaf grouping over the SoA bboxes (STR tiles or
 ``np.argpartition`` kd splits from :mod:`repro.index.bulk` — no
 recursive pointer builds), which prunes whole groups before touching
 their members.
@@ -31,10 +62,12 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..config import EXECUTION
 from ..errors import QueryError
 from ..geometry import kernels
 from ..index.bulk import group_bboxes, kd_leaves, str_leaves
 from ..uncertain.columns import ModelColumns
+from . import parallel as _parallel
 from .nonzero import nonzero_from_matrices
 from .quantification import quantification_probabilities
 
@@ -44,13 +77,20 @@ __all__ = ["QueryPlanner"]
 #: few ulps above its true value can never discard a genuine candidate.
 _CUTOFF_SLACK = 1.0 + 1e-12
 
-#: ``method="auto"`` uses the flat (m, n) pass up to this many objects
+#: ``method="auto"`` uses the flat (rows, n) pass up to this many objects
 #: and the grouped leaf prune beyond it.
 _AUTO_GROUP_THRESHOLD = 4096
 
+#: Peak float64 working-set bytes per (query, object) pair in a tile's
+#: bound-plus-evaluate pass (lb/ub/center-distance temporaries in the
+#: kernels, plus the evaluator's value matrix): 8 simultaneous arrays.
+_BYTES_PER_PAIR = 64
+
+_TIERS = ("exact", "pruned", "approx")
+
 
 class QueryPlanner:
-    """Prune-then-evaluate planner over a fixed uncertain point set.
+    """Three-tier (exact / pruned / approx) planner over a fixed set.
 
     Parameters
     ----------
@@ -60,12 +100,15 @@ class QueryPlanner:
         Optional precomputed :class:`ModelColumns` for ``points`` (built
         once here when omitted).
     method:
-        ``"flat"`` — one vectorized pass over the full ``(m, n)`` bound
-        matrices; ``"kdtree"`` / ``"rtree"`` — group objects into bulk
-        leaves (argpartition kd splits / STR tiles) and prune whole
+        ``"flat"`` — one vectorized pass over the tile's ``(rows, n)``
+        bound matrices; ``"kdtree"`` / ``"rtree"`` — group objects into
+        bulk leaves (argpartition kd splits / STR tiles) and prune whole
         groups first; ``"auto"`` picks flat for moderate ``n``.
     leaf_size:
         Group capacity for the tree methods.
+    tile_bytes / parallel_backend / parallel_workers:
+        Per-planner overrides of :data:`repro.config.EXECUTION` (``None``
+        reads the live config at call time).
     """
 
     def __init__(
@@ -74,6 +117,9 @@ class QueryPlanner:
         columns: Optional[ModelColumns] = None,
         method: str = "auto",
         leaf_size: int = 32,
+        tile_bytes: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
+        parallel_workers: Optional[int] = None,
     ):
         self.points = list(points)
         if not self.points:
@@ -89,11 +135,74 @@ class QueryPlanner:
             )
         self.method = method
         self.leaf_size = int(leaf_size)
+        self.tile_bytes = tile_bytes
+        self.parallel_backend = parallel_backend
+        self.parallel_workers = parallel_workers
         self._leaves: Optional[List[np.ndarray]] = None
         self._leaf_bboxes: Optional[np.ndarray] = None
+        self._approx_cache: Dict[Tuple[float, float, str], object] = {}
 
     def __len__(self) -> int:
         return len(self.points)
+
+    # -- tiled execution -----------------------------------------------------
+    def _tile_rows(self) -> int:
+        tb = self.tile_bytes if self.tile_bytes is not None else EXECUTION.tile_bytes
+        return max(1, int(tb) // max(len(self.points) * _BYTES_PER_PAIR, 1))
+
+    def _run_tiles(self, m: int, fn) -> List:
+        """``fn(lo, hi)`` over cache-sized row tiles, optionally fanned
+        out across workers; results in tile order."""
+        backend = (
+            self.parallel_backend
+            if self.parallel_backend is not None
+            else EXECUTION.parallel_backend
+        )
+        if backend == "process":
+            # Planner tile functions close over the planner (model
+            # objects, bound state) and are not picklable; a process
+            # pool would die inside the workers with an opaque error.
+            raise QueryError(
+                "the planner's tile functions are not picklable; use "
+                "parallel_backend='thread' (the process backend serves "
+                "picklable workloads via repro.core.parallel.map_tiles)"
+            )
+        if self.method != "flat":
+            # Materialize the lazily built leaf grouping before tiles
+            # fan out, so concurrent tile closures only read shared
+            # state (a half-initialized _groups() would race).
+            self._groups()
+        tiles = _parallel.tile_ranges(m, self._tile_rows())
+        return _parallel.map_tiles(
+            fn,
+            tiles,
+            backend=backend,
+            workers=self.parallel_workers,
+        )
+
+    @staticmethod
+    def _check_tier(tier: str, eps: Optional[float]) -> None:
+        if tier not in _TIERS:
+            raise QueryError(f"unknown planner tier {tier!r}; expected {_TIERS}")
+        if tier == "approx" and eps is None:
+            raise QueryError("the approx tier requires eps")
+
+    def approx_index(self, eps: float, rel: float = 0.0, criterion: str = "expected"):
+        """The lazily built (and cached)
+        :class:`~repro.core.quant_index.QuantizedEnvelopeIndex` behind
+        ``tier="approx"`` — one per ``(eps, rel, criterion)``."""
+        from .quant_index import QuantizedEnvelopeIndex
+
+        key = (float(eps), float(rel), criterion)
+        if key not in self._approx_cache:
+            self._approx_cache[key] = QuantizedEnvelopeIndex(
+                self.points,
+                eps=eps,
+                rel=rel,
+                criterion=criterion,
+                columns=self.columns,
+            )
+        return self._approx_cache[key]
 
     # -- candidate generation ------------------------------------------------
     def _groups(self) -> Tuple[List[np.ndarray], np.ndarray]:
@@ -114,6 +223,14 @@ class QueryPlanner:
             return self.columns.expected_bounds_many(Qsub, members=members)
         return self.columns.envelope_bounds_many(Qsub, members=members)
 
+    def _mask_block(self, Q: np.ndarray, k: int, criterion: str) -> np.ndarray:
+        """The boolean candidate mask of one query tile."""
+        if self.method == "flat" or Q.shape[0] == 0:
+            lb, ub = self._member_bounds(Q, None, criterion)
+            cutoff = self._kth_smallest(ub, k) * _CUTOFF_SLACK
+            return lb <= cutoff[:, None]
+        return self._grouped_mask(Q, k, criterion)
+
     def candidate_mask(
         self, qs, k: int = 1, criterion: str = "support"
     ) -> np.ndarray:
@@ -124,17 +241,20 @@ class QueryPlanner:
         is the nearest-neighbor test ``dmin <= min dmax``); ``criterion``
         selects the support (``dmin``/``dmax``) or expected-distance
         bracket.  Every query keeps at least ``k`` candidates.
+
+        Computed tile by tile: only the boolean mask spans the full
+        batch; the float64 bound temporaries stay O(tile).  A one-row
+        query is a single tile returned as-is (no staging copies).
         """
         Q = kernels.as_query_array(qs)
         n = len(self.points)
         k = min(max(int(k), 1), n)
         if criterion not in ("support", "expected"):
             raise QueryError(f"unknown pruning criterion {criterion!r}")
-        if self.method == "flat" or Q.shape[0] == 0:
-            lb, ub = self._member_bounds(Q, None, criterion)
-            cutoff = self._kth_smallest(ub, k) * _CUTOFF_SLACK
-            return lb <= cutoff[:, None]
-        return self._grouped_mask(Q, k, criterion)
+        blocks = self._run_tiles(
+            Q.shape[0], lambda lo, hi: self._mask_block(Q[lo:hi], k, criterion)
+        )
+        return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
 
     @staticmethod
     def _kth_smallest(values: np.ndarray, k: int) -> np.ndarray:
@@ -187,60 +307,185 @@ class QueryPlanner:
         mask = self.candidate_mask(qs, k=k, criterion=criterion)
         return [np.flatnonzero(row) for row in mask]
 
-    # -- pruned dispatch -----------------------------------------------------
-    def nonzero_nn_many(self, qs) -> List[FrozenSet[int]]:
-        """Pruned Lemma 2.1: identical to
-        :meth:`repro.UncertainSet.nonzero_nn_many`, evaluating exact
-        ``dmin``/``dmax`` only on survivors."""
-        Q = kernels.as_query_array(qs)
-        mask = self.candidate_mask(Q, criterion="support")
-        m, n = mask.shape
-        dmins = np.full((m, n), np.inf)
-        dmaxs = np.full((m, n), np.inf)
-        for i, p in enumerate(self.points):
+    # -- tiled evaluation blocks ---------------------------------------------
+    def _expected_block(
+        self, Q: np.ndarray, tier: str, k: int = 1
+    ) -> np.ndarray:
+        """The tile's ``(rows, n)`` expectation matrix: survivors only
+        for the pruned tier (``+inf`` elsewhere), everyone for exact."""
+        n = len(self.points)
+        mt = Q.shape[0]
+        E = np.full((mt, n), np.inf)
+        if tier == "exact":
+            for i, p in enumerate(self.points):
+                E[:, i] = p.expected_distance_many(Q)
+            return E
+        mask = self._mask_block(Q, k, "expected")
+        for i in np.flatnonzero(mask.any(axis=0)):
             rows = np.flatnonzero(mask[:, i])
-            if rows.size:
-                dmins[rows, i] = p.dmin_many(Q[rows])
-                dmaxs[rows, i] = p.dmax_many(Q[rows])
-        return nonzero_from_matrices(dmins, dmaxs)
-
-    def expected_nn_many(self, qs) -> Tuple[np.ndarray, np.ndarray]:
-        """Pruned expected-distance NN: ``(winner indices, values)``,
-        identical to the full ``expected_distance_matrix`` argmin."""
-        E = self.expected_distance_matrix(qs)
-        arg = E.argmin(axis=1)
-        return arg, E[np.arange(E.shape[0]), arg]
-
-    def expected_distance_matrix(self, qs, k: int = 1) -> np.ndarray:
-        """``E[d(q, P_i)]`` on survivors, ``+inf`` on pruned pairs."""
-        Q = kernels.as_query_array(qs)
-        mask = self.candidate_mask(Q, k=k, criterion="expected")
-        m, n = mask.shape
-        E = np.full((m, n), np.inf)
-        for i, p in enumerate(self.points):
-            rows = np.flatnonzero(mask[:, i])
-            if rows.size:
-                E[rows, i] = p.expected_distance_many(Q[rows])
+            E[rows, i] = self.points[i].expected_distance_many(Q[rows])
         return E
 
-    def expected_knn_many(self, qs, k: int) -> np.ndarray:
-        """Pruned expected-distance kNN ranking, ``(m, k)`` indices."""
+    def _nonzero_block(self, Q: np.ndarray, tier: str) -> List[FrozenSet[int]]:
+        n = len(self.points)
+        mt = Q.shape[0]
+        dmins = np.full((mt, n), np.inf)
+        dmaxs = np.full((mt, n), np.inf)
+        if tier == "exact":
+            for i, p in enumerate(self.points):
+                dmins[:, i] = p.dmin_many(Q)
+                dmaxs[:, i] = p.dmax_many(Q)
+        else:
+            mask = self._mask_block(Q, 1, "support")
+            for i in np.flatnonzero(mask.any(axis=0)):
+                rows = np.flatnonzero(mask[:, i])
+                dmins[rows, i] = self.points[i].dmin_many(Q[rows])
+                dmaxs[rows, i] = self.points[i].dmax_many(Q[rows])
+        return nonzero_from_matrices(dmins, dmaxs)
+
+    # -- dispatch ------------------------------------------------------------
+    def nonzero_nn_many(
+        self, qs, tier: str = "pruned", eps: Optional[float] = None, rel: float = 0.0
+    ) -> List[FrozenSet[int]]:
+        """``NN!=0(q)`` (Lemma 2.1) per query row.
+
+        ``exact`` and ``pruned`` are identical to
+        :meth:`repro.UncertainSet.nonzero_nn_many`; ``approx`` returns
+        the quantized index's ε-relaxed sets (exact on settled cells)
+        with its fallback rows resolved by the pruned tier.
+        """
+        self._check_tier(tier, eps)
+        Q = kernels.as_query_array(qs)
+        if tier == "approx":
+            ans = self.approx_index(eps, rel, "support").nonzero_nn_many(Q)
+            out = list(ans.sets)
+            rows = np.flatnonzero(ans.fallback)
+            if rows.size:
+                resolved = self.nonzero_nn_many(Q[rows], tier="pruned")
+                for r, s in zip(rows, resolved):
+                    out[r] = s
+            return out
+        blocks = self._run_tiles(
+            Q.shape[0], lambda lo, hi: self._nonzero_block(Q[lo:hi], tier)
+        )
+        return [s for block in blocks for s in block]
+
+    def expected_nn_many(
+        self, qs, tier: str = "pruned", eps: Optional[float] = None, rel: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Expected-distance NN winners: ``(indices, values)``.
+
+        ``exact`` and ``pruned`` return identical winners and values
+        (the full ``expected_distance_matrix`` argmin); ``approx``
+        returns ε-certified winners/values from the quantized envelope
+        (fallback rows resolved by the pruned tier).
+        """
+        self._check_tier(tier, eps)
+        Q = kernels.as_query_array(qs)
+        if tier == "approx":
+            ans = self.approx_index(eps, rel, "expected").expected_nn_many(Q)
+            winners = ans.winners.copy()
+            values = ans.values.copy()
+            rows = np.flatnonzero(ans.fallback)
+            if rows.size:
+                wi, vv = self.expected_nn_many(Q[rows], tier="pruned")
+                winners[rows] = wi
+                values[rows] = vv
+            return winners, values
+
+        def run(lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+            E = self._expected_block(Q[lo:hi], tier)
+            arg = E.argmin(axis=1) if E.shape[0] else np.zeros(0, dtype=np.intp)
+            return arg, E[np.arange(E.shape[0]), arg]
+
+        blocks = self._run_tiles(Q.shape[0], run)
+        if len(blocks) == 1:
+            return blocks[0]
+        return (
+            np.concatenate([b[0] for b in blocks]),
+            np.concatenate([b[1] for b in blocks]),
+        )
+
+    def expected_distance_matrix(
+        self, qs, k: int = 1, tier: str = "pruned"
+    ) -> np.ndarray:
+        """``E[d(q, P_i)]`` on survivors, ``+inf`` on pruned pairs.
+
+        The ``(m, n)`` output is the requested product here; it is still
+        filled tile by tile so no *additional* full-size temporaries are
+        staged.
+        """
+        if tier == "approx":
+            raise QueryError("expected_distance_matrix has no approx tier")
+        self._check_tier(tier, None)
+        Q = kernels.as_query_array(qs)
+        blocks = self._run_tiles(
+            Q.shape[0], lambda lo, hi: self._expected_block(Q[lo:hi], tier, k)
+        )
+        return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+
+    def expected_knn_many(
+        self, qs, k: int, tier: str = "pruned"
+    ) -> np.ndarray:
+        """Expected-distance kNN ranking, ``(m, k)`` indices."""
         n = len(self.points)
         if not 1 <= k <= n:
             raise QueryError(f"k must lie in [1, {n}]")
-        E = self.expected_distance_matrix(qs, k=k)
-        return np.argsort(E, axis=1, kind="stable")[:, :k]
+        if tier == "approx":
+            raise QueryError("expected_knn_many has no approx tier")
+        self._check_tier(tier, None)
+        Q = kernels.as_query_array(qs)
 
-    def threshold_nn_exact_many(self, qs, tau: float) -> List[Dict[int, float]]:
-        """Pruned exact threshold queries ([DYM+05] semantics).
+        def run(lo: int, hi: int) -> np.ndarray:
+            E = self._expected_block(Q[lo:hi], tier, k)
+            return np.argsort(E, axis=1, kind="stable")[:, :k]
+
+        blocks = self._run_tiles(Q.shape[0], run)
+        return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+
+    def threshold_nn_exact_many(
+        self,
+        qs,
+        tau: float,
+        tier: str = "pruned",
+        eps: Optional[float] = None,
+        rel: float = 0.0,
+    ) -> List[Dict[int, float]]:
+        """Exact threshold queries ([DYM+05] semantics).
 
         Only survivors can have ``pi_i(q) > 0`` and the realized NN is
         always a survivor, so the Eq. (2) sweep over the candidate
-        subset returns the same probabilities as the full sweep.
+        subset returns the same probabilities as the full sweep.  The
+        ``approx`` tier answers certified rows from the quantized index
+        (settled cells report their certain winner with probability
+        exactly ``1.0``) and sweeps only the fallback rows: the answer
+        *sets* equal the pruned tier's, and the probabilities agree up
+        to the sweep's float accumulation (which can land a certain
+        winner at ``1.0 ± a few ulps``).
         """
         if not 0.0 <= tau < 1.0:
             raise QueryError("tau must lie in [0, 1)")
+        self._check_tier(tier, eps)
         Q = kernels.as_query_array(qs)
+        if tier == "approx":
+            ans = self.approx_index(eps, rel, "support").threshold_nn_many(
+                Q, tau
+            )
+            out = list(ans.answers)
+            rows = np.flatnonzero(ans.fallback)
+            if rows.size:
+                resolved = self.threshold_nn_exact_many(
+                    Q[rows], tau, tier="pruned"
+                )
+                for r, d in zip(rows, resolved):
+                    out[r] = d
+            return out
+        if tier == "exact":
+            out = []
+            for q in Q:
+                pi = quantification_probabilities(self.points, tuple(q))
+                out.append({i: v for i, v in enumerate(pi) if v > tau})
+            return out
         lists = self.candidate_lists(Q, criterion="support")
         out: List[Dict[int, float]] = []
         for q, idx in zip(Q, lists):

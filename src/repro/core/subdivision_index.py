@@ -53,6 +53,26 @@ class PersistentNonzeroIndex:
             return self.diagram.query_exact(q)
         return label
 
+    def query_many(self, qs) -> List[FrozenSet[int]]:
+        """Batched :meth:`query`: one vectorized point-location pass,
+        persistent labels retrieved once per distinct cycle, and the
+        exact oracle only for rows the locator cannot settle."""
+        from ..geometry.kernels import as_query_array
+
+        Q = as_query_array(qs)
+        cids = self.locator.locate_cycle_many(Q)
+        cache = {}
+        out: List[FrozenSet[int]] = []
+        for row, cid in enumerate(cids):
+            cid = int(cid)
+            if cid not in cache:
+                cache[cid] = self.store.get(cid) if cid >= 0 else None
+            label = cache[cid]
+            if not label:
+                label = self.diagram.query_exact(tuple(Q[row]))
+            out.append(label)
+        return out
+
     def space_statistics(self) -> dict:
         """Storage comparison: persistent deltas vs explicit label sets."""
         explicit = sum(len(s) for s in (self.diagram.labels or []) if s)

@@ -124,7 +124,9 @@ def lens_area(c1: Circle, c2: Circle) -> float:
     r1, r2 = c1.radius, c2.radius
     if d >= r1 + r2:
         return 0.0
-    if d <= abs(r1 - r2):
+    if d <= abs(r1 - r2) or 2.0 * d * min(r1, r2) == 0.0:
+        # Contained — including centers a subnormal apart, where the
+        # law-of-cosines denominator underflows to zero.
         rmin = min(r1, r2)
         return math.pi * rmin * rmin
     # Standard two-circular-segment formula.

@@ -31,6 +31,7 @@ import numpy as np
 __all__ = [
     "as_query_array",
     "as_rect_array",
+    "csr_segment_gather",
     "pairwise_sq_distances",
     "pairwise_distances",
     "rect_mindist",
@@ -79,6 +80,36 @@ def as_rect_array(rects) -> np.ndarray:
     if arr.ndim != 2 or arr.shape[1] != 4:
         raise ValueError(f"rect array of shape {arr.shape}; expected (k, 4)")
     return arr
+
+
+# -- CSR segment gathers -----------------------------------------------------
+
+def csr_segment_gather(
+    indptr: np.ndarray, cells, copies: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat gather indices for CSR segments, fully vectorized.
+
+    For each ``c`` in ``cells`` (repeated ``copies`` times
+    consecutively), emits the index run ``indptr[c] .. indptr[c+1]``;
+    the concatenation selects those segments from any array laid out by
+    ``indptr``.  Returns ``(gather, lens)`` — the flat index array and
+    the per-run segment lengths.  Shared by the quantized-envelope
+    builder and the adaptive Monte-Carlo engine, which subset candidate
+    CSR layouts per refinement level / per active-query block.
+    """
+    indptr = np.asarray(indptr)
+    cells = np.asarray(cells, dtype=np.intp)
+    lens = indptr[cells + 1] - indptr[cells]
+    starts = indptr[cells]
+    if copies > 1:
+        lens = np.repeat(lens, copies)
+        starts = np.repeat(starts, copies)
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp), lens
+    run_starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    off = np.arange(total, dtype=np.intp) - np.repeat(run_starts, lens)
+    return np.repeat(starts, lens) + off, lens
 
 
 # -- distances ---------------------------------------------------------------
@@ -157,8 +188,12 @@ def lens_area_many(d, r1, r2) -> np.ndarray:
     r2 = np.broadcast_to(np.asarray(r2, dtype=np.float64), d.shape)
     rmin = np.minimum(r1, r2)
     full = np.pi * rmin * rmin
-    out = np.where(d <= np.abs(r1 - r2), full, 0.0)
-    partial = (d < r1 + r2) & (d > np.abs(r1 - r2))
+    # Contained covers centers a subnormal apart, where the
+    # law-of-cosines denominator underflows to zero (see the scalar
+    # lens_area).
+    degenerate = 2.0 * d * rmin == 0.0
+    out = np.where((d <= np.abs(r1 - r2)) | ((d < r1 + r2) & degenerate), full, 0.0)
+    partial = (d < r1 + r2) & (d > np.abs(r1 - r2)) & ~degenerate
     if np.any(partial):
         dd = d[partial]
         a = r1[partial]

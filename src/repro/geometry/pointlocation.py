@@ -19,6 +19,8 @@ import bisect
 import math
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import QueryError
 from .dcel import PlanarSubdivision
 
@@ -31,6 +33,7 @@ class SlabLocator:
 
     def __init__(self, sub: PlanarSubdivision):
         self.sub = sub
+        self._batch = None  # lazy arrays for locate_cycle_many
         xs = sorted(set(v[0] for v in sub.vertices))
         self.slab_x: List[float] = xs
         # For each slab i (between xs[i] and xs[i+1]) keep edges crossing it,
@@ -113,6 +116,99 @@ class SlabLocator:
         e = entries[lo - 1][1]
         return self.sub.cycle_of[self._above_halfedge(e)]
 
+    # -- batched point location ----------------------------------------------
+    def _batch_arrays(self):
+        """Flattened CSR view of the slab structure for the vectorized
+        locator (built lazily on the first ``locate_cycle_many``)."""
+        if self._batch is None:
+            counts = np.asarray([len(s) for s in self.slabs], dtype=np.intp)
+            offsets = np.concatenate(
+                ([0], np.cumsum(counts))
+            ).astype(np.intp)
+            eids = np.fromiter(
+                (e for slab in self.slabs for (_, e) in slab),
+                dtype=np.intp,
+                count=int(counts.sum()),
+            )
+            V = np.asarray(self.sub.vertices, dtype=np.float64).reshape(-1, 2)
+            E = np.asarray(self.sub.edges, dtype=np.intp).reshape(-1, 2)
+            ex1 = V[E[:, 0], 0] if len(E) else np.zeros(0)
+            ey1 = V[E[:, 0], 1] if len(E) else np.zeros(0)
+            ex2 = V[E[:, 1], 0] if len(E) else np.zeros(0)
+            ey2 = V[E[:, 1], 1] if len(E) else np.zeros(0)
+            above = np.full(len(E), -1, dtype=np.intp)
+            for e in range(len(E)):
+                if ex1[e] != ex2[e]:  # vertical edges never enter a slab
+                    above[e] = self.sub.cycle_of[self._above_halfedge(e)]
+            self._batch = (
+                np.asarray(self.slab_x, dtype=np.float64),
+                counts,
+                offsets,
+                eids,
+                ex1,
+                ey1,
+                ex2,
+                ey2,
+                above,
+            )
+        return self._batch
+
+    def locate_cycle_many(self, Q) -> np.ndarray:
+        """Vectorized :meth:`locate_cycle` over an ``(m, 2)`` query array.
+
+        Returns an ``(m,)`` integer array of cycle ids with ``-1``
+        standing for the scalar method's ``None`` (outside the x-range,
+        empty slab, or below/above every edge of the slab).  The slab
+        search, the y binary search and the edge interpolation evaluate
+        the same expressions as the scalar path, so the two locators
+        agree exactly (including on-edge ties).
+        """
+        from .kernels import as_query_array
+
+        Q = as_query_array(Q)
+        m = Q.shape[0]
+        out = np.full(m, -1, dtype=np.intp)
+        xs, counts, offsets, eids, ex1, ey1, ex2, ey2, above = (
+            self._batch_arrays()
+        )
+        if xs.shape[0] == 0 or m == 0:
+            return out
+        x = Q[:, 0]
+        y = Q[:, 1]
+        inside = (x >= xs[0]) & (x <= xs[-1])
+        s = np.searchsorted(xs, x, side="right") - 1
+        np.clip(s, 0, max(len(self.slabs) - 1, 0), out=s)
+        idx = np.flatnonzero(inside & (len(self.slabs) > 0))
+        if idx.size == 0:
+            return out
+        cnt = counts[s[idx]]
+        idx = idx[cnt > 0]
+        if idx.size == 0:
+            return out
+        base = offsets[s[idx]]
+        cnt = counts[s[idx]]
+        qx = x[idx]
+        qy = y[idx]
+        lo = np.zeros(idx.size, dtype=np.intp)
+        hi = cnt.copy()
+        # Masked binary search: every live lane halves per iteration.
+        for _ in range(int(np.ceil(np.log2(max(int(cnt.max()), 1) + 1))) + 1):
+            live = lo < hi
+            if not live.any():
+                break
+            mid = np.where(live, (lo + hi) // 2, 0)
+            e = eids[base + mid]
+            t = (qx - ex1[e]) / (ex2[e] - ex1[e])
+            ym = ey1[e] + t * (ey2[e] - ey1[e])
+            go_up = live & (ym <= qy)
+            lo = np.where(go_up, mid + 1, lo)
+            hi = np.where(live & ~go_up, mid, hi)
+        hit = (lo > 0) & (lo < cnt)
+        if hit.any():
+            e = eids[base[hit] + lo[hit] - 1]
+            out[idx[hit]] = above[e]
+        return out
+
 
 class LabelledSubdivision:
     """A subdivision + point location + per-cycle labels.
@@ -134,3 +230,17 @@ class LabelledSubdivision:
             return self.outside_label
         label = self.labels[cid]
         return self.outside_label if label is None else label
+
+    def query_many(self, Q) -> List:
+        """Batched :meth:`query`: one label per row of ``(m, 2)`` queries,
+        located with one vectorized pass of
+        :meth:`SlabLocator.locate_cycle_many`."""
+        cids = self.locator.locate_cycle_many(Q)
+        out = []
+        for cid in cids:
+            if cid < 0:
+                out.append(self.outside_label)
+                continue
+            label = self.labels[cid]
+            out.append(self.outside_label if label is None else label)
+        return out

@@ -1,0 +1,91 @@
+"""Adaptive (empirical-Bernstein) early stopping for Monte-Carlo PNN."""
+
+import numpy as np
+import pytest
+
+from repro import MonteCarloPNN, QueryPlanner, batch
+from repro.constructions import (
+    cluster_centers,
+    clustered_discrete_points,
+    clustered_queries,
+)
+from repro.errors import QueryError
+
+
+def _workload(n=120, m=80, s=128):
+    centers = cluster_centers(5, seed=50, box=150.0)
+    points = clustered_discrete_points(n, k=3, centers=centers, seed=51)
+    Q = np.asarray(clustered_queries(m, centers=centers, seed=52))
+    return points, Q, MonteCarloPNN(points, s=s, rng=7)
+
+
+class TestAdaptiveStopping:
+    def test_non_adaptive_default_unchanged(self):
+        points, Q, mc = _workload()
+        est = mc.query_matrix(Q)
+        est2, rounds = mc.query_matrix(Q, return_rounds=True)
+        assert np.array_equal(est, est2)
+        assert (rounds == mc.s).all()
+
+    def test_huge_tol_stops_at_min_rounds(self):
+        _, Q, mc = _workload()
+        est, rounds = mc.query_matrix(
+            Q, adaptive=True, tol=100.0, min_rounds=8, return_rounds=True
+        )
+        assert (rounds == 8).all()
+        assert np.allclose(est.sum(axis=1), 1.0)
+
+    def test_tiny_tol_runs_all_rounds_and_matches_exact(self):
+        _, Q, mc = _workload()
+        full = mc.query_matrix(Q)
+        est, rounds = mc.query_matrix(
+            Q, adaptive=True, tol=1e-9, return_rounds=True
+        )
+        assert (rounds == mc.s).all()
+        assert np.array_equal(est, full)
+
+    def test_pruned_adaptive_identical_to_unpruned_adaptive(self):
+        points, Q, mc = _workload()
+        planner = QueryPlanner(points)
+        a, ra = mc.query_matrix(
+            Q, adaptive=True, tol=0.15, return_rounds=True
+        )
+        b, rb = mc.query_matrix(
+            Q, planner=planner, adaptive=True, tol=0.15, return_rounds=True
+        )
+        assert np.array_equal(ra, rb)
+        assert np.array_equal(a, b)
+
+    def test_easy_queries_stop_early(self):
+        # One isolated cluster far from the query -> the PNN vector is
+        # degenerate (a single certain winner), so the half-width
+        # collapses at the additive-term floor.
+        points, Q, mc = _workload()
+        est, rounds = mc.query_matrix(
+            Q, adaptive=True, tol=0.3, min_rounds=8, return_rounds=True
+        )
+        assert rounds.min() < mc.s  # someone stopped early
+        full = mc.query_matrix(Q)
+        # Early-stopped rows still estimate the same distribution:
+        # within tol + the fixed-s noise floor of the full run.
+        assert np.abs(est - full).max() <= 0.3 + 0.2
+
+    def test_adaptive_requires_tol(self):
+        _, Q, mc = _workload(n=20, m=5, s=16)
+        with pytest.raises(QueryError):
+            mc.query_matrix(Q, adaptive=True)
+        with pytest.raises(QueryError):
+            mc.query_matrix(Q, adaptive=True, tol=0.0)
+        with pytest.raises(QueryError):
+            mc.query_matrix(Q, adaptive=True, tol=0.1, delta=1.5)
+
+    def test_query_many_and_facade_pass_through(self):
+        points, Q, mc = _workload(n=40, m=10, s=32)
+        dicts = mc.query_many(Q, adaptive=True, tol=0.4)
+        assert len(dicts) == Q.shape[0]
+        for d in dicts:
+            assert d and abs(sum(d.values()) - 1.0) < 1e-9
+        via_batch = batch.monte_carlo_pnn_many(
+            points, Q, s=32, rng=7, adaptive=True, tol=0.4
+        )
+        assert via_batch == dicts

@@ -1,0 +1,123 @@
+"""Batched point location: parity with the scalar slab locator."""
+
+import random
+
+import numpy as np
+
+from repro import DiscreteUncertainPoint, PersistentNonzeroIndex
+from repro.core.discrete_voronoi import DiscreteNonzeroVoronoi
+from repro.geometry import (
+    LabelledSubdivision,
+    PlanarSubdivision,
+    SlabLocator,
+    box_border_segments,
+    planarize,
+)
+
+
+def _random_subdivision(seed, nseg=12, size=10.0):
+    rng = random.Random(seed)
+    segs = box_border_segments(0, 0, size, size)
+    for _ in range(nseg):
+        segs.append(
+            (
+                (rng.uniform(0, size), rng.uniform(0, size)),
+                (rng.uniform(0, size), rng.uniform(0, size)),
+            )
+        )
+    vertices, edges = planarize(segs)
+    return PlanarSubdivision(vertices, edges)
+
+
+def _scalar_cycles(locator, Q):
+    out = []
+    for x, y in Q:
+        cid = locator.locate_cycle(float(x), float(y))
+        out.append(-1 if cid is None else cid)
+    return np.asarray(out, dtype=np.intp)
+
+
+class TestLocateCycleMany:
+    def test_parity_on_random_subdivisions(self):
+        for seed in range(5):
+            sub = _random_subdivision(seed)
+            locator = SlabLocator(sub)
+            rng = random.Random(100 + seed)
+            Q = np.array(
+                [
+                    [rng.uniform(-2, 12), rng.uniform(-2, 12)]
+                    for _ in range(400)
+                ]
+            )
+            got = locator.locate_cycle_many(Q)
+            assert np.array_equal(got, _scalar_cycles(locator, Q))
+
+    def test_degenerate_queries_on_vertices_and_edges(self):
+        for seed in (3, 7):
+            sub = _random_subdivision(seed)
+            locator = SlabLocator(sub)
+            # Exactly on every vertex.
+            V = np.asarray(sub.vertices, dtype=np.float64)
+            assert np.array_equal(
+                locator.locate_cycle_many(V), _scalar_cycles(locator, V)
+            )
+            # Exactly on every edge midpoint.
+            E = np.asarray(sub.edges, dtype=np.intp)
+            M = 0.5 * (V[E[:, 0]] + V[E[:, 1]])
+            assert np.array_equal(
+                locator.locate_cycle_many(M), _scalar_cycles(locator, M)
+            )
+
+    def test_outside_and_empty(self):
+        sub = _random_subdivision(1)
+        locator = SlabLocator(sub)
+        got = locator.locate_cycle_many(
+            np.array([[-5.0, 5.0], [15.0, 5.0], [5.0, 1e9]])
+        )
+        assert got[0] == -1 and got[1] == -1
+        assert locator.locate_cycle_many(np.zeros((0, 2))).shape == (0,)
+
+    def test_single_pair_input(self):
+        sub = _random_subdivision(2)
+        locator = SlabLocator(sub)
+        got = locator.locate_cycle_many((5.0, 5.0))
+        want = locator.locate_cycle(5.0, 5.0)
+        assert got.shape == (1,)
+        assert got[0] == (-1 if want is None else want)
+
+
+class TestLabelledSubdivisionMany:
+    def test_query_many_matches_scalar(self):
+        sub = _random_subdivision(4)
+        labels = sub.label_cycles(lambda x, y: (round(x, 1), round(y, 1)))
+        ls = LabelledSubdivision(sub, labels, outside_label="outside")
+        rng = random.Random(9)
+        Q = np.array(
+            [[rng.uniform(-1, 11), rng.uniform(-1, 11)] for _ in range(200)]
+        )
+        got = ls.query_many(Q)
+        want = [ls.query(float(x), float(y)) for x, y in Q]
+        assert got == want
+
+
+class TestPersistentIndexMany:
+    def test_query_many_matches_scalar(self):
+        rng = random.Random(5)
+        points = [
+            DiscreteUncertainPoint(
+                [
+                    (rng.uniform(0, 10), rng.uniform(0, 10))
+                    for _ in range(2)
+                ],
+                [0.5, 0.5],
+            )
+            for _ in range(4)
+        ]
+        diagram = DiscreteNonzeroVoronoi(points)
+        index = PersistentNonzeroIndex(diagram)
+        Q = np.array(
+            [[rng.uniform(-2, 12), rng.uniform(-2, 12)] for _ in range(120)]
+        )
+        got = index.query_many(Q)
+        want = [index.query((float(x), float(y))) for x, y in Q]
+        assert got == want
