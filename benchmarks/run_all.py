@@ -1,9 +1,10 @@
-"""Run the batch/planner/approx-tier benchmarks and write a report.
+"""Run the batch/planner/approx-tier/engine benchmarks and write reports.
 
 Measures the three query tiers against each other on the clustered
 workloads they were built for and writes ``BENCH_pr3.json`` (timings,
-speedup ratios, certificate checks, memory peaks) so the performance
-trajectory is tracked across PRs:
+speedup ratios, certificate checks, memory peaks) plus ``BENCH_pr4.json``
+(the PR 4 stateful-engine sessions) so the performance trajectory is
+tracked across PRs:
 
 * the PR 2 prune-then-evaluate planner vs the unpruned batch paths
   (answer identity is a hard assertion);
@@ -13,17 +14,22 @@ trajectory is tracked across PRs:
 * tiled vs flat planner execution (bit-identical answers and a peak
   allocation below one ``(m, n)`` float64 are hard assertions) and the
   thread-parallel tile fan-out (identical answers);
-* adaptive vs fixed-round Monte-Carlo PNN.
+* adaptive vs fixed-round Monte-Carlo PNN;
+* the PR 4 :class:`repro.Engine` session vs per-call ``repro.batch``
+  on a repeated-batch workload (bit-identity and the >= 5x repeated-
+  batch speedup are hard assertions), plus distinct-batch amortization
+  (reported honestly, no bar) and insert/remove-vs-fresh identity.
 
 Usage::
 
-    python benchmarks/run_all.py            # full acceptance config
-    python benchmarks/run_all.py --quick    # CI-sized smoke run
-    python benchmarks/run_all.py --strict   # exit 1 on failed assertions
+    python benchmarks/run_all.py                # full acceptance config
+    python benchmarks/run_all.py --quick        # CI-sized smoke run
+    python benchmarks/run_all.py --strict       # exit 1 on soft failures
+    python benchmarks/run_all.py --engine-only  # only the PR 4 report
 
 Soft assertions (reported in the JSON, fatal only with ``--strict``)
-cover the wall-clock bars; answer-identity and certificate violations
-are always fatal.
+cover the wall-clock bars; answer-identity, certificate, and the PR 4
+repeated-batch violations are always fatal.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import tracemalloc
 import numpy as np
 
 from repro import (
+    Engine,
     ExpectedNNIndex,
     MonteCarloPNN,
     QueryPlanner,
@@ -516,6 +523,164 @@ def bench_mc_adaptive(cfg, report):
     )
 
 
+def bench_engine_sessions(cfg, report):
+    """The PR 4 headline: one stateful :class:`repro.Engine` serving
+    ``batches`` consecutive expected-NN batches vs the same number of
+    per-call ``repro.batch`` facade invocations (which construct and
+    discard the session state every time).
+
+    The hot-batch workload repeats one query matrix — the serving
+    pattern the session's result cache is built for; bit-identity of
+    every batch and the >= 5x speedup are hard assertions.  The
+    distinct-batch workload redraws the queries each time, so only the
+    build-once amortization helps; its ratio is recorded honestly with
+    no bar.  Dynamic updates are cross-checked against freshly built
+    engines (hard assertion).
+    """
+    centers = cluster_centers(cfg["clusters"], seed=171, box=cfg["box"])
+    points = clustered_disk_points(cfg["n"], centers=centers, seed=172)
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=173))
+    batches = cfg["batches"]
+
+    batch.expected_nn_many(points, Q[:2])  # warm NumPy / imports
+    t0 = time.perf_counter()
+    facade_answers = [
+        batch.expected_nn_many(points, Q) for _ in range(batches)
+    ]
+    t_facade = time.perf_counter() - t0
+
+    engine = Engine(points)
+    t0 = time.perf_counter()
+    engine_answers = [engine.expected_nn_many(Q) for _ in range(batches)]
+    t_engine = time.perf_counter() - t0
+
+    identical = all(
+        np.array_equal(ei, fi) and np.array_equal(ev, fv)
+        for (ei, ev), (fi, fv) in zip(engine_answers, facade_answers)
+    )
+    speedup = t_facade / t_engine
+
+    # Distinct batches: every batch is a fresh query matrix, so only the
+    # build-once columns/planner reuse helps — no cache hits.
+    distinct = cfg["distinct_batches"]
+    Qs = [
+        np.asarray(
+            clustered_queries(cfg["m"], centers=centers, seed=180 + j)
+        )
+        for j in range(distinct)
+    ]
+    t0 = time.perf_counter()
+    facade_distinct = [batch.expected_nn_many(points, Qj) for Qj in Qs]
+    t_facade_distinct = time.perf_counter() - t0
+    engine2 = Engine(points)
+    t0 = time.perf_counter()
+    engine_distinct = [engine2.expected_nn_many(Qj) for Qj in Qs]
+    t_engine_distinct = time.perf_counter() - t0
+    distinct_identical = all(
+        np.array_equal(ei, fi) and np.array_equal(ev, fv)
+        for (ei, ev), (fi, fv) in zip(engine_distinct, facade_distinct)
+    )
+    distinct_speedup = t_facade_distinct / t_engine_distinct
+
+    # Build-once: after the first batch the registry builds nothing.
+    builds_before = engine2.stats()["registry_builds"]
+    engine2.expected_nn_many(Qs[0] + 0.25)
+    builds_stable = engine2.stats()["registry_builds"] == builds_before
+
+    # Dynamic updates vs fresh builds.
+    extra = clustered_disk_points(16, centers=centers, seed=199)
+    engine.insert(extra)
+    ii, iv = engine.expected_nn_many(Q)
+    fi, fv = Engine(points + extra).expected_nn_many(Q)
+    insert_identical = bool(
+        np.array_equal(ii, fi) and np.array_equal(iv, fv)
+    )
+    engine.remove(list(range(8)))
+    ri, rv = engine.expected_nn_many(Q)
+    gi, gv = Engine((points + extra)[8:]).expected_nn_many(Q)
+    remove_identical = bool(
+        np.array_equal(ri, gi) and np.array_equal(rv, gv)
+    )
+
+    stats = engine.stats()
+    report["results"]["engine_repeated_batches"] = {
+        "model": "uniform disks, clustered (hot repeated query batch)",
+        "n": cfg["n"],
+        "m": cfg["m"],
+        "batches": batches,
+        "seconds_facade": t_facade,
+        "seconds_engine": t_engine,
+        "speedup_repeated": speedup,
+        "identical": bool(identical),
+        "distinct_batches": distinct,
+        "seconds_facade_distinct": t_facade_distinct,
+        "seconds_engine_distinct": t_engine_distinct,
+        "speedup_distinct": distinct_speedup,
+        "distinct_identical": bool(distinct_identical),
+        "registry_builds_stable": bool(builds_stable),
+        "insert_identical": insert_identical,
+        "remove_identical": remove_identical,
+        "engine_memory_bytes": stats["memory_bytes"],
+        "engine_built_indexes": stats["built_indexes"],
+    }
+    print_table(
+        f"engine sessions, clustered disks, n={cfg['n']}, m={cfg['m']}, "
+        f"{batches} batches",
+        ["path", "seconds", "speedup"],
+        [
+            ("facade (rebuild per call)", f"{t_facade:.3f}", "1.0x"),
+            ("engine (one session)", f"{t_engine:.3f}", f"{speedup:.1f}x"),
+            (
+                f"engine, {distinct} distinct batches",
+                f"{t_engine_distinct:.3f}",
+                f"{distinct_speedup:.2f}x",
+            ),
+        ],
+    )
+    _soft(
+        report,
+        "engine repeated batches identical",
+        identical,
+        "engine != facade on the hot batch",
+        hard=True,
+    )
+    _soft(
+        report,
+        "engine distinct batches identical",
+        distinct_identical,
+        "engine != facade on distinct batches",
+        hard=True,
+    )
+    _soft(
+        report,
+        f"engine repeated-batch speedup >= {TARGET_SPEEDUP}x",
+        speedup >= TARGET_SPEEDUP,
+        f"speedup {speedup:.2f}x below the acceptance bar",
+        hard=True,
+    )
+    _soft(
+        report,
+        "engine builds nothing after warmup",
+        builds_stable,
+        "a fresh batch rebuilt registry state",
+        hard=True,
+    )
+    _soft(
+        report,
+        "engine insert matches fresh build",
+        insert_identical,
+        "insert-updated engine != fresh engine",
+        hard=True,
+    )
+    _soft(
+        report,
+        "engine remove matches fresh build",
+        remove_identical,
+        "remove-updated engine != fresh engine",
+        hard=True,
+    )
+
+
 def _soft(report, name: str, ok: bool, detail: str, hard: bool = False) -> None:
     """Record an assertion.  Soft failures (timing bars) only flip the
     report flag; hard failures (answer identity) always fail the run."""
@@ -540,6 +705,16 @@ def main(argv=None) -> int:
         default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr3.json"),
         help="output JSON path (default: repo-root BENCH_pr3.json)",
     )
+    ap.add_argument(
+        "--out-engine",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr4.json"),
+        help="engine-session report path (default: repo-root BENCH_pr4.json)",
+    )
+    ap.add_argument(
+        "--engine-only",
+        action="store_true",
+        help="run only the PR 4 engine-session benchmark",
+    )
     args = ap.parse_args(argv)
 
     if args.quick:
@@ -558,6 +733,8 @@ def main(argv=None) -> int:
             "tile_bytes": 256 * 1024,
             "mc_tol": 0.15,
             "s_adaptive": 256,
+            "batches": 20,
+            "distinct_batches": 3,
         }
     else:
         cfg = {
@@ -575,39 +752,72 @@ def main(argv=None) -> int:
             "tile_bytes": 8 * 1024 * 1024,
             "mc_tol": 0.1,
             "s_adaptive": 512,
+            "batches": 20,
+            "distinct_batches": 3,
         }
 
-    report = {
-        "pr": 3,
+    failed = []
+    hard_failure = False
+
+    if not args.engine_only:
+        report = {
+            "pr": 3,
+            "benchmark": (
+                "sublinear eps-approximate query tier + tiled, parallel "
+                "bound-pass execution"
+            ),
+            "quick": bool(args.quick),
+            "config": cfg,
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_expected_nn_disks(cfg, report)
+        bench_expected_nn_discrete(cfg, report)
+        bench_monte_carlo_pnn(cfg, report)
+        bench_nonzero(cfg, report)
+        bench_threshold(cfg, report)
+        bench_approx_tier(cfg, report)
+        bench_tiled_vs_flat(cfg, report)
+        bench_mc_adaptive(cfg, report)
+        failed += [
+            a["name"] for a in report["soft_assertions"] if not a["ok"]
+        ]
+        report["all_assertions_passed"] = not failed
+        hard_failure |= bool(report.get("hard_failure"))
+        out = os.path.abspath(args.out)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {out}")
+
+    report4 = {
+        "pr": 4,
         "benchmark": (
-            "sublinear eps-approximate query tier + tiled, parallel "
-            "bound-pass execution"
+            "stateful Engine sessions: build-once datasets, cached index "
+            "registry, repeated-batch serving vs the per-call facade"
         ),
         "quick": bool(args.quick),
-        "config": cfg,
+        "config": {
+            k: cfg[k]
+            for k in ("n", "m", "clusters", "box", "batches", "distinct_batches")
+        },
         "results": {},
         "soft_assertions": [],
     }
-    bench_expected_nn_disks(cfg, report)
-    bench_expected_nn_discrete(cfg, report)
-    bench_monte_carlo_pnn(cfg, report)
-    bench_nonzero(cfg, report)
-    bench_threshold(cfg, report)
-    bench_approx_tier(cfg, report)
-    bench_tiled_vs_flat(cfg, report)
-    bench_mc_adaptive(cfg, report)
-
-    failed = [a["name"] for a in report["soft_assertions"] if not a["ok"]]
-    report["all_assertions_passed"] = not failed
-
-    out = os.path.abspath(args.out)
-    with open(out, "w") as fh:
-        json.dump(report, fh, indent=2)
+    bench_engine_sessions(cfg, report4)
+    failed4 = [a["name"] for a in report4["soft_assertions"] if not a["ok"]]
+    report4["all_assertions_passed"] = not failed4
+    failed += failed4
+    hard_failure |= bool(report4.get("hard_failure"))
+    out4 = os.path.abspath(args.out_engine)
+    with open(out4, "w") as fh:
+        json.dump(report4, fh, indent=2)
         fh.write("\n")
-    print(f"\nwrote {out}")
+    print(f"wrote {out4}")
+
     if failed:
         print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)
-        if report.get("hard_failure"):
+        if hard_failure:
             # Answer-identity regressions are correctness bugs, not
             # timing jitter: fatal even without --strict.
             return 1

@@ -1,4 +1,4 @@
-"""``repro.batch`` — the one-stop batch-query facade.
+"""``repro.batch`` — the one-stop *stateless* batch-query facade.
 
 Aggregation-style consumers (conformal aggregation over uncertain NN
 answers, benchmark sweeps, tile servers) ask many queries of one fixed
@@ -9,22 +9,13 @@ and returns NumPy arrays or per-query containers, routing through the
 vectorized ``*_many`` kernels threaded through
 :mod:`repro.uncertain`, :mod:`repro.index` and :mod:`repro.core`.
 
-Since PR 2 the answer-producing entry points run **prune-then-evaluate**
-by default: a :class:`repro.QueryPlanner` (over the precomputed
-:class:`repro.ModelColumns` SoA store) shrinks each query's candidate
-set with the vectorized ``dmin <= min dmax`` envelope test before any
-exact evaluator runs.  Pruned answers are exactly identical to the
-unpruned ones; pass ``exact=True`` to skip the planner (useful for
-cross-checking, or when the workload is adversarially spread so pruning
-cannot help).
-
-Since PR 3 the planner executes in cache-sized query tiles (peak memory
-O(tile), never O(m * n) — knobs in :data:`repro.config.EXECUTION`), and
-``eps=`` opts into the **sublinear approximate tier**: batched point
-location in the ε-quantized lower envelope
-(:class:`repro.QuantizedEnvelopeIndex`) answers certified rows in
-O(log) time and the pruned tier transparently resolves the rest.  The
-default path stays exact-equivalent.
+Since PR 4 every helper here is a thin wrapper over a per-call
+throwaway :class:`repro.Engine` session, so the facade and the session
+API share one code path (and one set of semantics): prune-then-evaluate
+by default, ``exact=True`` for the unpruned cross-check tier, ``eps=``
+for the sublinear quantized-envelope tier — all with the tiled,
+bounded-memory execution of :data:`repro.config.EXECUTION`.  Answers
+are bit-identical to the pre-engine releases and to the session API.
 
 Quick start::
 
@@ -39,11 +30,17 @@ Quick start::
     batch.expected_nn_many(points, Q)     # [AESZ12] winners + values
     batch.monte_carlo_pnn_many(points, Q, s=500, rng=7)
 
-For repeated query batches against the same point set, build the
-underlying engine once (:class:`repro.MonteCarloPNN`,
-:class:`repro.ExpectedNNIndex`, :class:`repro.QueryPlanner`, ...) and
-call its ``query_many`` — these helpers construct the engine per call
-for one-shot convenience.
+For **repeated** query batches against the same point set, build a
+:class:`repro.Engine` once and query it — the session keeps the
+:class:`repro.ModelColumns` store, the :class:`repro.QueryPlanner`,
+quantized envelopes, and Monte-Carlo sample blocks cached across
+batches (these helpers construct a throwaway engine per call for
+one-shot convenience, discarding that state each time)::
+
+    from repro import Engine
+
+    engine = Engine(points)               # build once
+    engine.expected_nn_many(Q)            # ... query many
 """
 
 from __future__ import annotations
@@ -52,18 +49,10 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .config import SeedLike, default_rng
-from .core.expected_nn import ExpectedNNIndex
-from .core.knn import expected_knn_many as _expected_knn_many
-from .core.knn import monte_carlo_knn_many
-from .core.monte_carlo import MonteCarloPNN
-from .core.nonzero import UncertainSet
-from .core.planner import QueryPlanner
-from .core.threshold import (
-    ApproxThresholdIndex,
-    ThresholdAnswer,
-    threshold_nn_exact_many as _threshold_nn_exact_many,
-)
+from .config import SeedLike
+from .core.threshold import ThresholdAnswer
+from .engine import Engine
+from .errors import QueryError
 from .geometry.kernels import as_query_array
 
 __all__ = [
@@ -84,19 +73,28 @@ __all__ = [
 ]
 
 
+def _session(points: Sequence) -> Engine:
+    """A throwaway single-call session (no result caching — nothing
+    would ever hit it)."""
+    engine = Engine(points, result_cache_size=0)
+    if len(engine) == 0:
+        raise QueryError("the batch facade requires at least one point")
+    return engine
+
+
 def dmin_matrix(points: Sequence, qs) -> np.ndarray:
     """``delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
-    return UncertainSet(points).dmin_matrix(qs)
+    return _session(points).dmin_matrix(qs)
 
 
 def dmax_matrix(points: Sequence, qs) -> np.ndarray:
     """``Delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
-    return UncertainSet(points).dmax_matrix(qs)
+    return _session(points).dmax_matrix(qs)
 
 
 def envelope_many(points: Sequence, qs) -> Tuple[np.ndarray, np.ndarray]:
     """Batched lower envelope ``Delta(q)``: ``(argmins, values)``."""
-    return UncertainSet(points).envelope_many(qs)
+    return _session(points).envelope_many(qs)
 
 
 def nonzero_nn_many(
@@ -115,17 +113,7 @@ def nonzero_nn_many(
     :class:`repro.QuantizedEnvelopeIndex`), uncertified rows fall back
     to the pruned scan automatically.
     """
-    if eps is not None:
-        if exact:
-            raise ValueError(
-                "exact=True and eps= are contradictory; pick one tier"
-            )
-        return QueryPlanner(points).nonzero_nn_many(
-            qs, tier="approx", eps=eps, rel=rel
-        )
-    if exact:
-        return UncertainSet(points).nonzero_nn_many(qs)
-    return QueryPlanner(points).nonzero_nn_many(qs)
+    return _session(points).nonzero_nn_many(qs, exact=exact, eps=eps, rel=rel)
 
 
 def expected_nn_many(
@@ -144,20 +132,12 @@ def expected_nn_many(
     ``max(eps, rel * true value)``; uncertified rows are resolved by the
     pruned tier automatically.
     """
-    if eps is not None:
-        if exact:
-            raise ValueError(
-                "exact=True and eps= are contradictory; pick one tier"
-            )
-        return QueryPlanner(points).expected_nn_many(
-            qs, tier="approx", eps=eps, rel=rel
-        )
-    return ExpectedNNIndex(points).query_many(qs, exact=exact)
+    return _session(points).expected_nn_many(qs, exact=exact, eps=eps, rel=rel)
 
 
 def expected_distance_matrix(points: Sequence, qs) -> np.ndarray:
     """``E[d(q, P_i)]`` for every query/point pair, shape ``(m, n)``."""
-    return ExpectedNNIndex(points).expected_distance_matrix(qs)
+    return _session(points).expected_distance_matrix(qs)
 
 
 def expected_knn_many(
@@ -168,8 +148,7 @@ def expected_knn_many(
     Planner-pruned by default (candidates of the ``k``-th envelope
     test); ``exact=True`` ranks the full expectation matrix.
     """
-    planner = None if exact else QueryPlanner(points)
-    return _expected_knn_many(points, qs, k, planner=planner)
+    return _session(points).expected_knn_many(qs, k, exact=exact)
 
 
 def monte_carlo_pnn_many(
@@ -185,24 +164,37 @@ def monte_carlo_pnn_many(
 ) -> List[Dict[int, float]]:
     """Theorem 4.3/4.5 estimates ``{i: pihat_i(q)}`` for every query row.
 
-    Builds a :class:`repro.MonteCarloPNN` on the vectorized
-    instantiation path (all rounds drawn as one ``(s, n, 2)`` array) and
-    answers the whole matrix with its batched argmin engine — by default
-    restricted to each query's planner candidates (an object with
-    ``dmin(q) > min_j dmax_j(q)`` can never win a round, so the
+    Draws the ``(s, n, 2)`` instantiation block on the vectorized
+    path and answers the whole matrix with the batched argmin engine —
+    by default restricted to each query's planner candidates (an object
+    with ``dmin(q) > min_j dmax_j(q)`` can never win a round, so the
     estimates are identical); ``exact=True`` compares all ``n`` objects
     in every round.  ``adaptive=True`` with a ``tol`` turns on
     per-query empirical-Bernstein early stopping (easy queries consume
     only a few of the stored rounds; see
     :meth:`repro.MonteCarloPNN.query_matrix`).
     """
-    mc = MonteCarloPNN(
-        points, s=s, epsilon=epsilon, delta=delta, rng=default_rng(rng)
+    return _session(points).monte_carlo_pnn_many(
+        qs,
+        s=s,
+        epsilon=epsilon,
+        delta=delta,
+        rng=rng,
+        exact=exact,
+        adaptive=adaptive,
+        tol=tol,
     )
-    planner = None if exact else QueryPlanner(points)
-    return mc.query_many(
-        qs, planner=planner, adaptive=adaptive, tol=tol, delta=delta
-    )
+
+
+def monte_carlo_knn_many(
+    points: Sequence,
+    qs,
+    k: int,
+    s: int = 2000,
+    rng: SeedLike = 0,
+) -> List[Dict[int, float]]:
+    """Monte-Carlo ``pi_i^(k)(q)`` estimates for every query row."""
+    return _session(points).monte_carlo_knn_many(qs, k, s=s, rng=rng)
 
 
 def threshold_nn_exact_many(
@@ -223,36 +215,28 @@ def threshold_nn_exact_many(
     sweep's, with probabilities matching up to the sweep's float
     accumulation (a certain winner can land at ``1.0 ± a few ulps``).
     """
-    if eps is not None:
-        if exact:
-            raise ValueError(
-                "exact=True and eps= are contradictory; pick one tier"
-            )
-        return QueryPlanner(points).threshold_nn_exact_many(
-            qs, tau, tier="approx", eps=eps, rel=rel
-        )
-    planner = None if exact else QueryPlanner(points)
-    return _threshold_nn_exact_many(points, qs, tau, planner=planner)
+    return _session(points).threshold_nn_exact_many(
+        qs, tau, exact=exact, eps=eps, rel=rel
+    )
 
 
 def approx_threshold_many(
     points: Sequence, qs, tau: float, eps: float
 ) -> List[ThresholdAnswer]:
     """Spiral-search threshold classification for every query row."""
-    return ApproxThresholdIndex(points).query_many(qs, tau, eps)
+    return _session(points).approx_threshold_many(qs, tau, eps)
 
 
 def instantiate_many(points: Sequence, rng: SeedLike, s: int) -> np.ndarray:
     """``s`` instantiations of the whole set, shape ``(s, n, 2)``."""
-    return UncertainSet(points).instantiate_many(rng, s)
+    return _session(points).instantiate_many(rng, s)
 
 
 def quantized_index(
     points: Sequence, eps: float, criterion: str = "expected", rel: float = 0.0
 ):
     """A :class:`repro.QuantizedEnvelopeIndex` over ``points`` — build
-    it once when the same ``eps`` serves many query batches (the
-    per-call ``eps=`` routing above rebuilds the structure each time)."""
-    from .core.quant_index import QuantizedEnvelopeIndex
-
-    return QuantizedEnvelopeIndex(points, eps=eps, criterion=criterion, rel=rel)
+    it once when the same ``eps`` serves many query batches, or hold a
+    :class:`repro.Engine` and let its registry cache one per
+    ``(eps, rel, criterion)`` key."""
+    return _session(points).quantized_index(eps, criterion=criterion, rel=rel)

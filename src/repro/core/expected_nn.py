@@ -29,19 +29,31 @@ class ExpectedNNIndex:
     (every support point is at least that far), so best-first search
     prunes exactly.  Batched queries route through the SoA
     :class:`repro.QueryPlanner` by default.
+
+    ``uset`` / ``planner`` / ``columns`` accept structures the caller
+    already holds over the same points (the :class:`repro.Engine`
+    registry threads its cached ones through), so repeated construction
+    never rebuilds shared state; each is built lazily here when omitted.
     """
 
-    def __init__(self, points: Sequence):
-        self.uset = UncertainSet(points)
+    def __init__(
+        self,
+        points: Sequence,
+        uset: Optional[UncertainSet] = None,
+        planner: Optional[QueryPlanner] = None,
+        columns=None,
+    ):
+        self.uset = uset if uset is not None else UncertainSet(points)
         self.points = list(points)
         self._rtree_cache: Optional[RTree] = None
-        self._planner: Optional[QueryPlanner] = None
+        self._planner: Optional[QueryPlanner] = planner
+        self._columns = columns
 
     @property
     def planner(self) -> QueryPlanner:
         """The lazily built prune-then-evaluate planner."""
         if self._planner is None:
-            self._planner = QueryPlanner(self.points)
+            self._planner = QueryPlanner(self.points, columns=self._columns)
         return self._planner
 
     @property

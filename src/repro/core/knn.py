@@ -122,6 +122,8 @@ def monte_carlo_knn_many(
     k: int,
     s: int = 2000,
     rng: SeedLike = 0,
+    samples=None,
+    uset: UncertainSet = None,
 ) -> List[Dict[int, float]]:
     """Batched :func:`monte_carlo_knn` for an ``(m, 2)`` query matrix.
 
@@ -131,14 +133,24 @@ def monte_carlo_knn_many(
     follows the :func:`repro.config.default_rng` convention (the batch
     stream differs from the scalar function's ``random.Random`` draws;
     estimates agree within the usual ``O(1/sqrt(s))`` noise).
+    ``samples`` accepts a precomputed ``(s, n, 2)`` block (the
+    :class:`repro.Engine` registry shares one block per ``(s, seed)``
+    across this estimator and :class:`repro.MonteCarloPNN`) instead of
+    redrawing; ``uset`` likewise adopts a shared container.
     """
-    uset = UncertainSet(points)
+    if uset is None:
+        uset = UncertainSet(points)
     n = len(points)
     if not 1 <= k <= n:
         raise QueryError(f"k must lie in [1, {n}]")
     Q = kernels.as_query_array(qs)
     m = Q.shape[0]
-    samples = uset.instantiate_many(default_rng(rng), s)
+    if samples is None:
+        samples = uset.instantiate_many(default_rng(rng), s)
+    elif samples.shape != (s, n, 2):
+        raise QueryError(
+            f"samples must have shape {(s, n, 2)}, got {samples.shape}"
+        )
     counts = np.zeros((m, n), dtype=np.int64)
     rows = np.arange(m)[:, None]
     for j in range(s):

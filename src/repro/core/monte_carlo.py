@@ -86,6 +86,16 @@ class MonteCarloPNN:
         the models' ``sample_many``.  When omitted, the legacy
         ``random.Random(seed)`` scalar stream is used, preserving the
         exact instantiations of earlier releases.
+    samples:
+        Optional precomputed ``(s, n, 2)`` instantiation block (as drawn
+        by :meth:`repro.UncertainSet.instantiate_many`) — the
+        :class:`repro.Engine` registry keys these blocks by
+        ``(s, seed)`` and shares one block across the PNN and kNN
+        estimators instead of redrawing per structure.  Must match ``s``
+        and ``n``; ``rng`` / ``seed`` are ignored when given.
+    uset:
+        Optional :class:`UncertainSet` over the same points, adopted
+        instead of building a fresh one.
 
     The per-round locators are built lazily on the first scalar
     :meth:`query`; the batch :meth:`query_many` works directly off the
@@ -101,9 +111,13 @@ class MonteCarloPNN:
         seed: int = 0,
         locator: str = "kdtree",
         rng: Optional[SeedLike] = None,
+        samples: Optional[np.ndarray] = None,
+        uset: Optional[UncertainSet] = None,
     ):
-        self.uset = UncertainSet(points)
+        self.uset = uset if uset is not None else UncertainSet(points)
         n = len(self.uset)
+        if s is None and samples is not None:
+            s = samples.shape[0]
         if s is None:
             if epsilon is None:
                 raise QueryError("provide either s or epsilon")
@@ -113,7 +127,14 @@ class MonteCarloPNN:
         self.delta = delta
         if locator not in ("kdtree", "voronoi"):
             raise QueryError(f"unknown locator {locator!r}")
-        if rng is not None:
+        if samples is not None:
+            if samples.shape != (self.s, n, 2):
+                raise QueryError(
+                    f"samples must have shape {(self.s, n, 2)}, "
+                    f"got {samples.shape}"
+                )
+            self._samples = samples
+        elif rng is not None:
             self._samples = self.uset.instantiate_many(default_rng(rng), self.s)
         else:
             legacy = random.Random(seed)
@@ -373,6 +394,11 @@ class MonteCarloPNN:
         return [est.get(i, 0.0) for i in range(len(self.uset))]
 
     # -- introspection -----------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the stored instantiation block."""
+        return int(self._samples.nbytes)
+
     def space_estimate(self) -> int:
         """Stored instantiation count: ``s * n`` points (Theorem 4.3's
         O((n / eps^2) log(nk / delta)) space)."""

@@ -28,10 +28,17 @@ class UncertainSet:
     Thin container giving the core algorithms a uniform view: indexed
     access, vectorised ``delta``/``Delta`` evaluation, and the brute-force
     ``NN!=0`` oracle.
+
+    ``copy=False`` adopts the caller's list without copying — the
+    :class:`repro.Engine` session shares one canonical point list across
+    every structure in its registry (the engine rebinds, never mutates,
+    that list on dynamic updates, so adopted views stay consistent).
     """
 
-    def __init__(self, points: Sequence[UncertainPoint]):
-        self.points: List[UncertainPoint] = list(points)
+    def __init__(self, points: Sequence[UncertainPoint], copy: bool = True):
+        self.points: List[UncertainPoint] = (
+            list(points) if copy or not isinstance(points, list) else points
+        )
         if not self.points:
             raise QueryError("UncertainSet requires at least one point")
 

@@ -58,7 +58,7 @@ their members.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -109,6 +109,14 @@ class QueryPlanner:
     tile_bytes / parallel_backend / parallel_workers:
         Per-planner overrides of :data:`repro.config.EXECUTION` (``None``
         reads the live config at call time).
+    approx_cache:
+        Optional mutable mapping holding the approx tier's
+        :class:`~repro.core.quant_index.QuantizedEnvelopeIndex` per
+        ``(eps, rel, criterion)`` key.  The :class:`repro.Engine`
+        registry passes an instrumented, generation-tagged view here so
+        quantized envelopes built through the planner are owned (and
+        counted) by the session; a plain private dict is used when
+        omitted.
     """
 
     def __init__(
@@ -120,6 +128,7 @@ class QueryPlanner:
         tile_bytes: Optional[int] = None,
         parallel_backend: Optional[str] = None,
         parallel_workers: Optional[int] = None,
+        approx_cache: Optional[Dict[Tuple[float, float, str], object]] = None,
     ):
         self.points = list(points)
         if not self.points:
@@ -140,7 +149,7 @@ class QueryPlanner:
         self.parallel_workers = parallel_workers
         self._leaves: Optional[List[np.ndarray]] = None
         self._leaf_bboxes: Optional[np.ndarray] = None
-        self._approx_cache: Dict[Tuple[float, float, str], object] = {}
+        self._approx_cache = approx_cache if approx_cache is not None else {}
 
     def __len__(self) -> int:
         return len(self.points)
@@ -194,15 +203,18 @@ class QueryPlanner:
         from .quant_index import QuantizedEnvelopeIndex
 
         key = (float(eps), float(rel), criterion)
-        if key not in self._approx_cache:
-            self._approx_cache[key] = QuantizedEnvelopeIndex(
+        try:
+            return self._approx_cache[key]
+        except KeyError:
+            index = QuantizedEnvelopeIndex(
                 self.points,
                 eps=eps,
                 rel=rel,
                 criterion=criterion,
                 columns=self.columns,
             )
-        return self._approx_cache[key]
+            self._approx_cache[key] = index
+            return index
 
     # -- candidate generation ------------------------------------------------
     def _groups(self) -> Tuple[List[np.ndarray], np.ndarray]:
@@ -344,17 +356,34 @@ class QueryPlanner:
         return nonzero_from_matrices(dmins, dmaxs)
 
     # -- dispatch ------------------------------------------------------------
+    @staticmethod
+    def _check_fallback_flag(return_fallback: bool, tier: str) -> None:
+        if return_fallback and tier != "approx":
+            raise QueryError("return_fallback requires tier='approx'")
+
     def nonzero_nn_many(
-        self, qs, tier: str = "pruned", eps: Optional[float] = None, rel: float = 0.0
-    ) -> List[FrozenSet[int]]:
+        self,
+        qs,
+        tier: str = "pruned",
+        eps: Optional[float] = None,
+        rel: float = 0.0,
+        return_fallback: bool = False,
+    ) -> Union[
+        List[FrozenSet[int]], Tuple[List[FrozenSet[int]], np.ndarray]
+    ]:
         """``NN!=0(q)`` (Lemma 2.1) per query row.
 
         ``exact`` and ``pruned`` are identical to
         :meth:`repro.UncertainSet.nonzero_nn_many`; ``approx`` returns
         the quantized index's ε-relaxed sets (exact on settled cells)
-        with its fallback rows resolved by the pruned tier.
+        with its fallback rows resolved by the pruned tier —
+        ``return_fallback=True`` (approx only) additionally returns the
+        mask of rows that needed that exact resolution, so session
+        callers can surface per-row certificates without re-running the
+        point location.
         """
         self._check_tier(tier, eps)
+        self._check_fallback_flag(return_fallback, tier)
         Q = kernels.as_query_array(qs)
         if tier == "approx":
             ans = self.approx_index(eps, rel, "support").nonzero_nn_many(Q)
@@ -364,6 +393,8 @@ class QueryPlanner:
                 resolved = self.nonzero_nn_many(Q[rows], tier="pruned")
                 for r, s in zip(rows, resolved):
                     out[r] = s
+            if return_fallback:
+                return out, ans.fallback
             return out
         blocks = self._run_tiles(
             Q.shape[0], lambda lo, hi: self._nonzero_block(Q[lo:hi], tier)
@@ -371,16 +402,26 @@ class QueryPlanner:
         return [s for block in blocks for s in block]
 
     def expected_nn_many(
-        self, qs, tier: str = "pruned", eps: Optional[float] = None, rel: float = 0.0
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self,
+        qs,
+        tier: str = "pruned",
+        eps: Optional[float] = None,
+        rel: float = 0.0,
+        return_fallback: bool = False,
+    ) -> Union[
+        Tuple[np.ndarray, np.ndarray],
+        Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ]:
         """Expected-distance NN winners: ``(indices, values)``.
 
         ``exact`` and ``pruned`` return identical winners and values
         (the full ``expected_distance_matrix`` argmin); ``approx``
         returns ε-certified winners/values from the quantized envelope
-        (fallback rows resolved by the pruned tier).
+        (fallback rows resolved by the pruned tier;
+        ``return_fallback=True`` appends the resolved-row mask).
         """
         self._check_tier(tier, eps)
+        self._check_fallback_flag(return_fallback, tier)
         Q = kernels.as_query_array(qs)
         if tier == "approx":
             ans = self.approx_index(eps, rel, "expected").expected_nn_many(Q)
@@ -391,6 +432,8 @@ class QueryPlanner:
                 wi, vv = self.expected_nn_many(Q[rows], tier="pruned")
                 winners[rows] = wi
                 values[rows] = vv
+            if return_fallback:
+                return winners, values, ans.fallback
             return winners, values
 
         def run(lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -450,7 +493,10 @@ class QueryPlanner:
         tier: str = "pruned",
         eps: Optional[float] = None,
         rel: float = 0.0,
-    ) -> List[Dict[int, float]]:
+        return_fallback: bool = False,
+    ) -> Union[
+        List[Dict[int, float]], Tuple[List[Dict[int, float]], np.ndarray]
+    ]:
         """Exact threshold queries ([DYM+05] semantics).
 
         Only survivors can have ``pi_i(q) > 0`` and the realized NN is
@@ -466,6 +512,7 @@ class QueryPlanner:
         if not 0.0 <= tau < 1.0:
             raise QueryError("tau must lie in [0, 1)")
         self._check_tier(tier, eps)
+        self._check_fallback_flag(return_fallback, tier)
         Q = kernels.as_query_array(qs)
         if tier == "approx":
             ans = self.approx_index(eps, rel, "support").threshold_nn_many(
@@ -479,6 +526,8 @@ class QueryPlanner:
                 )
                 for r, d in zip(rows, resolved):
                     out[r] = d
+            if return_fallback:
+                return out, ans.fallback
             return out
         if tier == "exact":
             out = []

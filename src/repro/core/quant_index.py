@@ -648,6 +648,26 @@ class QuantizedEnvelopeIndex:
         return self._pi_cache[lid]
 
     # -- introspection -------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the tree, label, and candidate
+        arrays (cached-index accounting for :meth:`repro.Engine.stats`)."""
+        return int(
+            self._node_cx.nbytes
+            + self._node_cy.nbytes
+            + self._node_child.nbytes
+            + self._node_leaf.nbytes
+            + self._leaf_kind.nbytes
+            + self._leaf_winner.nbytes
+            + self._leaf_cx.nbytes
+            + self._leaf_cy.nbytes
+            + self._leaf_hd.nbytes
+            + self._leaf_value.nbytes
+            + self._quant_leaf_ids.nbytes
+            + self._quant_indptr.nbytes
+            + self._quant_idx.nbytes
+        )
+
     def stats(self) -> Dict[str, float]:
         kinds = self._leaf_kind
         return {

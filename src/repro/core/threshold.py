@@ -88,10 +88,14 @@ class ApproxThresholdIndex:
     * ``pihat_i >= tau``        certifies ``pi_i >= tau``;
     * ``pihat_i + eps < tau``   certifies ``pi_i < tau``;
     * otherwise the point is reported as undecided (band of width eps).
+
+    ``spiral`` adopts a prebuilt :class:`SpiralSearchPNN` over the same
+    points (the :class:`repro.Engine` registry shares its cached one)
+    instead of rebuilding the retrieval structure.
     """
 
-    def __init__(self, points: Sequence):
-        self._spiral = SpiralSearchPNN(points)
+    def __init__(self, points: Sequence, spiral: SpiralSearchPNN = None):
+        self._spiral = spiral if spiral is not None else SpiralSearchPNN(points)
         self.n = len(points)
 
     def query(self, q, tau: float, eps: float) -> ThresholdAnswer:

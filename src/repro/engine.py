@@ -1,0 +1,1248 @@
+"""``repro.engine`` — the stateful dataset-session API.
+
+The paper's whole premise is *preprocess an uncertain point set once,
+then answer many queries fast*.  :class:`Engine` is the public form of
+that contract: construct it once from a ``Sequence[UncertainPoint]`` and
+it owns the :class:`repro.ModelColumns` SoA store plus a **lazy, keyed
+index registry** — the :class:`repro.QueryPlanner`,
+:class:`repro.QuantizedEnvelopeIndex` per ``(eps, rel, criterion)``,
+:class:`repro.ExpectedNNIndex`, spiral-search threshold structures, and
+reusable Monte-Carlo sample blocks keyed by ``(s, seed)`` — so repeated
+query batches never rebuild state the session already holds.  The
+stateless :mod:`repro.batch` facade is, since PR 4, a thin wrapper over
+a per-call throwaway ``Engine``; answers are bit-identical either way.
+
+Quick start::
+
+    import numpy as np
+    from repro import Engine, QuerySpec, UniformDiskPoint
+
+    points = [UniformDiskPoint((0, 0), 1), UniformDiskPoint((3, 0), 1)]
+    engine = Engine(points)                 # build-once session
+    Q = np.array([[1.4, 0.0], [2.0, 0.5]])
+
+    engine.expected_nn_many(Q)              # winners + values
+    engine.nonzero_nn_many(Q)               # Lemma 2.1 sets
+    res = engine.query(Q, QuerySpec("expected_nn", tier="approx", eps=0.5))
+    res.answers, res.values, res.fallback   # structured QueryResult
+
+    engine.insert([UniformDiskPoint((9, 9), 1)])   # dynamic updates
+    engine.remove([0])
+    engine.stats()                          # registry / cache telemetry
+
+Queries are **declarative**: a frozen :class:`QuerySpec` names the
+method (``expected_nn`` / ``nonzero`` / ``threshold`` / ``expected_knn``
+/ ``mc_pnn``), the tier (``exact`` / ``pruned`` / ``approx`` with
+``eps`` / ``rel``), the method parameters (``k``, ``tau``, Monte-Carlo
+``s`` / ``epsilon`` / ``seed`` / ``adaptive`` / ``tol``), an optional
+candidate ``subset`` mask, and per-query execution overrides
+(``tile_bytes`` / ``parallel_backend`` / ``parallel_workers``).  The
+engine compiles the spec against its registry into an execution plan
+and returns a structured :class:`QueryResult` — answers, values,
+per-row certificate / fallback masks, timing, and (opt-in)
+candidates-pruned diagnostics.
+
+Dynamic updates are **generation-tagged**: every registry entry is
+stamped with the generation it was built at, and :meth:`Engine.insert`
+/ :meth:`Engine.remove` bump the generation so stale indexes miss
+lazily (rebuilt on the next query of that key, never eagerly).  The
+column store follows an incremental policy instead: inserts append
+freshly summarised columns in place (:meth:`repro.ModelColumns.extend`)
+and removals shrink them (:meth:`~repro.ModelColumns.shrink`), so the
+objects already summarised are never reprocessed.
+
+Repeated identical batches (the hot-query serving pattern) are served
+from a bounded, generation-tagged **result cache** keyed by the spec
+and a digest of the query matrix — the second serving of a hot batch
+costs a hash lookup instead of an evaluation pass.  Seeded Monte-Carlo
+answers are deterministic and participate; unseeded ones
+(``seed=None`` or a live Generator) are never cached.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import time
+from collections import Counter, OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import SeedLike, default_rng, execution as _execution_ctx
+from .core.expected_nn import ExpectedNNIndex
+from .core.knn import (
+    expected_knn_many as _expected_knn_many,
+    monte_carlo_knn_many as _monte_carlo_knn_many,
+)
+from .core.monte_carlo import MonteCarloPNN, rounds_for_fixed_query
+from .core.nonzero import UncertainSet
+from .core.planner import QueryPlanner
+from .core.spiral import SpiralSearchPNN
+from .core.threshold import (
+    ApproxThresholdIndex,
+    ThresholdAnswer,
+    threshold_nn_exact_many as _threshold_nn_exact_many,
+)
+from .errors import QueryError
+from .geometry.kernels import as_query_array
+from .uncertain.columns import ModelColumns, TAG_NAMES, model_tag
+
+__all__ = ["Engine", "IndexRegistry", "QueryResult", "QuerySpec", "tier_of"]
+
+_METHODS = ("expected_nn", "nonzero", "threshold", "expected_knn", "mc_pnn")
+_TIERS = ("exact", "pruned", "approx")
+#: Per-family LRU caps on registry entries whose keys embed
+#: user-supplied values — without a bound, a long-lived serving session
+#: issuing per-request seeds / eps values / candidate masks would grow
+#: one (potentially multi-MB) cached structure per distinct value
+#: forever.  Sample blocks and their MonteCarloPNN wrappers share a key
+#: suffix and are touched together, so they evict roughly in pairs.
+_FAMILY_LIMITS = {
+    "samples": 4,
+    "mc_pnn": 4,
+    "quant": 8,
+    "subset": 8,
+}
+#: Methods served by the quantized-envelope approx tier.
+_APPROX_METHODS = ("expected_nn", "nonzero", "threshold")
+
+
+def tier_of(exact: bool, eps: Optional[float]) -> str:
+    """The tier named by the facade-style ``exact`` / ``eps`` knobs."""
+    if eps is not None and exact:
+        raise ValueError(
+            "exact=True and eps= are contradictory; pick one tier"
+        )
+    if eps is not None:
+        return "approx"
+    return "exact" if exact else "pruned"
+
+
+def _seed_key(seed: SeedLike) -> Optional[int]:
+    """A hashable cache key for a seed-like value, or ``None`` when the
+    draw is not reproducible from the value (live generators, entropy
+    seeds) and therefore must never be cached."""
+    if isinstance(seed, bool):
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class QuerySpec:
+    """A declarative description of one batched query.
+
+    Parameters
+    ----------
+    method:
+        ``"expected_nn"`` | ``"nonzero"`` | ``"threshold"`` |
+        ``"expected_knn"`` | ``"mc_pnn"``.
+    tier:
+        ``"pruned"`` (default, prune-then-evaluate), ``"exact"``
+        (unpruned cross-check tier), or ``"approx"`` (the quantized
+        envelope; requires ``eps``).
+    eps / rel:
+        Certification budget of the approx tier (``max(eps, rel *
+        dist)``).
+    k:
+        Neighbor count for ``expected_knn``.
+    tau:
+        Probability threshold in ``[0, 1)`` for ``threshold``.
+    s / epsilon / delta / seed / adaptive / tol:
+        Monte-Carlo controls for ``mc_pnn`` (``s`` rounds or the
+        Chernoff pair ``epsilon`` / ``delta``; ``seed`` keys the shared
+        sample block; ``adaptive`` + ``tol`` turn on empirical-Bernstein
+        early stopping).
+    subset:
+        Optional candidate mask — a boolean mask of length ``n`` or a
+        sequence of object indices; the query runs against exactly that
+        sub-dataset (answers are reported in the full dataset's index
+        space).
+    tile_bytes / parallel_backend / parallel_workers:
+        Per-query overrides of :data:`repro.config.EXECUTION`.
+    diagnostics:
+        Collect candidates-pruned statistics into
+        :attr:`QueryResult.diagnostics` (costs an extra bound pass).
+    """
+
+    method: str
+    tier: str = "pruned"
+    eps: Optional[float] = None
+    rel: float = 0.0
+    k: Optional[int] = None
+    tau: Optional[float] = None
+    s: Optional[int] = None
+    epsilon: Optional[float] = None
+    delta: float = 0.05
+    seed: SeedLike = 0
+    adaptive: bool = False
+    tol: Optional[float] = None
+    subset: Optional[Tuple[int, ...]] = None
+    tile_bytes: Optional[int] = None
+    parallel_backend: Optional[str] = None
+    parallel_workers: Optional[int] = None
+    diagnostics: bool = False
+
+    def __post_init__(self):
+        if self.method not in _METHODS:
+            raise QueryError(
+                f"unknown query method {self.method!r}; expected {_METHODS}"
+            )
+        if self.tier not in _TIERS:
+            raise QueryError(
+                f"unknown planner tier {self.tier!r}; expected {_TIERS}"
+            )
+        if self.tier == "approx":
+            if self.method not in _APPROX_METHODS:
+                raise QueryError(
+                    f"{self.method} has no approx tier"
+                )
+            if self.eps is None:
+                raise QueryError("the approx tier requires eps")
+            if not (float(self.eps) > 0.0):
+                raise QueryError("eps must be positive")
+        elif self.eps is not None:
+            raise QueryError("eps= requires tier='approx'")
+        if self.rel < 0.0:
+            raise QueryError("rel must be non-negative")
+        if self.method == "expected_knn":
+            if self.k is None or int(self.k) < 1:
+                raise QueryError("expected_knn requires k >= 1")
+        if self.method == "threshold":
+            if self.tau is None or not 0.0 <= float(self.tau) < 1.0:
+                raise QueryError("tau must lie in [0, 1)")
+        if self.method == "mc_pnn":
+            if self.s is None and self.epsilon is None:
+                raise QueryError("provide either s or epsilon")
+            if self.adaptive and (self.tol is None or not self.tol > 0.0):
+                raise QueryError("adaptive stopping requires tol > 0")
+        if self.subset is not None:
+            mask_len = None
+            sub = np.atleast_1d(np.asarray(self.subset))
+            if sub.ndim != 1:
+                raise QueryError("subset must be a 1-D mask or index list")
+            if sub.dtype == bool:
+                # The dataset size is unknown here; remember the mask
+                # length so the engine can reject a mask built against
+                # a different dataset instead of misreading it.
+                mask_len = sub.shape[0]
+                sub = np.flatnonzero(sub)
+            elif sub.size and not np.issubdtype(sub.dtype, np.integer):
+                raise QueryError(
+                    "subset indices must be integers (or a boolean mask)"
+                )
+            sub = np.unique(sub.astype(np.intp))
+            if sub.size and sub[0] < 0:
+                raise QueryError("subset indices must be non-negative")
+            object.__setattr__(self, "subset", tuple(int(i) for i in sub))
+            object.__setattr__(self, "_subset_mask_len", mask_len)
+
+    # -- caching -------------------------------------------------------------
+    def cache_key(self) -> Optional[tuple]:
+        """Hashable identity of everything that can change the returned
+        result, or ``None`` when the spec is inherently uncacheable
+        (unseeded randomness).  Execution overrides are excluded (they
+        never change answer bits); ``diagnostics`` is included because
+        it changes the result's payload."""
+        if self.method == "mc_pnn":
+            seed = _seed_key(self.seed)
+            if seed is None:
+                return None
+        else:
+            seed = None
+        return (
+            self.method,
+            self.tier,
+            self.eps,
+            self.rel,
+            self.k,
+            self.tau,
+            self.s,
+            self.epsilon,
+            self.delta,
+            seed,
+            self.adaptive,
+            self.tol,
+            self.subset,
+            self.diagnostics,
+        )
+
+
+@dataclasses.dataclass
+class QueryResult:
+    """Structured answer batch returned by :meth:`Engine.query`.
+
+    ``answers`` is the method's primary payload: winner indices
+    (``expected_nn``), per-row ``NN!=0`` frozensets (``nonzero``),
+    ``{index: probability}`` dicts (``threshold`` / ``mc_pnn``), or the
+    ``(m, k)`` ranking matrix (``expected_knn``).  ``values`` carries
+    the expected distances for ``expected_nn``; ``fallback`` /
+    ``certificate`` are the approx tier's per-row exactness mask and
+    certified error budget.  ``plan`` records the compiled route and
+    the registry keys it touched; ``diagnostics`` holds timing plus the
+    opt-in candidates-pruned statistics.
+    """
+
+    spec: QuerySpec
+    answers: object
+    values: Optional[np.ndarray] = None
+    fallback: Optional[np.ndarray] = None
+    certificate: Optional[np.ndarray] = None
+    m: int = 0
+    n: int = 0
+    generation: int = 0
+    elapsed: float = 0.0
+    cached: bool = False
+    plan: Dict[str, object] = dataclasses.field(default_factory=dict)
+    diagnostics: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def _replica(self, elapsed: float) -> "QueryResult":
+        """A cache-hit copy with fresh containers, so callers can mutate
+        what they receive without corrupting the cached original."""
+
+        def dup(payload):
+            if isinstance(payload, np.ndarray):
+                return payload.copy()
+            if isinstance(payload, list):
+                return [
+                    dict(row) if isinstance(row, dict) else row
+                    for row in payload
+                ]
+            return payload
+
+        return dataclasses.replace(
+            self,
+            answers=dup(self.answers),
+            values=dup(self.values),
+            fallback=dup(self.fallback),
+            certificate=dup(self.certificate),
+            elapsed=elapsed,
+            cached=True,
+            plan=copy.deepcopy(self.plan),
+            diagnostics=dict(self.diagnostics),
+        )
+
+
+class IndexRegistry:
+    """Generation-tagged cache of the session's built structures.
+
+    Every entry is stamped with the :class:`Engine` generation it was
+    built at; a lookup only hits when the tags match, so
+    insert/remove invalidation is lazy — stale structures are simply
+    never returned again and are rebuilt on the next query of their
+    key.  ``builds`` / ``hits`` count real constructions vs cache
+    returns (the instrumentation the engine tests assert on).
+    """
+
+    def __init__(self):
+        self._entries: Dict[tuple, Tuple[int, object]] = {}
+        self.builds = 0
+        self.hits = 0
+
+    def get(self, key: tuple, generation: int, builder):
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == generation:
+            self.hits += 1
+            return entry[1]
+        value = builder()
+        self._entries[key] = (generation, value)
+        self.builds += 1
+        return value
+
+    def peek(self, key: tuple, generation: int):
+        """The cached value if present *and current*, else ``None``
+        (no instrumentation, no build)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+        return None
+
+    def put(self, key: tuple, generation: int, value) -> None:
+        self._entries[key] = (generation, value)
+
+    def drop(self, key: tuple) -> None:
+        self._entries.pop(key, None)
+
+    def keys(self, generation: Optional[int] = None) -> List[tuple]:
+        """All cached keys, or only the live ones for a generation."""
+        return sorted(
+            (
+                k
+                for k, (g, _) in self._entries.items()
+                if generation is None or g == generation
+            ),
+            key=repr,
+        )
+
+    def sweep(self, generation: int) -> int:
+        """Drop every stale entry; returns how many were evicted."""
+        stale = [
+            k for k, (g, _) in self._entries.items() if g != generation
+        ]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    def memory_bytes(
+        self,
+        generation: Optional[int] = None,
+        exclude: Tuple[str, ...] = (),
+    ) -> int:
+        """Approximate footprint of the (live) cached structures — sums
+        each value's ``nbytes`` where it reports one.  ``exclude`` names
+        key prefixes to skip (the engine excludes ``"mc_pnn"`` wrappers,
+        whose block is already counted under its ``"samples"`` key)."""
+        total = 0
+        for key, (g, value) in self._entries.items():
+            if generation is not None and g != generation:
+                continue
+            if key and key[0] in exclude:
+                continue
+            nbytes = getattr(value, "nbytes", 0)
+            if isinstance(nbytes, (int, np.integer)):
+                total += int(nbytes)
+        return total
+
+
+class _QuantCacheView:
+    """The mutable-mapping face :class:`repro.QueryPlanner` expects for
+    its approx cache, backed by the engine so quantized envelopes built
+    through the planner land under the session's
+    ``("quant", eps, rel, criterion)`` keys (counting as registry
+    builds/hits and participating in the per-family LRU)."""
+
+    __slots__ = ("_engine", "_generation")
+
+    def __init__(self, engine: "Engine", generation: int):
+        self._engine = engine
+        self._generation = generation
+
+    def __getitem__(self, key):
+        full = ("quant",) + tuple(key)
+        value = self._engine._registry.peek(full, self._generation)
+        if value is None:
+            raise KeyError(key)
+        self._engine._registry.hits += 1
+        self._engine._touch(full)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        full = ("quant",) + tuple(key)
+        self._engine._registry.put(full, self._generation, value)
+        self._engine._registry.builds += 1
+        self._engine._touch(full)
+
+
+def _key_label(key: tuple) -> str:
+    """Human-readable registry key for stats()/repr."""
+    name, rest = key[0], key[1:]
+    if name == "subset":
+        return f"subset[{len(rest[0])}]"
+    if not rest:
+        return str(name)
+    return f"{name}[{', '.join(str(p) for p in rest)}]"
+
+
+class Engine:
+    """A build-once, query-many session over an uncertain point set.
+
+    Parameters
+    ----------
+    points:
+        The uncertain points (any mix of models; may be empty — an
+        empty session answers every query with well-shaped empty
+        results and grows via :meth:`insert`).
+    result_cache_size:
+        Maximum number of hot query batches memoised per session
+        (``0`` disables result caching; index caching is unaffected).
+
+    All structures are built lazily on first use and cached in the
+    :class:`IndexRegistry`; :meth:`insert` / :meth:`remove` bump the
+    generation counter, append/shrink the column store in place, and
+    leave every other index to rebuild lazily on its next query.
+    """
+
+    def __init__(
+        self,
+        points: Sequence = (),
+        result_cache_size: int = 32,
+    ):
+        self._points: List = list(points)
+        self._generation = 0
+        self._registry = IndexRegistry()
+        self._result_cache: "OrderedDict[tuple, QueryResult]" = OrderedDict()
+        self._result_cache_size = int(result_cache_size)
+        self._result_hits = 0
+        self._result_misses = 0
+        self._family_lru: Dict[str, "OrderedDict[tuple, None]"] = {}
+
+    # -- basic introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def n(self) -> int:
+        return len(self._points)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def points(self) -> List:
+        """A copy of the current point list (the engine's own list is
+        rebound, never mutated, on updates)."""
+        return list(self._points)
+
+    @property
+    def registry(self) -> IndexRegistry:
+        return self._registry
+
+    # -- registry-backed structures ------------------------------------------
+    def _require_points(self) -> None:
+        if not self._points:
+            raise QueryError("this operation requires a non-empty engine")
+
+    def _touch(self, key: tuple) -> None:
+        """Record use of a value-keyed registry entry and evict the
+        least-recently-used entries of its family beyond the cap."""
+        limit = _FAMILY_LIMITS.get(key[0])
+        if limit is None:
+            return
+        lru = self._family_lru.setdefault(key[0], OrderedDict())
+        lru[key] = None
+        lru.move_to_end(key)
+        while len(lru) > limit:
+            evicted, _ = lru.popitem(last=False)
+            self._registry.drop(evicted)
+
+    def uset(self) -> UncertainSet:
+        """The session's shared :class:`repro.UncertainSet` view."""
+        self._require_points()
+        return self._registry.get(
+            ("uset",),
+            self._generation,
+            lambda: UncertainSet(self._points, copy=False),
+        )
+
+    def columns(self) -> ModelColumns:
+        """The session's SoA column store (built once, then appended /
+        shrunk in place by dynamic updates)."""
+        self._require_points()
+        return self._registry.get(
+            ("columns",),
+            self._generation,
+            lambda: ModelColumns(self._points),
+        )
+
+    def planner(self) -> QueryPlanner:
+        """The session's three-tier :class:`repro.QueryPlanner` (its
+        approx cache is a registry view, so quantized envelopes are
+        session-owned)."""
+        self._require_points()
+        return self._registry.get(
+            ("planner",),
+            self._generation,
+            lambda: QueryPlanner(
+                self._points,
+                columns=self.columns(),
+                approx_cache=_QuantCacheView(self, self._generation),
+            ),
+        )
+
+    def expected_index(self) -> ExpectedNNIndex:
+        """The session's :class:`repro.ExpectedNNIndex`, sharing the
+        registry's uset.  The engine's answer paths drive the pruned
+        tier through :meth:`planner` directly, so no planner (or column
+        store) is built here — the exact cross-check tier stays as cheap
+        as the pre-session facade."""
+        self._require_points()
+        return self._registry.get(
+            ("expected_nn",),
+            self._generation,
+            lambda: ExpectedNNIndex(self._points, uset=self.uset()),
+        )
+
+    def quantized_index(
+        self, eps: float, criterion: str = "expected", rel: float = 0.0
+    ):
+        """The session's :class:`repro.QuantizedEnvelopeIndex` for one
+        ``(eps, rel, criterion)`` key — the same object the approx tier
+        uses, built at most once per key and generation."""
+        self._require_points()
+        return self.planner().approx_index(eps, rel, criterion)
+
+    def sample_block(self, s: int, seed: SeedLike) -> np.ndarray:
+        """The shared ``(s, n, 2)`` Monte-Carlo instantiation block for
+        one ``(s, seed)`` key.  Reproducible (int) seeds are cached and
+        reused across the PNN and kNN estimators; unseeded draws are
+        taken fresh each call."""
+        self._require_points()
+        key = _seed_key(seed)
+        if key is None:
+            return self.uset().instantiate_many(default_rng(seed), int(s))
+        full = ("samples", int(s), key)
+        block = self._registry.get(
+            full,
+            self._generation,
+            lambda: self.uset().instantiate_many(
+                default_rng(key), int(s)
+            ),
+        )
+        self._touch(full)
+        return block
+
+    def monte_carlo_index(
+        self,
+        s: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        delta: float = 0.05,
+        seed: SeedLike = 0,
+    ) -> MonteCarloPNN:
+        """The session's :class:`repro.MonteCarloPNN` over the shared
+        sample block for ``(s, seed)`` (uncacheable seeds build a fresh
+        structure with the live generator, matching the stateless
+        facade's semantics)."""
+        self._require_points()
+        n = len(self._points)
+        if s is None:
+            if epsilon is None:
+                raise QueryError("provide either s or epsilon")
+            s_eff = rounds_for_fixed_query(epsilon, delta, n)
+        else:
+            s_eff = int(s)
+        key = _seed_key(seed)
+        if key is None:
+            return MonteCarloPNN(
+                self._points,
+                s=s,
+                epsilon=epsilon,
+                delta=delta,
+                rng=default_rng(seed),
+                uset=self.uset(),
+            )
+        block = self.sample_block(s_eff, key)
+        full = ("mc_pnn", s_eff, key)
+        mc = self._registry.get(
+            full,
+            self._generation,
+            lambda: MonteCarloPNN(
+                self._points,
+                s=s_eff,
+                epsilon=epsilon,
+                delta=delta,
+                samples=block,
+                uset=self.uset(),
+            ),
+        )
+        self._touch(full)
+        return mc
+
+    def spiral_threshold_index(self) -> ApproxThresholdIndex:
+        """The session's spiral-search threshold structure."""
+        self._require_points()
+        spiral = self._registry.get(
+            ("spiral",),
+            self._generation,
+            lambda: SpiralSearchPNN(self._points),
+        )
+        return self._registry.get(
+            ("spiral_threshold",),
+            self._generation,
+            lambda: ApproxThresholdIndex(self._points, spiral=spiral),
+        )
+
+    # -- dynamic updates -----------------------------------------------------
+    def insert(self, points: Sequence) -> "Engine":
+        """Append uncertain points to the session.
+
+        The column store is extended **in place** (only the new points
+        are summarised); every other cached index goes stale via the
+        generation bump and is rebuilt lazily on its next query.  The
+        new points take the indices ``n .. n + len(points) - 1``.
+        """
+        new = list(points)
+        if not new:
+            return self
+        cols = self._registry.peek(("columns",), self._generation)
+        self._points = self._points + new  # rebind: shared views stay valid
+        self._generation += 1
+        if cols is not None:
+            # Incremental append on a shallow clone: extend() rebinds the
+            # column arrays (it never mutates them), so cloning the shell
+            # keeps any previously handed-out planner/index consistent
+            # while still summarising only the new points.
+            self._registry.put(
+                ("columns",), self._generation, copy.copy(cols).extend(new)
+            )
+        self._registry.sweep(self._generation)  # free superseded indexes
+        self._result_cache.clear()
+        self._family_lru.clear()
+        return self
+
+    def remove(self, ids) -> "Engine":
+        """Remove the points at the given indices (current positions;
+        an int, an index sequence, or a boolean mask of length ``n``).
+
+        Remaining points are re-indexed compactly in order, exactly as
+        if the engine had been rebuilt from the surviving points.  The
+        column store is shrunk in place; other indexes rebuild lazily.
+        Removing down to an empty dataset is allowed — subsequent
+        queries return well-shaped empty results.
+        """
+        n = len(self._points)
+        ids_arr = np.atleast_1d(np.asarray(ids))
+        if ids_arr.dtype == bool:
+            if ids_arr.shape != (n,):
+                raise QueryError(
+                    f"boolean remove mask must have length {n}"
+                )
+            ids_arr = np.flatnonzero(ids_arr)
+        elif ids_arr.size and not np.issubdtype(ids_arr.dtype, np.integer):
+            raise QueryError(
+                "remove indices must be integers (or a boolean mask)"
+            )
+        ids_arr = np.unique(ids_arr.astype(np.intp))
+        if ids_arr.size == 0:
+            return self
+        if ids_arr[0] < 0 or ids_arr[-1] >= n:
+            raise QueryError(f"remove indices must lie in [0, {n})")
+        keep = np.setdiff1d(np.arange(n, dtype=np.intp), ids_arr)
+        cols = self._registry.peek(("columns",), self._generation)
+        self._points = [self._points[i] for i in keep]
+        self._generation += 1
+        if cols is not None:
+            if keep.size:
+                # Clone-then-shrink for the same reason insert clones:
+                # stale holders of the old columns keep their old arrays.
+                self._registry.put(
+                    ("columns",),
+                    self._generation,
+                    copy.copy(cols).shrink(keep),
+                )
+            else:
+                self._registry.drop(("columns",))
+        self._registry.sweep(self._generation)  # free superseded indexes
+        self._result_cache.clear()
+        self._family_lru.clear()
+        return self
+
+    # -- the declarative query surface ---------------------------------------
+    def query(self, qs, spec: Optional[QuerySpec] = None, **spec_kwargs) -> QueryResult:
+        """Execute one declarative query batch.
+
+        Pass a prebuilt :class:`QuerySpec`, or its fields as keyword
+        arguments (``engine.query(Q, method="expected_nn")``).  Returns
+        a structured :class:`QueryResult`; repeated identical batches
+        (same spec, same query bytes, same generation) are served from
+        the session's result cache.
+        """
+        if spec is None:
+            spec = QuerySpec(**spec_kwargs)
+        elif spec_kwargs:
+            mask_len = getattr(spec, "_subset_mask_len", None)
+            spec = dataclasses.replace(spec, **spec_kwargs)
+            if "subset" not in spec_kwargs and mask_len is not None:
+                # replace() re-ran __post_init__ on the already-converted
+                # index tuple; restore the original mask length so the
+                # wrong-dataset guard keeps working.
+                object.__setattr__(spec, "_subset_mask_len", mask_len)
+        # Validate dataset-dependent spec fields before the cache is
+        # consulted, so an invalid spec raises regardless of cache state.
+        self._check_subset(spec)
+        Q = as_query_array(qs)
+        t0 = time.perf_counter()
+        key = self._result_key(spec, Q)
+        if key is not None:
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                self._result_cache.move_to_end(key)
+                self._result_hits += 1
+                return hit._replica(elapsed=time.perf_counter() - t0)
+            self._result_misses += 1
+        result = self._execute(spec, Q)
+        result.elapsed = time.perf_counter() - t0
+        if key is not None and self._result_cache_size > 0:
+            self._result_cache[key] = result._replica(result.elapsed)
+            self._result_cache[key].cached = False
+            while len(self._result_cache) > self._result_cache_size:
+                self._result_cache.popitem(last=False)
+        return result
+
+    def _result_key(self, spec: QuerySpec, Q: np.ndarray) -> Optional[tuple]:
+        if self._result_cache_size <= 0:
+            return None
+        spec_key = spec.cache_key()
+        if spec_key is None:
+            return None
+        digest = hashlib.sha1(
+            np.ascontiguousarray(Q).tobytes()
+        ).hexdigest()
+        return spec_key + (self._generation, Q.shape[0], digest)
+
+    # -- execution -----------------------------------------------------------
+    def _execute(self, spec: QuerySpec, Q: np.ndarray) -> QueryResult:
+        if spec.subset is not None:
+            return self._execute_subset(spec, Q)
+        m = Q.shape[0]
+        n = len(self._points)
+        base = dict(
+            spec=spec, m=m, n=n, generation=self._generation
+        )
+        if n == 0:
+            approx = spec.tier == "approx"
+            expected = spec.method == "expected_nn"
+            return QueryResult(
+                answers=self._empty_answers(spec, m),
+                fallback=np.zeros(m, dtype=bool) if approx else None,
+                values=np.full(m, np.inf) if expected else None,
+                # Nothing to approximate: the (empty) answer is exact,
+                # and the certificate keeps the non-empty array contract.
+                certificate=(
+                    np.zeros(m) if approx and expected else None
+                ),
+                plan={"route": "empty", "indexes": []},
+                **base,
+            )
+        overrides = {}
+        if spec.tile_bytes is not None:
+            overrides["tile_bytes"] = spec.tile_bytes
+        if spec.parallel_backend is not None:
+            overrides["parallel_backend"] = spec.parallel_backend
+        if spec.parallel_workers is not None:
+            overrides["parallel_workers"] = spec.parallel_workers
+        if overrides:
+            with _execution_ctx(**overrides):
+                result = self._dispatch(spec, Q, base)
+        else:
+            result = self._dispatch(spec, Q, base)
+        if spec.diagnostics:
+            self._collect_diagnostics(spec, Q, result)
+        return result
+
+    def _dispatch(
+        self, spec: QuerySpec, Q: np.ndarray, base: Dict
+    ) -> QueryResult:
+        method, tier = spec.method, spec.tier
+        route = f"{method}/{tier}"
+        if method == "expected_nn":
+            if tier == "approx":
+                winners, values, fallback = self.planner().expected_nn_many(
+                    Q,
+                    tier="approx",
+                    eps=spec.eps,
+                    rel=spec.rel,
+                    return_fallback=True,
+                )
+                certificate = np.maximum(spec.eps, spec.rel * values)
+                certificate[fallback] = 0.0  # resolved exactly
+                return QueryResult(
+                    answers=winners,
+                    values=values,
+                    fallback=fallback,
+                    certificate=certificate,
+                    plan={"route": route, "indexes": ["quant", "planner"]},
+                    **base,
+                )
+            if tier == "exact":
+                winners, values = self.expected_index().query_many(
+                    Q, exact=True
+                )
+            else:
+                winners, values = self.planner().expected_nn_many(Q)
+            return QueryResult(
+                answers=winners,
+                values=values,
+                plan={
+                    "route": route,
+                    "indexes": ["expected_nn" if tier == "exact" else "planner"],
+                },
+                **base,
+            )
+        if method == "nonzero":
+            if tier == "approx":
+                sets, fallback = self.planner().nonzero_nn_many(
+                    Q,
+                    tier="approx",
+                    eps=spec.eps,
+                    rel=spec.rel,
+                    return_fallback=True,
+                )
+                return QueryResult(
+                    answers=sets,
+                    fallback=fallback,
+                    plan={"route": route, "indexes": ["quant", "planner"]},
+                    **base,
+                )
+            if tier == "exact":
+                sets = self.uset().nonzero_nn_many(Q)
+            else:
+                sets = self.planner().nonzero_nn_many(Q)
+            return QueryResult(
+                answers=sets,
+                plan={
+                    "route": route,
+                    "indexes": ["uset" if tier == "exact" else "planner"],
+                },
+                **base,
+            )
+        if method == "threshold":
+            if tier == "approx":
+                answers, fallback = self.planner().threshold_nn_exact_many(
+                    Q,
+                    spec.tau,
+                    tier="approx",
+                    eps=spec.eps,
+                    rel=spec.rel,
+                    return_fallback=True,
+                )
+                return QueryResult(
+                    answers=answers,
+                    fallback=fallback,
+                    plan={"route": route, "indexes": ["quant", "planner"]},
+                    **base,
+                )
+            planner = None if tier == "exact" else self.planner()
+            answers = _threshold_nn_exact_many(
+                self._points, Q, spec.tau, planner=planner
+            )
+            return QueryResult(
+                answers=answers,
+                plan={
+                    "route": route,
+                    "indexes": [] if tier == "exact" else ["planner"],
+                },
+                **base,
+            )
+        if method == "expected_knn":
+            planner = None if tier == "exact" else self.planner()
+            ranking = _expected_knn_many(
+                self._points, Q, spec.k, planner=planner
+            )
+            return QueryResult(
+                answers=ranking,
+                plan={
+                    "route": route,
+                    "indexes": [] if tier == "exact" else ["planner"],
+                },
+                **base,
+            )
+        # mc_pnn
+        mc = self.monte_carlo_index(
+            s=spec.s, epsilon=spec.epsilon, delta=spec.delta, seed=spec.seed
+        )
+        planner = None if tier == "exact" else self.planner()
+        answers = mc.query_many(
+            Q,
+            planner=planner,
+            adaptive=spec.adaptive,
+            tol=spec.tol,
+            delta=spec.delta,
+        )
+        return QueryResult(
+            answers=answers,
+            plan={
+                "route": route,
+                "indexes": ["mc_pnn"]
+                + ([] if tier == "exact" else ["planner"]),
+            },
+            **base,
+        )
+
+    def _check_subset(self, spec: QuerySpec) -> None:
+        """Reject subsets that do not fit this dataset (mask built for a
+        different ``n``, out-of-range indices)."""
+        if spec.subset is None:
+            return
+        n = len(self._points)
+        mask_len = getattr(spec, "_subset_mask_len", None)
+        if mask_len is not None and mask_len != n:
+            raise QueryError(
+                f"boolean subset mask must have length {n}, got {mask_len}"
+            )
+        if spec.subset and spec.subset[-1] >= n:
+            raise QueryError(f"subset indices must lie in [0, {n})")
+
+    def _execute_subset(self, spec: QuerySpec, Q: np.ndarray) -> QueryResult:
+        self._check_subset(spec)
+        idx = np.asarray(spec.subset, dtype=np.intp)
+        n = len(self._points)
+        key = ("subset", spec.subset)
+        child = self._registry.get(
+            key,
+            self._generation,
+            lambda: Engine(
+                [self._points[i] for i in idx], result_cache_size=0
+            ),
+        )
+        self._touch(key)
+        result = child._execute(dataclasses.replace(spec, subset=None), Q)
+        result.spec = spec
+        result.n = n
+        result.generation = self._generation
+        result.answers = self._remap_subset(spec.method, result.answers, idx)
+        result.plan["route"] = f"subset[{idx.size}]/" + str(
+            result.plan.get("route", "")
+        )
+        return result
+
+    @staticmethod
+    def _remap_subset(method: str, answers, idx: np.ndarray):
+        """Lift sub-dataset answer indices back to the parent space."""
+        if method in ("expected_nn",):
+            out = np.asarray(answers).copy()
+            won = out >= 0
+            out[won] = idx[out[won]]
+            return out
+        if method == "expected_knn":
+            return idx[np.asarray(answers)]
+        if method == "nonzero":
+            return [frozenset(int(idx[i]) for i in s) for s in answers]
+        return [
+            {int(idx[i]): v for i, v in row.items()} for row in answers
+        ]
+
+    def _collect_diagnostics(
+        self, spec: QuerySpec, Q: np.ndarray, result: QueryResult
+    ) -> None:
+        diag: Dict[str, float] = {}
+        if result.fallback is not None:
+            diag["fallback_rows"] = float(np.count_nonzero(result.fallback))
+        if spec.tier == "pruned" and len(self._points) and spec.subset is None:
+            criterion = (
+                "expected"
+                if spec.method in ("expected_nn", "expected_knn")
+                else "support"
+            )
+            stats = self.planner().prune_stats(Q, criterion=criterion)
+            diag["mean_candidates"] = stats["mean_candidates"]
+            diag["max_candidates"] = stats["max_candidates"]
+            diag["mean_candidate_fraction"] = stats["mean_fraction"]
+            diag["candidates_pruned_fraction"] = 1.0 - stats["mean_fraction"]
+        result.diagnostics.update(diag)
+
+    @staticmethod
+    def _empty_answers(spec: QuerySpec, m: int):
+        """Well-shaped answers over an empty dataset (nothing can be a
+        neighbor): no winners, empty sets, empty rankings."""
+        if spec.method == "expected_nn":
+            return np.full(m, -1, dtype=np.intp)
+        if spec.method == "expected_knn":
+            return np.zeros((m, 0), dtype=np.intp)
+        if spec.method == "nonzero":
+            return [frozenset()] * m
+        return [{} for _ in range(m)]
+
+    # -- facade-compatible convenience methods --------------------------------
+    def nonzero_nn_many(
+        self,
+        qs,
+        exact: bool = False,
+        eps: Optional[float] = None,
+        rel: float = 0.0,
+    ) -> List[FrozenSet[int]]:
+        """``NN!=0(q, P)`` per query row (:func:`repro.batch.nonzero_nn_many`
+        against this session's cached structures)."""
+        return self.query(
+            qs, QuerySpec("nonzero", tier=tier_of(exact, eps), eps=eps, rel=rel)
+        ).answers
+
+    def expected_nn_many(
+        self,
+        qs,
+        exact: bool = False,
+        eps: Optional[float] = None,
+        rel: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Expected-distance winners ``(indices, values)`` per query row."""
+        res = self.query(
+            qs,
+            QuerySpec(
+                "expected_nn", tier=tier_of(exact, eps), eps=eps, rel=rel
+            ),
+        )
+        return res.answers, res.values
+
+    def expected_knn_many(self, qs, k: int, exact: bool = False) -> np.ndarray:
+        """Expected-distance kNN ranking, an ``(m, k)`` index matrix."""
+        return self.query(
+            qs,
+            QuerySpec(
+                "expected_knn", tier="exact" if exact else "pruned", k=k
+            ),
+        ).answers
+
+    def threshold_nn_exact_many(
+        self,
+        qs,
+        tau: float,
+        exact: bool = False,
+        eps: Optional[float] = None,
+        rel: float = 0.0,
+    ) -> List[Dict[int, float]]:
+        """Exact threshold answers ``{i: pi_i(q) > tau}`` per query row."""
+        return self.query(
+            qs,
+            QuerySpec(
+                "threshold",
+                tier=tier_of(exact, eps),
+                tau=tau,
+                eps=eps,
+                rel=rel,
+            ),
+        ).answers
+
+    def monte_carlo_pnn_many(
+        self,
+        qs,
+        s: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        delta: float = 0.05,
+        rng: SeedLike = 0,
+        exact: bool = False,
+        adaptive: bool = False,
+        tol: Optional[float] = None,
+    ) -> List[Dict[int, float]]:
+        """Theorem 4.3/4.5 estimates ``{i: pihat_i(q)}`` per query row,
+        over the session's shared ``(s, seed)`` sample block."""
+        return self.query(
+            qs,
+            QuerySpec(
+                "mc_pnn",
+                tier="exact" if exact else "pruned",
+                s=s,
+                epsilon=epsilon,
+                delta=delta,
+                seed=rng,
+                adaptive=adaptive,
+                tol=tol,
+            ),
+        ).answers
+
+    def monte_carlo_knn_many(
+        self, qs, k: int, s: int = 2000, rng: SeedLike = 0
+    ) -> List[Dict[int, float]]:
+        """Monte-Carlo ``pi^(k)`` estimates per query row, reusing the
+        session's ``(s, seed)`` sample block."""
+        if not self._points:
+            return [{} for _ in range(as_query_array(qs).shape[0])]
+        return _monte_carlo_knn_many(
+            self._points,
+            qs,
+            k,
+            s=s,
+            rng=rng,
+            samples=self.sample_block(s, rng)
+            if _seed_key(rng) is not None
+            else None,
+            uset=self.uset(),
+        )
+
+    def approx_threshold_many(
+        self, qs, tau: float, eps: float
+    ) -> List[ThresholdAnswer]:
+        """Spiral-search threshold classification per query row."""
+        if not self._points:
+            return [
+                ThresholdAnswer(above={}, undecided={})
+                for _ in range(as_query_array(qs).shape[0])
+            ]
+        return self.spiral_threshold_index().query_many(qs, tau, eps)
+
+    # -- matrix / instantiation helpers ---------------------------------------
+    def dmin_matrix(self, qs) -> np.ndarray:
+        """``delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
+        Q = as_query_array(qs)
+        if not self._points:
+            return np.zeros((Q.shape[0], 0))
+        return self.uset().dmin_matrix(Q)
+
+    def dmax_matrix(self, qs) -> np.ndarray:
+        """``Delta_i(q)`` for every query/point pair, shape ``(m, n)``."""
+        Q = as_query_array(qs)
+        if not self._points:
+            return np.zeros((Q.shape[0], 0))
+        return self.uset().dmax_matrix(Q)
+
+    def envelope_many(self, qs) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched lower envelope ``Delta(q)``: ``(argmins, values)``."""
+        Q = as_query_array(qs)
+        if not self._points:
+            return (
+                np.full(Q.shape[0], -1, dtype=np.intp),
+                np.full(Q.shape[0], np.inf),
+            )
+        return self.uset().envelope_many(Q)
+
+    def expected_distance_matrix(self, qs) -> np.ndarray:
+        """``E[d(q, P_i)]`` for every query/point pair, shape ``(m, n)``."""
+        Q = as_query_array(qs)
+        if not self._points:
+            return np.zeros((Q.shape[0], 0))
+        return self.expected_index().expected_distance_matrix(Q)
+
+    def instantiate_many(self, rng: SeedLike, s: int) -> np.ndarray:
+        """``s`` instantiations of the whole set, shape ``(s, n, 2)`` —
+        a writable copy of the session's cached block for int seeds."""
+        if not self._points:
+            return np.zeros((int(s), 0, 2))
+        if _seed_key(rng) is None:
+            return self.uset().instantiate_many(default_rng(rng), int(s))
+        return self.sample_block(int(s), rng).copy()
+
+    # -- telemetry -----------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Approximate footprint of this session's live cached
+        structures (lets cached sub-engines count toward their parent's
+        accounting)."""
+        return self._registry.memory_bytes(
+            self._generation, exclude=("mc_pnn",)
+        )
+
+    def model_histogram(self) -> Dict[str, int]:
+        """``{model-type name: count}`` over the current dataset (from
+        the column store when built, isinstance dispatch otherwise)."""
+        cols = self._registry.peek(("columns",), self._generation)
+        if cols is not None:
+            return cols.tag_histogram()
+        counts = Counter(model_tag(p) for p in self._points)
+        return {
+            TAG_NAMES[t]: c for t, c in sorted(counts.items())
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Session telemetry: dataset size, model histogram, built index
+        keys, generation counter, registry instrumentation, and the
+        approximate memory footprint of cached columns/indexes."""
+        live = self._registry.keys(self._generation)
+        return {
+            "n": len(self._points),
+            "generation": self._generation,
+            "models": self.model_histogram(),
+            "built_indexes": [_key_label(k) for k in live],
+            "registry_builds": self._registry.builds,
+            "registry_hits": self._registry.hits,
+            "memory_bytes": self._registry.memory_bytes(
+                self._generation, exclude=("mc_pnn",)
+            ),
+            "result_cache_entries": len(self._result_cache),
+            "result_cache_hits": self._result_hits,
+            "result_cache_misses": self._result_misses,
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        models = ", ".join(
+            f"{name}: {count}" for name, count in stats["models"].items()
+        )
+        mib = stats["memory_bytes"] / float(1 << 20)
+        return (
+            f"Engine(n={stats['n']}, generation={stats['generation']}, "
+            f"models={{{models}}}, "
+            f"indexes={len(stats['built_indexes'])}, "
+            f"~{mib:.2f} MiB cached)"
+        )

@@ -58,6 +58,7 @@ from .rect_uniform import UniformRectPoint
 
 __all__ = [
     "ModelColumns",
+    "model_tag",
     "TAG_DISCRETE",
     "TAG_RECT",
     "TAG_DISK",
@@ -101,26 +102,46 @@ def _polygon_centroid(vertices: np.ndarray) -> Tuple[float, float]:
     )
 
 
+def model_tag(p: UncertainPoint) -> int:
+    """The ``TAG_*`` code of one model, without computing its summary
+    (cheap isinstance dispatch — used by :meth:`repro.Engine.stats` for
+    the model-type histogram before any columns are built)."""
+    if isinstance(p, UniformDiskPoint):
+        return TAG_DISK
+    if isinstance(p, TruncatedGaussianPoint):
+        return TAG_GAUSSIAN
+    if isinstance(p, UniformRectPoint):
+        return TAG_RECT
+    if isinstance(p, DiscreteUncertainPoint):
+        return TAG_DISCRETE
+    if isinstance(p, HistogramPoint):
+        return TAG_HISTOGRAM
+    if isinstance(p, UniformPolygonPoint):
+        return TAG_POLYGON
+    return TAG_OTHER
+
+
 def _summarise(p: UncertainPoint):
     """``(tag, center, radius, mean, has_mean, mass_points, masses)``."""
     bbox = p.support_bbox()
     bx = (0.5 * (bbox[0] + bbox[2]), 0.5 * (bbox[1] + bbox[3]))
     half_diag = 0.5 * float(np.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1]))
-    if isinstance(p, UniformDiskPoint):
+    tag = model_tag(p)
+    if tag == TAG_DISK:
         c = (p.disk.center.x, p.disk.center.y)
-        return TAG_DISK, c, p.disk.radius, c, True, [c], [1.0]
-    if isinstance(p, TruncatedGaussianPoint):
+        return tag, c, p.disk.radius, c, True, [c], [1.0]
+    if tag == TAG_GAUSSIAN:
         c = (p.disk.center.x, p.disk.center.y)
-        return TAG_GAUSSIAN, c, p.cutoff, c, True, [c], [1.0]
-    if isinstance(p, UniformRectPoint):
-        return TAG_RECT, bx, half_diag, bx, True, [bx], [1.0]
-    if isinstance(p, DiscreteUncertainPoint):
+        return tag, c, p.cutoff, c, True, [c], [1.0]
+    if tag == TAG_RECT:
+        return tag, bx, half_diag, bx, True, [bx], [1.0]
+    if tag == TAG_DISCRETE:
         sec = p.enclosing
         w = np.asarray(p.weights, dtype=np.float64)
         loc = np.asarray(p.locations, dtype=np.float64)
         mean = (float(w @ loc[:, 0]), float(w @ loc[:, 1]))
         return (
-            TAG_DISCRETE,
+            tag,
             (sec.center.x, sec.center.y),
             sec.radius,
             mean,
@@ -128,7 +149,7 @@ def _summarise(p: UncertainPoint):
             p.locations,
             p.weights,
         )
-    if isinstance(p, HistogramPoint):
+    if tag == TAG_HISTOGRAM:
         rects = np.asarray(p.rects, dtype=np.float64)
         masses = np.asarray(p.masses, dtype=np.float64)
         cell_centers = 0.5 * (rects[:, :2] + rects[:, 2:])
@@ -137,7 +158,7 @@ def _summarise(p: UncertainPoint):
             float(masses @ cell_centers[:, 1]),
         )
         return (
-            TAG_HISTOGRAM,
+            tag,
             bx,
             half_diag,
             mean,
@@ -145,12 +166,12 @@ def _summarise(p: UncertainPoint):
             cell_centers.tolist(),
             p.masses,
         )
-    if isinstance(p, UniformPolygonPoint):
+    if tag == TAG_POLYGON:
         verts = np.asarray([(v.x, v.y) for v in p.vertices], dtype=np.float64)
         sec = smallest_enclosing_circle([tuple(v) for v in verts])
         mean = _polygon_centroid(verts)
         return (
-            TAG_POLYGON,
+            tag,
             (sec.center.x, sec.center.y),
             sec.radius,
             mean,
@@ -160,49 +181,80 @@ def _summarise(p: UncertainPoint):
         )
     # Unknown model: the bbox circumscribing disk is always valid; the
     # first moment is unknown, so the Jensen bracket is disabled.
-    return TAG_OTHER, bx, half_diag, bx, False, [bx], [1.0]
+    return tag, bx, half_diag, bx, False, [bx], [1.0]
+
+
+def _column_arrays(points: Sequence[UncertainPoint]) -> dict:
+    """Summarise ``points`` into the column arrays (one :func:`_summarise`
+    pass).  Shared by :class:`ModelColumns` construction and the in-place
+    :meth:`ModelColumns.extend` append path, so dynamic inserts never
+    re-summarise the objects already stored."""
+    bboxes: List[Tuple[float, float, float, float]] = []
+    centers: List[Tuple[float, float]] = []
+    radii: List[float] = []
+    means: List[Tuple[float, float]] = []
+    has_mean: List[bool] = []
+    tags: List[int] = []
+    reach: List[float] = []
+    offsets = [0]
+    locs: List[Tuple[float, float]] = []
+    loc_w: List[float] = []
+    for p in points:
+        tag, c, r, mean, hm, mass_points, masses = _summarise(p)
+        bboxes.append(tuple(map(float, p.support_bbox())))
+        centers.append((float(c[0]), float(c[1])))
+        radii.append(float(r))
+        means.append((float(mean[0]), float(mean[1])))
+        has_mean.append(bool(hm))
+        tags.append(tag)
+        reach.append(float(p.dmax(mean)) if hm else np.inf)
+        locs.extend((float(x), float(y)) for x, y in mass_points)
+        loc_w.extend(float(w) for w in masses)
+        offsets.append(len(locs))
+    return {
+        "bboxes": np.asarray(bboxes, dtype=np.float64).reshape(-1, 4),
+        "centers": np.asarray(centers, dtype=np.float64).reshape(-1, 2),
+        "radii": np.asarray(radii, dtype=np.float64),
+        "means": np.asarray(means, dtype=np.float64).reshape(-1, 2),
+        "has_mean": np.asarray(has_mean, dtype=bool),
+        "mean_reach": np.asarray(reach, dtype=np.float64),
+        "tags": np.asarray(tags, dtype=np.int8),
+        "loc_offsets": np.asarray(offsets, dtype=np.intp),
+        "locations": np.asarray(locs, dtype=np.float64).reshape(-1, 2),
+        "location_weights": np.asarray(loc_w, dtype=np.float64),
+    }
+
+
+#: The per-object column attributes (everything except the CSR triple,
+#: which needs offset arithmetic on extend/shrink).
+_ROW_COLUMNS = (
+    "bboxes",
+    "centers",
+    "radii",
+    "means",
+    "has_mean",
+    "mean_reach",
+    "tags",
+)
 
 
 class ModelColumns:
-    """Precomputed SoA columns over a fixed sequence of uncertain points."""
+    """Precomputed SoA columns over a fixed sequence of uncertain points.
+
+    The store is **dynamic**: :meth:`extend` appends freshly summarised
+    columns for new points in place (the points already stored are never
+    re-summarised) and :meth:`shrink` drops rows by index.  The
+    :class:`repro.Engine` session API uses exactly these two hooks for
+    its incremental-vs-rebuild update policy.
+    """
 
     def __init__(self, points: Sequence[UncertainPoint]):
         points = list(points)
         if not points:
             raise ValueError("ModelColumns requires at least one point")
         self.n = len(points)
-        bboxes: List[Tuple[float, float, float, float]] = []
-        centers: List[Tuple[float, float]] = []
-        radii: List[float] = []
-        means: List[Tuple[float, float]] = []
-        has_mean: List[bool] = []
-        tags: List[int] = []
-        reach: List[float] = []
-        offsets = [0]
-        locs: List[Tuple[float, float]] = []
-        loc_w: List[float] = []
-        for p in points:
-            tag, c, r, mean, hm, mass_points, masses = _summarise(p)
-            bboxes.append(tuple(map(float, p.support_bbox())))
-            centers.append((float(c[0]), float(c[1])))
-            radii.append(float(r))
-            means.append((float(mean[0]), float(mean[1])))
-            has_mean.append(bool(hm))
-            tags.append(tag)
-            reach.append(float(p.dmax(mean)) if hm else np.inf)
-            locs.extend((float(x), float(y)) for x, y in mass_points)
-            loc_w.extend(float(w) for w in masses)
-            offsets.append(len(locs))
-        self.bboxes = np.asarray(bboxes, dtype=np.float64)
-        self.centers = np.asarray(centers, dtype=np.float64)
-        self.radii = np.asarray(radii, dtype=np.float64)
-        self.means = np.asarray(means, dtype=np.float64)
-        self.has_mean = np.asarray(has_mean, dtype=bool)
-        self.mean_reach = np.asarray(reach, dtype=np.float64)
-        self.tags = np.asarray(tags, dtype=np.int8)
-        self.loc_offsets = np.asarray(offsets, dtype=np.intp)
-        self.locations = np.asarray(locs, dtype=np.float64).reshape(-1, 2)
-        self.location_weights = np.asarray(loc_w, dtype=np.float64)
+        for name, arr in _column_arrays(points).items():
+            setattr(self, name, arr)
 
     @classmethod
     def from_points(cls, points: Sequence[UncertainPoint]) -> "ModelColumns":
@@ -210,6 +262,65 @@ class ModelColumns:
 
     def __len__(self) -> int:
         return self.n
+
+    # -- dynamic updates ------------------------------------------------------
+    def extend(self, points: Sequence[UncertainPoint]) -> "ModelColumns":
+        """Append columns for ``points`` in place (incremental insert:
+        only the new objects are summarised).  Returns ``self``."""
+        points = list(points)
+        if not points:
+            return self
+        new = _column_arrays(points)
+        for name in _ROW_COLUMNS:
+            setattr(
+                self, name, np.concatenate([getattr(self, name), new[name]])
+            )
+        base = self.loc_offsets[-1]
+        self.loc_offsets = np.concatenate(
+            [self.loc_offsets, base + new["loc_offsets"][1:]]
+        )
+        self.locations = np.concatenate([self.locations, new["locations"]])
+        self.location_weights = np.concatenate(
+            [self.location_weights, new["location_weights"]]
+        )
+        self.n += len(points)
+        return self
+
+    def shrink(self, keep) -> "ModelColumns":
+        """Keep only the rows named by the index array ``keep`` (in the
+        given order), dropping everything else in place (incremental
+        remove: no object is re-summarised).  Returns ``self``."""
+        keep = np.asarray(keep, dtype=np.intp)
+        if keep.size and (keep.min() < 0 or keep.max() >= self.n):
+            raise ValueError("keep indices out of range")
+        gather, lens = kernels.csr_segment_gather(self.loc_offsets, keep)
+        self.locations = self.locations[gather]
+        self.location_weights = self.location_weights[gather]
+        self.loc_offsets = np.concatenate(
+            ([0], np.cumsum(lens))
+        ).astype(np.intp)
+        for name in _ROW_COLUMNS:
+            setattr(self, name, getattr(self, name)[keep])
+        self.n = int(keep.size)
+        return self
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the stored column arrays."""
+        total = self.loc_offsets.nbytes
+        for name in _ROW_COLUMNS:
+            total += getattr(self, name).nbytes
+        return int(
+            total + self.locations.nbytes + self.location_weights.nbytes
+        )
+
+    def tag_histogram(self) -> dict:
+        """``{model-type name: count}`` over the stored objects."""
+        counts = np.bincount(self.tags, minlength=len(TAG_NAMES))
+        return {
+            TAG_NAMES[t]: int(c) for t, c in enumerate(counts) if c
+        }
 
     # -- vectorized envelope bounds -----------------------------------------
     def center_distances(self, qs, members=None) -> np.ndarray:
