@@ -681,6 +681,167 @@ def bench_engine_sessions(cfg, report):
     )
 
 
+def bench_dual_tree(cfg, report):
+    """The PR 5 headline: dual-tree candidate generation vs the flat
+    dense bound pass, over the same clustered-disks workload as the
+    other planner benches.
+
+    Hard assertions: the dual CSR survivors equal the flat survivors
+    bit for bit on every criterion, every answer path is bit-identical
+    between the two generators, and the traversal provably visits fewer
+    node pairs (and performs fewer leaf-stage bound evaluations) than
+    the dense m*n pass on every workload.  The >= 5x candidate-
+    generation speedup is hard-asserted in the full configuration; the
+    end-to-end answer-path ratios (which include the evaluator cost the
+    traversal cannot touch) and the cheap-evaluator worst case are
+    recorded honestly with no bar.
+    """
+    centers = cluster_centers(cfg["clusters"], seed=101, box=cfg["box"])
+    points = clustered_disk_points(cfg["n"], centers=centers, seed=102)
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=103))
+    m, n = Q.shape[0], len(points)
+    from repro import ModelColumns
+
+    cols = ModelColumns(points)
+    flat = QueryPlanner(points, prune="flat", columns=cols)
+    dual = QueryPlanner(points, prune="dual", columns=cols)
+    flat.candidate_csr(Q[:4], criterion="expected")
+    dual.candidate_csr(Q[:4], criterion="expected")  # builds the object tree
+
+    # Candidate generation, the pass the dual tree replaces.
+    parity = {}
+    times = {}
+    for criterion in ("expected", "support"):
+        t_f, (fp, fi) = _timeit(
+            lambda: flat.candidate_csr(Q, criterion=criterion), repeats=3
+        )
+        t_d, (dp, di) = _timeit(
+            lambda: dual.candidate_csr(Q, criterion=criterion), repeats=3
+        )
+        parity[criterion] = bool(
+            np.array_equal(fp, dp) and np.array_equal(fi, di)
+        )
+        times[criterion] = (t_f, t_d)
+    speedup = times["expected"][0] / times["expected"][1]
+    stats = dual.prune_stats(Q, criterion="expected")
+    node_pairs = stats["node_pairs_visited"]
+    refined = stats["refined_pairs"]
+
+    # End-to-end answer paths (evaluator cost included).
+    t_flat_e2e, (fw, fv) = _timeit(lambda: flat.expected_nn_many(Q))
+    t_dual_e2e, (dw, dv) = _timeit(lambda: dual.expected_nn_many(Q))
+    e2e_identical = bool(np.array_equal(fw, dw) and np.array_equal(fv, dv))
+    t_flat_nz, fz = _timeit(lambda: flat.nonzero_nn_many(Q))
+    t_dual_nz, dz = _timeit(lambda: dual.nonzero_nn_many(Q))
+    nz_identical = fz == dz
+    k = min(8, n)
+    knn_identical = bool(
+        np.array_equal(
+            flat.expected_knn_many(Q, k), dual.expected_knn_many(Q, k)
+        )
+    )
+
+    # Worst case, recorded honestly: cheap closed-form discrete
+    # evaluators, where candidate generation is a small share of the
+    # total and the dual tree can only match the flat pass.
+    dpoints = clustered_discrete_points(
+        cfg["n"], k=3, centers=centers, seed=112
+    )
+    dflat = QueryPlanner(dpoints, prune="flat")
+    ddual = QueryPlanner(dpoints, prune="dual")
+    dflat.expected_nn_many(Q[:4])
+    ddual.expected_nn_many(Q[:4])
+    t_wf, (wfw, wfv) = _timeit(lambda: dflat.expected_nn_many(Q), repeats=2)
+    t_wd, (wdw, wdv) = _timeit(lambda: ddual.expected_nn_many(Q), repeats=2)
+    worst_identical = bool(
+        np.array_equal(wfw, wdw) and np.array_equal(wfv, wdv)
+    )
+    worst_stats = ddual.prune_stats(Q, criterion="expected")
+
+    report["results"]["dual_tree_candidates"] = {
+        "model": "uniform disks, clustered (dual-tree vs flat bound pass)",
+        "n": n,
+        "m": m,
+        "dense_pairs": m * n,
+        "seconds_flat_candidates_expected": times["expected"][0],
+        "seconds_dual_candidates_expected": times["expected"][1],
+        "seconds_flat_candidates_support": times["support"][0],
+        "seconds_dual_candidates_support": times["support"][1],
+        "speedup_candidates_expected": speedup,
+        "speedup_candidates_support": times["support"][0] / times["support"][1],
+        "survivor_parity": parity,
+        "node_pairs_visited": node_pairs,
+        "node_pairs_pruned": stats["node_pairs_pruned"],
+        "point_node_pairs": stats["point_node_pairs"],
+        "refined_pairs": refined,
+        "survivors": stats["survivors"],
+        "seconds_flat_expected_nn_e2e": t_flat_e2e,
+        "seconds_dual_expected_nn_e2e": t_dual_e2e,
+        "speedup_expected_nn_e2e": t_flat_e2e / t_dual_e2e,
+        "seconds_flat_nonzero_e2e": t_flat_nz,
+        "seconds_dual_nonzero_e2e": t_dual_nz,
+        "speedup_nonzero_e2e": t_flat_nz / t_dual_nz,
+        "expected_knn_identical": knn_identical,
+        "worst_case_model": "discrete k=3 (cheap closed-form evaluators)",
+        "seconds_worst_flat": t_wf,
+        "seconds_worst_dual": t_wd,
+        "speedup_worst_case": t_wf / t_wd,
+        "worst_case_node_pairs": worst_stats["node_pairs_visited"],
+        "worst_case_refined_pairs": worst_stats["refined_pairs"],
+    }
+    print_table(
+        f"dual-tree candidates, clustered disks, n={n}, m={m}",
+        ["path", "seconds", "speedup"],
+        [
+            ("flat bound pass (expected)", f"{times['expected'][0]:.4f}", "1.0x"),
+            ("dual traversal (expected)", f"{times['expected'][1]:.4f}",
+             f"{speedup:.1f}x"),
+            ("flat expected-NN end-to-end", f"{t_flat_e2e:.3f}", "1.0x"),
+            ("dual expected-NN end-to-end", f"{t_dual_e2e:.3f}",
+             f"{t_flat_e2e / t_dual_e2e:.1f}x"),
+            ("worst case (cheap evaluator)", f"{t_wd:.3f}",
+             f"{t_wf / t_wd:.2f}x"),
+        ],
+    )
+    _soft(
+        report,
+        "dual survivors equal flat survivors",
+        parity["expected"] and parity["support"],
+        f"CSR mismatch: {parity}",
+        hard=True,
+    )
+    _soft(
+        report,
+        "dual answers identical (expected_nn/nonzero/expected_knn)",
+        e2e_identical and nz_identical and knn_identical and worst_identical,
+        "dual != flat on an answer path",
+        hard=True,
+    )
+    _soft(
+        report,
+        "dual visits fewer node pairs than m*n",
+        node_pairs < m * n and worst_stats["node_pairs_visited"] < m * n,
+        f"node pairs {node_pairs} / {worst_stats['node_pairs_visited']} "
+        f"vs dense {m * n}",
+        hard=True,
+    )
+    _soft(
+        report,
+        "dual leaf refinements below m*n",
+        refined < m * n and worst_stats["refined_pairs"] < m * n,
+        f"refined {refined} / {worst_stats['refined_pairs']} vs {m * n}",
+        hard=True,
+    )
+    if not report["quick"]:
+        _soft(
+            report,
+            f"dual candidate generation >= {TARGET_SPEEDUP}x",
+            speedup >= TARGET_SPEEDUP,
+            f"speedup {speedup:.2f}x below acceptance bar",
+            hard=True,
+        )
+
+
 def _soft(report, name: str, ok: bool, detail: str, hard: bool = False) -> None:
     """Record an assertion.  Soft failures (timing bars) only flip the
     report flag; hard failures (answer identity) always fail the run."""
@@ -715,7 +876,19 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the PR 4 engine-session benchmark",
     )
+    ap.add_argument(
+        "--out-dual",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr5.json"),
+        help="dual-tree report path (default: repo-root BENCH_pr5.json)",
+    )
+    ap.add_argument(
+        "--dual-only",
+        action="store_true",
+        help="run only the PR 5 dual-tree benchmark",
+    )
     args = ap.parse_args(argv)
+    if args.engine_only and args.dual_only:
+        ap.error("--engine-only and --dual-only are mutually exclusive")
 
     if args.quick:
         cfg = {
@@ -759,7 +932,7 @@ def main(argv=None) -> int:
     failed = []
     hard_failure = False
 
-    if not args.engine_only:
+    if not args.engine_only and not args.dual_only:
         report = {
             "pr": 3,
             "benchmark": (
@@ -790,30 +963,58 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"\nwrote {out}")
 
-    report4 = {
-        "pr": 4,
-        "benchmark": (
-            "stateful Engine sessions: build-once datasets, cached index "
-            "registry, repeated-batch serving vs the per-call facade"
-        ),
-        "quick": bool(args.quick),
-        "config": {
-            k: cfg[k]
-            for k in ("n", "m", "clusters", "box", "batches", "distinct_batches")
-        },
-        "results": {},
-        "soft_assertions": [],
-    }
-    bench_engine_sessions(cfg, report4)
-    failed4 = [a["name"] for a in report4["soft_assertions"] if not a["ok"]]
-    report4["all_assertions_passed"] = not failed4
-    failed += failed4
-    hard_failure |= bool(report4.get("hard_failure"))
-    out4 = os.path.abspath(args.out_engine)
-    with open(out4, "w") as fh:
-        json.dump(report4, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out4}")
+    if not args.dual_only:
+        report4 = {
+            "pr": 4,
+            "benchmark": (
+                "stateful Engine sessions: build-once datasets, cached index "
+                "registry, repeated-batch serving vs the per-call facade"
+            ),
+            "quick": bool(args.quick),
+            "config": {
+                k: cfg[k]
+                for k in (
+                    "n", "m", "clusters", "box", "batches", "distinct_batches"
+                )
+            },
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_engine_sessions(cfg, report4)
+        failed4 = [a["name"] for a in report4["soft_assertions"] if not a["ok"]]
+        report4["all_assertions_passed"] = not failed4
+        failed += failed4
+        hard_failure |= bool(report4.get("hard_failure"))
+        out4 = os.path.abspath(args.out_engine)
+        with open(out4, "w") as fh:
+            json.dump(report4, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out4}")
+
+    if not args.engine_only:
+        report5 = {
+            "pr": 5,
+            "benchmark": (
+                "dual-tree candidate generation: output-sensitive prune "
+                "pass replacing the dense O(m*n) bound matrix"
+            ),
+            "quick": bool(args.quick),
+            "config": {
+                k: cfg[k] for k in ("n", "m", "clusters", "box")
+            },
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_dual_tree(cfg, report5)
+        failed5 = [a["name"] for a in report5["soft_assertions"] if not a["ok"]]
+        report5["all_assertions_passed"] = not failed5
+        failed += failed5
+        hard_failure |= bool(report5.get("hard_failure"))
+        out5 = os.path.abspath(args.out_dual)
+        with open(out5, "w") as fh:
+            json.dump(report5, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out5}")
 
     if failed:
         print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)

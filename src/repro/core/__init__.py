@@ -14,6 +14,12 @@ from .discrete_voronoi import (
     gamma_polygon_edges,
     k_cell,
 )
+from .dual_tree import (
+    DualTreeCandidates,
+    EnvelopeObjectTree,
+    QueryBlockTree,
+    dual_tree_candidates,
+)
 from .expected_nn import ExpectedNNIndex, disagreement_rate
 from .gamma import GammaCurve, disks_of, gamma_curves
 from .guaranteed import (
@@ -34,7 +40,7 @@ from .monte_carlo import (
     rounds_for_fixed_query,
 )
 from .nonzero import UncertainSet, brute_force_nonzero, nonzero_from_matrices
-from .parallel import map_tiles, tile_ranges
+from .parallel import map_ordered, map_tiles, tile_ranges
 from .planner import QueryPlanner
 from .quant_index import (
     ApproxNN,
@@ -79,6 +85,11 @@ from .subdivision_index import PersistentNonzeroIndex
 
 __all__ = [
     "ApproxNN",
+    "DualTreeCandidates",
+    "EnvelopeObjectTree",
+    "QueryBlockTree",
+    "dual_tree_candidates",
+    "map_ordered",
     "ApproxSets",
     "ApproxThreshold",
     "ApproxThresholdIndex",

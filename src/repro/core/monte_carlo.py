@@ -263,12 +263,15 @@ class MonteCarloPNN:
         rounds_used = np.zeros(m, dtype=np.intp)
         active = np.arange(m, dtype=np.intp)
         if planner is not None:
-            # CSR candidate layout (and per-pair win counters) built
-            # once; per block only the active queries' segments are
-            # gathered — O(active nnz) work, never an (m, n) rescan.
-            mask = planner.candidate_mask(Q, criterion="support")
-            rows_full, cols_full = np.nonzero(mask)
-            indptr_full = np.searchsorted(rows_full, np.arange(m + 1))
+            # CSR candidate layout (and per-pair win counters) taken
+            # straight from the planner's survivor sets (the dual-tree
+            # generator emits CSR natively — no (m, n) boolean is ever
+            # densified here); per block only the active queries'
+            # segments are gathered — O(active nnz) work.
+            indptr_full, cols_full = planner.candidate_csr(
+                Q, criterion="support"
+            )
+            rows_full = kernels.csr_rows(indptr_full)
             pair_counts = np.zeros(rows_full.shape[0], dtype=np.int64)
         else:
             counts = np.zeros((m, n), dtype=np.int64)
@@ -330,22 +333,23 @@ class MonteCarloPNN:
     def _query_matrix_pruned(self, Q: np.ndarray, planner) -> np.ndarray:
         """Candidate-only rounds over the shared ``(s, n, 2)`` array.
 
-        The candidate pairs are laid out once in CSR order (row-major
-        ``np.nonzero``, so columns ascend within each query); every
-        round gathers only those pairs' coordinates and finds each
-        query's winner with two ``np.minimum.reduceat`` segment passes.
-        Ties resolve to the lowest surviving column — the same winner
-        the full argmin picks, since pruned objects are strictly
-        farther in every round.
+        The candidate pairs arrive in the planner's CSR layout (columns
+        ascend within each query; the dual-tree generator emits this
+        directly, with no dense (m, n) mask in between); every round
+        gathers only those pairs' coordinates and finds each query's
+        winner with two ``np.minimum.reduceat`` segment passes.  Ties
+        resolve to the lowest surviving column — the same winner the
+        full argmin picks, since pruned objects are strictly farther in
+        every round.
         """
         m = Q.shape[0]
         n = self._samples.shape[1]
         if m == 0:
             return np.zeros((0, n), dtype=np.float64)
-        mask = planner.candidate_mask(Q, criterion="support")
-        rows, cols = np.nonzero(mask)
-        nnz = rows.shape[0]
-        indptr = np.searchsorted(rows, np.arange(m))
+        indptr_full, cols = planner.candidate_csr(Q, criterion="support")
+        rows = kernels.csr_rows(indptr_full)
+        nnz = cols.shape[0]
+        indptr = indptr_full[:-1]
         qx = Q[rows, 0]
         qy = Q[rows, 1]
         sx = np.ascontiguousarray(self._samples[:, :, 0])

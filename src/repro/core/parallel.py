@@ -18,7 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 from ..config import EXECUTION
 from ..errors import QueryError
 
-__all__ = ["map_tiles", "resolve_workers", "tile_ranges"]
+__all__ = ["map_ordered", "map_tiles", "resolve_workers", "tile_ranges"]
 
 T = TypeVar("T")
 
@@ -46,6 +46,59 @@ def tile_ranges(m: int, rows_per_tile: int) -> List[Tuple[int, int]]:
     return [(lo, min(lo + rows, m)) for lo in range(0, m, rows)]
 
 
+def _map_argtuples(
+    fn: Callable[..., T],
+    argtuples: Sequence[Tuple],
+    backend: Optional[str],
+    workers: Optional[int],
+) -> List[T]:
+    """Shared runner behind :func:`map_tiles` / :func:`map_ordered`:
+    ``[fn(*args) for args in argtuples]`` under the chosen backend, with
+    results ordered by position regardless of completion order.  ``fn``
+    is submitted as-is (no wrapper closures), so picklable functions
+    stay process-backend compatible."""
+    if backend is None:
+        backend = EXECUTION.parallel_backend
+    if backend not in _BACKENDS:
+        raise QueryError(
+            f"unknown parallel backend {backend!r}; expected one of {_BACKENDS}"
+        )
+    n_workers = resolve_workers(workers)
+    if backend == "serial" or n_workers == 1 or len(argtuples) <= 1:
+        return [fn(*args) for args in argtuples]
+    pool_cls = (
+        concurrent.futures.ThreadPoolExecutor
+        if backend == "thread"
+        else concurrent.futures.ProcessPoolExecutor
+    )
+    results: List[T] = [None] * len(argtuples)  # type: ignore[list-item]
+    with pool_cls(max_workers=min(n_workers, len(argtuples))) as pool:
+        futures = {
+            pool.submit(fn, *args): i for i, args in enumerate(argtuples)
+        }
+        for fut in concurrent.futures.as_completed(futures):
+            results[futures[fut]] = fut.result()
+    return results
+
+
+def map_ordered(
+    fn: Callable[..., T],
+    items: Sequence,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> List[T]:
+    """``[fn(item) for item in items]`` under the chosen backend.
+
+    The task-shaped sibling of :func:`map_tiles`: where tiles are
+    contiguous row ranges of one query matrix, items are arbitrary
+    independent units of work — the dual-tree traversal fans out over
+    *query subtrees* here instead of row tiles.  Results are ordered by
+    item position regardless of completion order, so every backend
+    returns identical output.
+    """
+    return _map_argtuples(fn, [(item,) for item in items], backend, workers)
+
+
 def map_tiles(
     fn: Callable[[int, int], T],
     tiles: Sequence[Tuple[int, int]],
@@ -60,25 +113,4 @@ def map_tiles(
     ``fn`` (and everything it closes over) to be picklable; the planner
     therefore defaults to threads for its model-object workloads.
     """
-    if backend is None:
-        backend = EXECUTION.parallel_backend
-    if backend not in _BACKENDS:
-        raise QueryError(
-            f"unknown parallel backend {backend!r}; expected one of {_BACKENDS}"
-        )
-    n_workers = resolve_workers(workers)
-    if backend == "serial" or n_workers == 1 or len(tiles) <= 1:
-        return [fn(lo, hi) for lo, hi in tiles]
-    pool_cls = (
-        concurrent.futures.ThreadPoolExecutor
-        if backend == "thread"
-        else concurrent.futures.ProcessPoolExecutor
-    )
-    results: List[T] = [None] * len(tiles)  # type: ignore[list-item]
-    with pool_cls(max_workers=min(n_workers, len(tiles))) as pool:
-        futures = {
-            pool.submit(fn, lo, hi): i for i, (lo, hi) in enumerate(tiles)
-        }
-        for fut in concurrent.futures.as_completed(futures):
-            results[futures[fut]] = fut.result()
-    return results
+    return _map_argtuples(fn, list(tiles), backend, workers)

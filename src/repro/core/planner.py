@@ -48,12 +48,20 @@ single
 scalar-style query is exactly one tile and allocates only ``(1, n)``
 rows — no full-matrix staging, no copies.
 
-Within a tile, candidate generation runs either as one vectorized pass
-over the ``(rows, n)`` bound matrices (default for moderate ``n``) or
-through a bulk-loaded leaf grouping over the SoA bboxes (STR tiles or
-``np.argpartition`` kd splits from :mod:`repro.index.bulk` — no
-recursive pointer builds), which prunes whole groups before touching
-their members.
+Candidate generation
+--------------------
+Since PR 5 the pruned tier's default candidate generator is the
+**dual-tree traversal** of :mod:`repro.core.dual_tree`
+(``method="dual"``): a query-block STR tree is walked against a cached
+object-envelope STR tree level by level, node pairs are pruned against
+per-block running best upper bounds, and the surviving members are
+refined with the flat tier's exact bounds — the emitted CSR survivor
+sets equal the flat pass's survivors bit for bit, but the bound work is
+proportional to the surviving frontier instead of ``m * n``.  The flat
+``(rows, n)`` pass (``method="flat"`` / ``prune="flat"``) and the bulk
+leaf groupings (``"kdtree"`` / ``"rtree"`` from :mod:`repro.index.bulk`)
+remain as escape hatches; whatever the generator, evaluation runs over
+the same tiled blocks, so answers are identical across methods.
 """
 
 from __future__ import annotations
@@ -68,6 +76,7 @@ from ..geometry import kernels
 from ..index.bulk import group_bboxes, kd_leaves, str_leaves
 from ..uncertain.columns import ModelColumns
 from . import parallel as _parallel
+from .dual_tree import DualTreeCandidates, EnvelopeObjectTree, dual_tree_candidates
 from .nonzero import nonzero_from_matrices
 from .quantification import quantification_probabilities
 
@@ -77,14 +86,23 @@ __all__ = ["QueryPlanner"]
 #: few ulps above its true value can never discard a genuine candidate.
 _CUTOFF_SLACK = 1.0 + 1e-12
 
-#: ``method="auto"`` uses the flat (rows, n) pass up to this many objects
-#: and the grouped leaf prune beyond it.
-_AUTO_GROUP_THRESHOLD = 4096
+#: Query-block / object-envelope tree parameters of the dual-tree
+#: candidate generator (``method="dual"``).
+_DUAL_LEAF_SIZE = 16
+_DUAL_FANOUT = 8
 
 #: Peak float64 working-set bytes per (query, object) pair in a tile's
 #: bound-plus-evaluate pass (lb/ub/center-distance temporaries in the
 #: kernels, plus the evaluator's value matrix): 8 simultaneous arrays.
 _BYTES_PER_PAIR = 64
+
+#: Per-pair bytes when the dual generator feeds the tiles: the bound
+#: temporaries never materialize per tile (the traversal is
+#: output-sensitive and budgets its own chunks), so a tile only holds
+#: the evaluator's value matrix, the densified candidate mask, and the
+#: evaluators' row-sized scratch — larger tiles, same memory budget,
+#: less per-tile dispatch overhead.
+_BYTES_PER_PAIR_DUAL = 24
 
 _TIERS = ("exact", "pruned", "approx")
 
@@ -100,12 +118,26 @@ class QueryPlanner:
         Optional precomputed :class:`ModelColumns` for ``points`` (built
         once here when omitted).
     method:
-        ``"flat"`` — one vectorized pass over the tile's ``(rows, n)``
-        bound matrices; ``"kdtree"`` / ``"rtree"`` — group objects into
-        bulk leaves (argpartition kd splits / STR tiles) and prune whole
-        groups first; ``"auto"`` picks flat for moderate ``n``.
+        ``"dual"`` (the ``"auto"`` default) — dual-tree candidate
+        generation (:mod:`repro.core.dual_tree`): output-sensitive,
+        bit-identical survivors to the flat pass; ``"flat"`` — one
+        vectorized pass over the tile's ``(rows, n)`` bound matrices;
+        ``"kdtree"`` / ``"rtree"`` — group objects into bulk leaves
+        (argpartition kd splits / STR tiles) and prune whole groups
+        first.
+    prune:
+        Convenience escape hatch: ``prune="dual"`` / ``prune="flat"``
+        overrides ``method`` (the two spellings name the same
+        strategies).
     leaf_size:
-        Group capacity for the tree methods.
+        Group capacity for the kd/rtree methods (the dual trees use
+        their own packing parameters).
+    object_tree:
+        Optional prebuilt
+        :class:`~repro.core.dual_tree.EnvelopeObjectTree` over the same
+        columns, adopted instead of building lazily — the
+        :class:`repro.Engine` registry shares one per generation across
+        batches and criteria.
     tile_bytes / parallel_backend / parallel_workers:
         Per-planner overrides of :data:`repro.config.EXECUTION` (``None``
         reads the live config at call time).
@@ -124,11 +156,14 @@ class QueryPlanner:
         points: Sequence,
         columns: Optional[ModelColumns] = None,
         method: str = "auto",
+        prune: Optional[str] = None,
         leaf_size: int = 32,
         tile_bytes: Optional[int] = None,
         parallel_backend: Optional[str] = None,
         parallel_workers: Optional[int] = None,
         approx_cache: Optional[Dict[Tuple[float, float, str], object]] = None,
+        object_tree: Optional[EnvelopeObjectTree] = None,
+        object_tree_supplier=None,
     ):
         self.points = list(points)
         if not self.points:
@@ -136,12 +171,16 @@ class QueryPlanner:
         self.columns = columns if columns is not None else ModelColumns(self.points)
         if self.columns.n != len(self.points):
             raise QueryError("columns were built over a different point set")
-        if method not in ("auto", "flat", "kdtree", "rtree"):
+        if prune is not None:
+            if prune not in ("dual", "flat"):
+                raise QueryError(
+                    f"unknown prune strategy {prune!r}; expected 'dual' or 'flat'"
+                )
+            method = prune
+        if method not in ("auto", "dual", "flat", "kdtree", "rtree"):
             raise QueryError(f"unknown planner method {method!r}")
         if method == "auto":
-            method = (
-                "flat" if len(self.points) <= _AUTO_GROUP_THRESHOLD else "kdtree"
-            )
+            method = "dual"
         self.method = method
         self.leaf_size = int(leaf_size)
         self.tile_bytes = tile_bytes
@@ -150,16 +189,43 @@ class QueryPlanner:
         self._leaves: Optional[List[np.ndarray]] = None
         self._leaf_bboxes: Optional[np.ndarray] = None
         self._approx_cache = approx_cache if approx_cache is not None else {}
+        if object_tree is not None and object_tree.n != self.columns.n:
+            raise QueryError("object tree was built over a different point set")
+        self._object_tree = object_tree
+        #: Optional hook called as ``supplier(build)`` on the first lazy
+        #: object-tree build — the Engine registry passes one so the
+        #: tree is owned (and counted) by the session, like the approx
+        #: cache view.
+        self._object_tree_supplier = object_tree_supplier
+        #: Cumulative dual-tree telemetry across this planner's prune
+        #: passes (surfaced by :meth:`repro.Engine.stats`).
+        self.dual_totals: Dict[str, float] = {
+            "traversals": 0.0,
+            "node_pairs_visited": 0.0,
+            "node_pairs_pruned": 0.0,
+            "point_node_pairs": 0.0,
+            "refined_pairs": 0.0,
+            "survivors": 0.0,
+        }
+        self.last_dual_stats: Optional[Dict[str, float]] = None
 
     def __len__(self) -> int:
         return len(self.points)
 
     # -- tiled execution -----------------------------------------------------
-    def _tile_rows(self) -> int:
+    def _tile_rows(self, tier: str = "pruned") -> int:
         tb = self.tile_bytes if self.tile_bytes is not None else EXECUTION.tile_bytes
-        return max(1, int(tb) // max(len(self.points) * _BYTES_PER_PAIR, 1))
+        # The reduced estimate only applies where the dual generator
+        # actually replaces the per-tile bound pass (the pruned tier);
+        # exact-tier tiles still stage their own full extremal matrices.
+        per_pair = (
+            _BYTES_PER_PAIR_DUAL
+            if self.method == "dual" and tier == "pruned"
+            else _BYTES_PER_PAIR
+        )
+        return max(1, int(tb) // max(len(self.points) * per_pair, 1))
 
-    def _run_tiles(self, m: int, fn) -> List:
+    def _run_tiles(self, m: int, fn, tier: str = "pruned") -> List:
         """``fn(lo, hi)`` over cache-sized row tiles, optionally fanned
         out across workers; results in tile order."""
         backend = (
@@ -176,12 +242,12 @@ class QueryPlanner:
                 "parallel_backend='thread' (the process backend serves "
                 "picklable workloads via repro.core.parallel.map_tiles)"
             )
-        if self.method != "flat":
+        if self.method in ("kdtree", "rtree"):
             # Materialize the lazily built leaf grouping before tiles
             # fan out, so concurrent tile closures only read shared
             # state (a half-initialized _groups() would race).
             self._groups()
-        tiles = _parallel.tile_ranges(m, self._tile_rows())
+        tiles = _parallel.tile_ranges(m, self._tile_rows(tier))
         return _parallel.map_tiles(
             fn,
             tiles,
@@ -217,6 +283,58 @@ class QueryPlanner:
             return index
 
     # -- candidate generation ------------------------------------------------
+    def object_tree(self) -> EnvelopeObjectTree:
+        """The (lazily built) object-envelope STR tree behind
+        ``method="dual"`` — one per planner, shared across batches,
+        criteria, and ``k`` (the tree depends only on the column
+        store)."""
+        if self._object_tree is None:
+            def build() -> EnvelopeObjectTree:
+                return EnvelopeObjectTree(
+                    self.columns, _DUAL_LEAF_SIZE, _DUAL_FANOUT
+                )
+
+            self._object_tree = (
+                self._object_tree_supplier(build)
+                if self._object_tree_supplier is not None
+                else build()
+            )
+        return self._object_tree
+
+    def _dual_csr(self, Q: np.ndarray, k: int, criterion: str) -> DualTreeCandidates:
+        """One dual-tree prune pass over the whole batch (the traversal
+        is output-sensitive, so it is never row-tiled; threads fan out
+        over query subtrees instead)."""
+        backend = (
+            self.parallel_backend
+            if self.parallel_backend is not None
+            else EXECUTION.parallel_backend
+        )
+        res = dual_tree_candidates(
+            Q,
+            self.columns,
+            object_tree=self.object_tree(),
+            k=k,
+            criterion=criterion,
+            leaf_size=_DUAL_LEAF_SIZE,
+            fanout=_DUAL_FANOUT,
+            slack=_CUTOFF_SLACK,
+            backend=backend,
+            workers=self.parallel_workers,
+            tile_bytes=self.tile_bytes,
+        )
+        self.dual_totals["traversals"] += 1.0
+        for key in (
+            "node_pairs_visited",
+            "node_pairs_pruned",
+            "point_node_pairs",
+            "refined_pairs",
+            "survivors",
+        ):
+            self.dual_totals[key] += res.stats[key]
+        self.last_dual_stats = dict(res.stats)
+        return res
+
     def _groups(self) -> Tuple[List[np.ndarray], np.ndarray]:
         if self._leaves is None:
             if self.method == "rtree":
@@ -252,27 +370,56 @@ class QueryPlanner:
         exceed the ``k``-th smallest upper bound over the set (``k = 1``
         is the nearest-neighbor test ``dmin <= min dmax``); ``criterion``
         selects the support (``dmin``/``dmax``) or expected-distance
-        bracket.  Every query keeps at least ``k`` candidates.
+        bracket.  Every query keeps at least ``k`` candidates, and the
+        mask is identical across every ``method``.
 
-        Computed tile by tile: only the boolean mask spans the full
-        batch; the float64 bound temporaries stay O(tile).  A one-row
-        query is a single tile returned as-is (no staging copies).
+        The non-dual generators compute tile by tile: only the boolean
+        mask spans the full batch; the float64 bound temporaries stay
+        O(tile).  The dual generator is output-sensitive (O(survivors)
+        work and memory) and densifies its CSR only because the mask is
+        the requested product here — prefer :meth:`candidate_csr` when
+        a sparse layout will do.
         """
         Q = kernels.as_query_array(qs)
         n = len(self.points)
         k = min(max(int(k), 1), n)
         if criterion not in ("support", "expected"):
             raise QueryError(f"unknown pruning criterion {criterion!r}")
+        if self.method == "dual":
+            return self._dual_csr(Q, k, criterion).mask(n)
         blocks = self._run_tiles(
             Q.shape[0], lambda lo, hi: self._mask_block(Q[lo:hi], k, criterion)
         )
         return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
 
-    @staticmethod
-    def _kth_smallest(values: np.ndarray, k: int) -> np.ndarray:
-        if values.shape[1] == k:
-            return values.max(axis=1)
-        return np.partition(values, k - 1, axis=1)[:, k - 1]
+    def candidate_csr(
+        self, qs, k: int = 1, criterion: str = "support"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The prune survivors in CSR form: ``(indptr, indices)`` with
+        ``indices[indptr[r]:indptr[r+1]]`` query ``r``'s surviving
+        columns in ascending order.
+
+        Native output of the dual generator (no ``(m, n)`` boolean is
+        ever materialized); derived from the tiled mask for the other
+        methods.  The Monte-Carlo candidate rounds consume this layout
+        directly.
+        """
+        Q = kernels.as_query_array(qs)
+        n = len(self.points)
+        k = min(max(int(k), 1), n)
+        if criterion not in ("support", "expected"):
+            raise QueryError(f"unknown pruning criterion {criterion!r}")
+        if self.method == "dual":
+            res = self._dual_csr(Q, k, criterion)
+            return res.indptr, res.indices
+        mask = self.candidate_mask(Q, k=k, criterion=criterion)
+        rows, cols = np.nonzero(mask)
+        indptr = np.searchsorted(rows, np.arange(Q.shape[0] + 1)).astype(np.intp)
+        return indptr, cols.astype(np.intp, copy=False)
+
+    #: Shared with the dual-tree leaf refinement so both generators
+    #: select the identical cutoff float (bit-parity of survivor sets).
+    _kth_smallest = staticmethod(kernels.kth_smallest_rowwise)
 
     def _grouped_mask(self, Q: np.ndarray, k: int, criterion: str) -> np.ndarray:
         """Two-stage prune: leaf-level bbox bounds, then member bounds.
@@ -316,12 +463,30 @@ class QueryPlanner:
         self, qs, k: int = 1, criterion: str = "support"
     ) -> List[np.ndarray]:
         """Per-query arrays of surviving object indices."""
-        mask = self.candidate_mask(qs, k=k, criterion=criterion)
-        return [np.flatnonzero(row) for row in mask]
+        indptr, indices = self.candidate_csr(qs, k=k, criterion=criterion)
+        return [
+            indices[indptr[r] : indptr[r + 1]]
+            for r in range(indptr.shape[0] - 1)
+        ]
 
     # -- tiled evaluation blocks ---------------------------------------------
+    def _pruned_masks(self, Q: np.ndarray, k: int, criterion: str, tier: str):
+        """For the dual generator, run the (output-sensitive) prune pass
+        once for the whole batch and hand the evaluation tiles densified
+        row slices of its CSR; ``None`` lets tiles compute their own
+        bound-pass masks (the flat / grouped generators)."""
+        if tier != "pruned" or self.method != "dual":
+            return None
+        n = len(self.points)
+        res = self._dual_csr(Q, min(max(int(k), 1), n), criterion)
+        return lambda lo, hi: res.mask(n, lo, hi)
+
     def _expected_block(
-        self, Q: np.ndarray, tier: str, k: int = 1
+        self,
+        Q: np.ndarray,
+        tier: str,
+        k: int = 1,
+        mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """The tile's ``(rows, n)`` expectation matrix: survivors only
         for the pruned tier (``+inf`` elsewhere), everyone for exact."""
@@ -332,13 +497,16 @@ class QueryPlanner:
             for i, p in enumerate(self.points):
                 E[:, i] = p.expected_distance_many(Q)
             return E
-        mask = self._mask_block(Q, k, "expected")
+        if mask is None:
+            mask = self._mask_block(Q, k, "expected")
         for i in np.flatnonzero(mask.any(axis=0)):
             rows = np.flatnonzero(mask[:, i])
             E[rows, i] = self.points[i].expected_distance_many(Q[rows])
         return E
 
-    def _nonzero_block(self, Q: np.ndarray, tier: str) -> List[FrozenSet[int]]:
+    def _nonzero_block(
+        self, Q: np.ndarray, tier: str, mask: Optional[np.ndarray] = None
+    ) -> List[FrozenSet[int]]:
         n = len(self.points)
         mt = Q.shape[0]
         dmins = np.full((mt, n), np.inf)
@@ -348,7 +516,8 @@ class QueryPlanner:
                 dmins[:, i] = p.dmin_many(Q)
                 dmaxs[:, i] = p.dmax_many(Q)
         else:
-            mask = self._mask_block(Q, 1, "support")
+            if mask is None:
+                mask = self._mask_block(Q, 1, "support")
             for i in np.flatnonzero(mask.any(axis=0)):
                 rows = np.flatnonzero(mask[:, i])
                 dmins[rows, i] = self.points[i].dmin_many(Q[rows])
@@ -396,8 +565,13 @@ class QueryPlanner:
             if return_fallback:
                 return out, ans.fallback
             return out
+        masks = self._pruned_masks(Q, 1, "support", tier)
         blocks = self._run_tiles(
-            Q.shape[0], lambda lo, hi: self._nonzero_block(Q[lo:hi], tier)
+            Q.shape[0],
+            lambda lo, hi: self._nonzero_block(
+                Q[lo:hi], tier, None if masks is None else masks(lo, hi)
+            ),
+            tier=tier,
         )
         return [s for block in blocks for s in block]
 
@@ -436,18 +610,86 @@ class QueryPlanner:
                 return winners, values, ans.fallback
             return winners, values
 
+        if tier == "pruned" and self.method == "dual":
+            return self._expected_nn_streaming(Q)
+        masks = self._pruned_masks(Q, 1, "expected", tier)
+
         def run(lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
-            E = self._expected_block(Q[lo:hi], tier)
+            E = self._expected_block(
+                Q[lo:hi], tier, mask=None if masks is None else masks(lo, hi)
+            )
             arg = E.argmin(axis=1) if E.shape[0] else np.zeros(0, dtype=np.intp)
             return arg, E[np.arange(E.shape[0]), arg]
 
-        blocks = self._run_tiles(Q.shape[0], run)
+        blocks = self._run_tiles(Q.shape[0], run, tier=tier)
         if len(blocks) == 1:
             return blocks[0]
         return (
             np.concatenate([b[0] for b in blocks]),
             np.concatenate([b[1] for b in blocks]),
         )
+
+    def _expected_nn_streaming(
+        self, Q: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Winner evaluation over the dual CSR survivors: one
+        ``expected_distance_many`` call per surviving object (its rows
+        gathered from the CSR), folded into per-row running minima —
+        no ``(m, n)`` expectation matrix, no per-tile re-dispatch.
+        Ascending column order with a strict ``<`` update reproduces the
+        dense argmin's lowest-index tie-breaking, so winners and values
+        are bit-identical to the tiled path.  Under the thread backend
+        the fold fans out over ascending *object* chunks (each with its
+        own running minima) and merges them in chunk order with the same
+        strict ``<`` — identical winners, parallel evaluator work.
+        """
+        m = Q.shape[0]
+        res = self._dual_csr(Q, 1, "expected")
+        rows = kernels.csr_rows(res.indptr)
+        order = np.argsort(res.indices, kind="stable")
+        cols_sorted = res.indices[order]
+        rows_sorted = rows[order]
+        uniq, starts = np.unique(cols_sorted, return_index=True)
+        ends = np.append(starts[1:], cols_sorted.shape[0])
+
+        def fold(group_range: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+            best = np.full(m, np.inf)
+            arg = np.zeros(m, dtype=np.intp)
+            for g in range(group_range[0], group_range[1]):
+                i = uniq[g]
+                r = rows_sorted[starts[g] : ends[g]]
+                v = self.points[i].expected_distance_many(Q[r])
+                upd = v < best[r]
+                if np.any(upd):
+                    rr = r[upd]
+                    best[rr] = v[upd]
+                    arg[rr] = i
+            return best, arg
+
+        backend = (
+            self.parallel_backend
+            if self.parallel_backend is not None
+            else EXECUTION.parallel_backend
+        )
+        workers = _parallel.resolve_workers(self.parallel_workers)
+        if backend == "thread" and workers > 1 and uniq.shape[0] > 1:
+            chunks = _parallel.tile_ranges(
+                uniq.shape[0],
+                -(-uniq.shape[0] // min(workers, uniq.shape[0])),
+            )
+            parts = _parallel.map_ordered(
+                fold, chunks, backend=backend, workers=workers
+            )
+            best, arg = parts[0]
+            for best_c, arg_c in parts[1:]:
+                # Ascending chunk order + strict < keeps the lowest
+                # winning column on exact ties.
+                upd = best_c < best
+                best[upd] = best_c[upd]
+                arg[upd] = arg_c[upd]
+            return arg, best
+        best, arg = fold((0, uniq.shape[0]))
+        return arg, best
 
     def expected_distance_matrix(
         self, qs, k: int = 1, tier: str = "pruned"
@@ -462,8 +704,13 @@ class QueryPlanner:
             raise QueryError("expected_distance_matrix has no approx tier")
         self._check_tier(tier, None)
         Q = kernels.as_query_array(qs)
+        masks = self._pruned_masks(Q, k, "expected", tier)
         blocks = self._run_tiles(
-            Q.shape[0], lambda lo, hi: self._expected_block(Q[lo:hi], tier, k)
+            Q.shape[0],
+            lambda lo, hi: self._expected_block(
+                Q[lo:hi], tier, k, None if masks is None else masks(lo, hi)
+            ),
+            tier=tier,
         )
         return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
 
@@ -479,11 +726,15 @@ class QueryPlanner:
         self._check_tier(tier, None)
         Q = kernels.as_query_array(qs)
 
+        masks = self._pruned_masks(Q, k, "expected", tier)
+
         def run(lo: int, hi: int) -> np.ndarray:
-            E = self._expected_block(Q[lo:hi], tier, k)
+            E = self._expected_block(
+                Q[lo:hi], tier, k, None if masks is None else masks(lo, hi)
+            )
             return np.argsort(E, axis=1, kind="stable")[:, :k]
 
-        blocks = self._run_tiles(Q.shape[0], run)
+        blocks = self._run_tiles(Q.shape[0], run, tier=tier)
         return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
 
     def threshold_nn_exact_many(
@@ -546,15 +797,29 @@ class QueryPlanner:
         return out
 
     # -- introspection -------------------------------------------------------
-    def prune_stats(self, qs, criterion: str = "support") -> Dict[str, float]:
-        """Mean/max candidate counts for a query matrix (diagnostics)."""
-        mask = self.candidate_mask(qs, criterion=criterion)
-        counts = mask.sum(axis=1)
+    def prune_stats(
+        self, qs, criterion: str = "support", k: int = 1
+    ) -> Dict[str, float]:
+        """Mean/max candidate counts for a query matrix (diagnostics).
+
+        ``criterion`` / ``k`` must match the answer path being diagnosed
+        (``k`` is the expected-kNN neighbor count; 1 otherwise).  With
+        the dual generator the result additionally carries the traversal
+        telemetry of this pass: ``node_pairs_visited`` /
+        ``node_pairs_pruned`` (tree-node pairs bounded / discarded),
+        ``point_node_pairs`` and ``refined_pairs`` (leaf-stage bound
+        evaluations), and ``survivors`` (total surviving pairs).
+        """
+        indptr, _ = self.candidate_csr(qs, k=k, criterion=criterion)
+        counts = np.diff(indptr)
         n = float(len(self.points))
-        return {
+        out = {
             "n": n,
-            "queries": float(mask.shape[0]),
+            "queries": float(indptr.shape[0] - 1),
             "mean_candidates": float(counts.mean()) if counts.size else 0.0,
             "max_candidates": float(counts.max()) if counts.size else 0.0,
             "mean_fraction": float(counts.mean() / n) if counts.size else 0.0,
         }
+        if self.method == "dual" and self.last_dual_stats is not None:
+            out.update(self.last_dual_stats)
+        return out

@@ -4,7 +4,9 @@ The paper's whole premise is *preprocess an uncertain point set once,
 then answer many queries fast*.  :class:`Engine` is the public form of
 that contract: construct it once from a ``Sequence[UncertainPoint]`` and
 it owns the :class:`repro.ModelColumns` SoA store plus a **lazy, keyed
-index registry** — the :class:`repro.QueryPlanner`,
+index registry** — the :class:`repro.QueryPlanner`, the dual-tree
+:class:`repro.EnvelopeObjectTree` behind the pruned tier (one per
+generation, shared across batches and criteria),
 :class:`repro.QuantizedEnvelopeIndex` per ``(eps, rel, criterion)``,
 :class:`repro.ExpectedNNIndex`, spiral-search threshold structures, and
 reusable Monte-Carlo sample blocks keyed by ``(s, seed)`` — so repeated
@@ -540,9 +542,19 @@ class Engine:
 
     def planner(self) -> QueryPlanner:
         """The session's three-tier :class:`repro.QueryPlanner` (its
-        approx cache is a registry view, so quantized envelopes are
-        session-owned)."""
+        approx cache is a registry view and its dual-tree object tree a
+        registry entry, so both are session-owned)."""
         self._require_points()
+        generation = self._generation
+
+        def object_tree_supplier(build):
+            # Lazily built on the planner's first dual prune pass and
+            # cached under ("dual_tree",): one object-envelope tree per
+            # generation, reused across batches and across the
+            # expected / support criteria (the tree depends only on the
+            # column store).
+            return self._registry.get(("dual_tree",), generation, build)
+
         return self._registry.get(
             ("planner",),
             self._generation,
@@ -550,8 +562,17 @@ class Engine:
                 self._points,
                 columns=self.columns(),
                 approx_cache=_QuantCacheView(self, self._generation),
+                object_tree_supplier=object_tree_supplier,
             ),
         )
+
+    def object_tree(self):
+        """The session's dual-tree
+        :class:`~repro.core.dual_tree.EnvelopeObjectTree` (built at most
+        once per generation; every pruned-tier query of any criterion
+        reuses it)."""
+        self._require_points()
+        return self.planner().object_tree()
 
     def expected_index(self) -> ExpectedNNIndex:
         """The session's :class:`repro.ExpectedNNIndex`, sharing the
@@ -1017,11 +1038,26 @@ class Engine:
                 if spec.method in ("expected_nn", "expected_knn")
                 else "support"
             )
-            stats = self.planner().prune_stats(Q, criterion=criterion)
+            # Match the answer path's prune parameters (notably
+            # expected_knn's k), so the reported counts describe the
+            # same survivor sets the evaluators saw.
+            k = spec.k if spec.method == "expected_knn" else 1
+            stats = self.planner().prune_stats(Q, criterion=criterion, k=k)
             diag["mean_candidates"] = stats["mean_candidates"]
             diag["max_candidates"] = stats["max_candidates"]
             diag["mean_candidate_fraction"] = stats["mean_fraction"]
             diag["candidates_pruned_fraction"] = 1.0 - stats["mean_fraction"]
+            # Dual-tree traversal telemetry (present when the planner's
+            # candidate generator is the dual tree).
+            for key in (
+                "node_pairs_visited",
+                "node_pairs_pruned",
+                "point_node_pairs",
+                "refined_pairs",
+                "survivors",
+            ):
+                if key in stats:
+                    diag[key] = stats[key]
         result.diagnostics.update(diag)
 
     @staticmethod
@@ -1219,7 +1255,7 @@ class Engine:
         keys, generation counter, registry instrumentation, and the
         approximate memory footprint of cached columns/indexes."""
         live = self._registry.keys(self._generation)
-        return {
+        out = {
             "n": len(self._points),
             "generation": self._generation,
             "models": self.model_histogram(),
@@ -1233,6 +1269,13 @@ class Engine:
             "result_cache_hits": self._result_hits,
             "result_cache_misses": self._result_misses,
         }
+        planner = self._registry.peek(("planner",), self._generation)
+        if planner is not None and planner.dual_totals["traversals"]:
+            # Cumulative dual-tree telemetry over this planner's prune
+            # passes: node pairs bounded/pruned, leaf-stage bound
+            # evaluations, and emitted survivors.
+            out["dual_tree"] = dict(planner.dual_totals)
+        return out
 
     def __repr__(self) -> str:
         stats = self.stats()

@@ -31,6 +31,7 @@ import numpy as np
 __all__ = [
     "as_query_array",
     "as_rect_array",
+    "csr_rows",
     "csr_segment_gather",
     "pairwise_sq_distances",
     "pairwise_distances",
@@ -38,6 +39,11 @@ __all__ = [
     "rect_maxdist",
     "rect_mindist_many",
     "rect_maxdist_many",
+    "kth_smallest_rowwise",
+    "rect_rect_mindist_pairs",
+    "rect_rect_maxdist_pairs",
+    "rect_rect_mindist_many",
+    "rect_rect_maxdist_many",
     "lens_area_many",
     "disk_halfplane_corner_area",
     "rect_circle_area_many",
@@ -83,6 +89,15 @@ def as_rect_array(rects) -> np.ndarray:
 
 
 # -- CSR segment gathers -----------------------------------------------------
+
+def csr_rows(indptr: np.ndarray) -> np.ndarray:
+    """The row id of every CSR entry: ``indptr`` of shape ``(m + 1,)``
+    expands to a ``(nnz,)`` array where entry ``j`` names the row whose
+    segment contains position ``j`` — the standard companion of a CSR
+    column array (the planner's candidate layout)."""
+    m = indptr.shape[0] - 1
+    return np.repeat(np.arange(m, dtype=np.intp), np.diff(indptr))
+
 
 def csr_segment_gather(
     indptr: np.ndarray, cells, copies: int = 1
@@ -172,6 +187,81 @@ def rect_maxdist_many(Q, rects) -> np.ndarray:
     qy = Q[:, 1][:, None]
     dx = np.maximum(np.abs(qx - R[None, :, 0]), np.abs(qx - R[None, :, 2]))
     dy = np.maximum(np.abs(qy - R[None, :, 1]), np.abs(qy - R[None, :, 3]))
+    return np.hypot(dx, dy)
+
+
+def kth_smallest_rowwise(values: np.ndarray, k: int) -> np.ndarray:
+    """The ``k``-th smallest entry of every row of ``values``.
+
+    This is the planner's pruning-cutoff selector.  Both candidate
+    generators (the flat pass and the dual-tree leaf refinement) must
+    select the *identical float* for their survivor sets to match bit
+    for bit, so there is exactly one implementation.
+    """
+    if values.shape[1] == k:
+        return values.max(axis=1)
+    return np.partition(values, k - 1, axis=1)[:, k - 1]
+
+
+def rect_rect_mindist_pairs(A, B) -> np.ndarray:
+    """Minimum distance between paired rectangles, shape ``(k,)``.
+
+    ``A`` and ``B`` are parallel ``(k, 4)`` arrays; entry ``i`` is the
+    smallest Euclidean distance between any point of ``A[i]`` and any
+    point of ``B[i]`` (0 where they overlap).  This is the node-pair
+    lower bound of the dual-tree traversal: for a query block ``A[i]``
+    and an object-group envelope ``B[i]`` it lower-bounds ``dmin_j(q)``
+    for every query in the block and every member of the group.
+    """
+    A = as_rect_array(A)
+    B = as_rect_array(B)
+    dx = np.maximum(np.maximum(B[:, 0] - A[:, 2], A[:, 0] - B[:, 2]), 0.0)
+    dy = np.maximum(np.maximum(B[:, 1] - A[:, 3], A[:, 1] - B[:, 3]), 0.0)
+    return np.hypot(dx, dy)
+
+
+def rect_rect_maxdist_pairs(A, B) -> np.ndarray:
+    """Maximum distance between paired rectangles, shape ``(k,)``.
+
+    Entry ``i`` is the largest Euclidean distance between any point of
+    ``A[i]`` and any point of ``B[i]`` — the dual-tree node-pair upper
+    bound, dominating ``dmax_j(q)`` for every (query, member) pair under
+    the node pair.
+    """
+    A = as_rect_array(A)
+    B = as_rect_array(B)
+    dx = np.maximum(np.abs(A[:, 2] - B[:, 0]), np.abs(B[:, 2] - A[:, 0]))
+    dy = np.maximum(np.abs(A[:, 3] - B[:, 1]), np.abs(B[:, 3] - A[:, 1]))
+    return np.hypot(dx, dy)
+
+
+def rect_rect_mindist_many(A, B) -> np.ndarray:
+    """``rect_rect_mindist`` for every rect/rect pair, shape ``(a, b)``."""
+    A = as_rect_array(A)
+    B = as_rect_array(B)
+    dx = np.maximum(
+        np.maximum(B[None, :, 0] - A[:, None, 2], A[:, None, 0] - B[None, :, 2]),
+        0.0,
+    )
+    dy = np.maximum(
+        np.maximum(B[None, :, 1] - A[:, None, 3], A[:, None, 1] - B[None, :, 3]),
+        0.0,
+    )
+    return np.hypot(dx, dy)
+
+
+def rect_rect_maxdist_many(A, B) -> np.ndarray:
+    """``rect_rect_maxdist`` for every rect/rect pair, shape ``(a, b)``."""
+    A = as_rect_array(A)
+    B = as_rect_array(B)
+    dx = np.maximum(
+        np.abs(A[:, None, 2] - B[None, :, 0]),
+        np.abs(B[None, :, 2] - A[:, None, 0]),
+    )
+    dy = np.maximum(
+        np.abs(A[:, None, 3] - B[None, :, 1]),
+        np.abs(B[None, :, 3] - A[:, None, 1]),
+    )
     return np.hypot(dx, dy)
 
 

@@ -19,11 +19,11 @@ Both return a list of index arrays partitioning ``range(n)``;
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["str_leaves", "kd_leaves", "group_bboxes"]
+__all__ = ["str_leaves", "kd_leaves", "group_bboxes", "str_hierarchy"]
 
 
 def str_leaves(bboxes, capacity: int = 16) -> List[np.ndarray]:
@@ -79,6 +79,33 @@ def kd_leaves(points, leaf_size: int = 16) -> List[np.ndarray]:
         work.append((idxs[part[:mid]], depth + 1))
         work.append((idxs[part[mid:]], depth + 1))
     return leaves
+
+
+def str_hierarchy(
+    bboxes, leaf_size: int = 32, fanout: int = 8
+) -> List[Tuple[List[np.ndarray], np.ndarray]]:
+    """Bottom-up STR packing of ``bboxes`` into a full level hierarchy.
+
+    Level 0 partitions the items into leaves of at most ``leaf_size``
+    (exactly :func:`str_leaves`); each subsequent level STR-packs the
+    level below by ``fanout`` until a single root group remains.  Every
+    level is a ``(groups, group_bboxes)`` pair where ``groups`` indexes
+    the level below (level 0 indexes the items themselves).  This is the
+    array-form tree behind the dual-tree candidate generator
+    (:mod:`repro.core.dual_tree`) — no node objects, no recursion.
+    """
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    groups = str_leaves(bboxes, leaf_size)
+    if not groups:
+        return []
+    gb = group_bboxes(bboxes, groups)
+    levels = [(groups, gb)]
+    while len(groups) > 1:
+        groups = str_leaves(gb, fanout)
+        gb = group_bboxes(gb, groups)
+        levels.append((groups, gb))
+    return levels
 
 
 def group_bboxes(bboxes, groups: List[np.ndarray]) -> np.ndarray:

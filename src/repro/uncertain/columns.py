@@ -387,6 +387,44 @@ class ModelColumns:
                 ub = np.minimum(ub, np.where(hm, dm + reach, np.inf))
         return lb, ub
 
+    def member_pair_bounds(
+        self, qx: np.ndarray, qy: np.ndarray, cols: np.ndarray, criterion: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`envelope_bounds_many` / :meth:`expected_bounds_many`
+        in flat pair form, **bit-identical** to the matrix methods.
+
+        ``qx`` / ``qy`` / ``cols`` name one (query, object) pair per
+        entry.  Unlike :meth:`pair_bounds` (whose ``np.hypot`` center
+        distances serve the quantized-envelope builder), every operation
+        here replays the matrix path's exact float sequence
+        (``sqrt(dx*dx + dy*dy)`` center/mean distances), so the
+        dual-tree leaf refinement reproduces the flat tier's bounds —
+        and therefore its survivor sets — bit for bit.
+        """
+        if criterion not in ("support", "expected"):
+            raise ValueError(f"unknown pruning criterion {criterion!r}")
+        b = self.bboxes[cols]
+        dxm = np.maximum(np.maximum(b[:, 0] - qx, 0.0), qx - b[:, 2])
+        dym = np.maximum(np.maximum(b[:, 1] - qy, 0.0), qy - b[:, 3])
+        dxM = np.maximum(np.abs(qx - b[:, 0]), np.abs(qx - b[:, 2]))
+        dyM = np.maximum(np.abs(qy - b[:, 1]), np.abs(qy - b[:, 3]))
+        dx = qx - self.centers[cols, 0]
+        dy = qy - self.centers[cols, 1]
+        d = np.sqrt(dx * dx + dy * dy)
+        r = self.radii[cols]
+        lb = np.maximum(np.hypot(dxm, dym), np.maximum(d - r, 0.0))
+        ub = np.minimum(np.hypot(dxM, dyM), d + r)
+        if criterion == "expected":
+            hm = self.has_mean[cols]
+            dmx = qx - self.means[cols, 0]
+            dmy = qy - self.means[cols, 1]
+            dm = np.sqrt(dmx * dmx + dmy * dmy)
+            lb = np.maximum(lb, np.where(hm, dm, 0.0))
+            reach = self.mean_reach[cols]
+            with np.errstate(invalid="ignore"):
+                ub = np.minimum(ub, np.where(hm, dm + reach, np.inf))
+        return lb, ub
+
     def expected_bounds_many(
         self, qs, members=None
     ) -> Tuple[np.ndarray, np.ndarray]:

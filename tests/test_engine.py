@@ -260,7 +260,13 @@ class TestRegistryCaching:
         engine.monte_carlo_pnn_many(queries_for(331, m=4), s=100, rng=3)
         block = engine.sample_block(100, 3)
         cols = engine.columns()
-        assert engine.stats()["memory_bytes"] == block.nbytes + cols.nbytes
+        # The pruned-tier query also built the dual-tree object tree,
+        # which the registry owns and therefore counts.
+        otree = engine.object_tree()
+        assert (
+            engine.stats()["memory_bytes"]
+            == block.nbytes + cols.nbytes + otree.nbytes
+        )
 
     def test_mc_blocks_keyed_by_s_and_seed(self):
         engine = Engine(model_points("disk", seed=97))

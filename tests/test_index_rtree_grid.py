@@ -101,3 +101,42 @@ class TestGridIndex:
         grid = GridIndex(pts, cell=1.0)
         assert sorted(grid.range_disk((0, 0), 1.0)) == [0, 1]
         assert grid.range_disk((0, 0), 1.0, strict=True) == [0]
+
+    def test_query_many_prefilters_cells(self):
+        """Regression: the batch NN probe must consult only bucket-index
+        candidates, never all n points — the counts are a deterministic
+        function of the grid geometry and are pinned here."""
+        # 4 point clusters on a cell=1 grid; queries sit inside cluster
+        # cells, so each sees only its cluster's cells plus neighbors.
+        pts = [
+            (0.1, 0.1), (0.2, 0.3), (0.3, 0.2),          # cell (0, 0)
+            (10.1, 0.1), (10.3, 0.2),                    # cell (10, 0)
+            (0.1, 10.2), (0.2, 10.1),                    # cell (0, 10)
+            (10.2, 10.3), (10.1, 10.1), (10.3, 10.2),    # cell (10, 10)
+        ]
+        grid = GridIndex(pts, cell=1.0)
+        Q = [(0.2, 0.2), (10.2, 0.2), (0.2, 10.2), (10.2, 10.2), (5.0, 5.0)]
+        idx, dist, cand = grid.query_many(Q, return_candidates=True)
+        # Each corner query only ever touches its own cluster's cell.
+        assert cand.tolist() == [3, 2, 2, 3, 10]
+        assert (cand[:4] < len(pts)).all()
+        # Answers are still the exact nearest neighbors.
+        for j, q in enumerate(Q):
+            want = min(
+                range(len(pts)), key=lambda i: math.dist(pts[i], q)
+            )
+            assert idx[j] == want
+            assert dist[j] == pytest.approx(math.dist(pts[want], q), abs=1e-12)
+
+    def test_query_many_matches_brute_force(self):
+        rng = random.Random(11)
+        pts = [(rng.uniform(0, 80), rng.uniform(0, 80)) for _ in range(300)]
+        grid = GridIndex(pts)
+        Q = [(rng.uniform(-20, 100), rng.uniform(-20, 100)) for _ in range(120)]
+        idx, dist, cand = grid.query_many(Q, return_candidates=True)
+        for j, q in enumerate(Q):
+            want = min(math.dist(p, q) for p in pts)
+            assert dist[j] == pytest.approx(want, abs=1e-12)
+            assert math.dist(pts[idx[j]], q) == pytest.approx(want, abs=1e-12)
+        # The prefilter must bite on in-domain queries.
+        assert cand.mean() < len(pts)

@@ -38,7 +38,7 @@ from repro.constructions import (
     random_queries,
 )
 
-METHODS = ["flat", "kdtree", "rtree"]
+METHODS = ["flat", "kdtree", "rtree", "dual"]
 
 
 def mixed_points(seed, n_per=6, box=80.0):

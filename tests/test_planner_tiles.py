@@ -125,9 +125,14 @@ class TestTiledMemory:
             planner.expected_nn_many(Q)
             _, peak_tiled = tracemalloc.get_traced_memory()
             tracemalloc.stop()
+        # The dense reference: the flat generator in one huge tile
+        # materializes the full bound/expectation matrices (the dual
+        # default never does, whatever the tile size).
+        flat = QueryPlanner(points, prune="flat")
+        flat.expected_nn_many(Q[:4])
         with config.execution(tile_bytes=1 << 62):
             tracemalloc.start()
-            planner.expected_nn_many(Q)
+            flat.expected_nn_many(Q)
             _, peak_flat = tracemalloc.get_traced_memory()
             tracemalloc.stop()
         # The tiled pass never materializes even one (m, n) float64.
