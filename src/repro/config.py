@@ -112,11 +112,35 @@ class Execution:
         through ``map_tiles`` directly.
     parallel_workers:
         Worker count for the parallel backends (``None`` = CPU count).
+    evaluator:
+        ``"grouped"`` (default) or ``"object"`` — how the planner
+        evaluates post-prune survivors.  ``"grouped"`` flattens each
+        batch's survivor CSR into (query, object) pairs, partitions
+        them by model tag, and issues one vectorized kernel call per
+        model family present; ``"object"`` keeps the per-object
+        dispatch loop.  Both replay the same float operation sequence,
+        so answers are bit-identical; ``"object"`` exists as the
+        reference path for parity tests and baseline benchmarks.
+    dtype:
+        ``"float64"`` (default) or ``"float32"``.  In float32 mode the
+        grouped expected-distance kernels used to resolve the approx
+        tier's fallback rows run in single precision, and a certified
+        per-row error bound is folded into the reported certificate
+        (instead of the exact tier's 0).  The exact and pruned tiers
+        always stay float64 and bit-identical.
+    backend:
+        ``"numpy"`` (default) or ``"numba"`` — kernel backend for the
+        lens-area and disk tail-quadrature kernels.  ``"numba"`` takes
+        effect only when numba is importable (otherwise the NumPy path
+        runs unchanged); the NumPy path is the bit-exact reference.
     """
 
     tile_bytes: int = 16 * 1024 * 1024
     parallel_backend: str = "serial"
     parallel_workers: Optional[int] = None
+    evaluator: str = "grouped"
+    dtype: str = "float64"
+    backend: str = "numpy"
 
 
 #: Module-level default execution settings.  Like :data:`TOLERANCES`,

@@ -26,12 +26,22 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..config import SeedLike, default_rng
+from ..config import EXECUTION, SeedLike, default_rng
 from ..errors import QueryError
 from ..geometry import kernels
 from ..geometry.voronoi import VoronoiLocator
 from ..index.kdtree import KdTree
 from .nonzero import UncertainSet
+
+
+def _round_block(nnz: int, planner=None) -> int:
+    """Monte-Carlo rounds per vectorized block: as many rounds as keep
+    the block's ~6 simultaneous ``(rounds, nnz)`` float64 temporaries
+    inside the ``tile_bytes`` working-set budget."""
+    tb = getattr(planner, "tile_bytes", None)
+    if tb is None:
+        tb = EXECUTION.tile_bytes
+    return max(1, int(tb) // max(int(nnz) * 8 * 6, 1))
 
 
 def rounds_for_fixed_query(epsilon: float, delta: float, n: int) -> int:
@@ -299,13 +309,18 @@ class MonteCarloPNN:
                 qx = Qa[rows, 0]
                 qy = Qa[rows, 1]
                 pair_pos = np.arange(nnz, dtype=np.intp)
-                for j in range(t, t1):
-                    dx = qx - sx[j, cols]
-                    dy = qy - sy[j, cols]
+                # Blocked rounds, as in _query_matrix_pruned; the win
+                # tallies accumulate with np.add.at because a pair can
+                # win several rounds inside one block.
+                for j0 in range(t, t1, _round_block(nnz, planner)):
+                    j1 = min(j0 + _round_block(nnz, planner), t1)
+                    dx = qx[None, :] - sx[j0:j1][:, cols]
+                    dy = qy[None, :] - sy[j0:j1][:, cols]
                     d2 = dx * dx + dy * dy
-                    minv = np.minimum.reduceat(d2, indptr)
-                    pos = np.where(d2 == minv[rows], pair_pos, nnz)
-                    pair_counts[gather[np.minimum.reduceat(pos, indptr)]] += 1
+                    minv = np.minimum.reduceat(d2, indptr, axis=1)
+                    pos = np.where(d2 == minv[:, rows], pair_pos[None, :], nnz)
+                    idx = gather[np.minimum.reduceat(pos, indptr, axis=1)]
+                    np.add.at(pair_counts, idx.ravel(), 1)
             rounds_used[active] += t1 - t
             t = t1
             if t >= min_rounds:
@@ -356,13 +371,19 @@ class MonteCarloPNN:
         sy = np.ascontiguousarray(self._samples[:, :, 1])
         pair_pos = np.arange(nnz, dtype=np.intp)
         winners = np.empty((self.s, m), dtype=np.intp)
-        for j in range(self.s):
-            dx = qx - sx[j, cols]
-            dy = qy - sy[j, cols]
+        # Rounds run in blocks (axis-1 segment reductions over a
+        # (rounds, nnz) gather) so the per-round Python dispatch
+        # amortizes away; blocking cannot change any winner — the
+        # squared distances are computed elementwise from the same
+        # floats and min is exact.
+        for j0 in range(0, self.s, _round_block(nnz, planner)):
+            j1 = min(j0 + _round_block(nnz, planner), self.s)
+            dx = qx[None, :] - sx[j0:j1][:, cols]
+            dy = qy[None, :] - sy[j0:j1][:, cols]
             d2 = dx * dx + dy * dy
-            minv = np.minimum.reduceat(d2, indptr)
-            pos = np.where(d2 == minv[rows], pair_pos, nnz)
-            winners[j] = cols[np.minimum.reduceat(pos, indptr)]
+            minv = np.minimum.reduceat(d2, indptr, axis=1)
+            pos = np.where(d2 == minv[:, rows], pair_pos[None, :], nnz)
+            winners[j0:j1] = cols[np.minimum.reduceat(pos, indptr, axis=1)]
         offsets = winners + np.arange(m, dtype=np.intp)[None, :] * n
         counts = np.bincount(offsets.ravel(), minlength=m * n).reshape(m, n)
         return counts / float(self.s)

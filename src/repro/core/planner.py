@@ -66,6 +66,7 @@ the same tiled blocks, so answers are identical across methods.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -74,11 +75,12 @@ from ..config import EXECUTION
 from ..errors import QueryError
 from ..geometry import kernels
 from ..index.bulk import group_bboxes, kd_leaves, str_leaves
-from ..uncertain.columns import ModelColumns
+from ..uncertain.columns import TAG_DISCRETE, ModelColumns
+from . import evaluators as _evaluators
 from . import parallel as _parallel
 from .dual_tree import DualTreeCandidates, EnvelopeObjectTree, dual_tree_candidates
 from .nonzero import nonzero_from_matrices
-from .quantification import quantification_probabilities
+from .quantification import quantification_probabilities, sweep_quantification
 
 __all__ = ["QueryPlanner"]
 
@@ -164,6 +166,8 @@ class QueryPlanner:
         approx_cache: Optional[Dict[Tuple[float, float, str], object]] = None,
         object_tree: Optional[EnvelopeObjectTree] = None,
         object_tree_supplier=None,
+        eval_cache_supplier=None,
+        evaluator: Optional[str] = None,
     ):
         self.points = list(points)
         if not self.points:
@@ -197,6 +201,22 @@ class QueryPlanner:
         #: tree is owned (and counted) by the session, like the approx
         #: cache view.
         self._object_tree_supplier = object_tree_supplier
+        if evaluator is not None and evaluator not in ("grouped", "object"):
+            raise QueryError(
+                f"unknown evaluator {evaluator!r}; expected 'grouped' or 'object'"
+            )
+        #: Per-planner override of ``config.EXECUTION.evaluator``
+        #: (``None`` reads the live config at call time).  ``"grouped"``
+        #: routes survivor evaluation through the tag-grouped pair
+        #: kernels of :mod:`repro.core.evaluators`; ``"object"`` keeps
+        #: the historical one-batched-call-per-object dispatch (the
+        #: bit-identity reference).
+        self.evaluator = evaluator
+        #: Optional registry hook for the lazily built
+        #: :class:`~repro.core.evaluators.EvalCache`, mirroring
+        #: ``object_tree_supplier``.
+        self._eval_cache = None
+        self._eval_cache_supplier = eval_cache_supplier
         #: Cumulative dual-tree telemetry across this planner's prune
         #: passes (surfaced by :meth:`repro.Engine.stats`).
         self.dual_totals: Dict[str, float] = {
@@ -208,6 +228,22 @@ class QueryPlanner:
             "survivors": 0.0,
         }
         self.last_dual_stats: Optional[Dict[str, float]] = None
+        #: Cumulative evaluation-phase telemetry: grouped kernel passes,
+        #: pairs they evaluated, and the prune / evaluate wall-time
+        #: split (prune seconds cover the dual traversal passes).
+        self.eval_totals: Dict[str, float] = {
+            "grouped_calls": 0.0,
+            "pairs": 0.0,
+            "prune_seconds": 0.0,
+            "eval_seconds": 0.0,
+        }
+        self.last_eval_stats: Optional[Dict[str, float]] = None
+        self._last_prune_seconds = 0.0
+        #: After an approx-tier ``expected_nn_many`` under
+        #: ``EXECUTION.dtype="float32"``: per-query certified float32
+        #: error bounds for the fallback rows (``None`` when the
+        #: fallback ran in float64 and is exact).
+        self.last_fallback_bounds: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.points)
@@ -301,6 +337,50 @@ class QueryPlanner:
             )
         return self._object_tree
 
+    def eval_cache(self) -> "_evaluators.EvalCache":
+        """The (lazily built) :class:`~repro.core.evaluators.EvalCache`
+        behind the grouped evaluator — one per planner, shared across
+        batches, criteria, and query methods (it depends only on the
+        point set and its column store)."""
+        if self._eval_cache is None:
+            def build() -> _evaluators.EvalCache:
+                return _evaluators.EvalCache(self.points, self.columns)
+
+            self._eval_cache = (
+                self._eval_cache_supplier(build)
+                if self._eval_cache_supplier is not None
+                else build()
+            )
+        return self._eval_cache
+
+    def _use_grouped(self) -> bool:
+        mode = self.evaluator if self.evaluator is not None else EXECUTION.evaluator
+        if mode not in ("grouped", "object"):
+            raise QueryError(
+                f"unknown evaluator {mode!r}; expected 'grouped' or 'object'"
+            )
+        return mode == "grouped"
+
+    @staticmethod
+    def _use_float32() -> bool:
+        dtype = EXECUTION.dtype
+        if dtype not in ("float64", "float32"):
+            raise QueryError(
+                f"unknown execution dtype {dtype!r}; expected 'float64' or "
+                "'float32'"
+            )
+        return dtype == "float32"
+
+    def _note_eval(self, pairs: int, seconds: float) -> None:
+        self.eval_totals["grouped_calls"] += 1.0
+        self.eval_totals["pairs"] += float(pairs)
+        self.eval_totals["eval_seconds"] += float(seconds)
+        self.last_eval_stats = {
+            "pairs": float(pairs),
+            "eval_seconds": float(seconds),
+            "prune_seconds": float(self._last_prune_seconds),
+        }
+
     def _dual_csr(self, Q: np.ndarray, k: int, criterion: str) -> DualTreeCandidates:
         """One dual-tree prune pass over the whole batch (the traversal
         is output-sensitive, so it is never row-tiled; threads fan out
@@ -310,6 +390,7 @@ class QueryPlanner:
             if self.parallel_backend is not None
             else EXECUTION.parallel_backend
         )
+        t0 = time.perf_counter()
         res = dual_tree_candidates(
             Q,
             self.columns,
@@ -323,6 +404,8 @@ class QueryPlanner:
             workers=self.parallel_workers,
             tile_bytes=self.tile_bytes,
         )
+        self._last_prune_seconds = time.perf_counter() - t0
+        self.eval_totals["prune_seconds"] += self._last_prune_seconds
         self.dual_totals["traversals"] += 1.0
         for key in (
             "node_pairs_visited",
@@ -499,6 +582,18 @@ class QueryPlanner:
             return E
         if mask is None:
             mask = self._mask_block(Q, k, "expected")
+        if self._use_grouped():
+            # np.nonzero walks row-major: rows ascend, columns ascend
+            # within each row — exactly the CSR pair order the grouped
+            # kernels scatter back from.
+            rows, cols = np.nonzero(mask)
+            t0 = time.perf_counter()
+            vals, _ = _evaluators.expected_distance_pairs(
+                self.eval_cache(), Q, rows, cols
+            )
+            E[rows, cols] = vals
+            self._note_eval(cols.shape[0], time.perf_counter() - t0)
+            return E
         for i in np.flatnonzero(mask.any(axis=0)):
             rows = np.flatnonzero(mask[:, i])
             E[rows, i] = self.points[i].expected_distance_many(Q[rows])
@@ -518,10 +613,20 @@ class QueryPlanner:
         else:
             if mask is None:
                 mask = self._mask_block(Q, 1, "support")
-            for i in np.flatnonzero(mask.any(axis=0)):
-                rows = np.flatnonzero(mask[:, i])
-                dmins[rows, i] = self.points[i].dmin_many(Q[rows])
-                dmaxs[rows, i] = self.points[i].dmax_many(Q[rows])
+            if self._use_grouped():
+                rows, cols = np.nonzero(mask)
+                t0 = time.perf_counter()
+                dmin, dmax = _evaluators.support_bounds_pairs(
+                    self.eval_cache(), Q, rows, cols
+                )
+                dmins[rows, cols] = dmin
+                dmaxs[rows, cols] = dmax
+                self._note_eval(cols.shape[0], time.perf_counter() - t0)
+            else:
+                for i in np.flatnonzero(mask.any(axis=0)):
+                    rows = np.flatnonzero(mask[:, i])
+                    dmins[rows, i] = self.points[i].dmin_many(Q[rows])
+                    dmaxs[rows, i] = self.points[i].dmax_many(Q[rows])
         return nonzero_from_matrices(dmins, dmaxs)
 
     # -- dispatch ------------------------------------------------------------
@@ -598,12 +703,25 @@ class QueryPlanner:
         self._check_fallback_flag(return_fallback, tier)
         Q = kernels.as_query_array(qs)
         if tier == "approx":
+            self.last_fallback_bounds = None
+            # Validate the execution dtype up front so a bad config
+            # fails loudly even when no row needs the fallback.
+            use_f32 = self._use_float32() and self._use_grouped()
             ans = self.approx_index(eps, rel, "expected").expected_nn_many(Q)
             winners = ans.winners.copy()
             values = ans.values.copy()
             rows = np.flatnonzero(ans.fallback)
             if rows.size:
-                wi, vv = self.expected_nn_many(Q[rows], tier="pruned")
+                if use_f32:
+                    # Certified float32 mode: fallback rows resolve
+                    # through the grouped kernels in single precision;
+                    # the per-row certificates land in
+                    # ``last_fallback_bounds`` for the session layer to
+                    # fold into the tier's eps budget.
+                    wi, vv, bounds = self._expected_nn_pairs_f32(Q[rows])
+                    self.last_fallback_bounds = bounds
+                else:
+                    wi, vv = self.expected_nn_many(Q[rows], tier="pruned")
                 winners[rows] = wi
                 values[rows] = vv
             if return_fallback:
@@ -645,6 +763,21 @@ class QueryPlanner:
         """
         m = Q.shape[0]
         res = self._dual_csr(Q, 1, "expected")
+        if self._use_grouped():
+            # Tag-grouped pair evaluation: flatten the survivor CSR into
+            # (row, object) pair arrays, one vectorized kernel call per
+            # model family present, then a per-row CSR min reduction
+            # whose tie-breaking equals the strict-< fold below.
+            rows = kernels.csr_rows(res.indptr)
+            t0 = time.perf_counter()
+            values, _ = _evaluators.expected_distance_pairs(
+                self.eval_cache(), Q, rows, res.indices
+            )
+            winners, best = _evaluators.min_reduce_csr(
+                res.indptr, res.indices, values, m
+            )
+            self._note_eval(res.indices.shape[0], time.perf_counter() - t0)
+            return winners, best
         rows = kernels.csr_rows(res.indptr)
         order = np.argsort(res.indices, kind="stable")
         cols_sorted = res.indices[order]
@@ -690,6 +823,32 @@ class QueryPlanner:
             return arg, best
         best, arg = fold((0, uniq.shape[0]))
         return arg, best
+
+    def _expected_nn_pairs_f32(
+        self, Q: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Grouped expected-NN resolution in certified float32.
+
+        Same prune pass and CSR reduction as the float64 streaming path,
+        but the pair kernels run in single precision and return per-pair
+        error bounds; a row's certificate is its worst surviving pair
+        bound (the min reduction is 1-Lipschitz in the sup norm, so a
+        row value moves by at most the largest pair perturbation — and
+        the reported winner's true value is within bound + bound of the
+        true minimum).
+        """
+        indptr, cols = self.candidate_csr(Q, k=1, criterion="expected")
+        rows = kernels.csr_rows(indptr)
+        t0 = time.perf_counter()
+        values, pair_bounds = _evaluators.expected_distance_pairs(
+            self.eval_cache(), Q, rows, cols, use_float32=True
+        )
+        winners, best = _evaluators.min_reduce_csr(
+            indptr, cols, values, Q.shape[0]
+        )
+        self._note_eval(cols.shape[0], time.perf_counter() - t0)
+        bounds = _evaluators.max_reduce_csr(indptr, pair_bounds, Q.shape[0])
+        return winners, best, bounds
 
     def expected_distance_matrix(
         self, qs, k: int = 1, tier: str = "pruned"
@@ -786,9 +945,32 @@ class QueryPlanner:
                 pi = quantification_probabilities(self.points, tuple(q))
                 out.append({i: v for i, v in enumerate(pi) if v > tau})
             return out
-        lists = self.candidate_lists(Q, criterion="support")
+        indptr, cols = self.candidate_csr(Q, criterion="support")
+        if self._use_grouped() and not (
+            cols.size and np.any(self.columns.tags[cols] != TAG_DISCRETE)
+        ):
+            # All candidates are discrete-tagged: gather every sweep
+            # entry from the column store in one vectorized pass, then
+            # run the unchanged per-query Eq. (2) sweep.  Mixed sets
+            # (including duck-typed discrete models the column store
+            # tags "other") fall through to the per-object path, which
+            # preserves the historical validation / error semantics.
+            t0 = time.perf_counter()
+            entries = _evaluators.gather_sweep_entries(
+                self.columns, Q, indptr, cols
+            )
+            out: List[Dict[int, float]] = []
+            for r in range(indptr.shape[0] - 1):
+                idx = cols[indptr[r] : indptr[r + 1]]
+                pi = sweep_quantification(entries[r], idx.shape[0])
+                out.append(
+                    {int(idx[j]): v for j, v in enumerate(pi) if v > tau}
+                )
+            self._note_eval(cols.shape[0], time.perf_counter() - t0)
+            return out
         out: List[Dict[int, float]] = []
-        for q, idx in zip(Q, lists):
+        for r, q in enumerate(Q):
+            idx = cols[indptr[r] : indptr[r + 1]]
             sub = [self.points[i] for i in idx]
             pi = quantification_probabilities(sub, tuple(q))
             out.append(

@@ -555,6 +555,12 @@ class Engine:
             # column store).
             return self._registry.get(("dual_tree",), generation, build)
 
+        def eval_cache_supplier(build):
+            # Same ownership pattern for the grouped evaluator's
+            # precomputations: one EvalCache per generation, hit by
+            # every grouped kernel pass of every batch.
+            return self._registry.get(("eval_cache",), generation, build)
+
         return self._registry.get(
             ("planner",),
             self._generation,
@@ -563,6 +569,7 @@ class Engine:
                 columns=self.columns(),
                 approx_cache=_QuantCacheView(self, self._generation),
                 object_tree_supplier=object_tree_supplier,
+                eval_cache_supplier=eval_cache_supplier,
             ),
         )
 
@@ -859,7 +866,14 @@ class Engine:
                     return_fallback=True,
                 )
                 certificate = np.maximum(spec.eps, spec.rel * values)
-                certificate[fallback] = 0.0  # resolved exactly
+                # Fallback rows resolve exactly in float64; under
+                # EXECUTION.dtype="float32" the planner reports their
+                # certified kernel error bounds instead, which fold
+                # into this tier's eps budget.
+                f32_bounds = self.planner().last_fallback_bounds
+                certificate[fallback] = (
+                    0.0 if f32_bounds is None else f32_bounds
+                )
                 return QueryResult(
                     answers=winners,
                     values=values,
@@ -1032,6 +1046,22 @@ class Engine:
         diag: Dict[str, float] = {}
         if result.fallback is not None:
             diag["fallback_rows"] = float(np.count_nonzero(result.fallback))
+        # Evaluation-phase breakdown of the answer pass that just ran
+        # (captured before prune_stats below re-runs the prune pass):
+        # prune vs evaluate wall time, grouped pairs, and eval-cache
+        # reuse.  Present whenever the grouped evaluator served the
+        # query.
+        if len(self._points) and spec.subset is None:
+            planner = self._registry.peek(("planner",), self._generation)
+            if planner is not None and planner.last_eval_stats is not None:
+                diag["eval_pairs"] = planner.last_eval_stats["pairs"]
+                diag["eval_seconds"] = planner.last_eval_stats["eval_seconds"]
+                diag["prune_seconds"] = planner.last_eval_stats["prune_seconds"]
+            cache = self._registry.peek(("eval_cache",), self._generation)
+            if cache is not None:
+                diag["eval_cache_hits"] = float(cache.hits)
+                for name, pairs in cache.pair_counts.items():
+                    diag[f"pairs_{name}"] = float(pairs)
         if spec.tier == "pruned" and len(self._points) and spec.subset is None:
             criterion = (
                 "expected"
@@ -1275,6 +1305,18 @@ class Engine:
             # passes: node pairs bounded/pruned, leaf-stage bound
             # evaluations, and emitted survivors.
             out["dual_tree"] = dict(planner.dual_totals)
+        if planner is not None and planner.eval_totals["grouped_calls"]:
+            # Evaluation-phase telemetry: grouped kernel passes, pairs
+            # they evaluated, prune/evaluate wall-time split, plus the
+            # EvalCache's reuse counters and per-model-tag pair
+            # histogram.
+            ev: Dict[str, object] = dict(planner.eval_totals)
+            cache = self._registry.peek(("eval_cache",), self._generation)
+            if cache is not None:
+                ev["cache_hits"] = cache.hits
+                ev["cache_builds"] = cache.builds
+                ev["pairs_by_tag"] = dict(cache.pair_counts)
+            out["evaluators"] = ev
         return out
 
     def __repr__(self) -> str:

@@ -1,0 +1,116 @@
+"""Optional numba-compiled kernels (``config.EXECUTION.backend = "numba"``).
+
+The pure-NumPy kernels in :mod:`repro.geometry.kernels` are the
+always-available, bit-exact reference; this module JIT-compiles the two
+transcendental hot spots of survivor evaluation — the lens-area kernel
+and the fused disk tail quadrature — when numba is importable.  numba is
+never a hard dependency: the import is guarded, ``NUMBA_AVAILABLE``
+reports the outcome, and :func:`repro.geometry.kernels.active_backend`
+silently falls back to NumPy when it is False.
+
+Compiled results agree with the NumPy path to floating-point rounding
+(libm vs SIMD transcendentals may differ in the last ulp), so the
+compiled backend is validated with ``allclose``-style checks while the
+float64 bit-identity guarantees of the planner are stated for the NumPy
+backend only.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only on the CI numba leg
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """No-op decorator so the kernels below stay importable (and
+        callable as slow pure-Python loops) without numba."""
+        if len(args) == 1 and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+@njit(cache=True)
+def _lens_area_scalar(d: float, r1: float, r2: float) -> float:
+    rmin = r1 if r1 < r2 else r2
+    full = math.pi * rmin * rmin
+    degenerate = 2.0 * d * rmin == 0.0
+    if d <= abs(r1 - r2) or (d < r1 + r2 and degenerate):
+        return full
+    if d < r1 + r2 and d > abs(r1 - r2) and not degenerate:
+        ca = (d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)
+        cb = (d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)
+        ca = min(1.0, max(-1.0, ca))
+        cb = min(1.0, max(-1.0, cb))
+        alpha = math.acos(ca)
+        beta = math.acos(cb)
+        return r1 * r1 * (alpha - math.sin(2.0 * alpha) / 2.0) + r2 * r2 * (
+            beta - math.sin(2.0 * beta) / 2.0
+        )
+    return 0.0
+
+
+@njit(cache=True)
+def lens_area_flat(d: np.ndarray, r1: np.ndarray, r2: np.ndarray) -> np.ndarray:
+    """Elementwise two-disk intersection area over flat float64 arrays."""
+    n = d.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        out[i] = _lens_area_scalar(d[i], r1[i], r2[i])
+    return out
+
+
+@njit(cache=True)
+def disk_expected_pairs(
+    qx: np.ndarray,
+    qy: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    radius: np.ndarray,
+    area: np.ndarray,
+    nodes: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Fused tail quadrature for uniform-disk pairs.
+
+    For pair ``j`` (query ``(qx, qy)`` against the disk of center
+    ``(cx, cy)``, radius ``radius`` and precomputed area ``area``)
+    returns ``dmin + span * sum_k w_k (1 - G(lo + span x_k))`` with the
+    disk cdf ``G(r) = lens(d, r, radius) / area`` — the whole
+    expected-distance evaluation in one pass, no intermediate
+    ``(pairs, nodes)`` matrices.
+    """
+    p = qx.shape[0]
+    k = nodes.shape[0]
+    out = np.empty(p, dtype=np.float64)
+    for j in range(p):
+        dx = qx[j] - cx[j]
+        dy = qy[j] - cy[j]
+        d = math.hypot(dx, dy)
+        lo = d - radius[j]
+        if lo < 0.0:
+            lo = 0.0
+        hi = d + radius[j]
+        span = hi - lo
+        if span < 0.0:
+            span = 0.0
+        acc = 0.0
+        for t in range(k):
+            r = lo + span * nodes[t]
+            if r > 0.0:
+                g = _lens_area_scalar(d, r, radius[j]) / area[j]
+            else:
+                g = 0.0
+            acc += (1.0 - g) * weights[t]
+        out[j] = lo + span * acc
+    return out

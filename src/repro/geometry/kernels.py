@@ -23,10 +23,13 @@ distance-cdf integrands used in this library).
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Callable, Tuple
 
 import numpy as np
+
+from ..quadrature import gauss_legendre_rule
 
 __all__ = [
     "as_query_array",
@@ -50,7 +53,33 @@ __all__ = [
     "points_in_polygon_many",
     "gauss_legendre_nodes",
     "batched_tail_quadrature",
+    "numba_available",
+    "active_backend",
 ]
+
+
+# -- kernel backend ----------------------------------------------------------
+
+def numba_available() -> bool:
+    """True when the optional numba backend can be imported."""
+    from . import _compiled
+
+    return _compiled.NUMBA_AVAILABLE
+
+
+def active_backend() -> str:
+    """The kernel backend in effect: ``config.EXECUTION.backend`` when
+    its requirements are met, else ``"numpy"``.
+
+    ``"numba"`` is honoured only when numba imports; the silent fallback
+    keeps ``backend="numba"`` safe to set unconditionally in configs that
+    run on machines without it.
+    """
+    from ..config import EXECUTION
+
+    if EXECUTION.backend == "numba" and numba_available():
+        return "numba"
+    return "numpy"
 
 
 # -- input normalisation -----------------------------------------------------
@@ -276,6 +305,15 @@ def lens_area_many(d, r1, r2) -> np.ndarray:
     d = np.asarray(d, dtype=np.float64)
     r1 = np.broadcast_to(np.asarray(r1, dtype=np.float64), d.shape)
     r2 = np.broadcast_to(np.asarray(r2, dtype=np.float64), d.shape)
+    if active_backend() == "numba":
+        from . import _compiled
+
+        flat = _compiled.lens_area_flat(
+            np.ascontiguousarray(d, dtype=np.float64).ravel(),
+            np.ascontiguousarray(r1, dtype=np.float64).ravel(),
+            np.ascontiguousarray(r2, dtype=np.float64).ravel(),
+        )
+        return flat.reshape(d.shape)
     rmin = np.minimum(r1, r2)
     full = np.pi * rmin * rmin
     # Contained covers centers a subnormal apart, where the
@@ -407,12 +445,27 @@ def gauss_legendre_nodes(panels: int, order: int) -> Tuple[np.ndarray, np.ndarra
     """
     if panels < 1 or order < 1:
         raise ValueError("panels and order must be positive")
-    x, w = np.polynomial.legendre.leggauss(order)
+    return _gauss_legendre_nodes_cached(int(panels), int(order))
+
+
+@functools.lru_cache(maxsize=128)
+def _gauss_legendre_nodes_cached(
+    panels: int, order: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    # Same float sequence as the historical uncached body; the composite
+    # rules are requested on every batched quadrature call, so the cache
+    # removes a leggauss eigenproblem from every evaluation.  Read-only
+    # arrays keep cache sharing safe across callers.
+    x, w = gauss_legendre_rule(order)
     x = 0.5 * (x + 1.0)  # map [-1, 1] -> [0, 1]
     w = 0.5 * w
     offsets = np.arange(panels, dtype=np.float64)[:, None]
     nodes = ((offsets + x[None, :]) / panels).ravel()
-    weights = np.broadcast_to(w[None, :] / panels, (panels, order)).ravel()
+    weights = np.ascontiguousarray(
+        np.broadcast_to(w[None, :] / panels, (panels, order)).ravel()
+    )
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
     return nodes, weights
 
 

@@ -8,8 +8,26 @@ test-only cross-check dependency.
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Callable
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+@functools.lru_cache(maxsize=64)
+def gauss_legendre_rule(order: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Gauss–Legendre nodes/weights on ``[-1, 1]``, cached by order.
+
+    ``numpy.polynomial.legendre.leggauss`` solves an eigenproblem per
+    call; the rules are tiny and deterministic, so every batched
+    quadrature in the library shares this cache.  The returned arrays
+    are marked read-only — callers must copy before mutating.
+    """
+    nodes, weights = np.polynomial.legendre.leggauss(order)
+    nodes.setflags(write=False)
+    weights.setflags(write=False)
+    return nodes, weights
 
 
 def adaptive_simpson(

@@ -25,6 +25,10 @@ Columns
     ``|q - mean_i| <= E[d(q, P_i)] <= |q - mean_i| + mean_reach_i``.
 ``tags (n,)``
     Model-type codes (``TAG_*`` constants) for dispatch/introspection.
+``sigmas (n,)``
+    Gaussian scale per object (``NaN`` for non-Gaussian models) — with
+    ``centers``/``radii`` this makes the truncated-Gaussian cdf kernel
+    computable straight from the columns, no model-object access.
 ``loc_offsets (n + 1,)`` / ``locations (N, 2)`` / ``location_weights (N,)``
     CSR view of the per-object mass points: discrete locations with
     their weights, histogram cell centers with their masses, and the
@@ -131,6 +135,8 @@ def _summarise(p: UncertainPoint):
         c = (p.disk.center.x, p.disk.center.y)
         return tag, c, p.disk.radius, c, True, [c], [1.0]
     if tag == TAG_GAUSSIAN:
+        # radius == p.cutoff, so (centers, radii, sigmas) reconstruct the
+        # truncated-Gaussian law exactly.
         c = (p.disk.center.x, p.disk.center.y)
         return tag, c, p.cutoff, c, True, [c], [1.0]
     if tag == TAG_RECT:
@@ -199,6 +205,7 @@ def _column_arrays(points: Sequence[UncertainPoint]) -> dict:
     offsets = [0]
     locs: List[Tuple[float, float]] = []
     loc_w: List[float] = []
+    sigmas: List[float] = []
     for p in points:
         tag, c, r, mean, hm, mass_points, masses = _summarise(p)
         bboxes.append(tuple(map(float, p.support_bbox())))
@@ -207,6 +214,7 @@ def _column_arrays(points: Sequence[UncertainPoint]) -> dict:
         means.append((float(mean[0]), float(mean[1])))
         has_mean.append(bool(hm))
         tags.append(tag)
+        sigmas.append(float(p.sigma) if tag == TAG_GAUSSIAN else np.nan)
         reach.append(float(p.dmax(mean)) if hm else np.inf)
         locs.extend((float(x), float(y)) for x, y in mass_points)
         loc_w.extend(float(w) for w in masses)
@@ -219,6 +227,7 @@ def _column_arrays(points: Sequence[UncertainPoint]) -> dict:
         "has_mean": np.asarray(has_mean, dtype=bool),
         "mean_reach": np.asarray(reach, dtype=np.float64),
         "tags": np.asarray(tags, dtype=np.int8),
+        "sigmas": np.asarray(sigmas, dtype=np.float64),
         "loc_offsets": np.asarray(offsets, dtype=np.intp),
         "locations": np.asarray(locs, dtype=np.float64).reshape(-1, 2),
         "location_weights": np.asarray(loc_w, dtype=np.float64),
@@ -235,6 +244,7 @@ _ROW_COLUMNS = (
     "has_mean",
     "mean_reach",
     "tags",
+    "sigmas",
 )
 
 
@@ -321,6 +331,28 @@ class ModelColumns:
         return {
             TAG_NAMES[t]: int(c) for t, c in enumerate(counts) if c
         }
+
+    def tag_groups(self, cols: np.ndarray) -> List[Tuple[int, np.ndarray]]:
+        """Stable partition of a pair-column array by model tag.
+
+        ``cols`` names one object per (query, object) pair; the return
+        value is ``[(tag, idx), ...]`` in ascending tag order, where
+        ``idx`` indexes into ``cols`` and preserves the original pair
+        order within each tag (``argsort(kind="stable")``).  This is the
+        partition step of the tag-grouped survivor evaluator: one
+        vectorized kernel call per group, results scattered back through
+        ``idx``.
+        """
+        cols = np.asarray(cols, dtype=np.intp)
+        if cols.size == 0:
+            return []
+        t = self.tags[cols]
+        order = np.argsort(t, kind="stable")
+        sorted_t = t[order]
+        cuts = np.flatnonzero(np.diff(sorted_t)) + 1
+        return [
+            (int(t[g[0]]), g) for g in np.split(order, cuts)
+        ]
 
     # -- vectorized envelope bounds -----------------------------------------
     def center_distances(self, qs, members=None) -> np.ndarray:

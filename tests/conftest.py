@@ -1,0 +1,19 @@
+"""Shared test configuration.
+
+``REPRO_BACKEND=numba`` re-runs the suite with the compiled evaluator
+backend requested — the CI numba matrix leg sets it after installing
+numba.  The backend gates itself off via
+``repro.geometry.kernels.numba_available()`` when numba is not
+importable, so the same leg degrades to the pure-NumPy path (and the
+numba-marked tests skip) on plain runners.
+"""
+
+import os
+
+from repro import config as repro_config
+
+
+def pytest_configure(config):
+    backend = os.environ.get("REPRO_BACKEND")
+    if backend:
+        repro_config.EXECUTION.backend = backend

@@ -1,0 +1,372 @@
+"""Tag-grouped CSR survivor evaluation (PR 6).
+
+The acceptance property of the grouped evaluator is bit-identity: for
+every float64 query path, the tag-grouped kernels of
+``repro.core.evaluators`` must return *the same bits* as the per-object
+``expected_distance_many`` / ``dmin_many`` / ``dmax_many`` dispatch they
+replace, across all six uncertainty model types and all four query
+methods.  Float32 mode is certified rather than identical: answers must
+sit inside the per-row error bound the kernels emit.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro import Engine, ModelColumns, QueryPlanner, config
+from repro.constructions import (
+    cluster_centers,
+    clustered_disk_points,
+    clustered_queries,
+    random_discrete_points,
+    random_disk_points,
+    random_queries,
+)
+from repro.core import evaluators
+from repro.errors import QueryError
+from repro.geometry import kernels
+from repro.uncertain import (
+    HistogramPoint,
+    TruncatedGaussianPoint,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    UniformRectPoint,
+)
+
+
+def six_model_points(seed, n_per=5, box=90.0):
+    """A set mixing all six model families (incl. histogram)."""
+    rng = random.Random(seed)
+    pts = []
+    pts += random_discrete_points(n_per, k=4, seed=seed, box=box)
+    pts += random_disk_points(n_per, seed=seed + 1, box=box, radius_range=(0.4, 3))
+    for _ in range(n_per):
+        x, y = rng.uniform(0, box), rng.uniform(0, box)
+        pts.append(
+            UniformRectPoint((x, y, x + rng.uniform(1, 4), y + rng.uniform(1, 4)))
+        )
+        pts.append(
+            TruncatedGaussianPoint(
+                (rng.uniform(0, box), rng.uniform(0, box)),
+                sigma=rng.uniform(0.5, 2),
+            )
+        )
+        pts.append(
+            UniformPolygonPoint(
+                [(x, y), (x + 3, y), (x + 2.5, y + 2.5), (x + 0.5, y + 3)]
+            )
+        )
+        pts.append(
+            HistogramPoint(
+                (rng.uniform(0, box), rng.uniform(0, box)),
+                1.0 + rng.uniform(0, 1),
+                [[0.2, 0.1], [0.3, 0.4]],
+            )
+        )
+    return pts
+
+
+def queries_for(seed, m=50, box=90.0):
+    qs = random_queries(
+        m - 4, seed=seed, bbox=(-0.3 * box, -0.3 * box, 1.3 * box, 1.3 * box)
+    )
+    qs += [(0.0, 0.0), (box / 2, box / 2), (-5 * box, 3 * box), (box, box)]
+    return np.asarray(qs)
+
+
+def planner_pair(points, **kw):
+    cols = ModelColumns(points)
+    return (
+        QueryPlanner(points, columns=cols, evaluator="grouped", **kw),
+        QueryPlanner(points, columns=cols, evaluator="object", **kw),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Grouped vs per-object bit-identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+class TestGroupedObjectParity:
+    def test_expected_nn(self, seed):
+        grouped, obj = planner_pair(six_model_points(seed))
+        Q = queries_for(seed + 10)
+        wg, vg = grouped.expected_nn_many(Q)
+        wo, vo = obj.expected_nn_many(Q)
+        assert np.array_equal(wg, wo)
+        assert np.array_equal(vg, vo)
+
+    def test_expected_matrix_and_knn(self, seed):
+        grouped, obj = planner_pair(six_model_points(seed))
+        Q = queries_for(seed + 20, m=25)
+        assert np.array_equal(
+            grouped.expected_distance_matrix(Q), obj.expected_distance_matrix(Q)
+        )
+        kg = grouped.expected_knn_many(Q, 4)
+        ko = obj.expected_knn_many(Q, 4)
+        assert np.array_equal(np.asarray(kg), np.asarray(ko))
+
+    def test_nonzero(self, seed):
+        grouped, obj = planner_pair(six_model_points(seed))
+        Q = queries_for(seed + 30, m=25)
+        ng = grouped.nonzero_nn_many(Q)
+        no = obj.nonzero_nn_many(Q)
+        assert all(set(a) == set(b) for a, b in zip(ng, no))
+
+    def test_threshold_all_discrete(self, seed):
+        points = random_discrete_points(40, k=3, seed=seed, box=60.0)
+        grouped, obj = planner_pair(points)
+        Q = queries_for(seed + 40, m=20, box=60.0)
+        for tau in (0.1, 0.4):
+            assert grouped.threshold_nn_exact_many(
+                Q, tau
+            ) == obj.threshold_nn_exact_many(Q, tau)
+
+    def test_exact_tier_matches_pruned(self, seed):
+        grouped, _ = planner_pair(six_model_points(seed))
+        Q = queries_for(seed + 50, m=20)
+        we, ve = grouped.expected_nn_many(Q, tier="exact")
+        wp, vp = grouped.expected_nn_many(Q, tier="pruned")
+        assert np.array_equal(we, wp)
+        assert np.array_equal(ve, vp)
+
+
+def test_threshold_mixed_tags_raises_on_both():
+    points = six_model_points(21)
+    grouped, obj = planner_pair(points)
+    Q = queries_for(31, m=5)
+    with pytest.raises(QueryError):
+        grouped.threshold_nn_exact_many(Q, 0.2)
+    with pytest.raises(QueryError):
+        obj.threshold_nn_exact_many(Q, 0.2)
+
+
+def test_execution_config_selects_evaluator():
+    points = six_model_points(22)
+    Q = queries_for(32, m=15)
+    base = QueryPlanner(points).expected_nn_many(Q)
+    for mode in ("grouped", "object"):
+        with config.execution(evaluator=mode):
+            w, v = QueryPlanner(points).expected_nn_many(Q)
+        assert np.array_equal(w, base[0])
+        assert np.array_equal(v, base[1])
+
+
+def test_unknown_evaluator_rejected():
+    points = random_disk_points(5, seed=1)
+    with pytest.raises(QueryError):
+        QueryPlanner(points, evaluator="vectorised")
+    with config.execution(evaluator="bogus"):
+        planner = QueryPlanner(points)
+        with pytest.raises(QueryError):
+            planner.expected_nn_many(np.zeros((1, 2)))
+
+
+# ---------------------------------------------------------------------------
+# Edge rows
+# ---------------------------------------------------------------------------
+
+
+class TestEdgeRows:
+    def test_single_point_dataset(self):
+        points = [UniformDiskPoint((3.0, 4.0), 1.5)]
+        grouped, obj = planner_pair(points)
+        Q = np.asarray([(0.0, 0.0), (3.0, 4.0), (100.0, -7.0)])
+        wg, vg = grouped.expected_nn_many(Q)
+        wo, vo = obj.expected_nn_many(Q)
+        assert np.array_equal(wg, wo) and np.array_equal(vg, vo)
+        assert wg.tolist() == [0, 0, 0]
+
+    def test_min_reduce_empty_and_single_rows(self):
+        indptr = np.asarray([0, 0, 1, 1, 4])
+        cols = np.asarray([7, 2, 5, 9])
+        values = np.asarray([3.0, 2.0, 2.0, 1.0])
+        winners, best = evaluators.min_reduce_csr(indptr, cols, values, 4)
+        assert best.tolist() == [np.inf, 3.0, np.inf, 1.0]
+        assert winners[1] == 7 and winners[3] == 9
+
+    def test_min_reduce_ties_pick_lowest_column(self):
+        # Columns are ascending per row (the dual-tree CSR invariant);
+        # the first position holding the minimum therefore maps to the
+        # lowest tied column — the dense argmin's tie-break.
+        indptr = np.asarray([0, 3])
+        cols = np.asarray([2, 4, 8])
+        values = np.asarray([1.0, 1.0, 1.0])
+        winners, best = evaluators.min_reduce_csr(indptr, cols, values, 1)
+        assert winners.tolist() == [2] and best.tolist() == [1.0]
+
+    def test_min_reduce_matches_dense_argmin(self):
+        rng = np.random.default_rng(5)
+        m, n = 30, 17
+        dense = rng.uniform(1, 9, (m, n))
+        mask = rng.uniform(size=(m, n)) < 0.4
+        mask[:, 0] = True  # keep every row non-empty
+        indptr = np.concatenate([[0], np.cumsum(mask.sum(axis=1))])
+        cols = np.nonzero(mask)[1]
+        values = dense[mask]
+        winners, best = evaluators.min_reduce_csr(indptr, cols, values, m)
+        masked = np.where(mask, dense, np.inf)
+        assert np.array_equal(winners, masked.argmin(axis=1))
+        assert np.array_equal(best, masked.min(axis=1))
+
+    def test_max_reduce_empty_rows(self):
+        indptr = np.asarray([0, 2, 2, 3])
+        values = np.asarray([1.0, 5.0, 2.0])
+        out = evaluators.max_reduce_csr(indptr, values, 3)
+        assert out.tolist() == [5.0, 0.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# Tag grouping + caches
+# ---------------------------------------------------------------------------
+
+
+def test_tag_groups_partition():
+    points = six_model_points(25)
+    cols = ModelColumns(points)
+    rng = np.random.default_rng(3)
+    sub = rng.integers(0, len(points), 40).astype(np.intp)
+    seen = []
+    for tag, positions in cols.tag_groups(sub):
+        assert np.all(cols.tags[sub[positions]] == tag)
+        seen.append(positions)
+    all_pos = np.sort(np.concatenate(seen))
+    assert np.array_equal(all_pos, np.arange(sub.shape[0]))
+
+
+def test_gauss_legendre_nodes_cached_identity():
+    a = kernels.gauss_legendre_nodes(16, 16)
+    b = kernels.gauss_legendre_nodes(16, 16)
+    assert a[0] is b[0] and a[1] is b[1]
+    assert not a[0].flags.writeable
+    assert math.isclose(a[1].sum(), 1.0, rel_tol=1e-12)
+
+
+def test_eval_cache_hits_accumulate():
+    points = six_model_points(26)
+    grouped, _ = planner_pair(points)
+    Q = queries_for(36, m=10)
+    grouped.expected_nn_many(Q)
+    cache = grouped.eval_cache()
+    first = cache.hits
+    assert cache.builds == 1 and first >= 1
+    grouped.expected_nn_many(Q)
+    assert grouped.eval_cache() is cache
+    assert cache.hits > first
+    assert cache.pair_counts and sum(cache.pair_counts.values()) > 0
+
+
+def test_engine_diagnostics_and_stats():
+    points = six_model_points(27)
+    eng = Engine(points)
+    Q = queries_for(37, m=12)
+    res = eng.query(Q, method="expected_nn", diagnostics=True)
+    eng.query(Q, method="expected_nn")
+    for key in ("eval_pairs", "eval_seconds", "prune_seconds", "eval_cache_hits"):
+        assert key in res.diagnostics
+    assert res.diagnostics["eval_pairs"] > 0
+    stats = eng.stats()
+    ev = stats["evaluators"]
+    assert ev["grouped_calls"] >= 2
+    assert ev["pairs"] >= res.diagnostics["eval_pairs"]
+    assert ev["cache_builds"] == 1
+    assert sum(ev["pairs_by_tag"].values()) == ev["pairs"]
+
+
+# ---------------------------------------------------------------------------
+# Certified float32 mode
+# ---------------------------------------------------------------------------
+
+
+class TestFloat32Certified:
+    def _workload(self):
+        centers = cluster_centers(8, seed=41, box=300.0)
+        points = clustered_disk_points(300, centers=centers, seed=42)
+        Q = np.asarray(clustered_queries(80, centers=centers, seed=43))
+        return points, Q
+
+    def test_fallback_rows_within_certificate(self):
+        points, Q = self._workload()
+        with config.execution(dtype="float32"):
+            planner = QueryPlanner(points, evaluator="grouped")
+            wf, vf, fb = planner.expected_nn_many(
+                Q, tier="approx", eps=1e-9, return_fallback=True
+            )
+            bounds = planner.last_fallback_bounds
+        w64, v64 = QueryPlanner(points, evaluator="grouped").expected_nn_many(Q)
+        rows = np.flatnonzero(fb)
+        if rows.size == 0:
+            pytest.skip("no fallback rows at this eps")
+        assert bounds is not None and bounds.shape == rows.shape
+        assert np.all(np.abs(vf[rows] - v64[rows]) <= bounds)
+
+    def test_float64_dtype_stays_bit_identical(self):
+        points, Q = self._workload()
+        grouped, obj = planner_pair(points)
+        wg, vg = grouped.expected_nn_many(Q, tier="approx", eps=1e-9)
+        wo, vo = obj.expected_nn_many(Q, tier="approx", eps=1e-9)
+        assert np.array_equal(wg, wo)
+        assert np.array_equal(vg, vo)
+
+    def test_engine_certificate_carries_bounds(self):
+        points, Q = self._workload()
+        with config.execution(dtype="float32"):
+            eng = Engine(points)
+            res = eng.query(Q, method="expected_nn", tier="approx", eps=1e-9)
+        rows = np.flatnonzero(res.fallback)
+        if rows.size == 0:
+            pytest.skip("no fallback rows at this eps")
+        assert np.all(res.certificate[rows] > 0.0)
+
+    def test_unknown_dtype_rejected(self):
+        # The dtype only shapes the approx tier's fallback, so that is
+        # where a bad value must fail loudly.
+        points = random_disk_points(5, seed=2)
+        with config.execution(dtype="float16"):
+            planner = QueryPlanner(points, evaluator="grouped")
+            with pytest.raises(QueryError):
+                planner.expected_nn_many(np.zeros((1, 2)), tier="approx", eps=0.5)
+
+
+# ---------------------------------------------------------------------------
+# Compiled backend (skips gracefully without numba)
+# ---------------------------------------------------------------------------
+
+needs_numba = pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba not importable"
+)
+
+
+def test_backend_gates_off_without_numba():
+    if kernels.numba_available():
+        pytest.skip("numba present; gating covered by the numba leg")
+    with config.execution(backend="numba"):
+        assert kernels.active_backend() == "numpy"
+
+
+@needs_numba
+def test_numba_lens_area_matches_numpy():
+    rng = np.random.default_rng(9)
+    d = rng.uniform(0, 8, 4096)
+    r1 = rng.uniform(0.1, 4, 4096)
+    r2 = rng.uniform(0.1, 4, 4096)
+    with config.execution(backend="numpy"):
+        ref = kernels.lens_area_many(d, r1, r2)
+    with config.execution(backend="numba"):
+        got = kernels.lens_area_many(d, r1, r2)
+    np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+
+@needs_numba
+def test_numba_grouped_matches_object_evaluator():
+    points = random_disk_points(120, seed=8, box=200.0)
+    Q = np.asarray(random_queries(60, seed=9, bbox=(0, 0, 200, 200)))
+    with config.execution(backend="numba"):
+        grouped, obj = planner_pair(points)
+        wg, vg = grouped.expected_nn_many(Q)
+        wo, vo = obj.expected_nn_many(Q)
+    assert np.array_equal(wg, wo)
+    np.testing.assert_allclose(vg, vo, rtol=1e-12, atol=1e-12)
