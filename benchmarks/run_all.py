@@ -1024,6 +1024,164 @@ def bench_evaluators(cfg, report):
         )
 
 
+def bench_resilience(cfg, report):
+    """PR 7 resilient execution layer.
+
+    * **Happy-path overhead** — the expected-NN workload with live
+      resilience checkpoints vs the same run with the checkpoint hook
+      stubbed out; the overhead bar is <= 2%.
+    * **Snapshot round-trip** — save/load wall time, file size, and
+      bit-identical restored answers (hard assertion).
+    * **Deadline semantics** — an injected slow traversal level trips
+      the deadline: ``on_deadline="raise"`` raises
+      :class:`QueryTimeoutError`, ``"degrade"`` returns a complete
+      certified result whose non-degraded rows match the clean run
+      (both hard assertions).
+    * **Crash recovery** — an injected process-pool worker kill is
+      retried serially with identical tile results (hard assertion).
+    """
+    import tempfile
+
+    from repro import QueryTimeoutError, resilience
+    from repro.core import parallel as core_parallel
+    from repro.resilience import FaultSpec, faults
+
+    centers = cluster_centers(cfg["clusters"], seed=701, box=cfg["box"])
+    points = clustered_disk_points(cfg["n"], centers=centers, seed=702)
+    Q = np.asarray(clustered_queries(cfg["m"], centers=centers, seed=703))
+
+    engine = Engine(points)
+    engine.query(Q[:4], method="expected_nn")  # warm builds + NumPy
+    planner = engine.planner()
+    reps = 3 if report["quick"] else 5
+
+    def run_workload():
+        return planner.expected_nn_many(Q)
+
+    t_checked = min(_timeit(run_workload)[0] for _ in range(reps))
+    real_checkpoint = resilience.checkpoint
+    try:
+        resilience.checkpoint = lambda site, index=None: None
+        t_stubbed = min(_timeit(run_workload)[0] for _ in range(reps))
+    finally:
+        resilience.checkpoint = real_checkpoint
+    overhead = t_checked / t_stubbed - 1.0
+
+    base = engine.query(Q, method="expected_nn")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = os.path.join(tmp, "engine.npz")
+        t_save, _ = _timeit(lambda: engine.save(snap))
+        snap_bytes = os.path.getsize(snap)
+        t_load, restored = _timeit(lambda: Engine.load(snap))
+        res = restored.query(Q, method="expected_nn")
+        snapshot_identical = bool(
+            np.array_equal(res.answers, base.answers)
+            and np.array_equal(res.values, base.values)
+        )
+
+    faults.reset_fault_stats()
+    with faults.inject(FaultSpec("dual_tree.level", "slow", delay_s=0.2)):
+        try:
+            Engine(points).query(
+                Q, method="expected_nn", deadline_s=0.05
+            )
+            deadline_raised = False
+        except QueryTimeoutError:
+            deadline_raised = True
+    with faults.inject(FaultSpec("dual_tree.level", "slow", delay_s=0.2)):
+        degraded_res = Engine(points).query(
+            Q, method="expected_nn", deadline_s=0.05, on_deadline="degrade"
+        )
+    degraded_rows = int(degraded_res.degraded.sum())
+    done = ~degraded_res.degraded
+    degrade_clean_rows_identical = bool(
+        np.array_equal(
+            np.asarray(degraded_res.answers)[done],
+            np.asarray(base.answers)[done],
+        )
+    )
+
+    tiles = [(i * 50, (i + 1) * 50) for i in range(8)]
+    expected_tiles = [_tile_checksum(lo, hi) for lo, hi in tiles]
+    faults.reset_fault_stats()
+    with config.execution(parallel_backend="process", parallel_workers=2):
+        with faults.inject(FaultSpec("parallel.tile", "kill", indices=(3,))):
+            got_tiles = core_parallel.map_tiles(_tile_checksum, tiles)
+    crash_stats = faults.fault_stats()
+    crash_recovered = bool(
+        got_tiles == expected_tiles and crash_stats["tiles_retried"] >= 1
+    )
+    faults.reset_fault_stats()
+
+    report["results"]["resilience"] = {
+        "model": "clustered uniform disks, expected-NN workload",
+        "n": cfg["n"],
+        "m": cfg["m"],
+        "seconds_with_checkpoints": t_checked,
+        "seconds_checkpoints_stubbed": t_stubbed,
+        "happy_path_overhead": overhead,
+        "snapshot_save_seconds": t_save,
+        "snapshot_load_seconds": t_load,
+        "snapshot_bytes": snap_bytes,
+        "snapshot_identical": snapshot_identical,
+        "deadline_raise_triggered": deadline_raised,
+        "degraded_rows": degraded_rows,
+        "degrade_route": degraded_res.plan["route"],
+        "degrade_clean_rows_identical": degrade_clean_rows_identical,
+        "crash_recovery_stats": crash_stats,
+        "crash_recovery_identical": crash_recovered,
+    }
+    print_table(
+        f"resilient execution, n={cfg['n']}, m={cfg['m']}",
+        ["metric", "value"],
+        [
+            ("checkpoint overhead", f"{overhead * 100:+.2f}%"),
+            ("snapshot save / load", f"{t_save:.3f}s / {t_load:.3f}s"),
+            ("snapshot size", f"{snap_bytes / 1024:.0f} KiB"),
+            ("deadline raise / degrade",
+             f"{deadline_raised} / {degraded_rows} rows degraded"),
+            ("pool-kill recovery",
+             f"retried {crash_stats['tiles_retried']} tile(s)"),
+        ],
+    )
+    if not report["quick"]:
+        # The acceptance bar runs on the full workload only — at quick
+        # size the measured delta is dominated by timer jitter.
+        _soft(
+            report,
+            "resilience overhead <= 2%",
+            overhead <= 0.02,
+            f"checkpoint overhead {overhead * 100:.2f}% above the 2% bar",
+        )
+    _soft(
+        report, "snapshot round-trip identical", snapshot_identical,
+        "restored engine answers differ", hard=True,
+    )
+    _soft(
+        report, "deadline raise triggered", deadline_raised,
+        "injected slow traversal did not raise QueryTimeoutError",
+        hard=True,
+    )
+    _soft(
+        report, "degrade returns certified partial answers",
+        degraded_rows > 0 and degrade_clean_rows_identical,
+        f"degraded_rows={degraded_rows}, "
+        f"clean rows identical={degrade_clean_rows_identical}",
+        hard=True,
+    )
+    _soft(
+        report, "process-pool crash recovery identical", crash_recovered,
+        f"tiles={got_tiles == expected_tiles}, stats={crash_stats}",
+        hard=True,
+    )
+
+
+def _tile_checksum(lo, hi):
+    """Module-level (hence picklable) benchmark tile payload."""
+    return (lo + hi) * (hi - lo)
+
+
 def _soft(report, name: str, ok: bool, detail: str, hard: bool = False) -> None:
     """Record an assertion.  Soft failures (timing bars) only flip the
     report flag; hard failures (answer identity) always fail the run."""
@@ -1078,10 +1236,24 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the PR 6 grouped-evaluator benchmark",
     )
+    ap.add_argument(
+        "--out-resilience",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr7.json"),
+        help="resilience report path (default: repo-root BENCH_pr7.json)",
+    )
+    ap.add_argument(
+        "--resilience-only",
+        action="store_true",
+        help="run only the PR 7 resilience benchmark",
+    )
     args = ap.parse_args(argv)
-    if sum((args.engine_only, args.dual_only, args.eval_only)) > 1:
+    only_flags = (
+        args.engine_only, args.dual_only, args.eval_only, args.resilience_only
+    )
+    if sum(only_flags) > 1:
         ap.error(
-            "--engine-only, --dual-only and --eval-only are mutually exclusive"
+            "--engine-only, --dual-only, --eval-only and --resilience-only "
+            "are mutually exclusive"
         )
 
     if args.quick:
@@ -1126,7 +1298,11 @@ def main(argv=None) -> int:
     failed = []
     hard_failure = False
 
-    if not args.engine_only and not args.dual_only and not args.eval_only:
+    skip_core = (
+        args.engine_only or args.dual_only or args.eval_only
+        or args.resilience_only
+    )
+    if not skip_core:
         report = {
             "pr": 3,
             "benchmark": (
@@ -1157,7 +1333,7 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"\nwrote {out}")
 
-    if not args.dual_only and not args.eval_only:
+    if not (args.dual_only or args.eval_only or args.resilience_only):
         report4 = {
             "pr": 4,
             "benchmark": (
@@ -1185,7 +1361,7 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {out4}")
 
-    if not args.engine_only and not args.eval_only:
+    if not (args.engine_only or args.eval_only or args.resilience_only):
         report5 = {
             "pr": 5,
             "benchmark": (
@@ -1210,7 +1386,7 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {out5}")
 
-    if not args.engine_only and not args.dual_only:
+    if not (args.engine_only or args.dual_only or args.resilience_only):
         report6 = {
             "pr": 6,
             "benchmark": (
@@ -1234,6 +1410,31 @@ def main(argv=None) -> int:
             json.dump(report6, fh, indent=2)
             fh.write("\n")
         print(f"wrote {out6}")
+
+    if not (args.engine_only or args.dual_only or args.eval_only):
+        report7 = {
+            "pr": 7,
+            "benchmark": (
+                "resilient execution layer: deadlines, memory-budget "
+                "admission, snapshot/restore, fault-injection recovery"
+            ),
+            "quick": bool(args.quick),
+            "config": {
+                k: cfg[k] for k in ("n", "m", "clusters", "box")
+            },
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_resilience(cfg, report7)
+        failed7 = [a["name"] for a in report7["soft_assertions"] if not a["ok"]]
+        report7["all_assertions_passed"] = not failed7
+        failed += failed7
+        hard_failure |= bool(report7.get("hard_failure"))
+        out7 = os.path.abspath(args.out_resilience)
+        with open(out7, "w") as fh:
+            json.dump(report7, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out7}")
 
     if failed:
         print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)

@@ -133,6 +133,18 @@ class Execution:
         lens-area and disk tail-quadrature kernels.  ``"numba"`` takes
         effect only when numba is importable (otherwise the NumPy path
         runs unchanged); the NumPy path is the bit-exact reference.
+    memory_budget_bytes:
+        Optional admission-control budget (``None`` = unlimited).  When
+        set, the planner's allocation estimator auto-tiles tile-sized
+        working sets down to the budget and rejects requests whose
+        unavoidable dense outputs (distance matrices, Monte-Carlo count
+        matrices, sample blocks) would exceed it, raising
+        :class:`repro.errors.ResourceLimitError` instead of OOM-ing.
+    max_workers:
+        Optional hard cap applied on top of ``parallel_workers`` by
+        :func:`repro.core.parallel.resolve_workers` (``None`` = no cap).
+        Lets an operator bound fan-out globally regardless of what a
+        caller requests.
     """
 
     tile_bytes: int = 16 * 1024 * 1024
@@ -141,6 +153,8 @@ class Execution:
     evaluator: str = "grouped"
     dtype: str = "float64"
     backend: str = "numpy"
+    memory_budget_bytes: Optional[int] = None
+    max_workers: Optional[int] = None
 
 
 #: Module-level default execution settings.  Like :data:`TOLERANCES`,

@@ -53,6 +53,7 @@ from ..config import EXECUTION
 from ..errors import QueryError
 from ..geometry import kernels
 from ..index.bulk import str_hierarchy
+from .. import resilience as _resilience
 from . import parallel as _parallel
 
 __all__ = [
@@ -391,6 +392,7 @@ def _traverse(
     ol = 0
     inherited = np.full(qtree.n_nodes(ql), np.inf)
     while True:
+        _resilience.checkpoint("dual_tree.level")
         q_leaf = ql == qtree.depth - 1
         o_leaf = ol == otree.depth - 1
         qb = qtree.bboxes[ql][qn]
@@ -469,13 +471,15 @@ def _traverse(
             acc = 0
         acc += seg_est
     chunks.append((start, qn_s.shape[0]))
-    parts = [
-        _refine(
-            Q, qtree, otree, columns, k, criterion, slack,
-            qn_s[lo:hi], on_s[lo:hi], stats,
+    parts = []
+    for ci, (lo, hi) in enumerate(chunks):
+        _resilience.checkpoint("dual_tree.refine", ci)
+        parts.append(
+            _refine(
+                Q, qtree, otree, columns, k, criterion, slack,
+                qn_s[lo:hi], on_s[lo:hi], stats,
+            )
         )
-        for lo, hi in chunks
-    ]
     return (
         (
             np.concatenate([p[0] for p in parts]),

@@ -59,6 +59,7 @@ import numpy as np
 from ..config import EXECUTION
 from ..errors import QueryError
 from ..geometry import kernels
+from .. import resilience as _resilience
 from ..uncertain.columns import (
     TAG_DISCRETE,
     TAG_DISK,
@@ -103,6 +104,15 @@ _BYTES_GAUSS = _NODES * _GAUSS_PANELS * _GAUSS_ORDER * 8 * 8
 def _chunk(total: int, bytes_per_pair: int) -> range:
     step = max(1, int(EXECUTION.tile_bytes) // max(int(bytes_per_pair), 1))
     return range(0, total, step)
+
+
+def _chunks(total: int, bytes_per_pair: int):
+    """Budget-sized pair-batch slices, each behind a resilience
+    checkpoint (site ``"evaluators.chunk"``)."""
+    r = _chunk(total, bytes_per_pair)
+    for ci, s in enumerate(r):
+        _resilience.checkpoint("evaluators.chunk", ci)
+        yield slice(s, min(s + r.step, total))
 
 
 class EvalCache:
@@ -384,8 +394,7 @@ def _expected_disk(cache, qx, qy, sub, f32):
     hi = d + radius
     p = sub.shape[0]
     out = np.empty(p, dtype=np.float64)
-    for s in _chunk(p, _BYTES_DISK):
-        sl = slice(s, min(s + _chunk(p, _BYTES_DISK).step, p))
+    for sl in _chunks(p, _BYTES_DISK):
         lo_s = lo[sl]
         span = np.maximum(hi[sl] - lo_s, 0.0)
         R = lo_s[:, None] + span[:, None] * nodes[None, :]
@@ -424,8 +433,7 @@ def _expected_gaussian(cache, qx, qy, sub, f32):
     hi = d + cutoff
     p = sub.shape[0]
     out = np.empty(p, dtype=np.float64)
-    for s in _chunk(p, _BYTES_GAUSS):
-        sl = slice(s, min(s + _chunk(p, _BYTES_GAUSS).step, p))
+    for sl in _chunks(p, _BYTES_GAUSS):
         lo_s = lo[sl]
         span_t = np.maximum(hi[sl] - lo_s, 0.0)
         R = lo_s[:, None] + span_t[:, None] * nodes[None, :]
@@ -498,8 +506,7 @@ def _expected_rect(cache, qx, qy, sub, f32):
     corner = _corner_area_local if f32 else kernels.disk_halfplane_corner_area
     p = sub.shape[0]
     out = np.empty(p, dtype=np.float64)
-    for s in _chunk(p, _BYTES_RECT):
-        sl = slice(s, min(s + _chunk(p, _BYTES_RECT).step, p))
+    for sl in _chunks(p, _BYTES_RECT):
         lo_s = lo[sl]
         span = np.maximum(hi[sl] - lo_s, 0.0)
         R = lo_s[:, None] + span[:, None] * nodes[None, :]
@@ -540,8 +547,7 @@ def _expected_discrete(cache, qx, qy, sub, f32):
             dt = np.float32
             L, W = L.astype(dt), W.astype(dt)
             gqx, gqy = gqx.astype(dt), gqy.astype(dt)
-        for s in _chunk(gsel.shape[0], int(k) * 8 * 6):
-            sl = slice(s, min(s + _chunk(gsel.shape[0], int(k) * 8 * 6).step, gsel.shape[0]))
+        for sl in _chunks(gsel.shape[0], int(k) * 8 * 6):
             dx = gqx[sl][:, None] - L[sl, :, 0]
             dy = gqy[sl][:, None] - L[sl, :, 1]
             D = np.sqrt(dx * dx + dy * dy)
@@ -592,8 +598,7 @@ def _expected_histogram(cache, qx, qy, sub, f32):
             lo, hi = lo.astype(dt), hi.astype(dt)
             nd, wt = nodes.astype(dt), weights.astype(dt)
         g = gsel.shape[0]
-        for s in _chunk(g, _NODES * int(c) * 8 * 16):
-            sl = slice(s, min(s + _chunk(g, _NODES * int(c) * 8 * 16).step, g))
+        for sl in _chunks(g, _NODES * int(c) * 8 * 16):
             lo_s = lo[sl]
             span = np.maximum(hi[sl] - lo_s, 0.0)
             R = lo_s[:, None] + span[:, None] * nd[None, :]

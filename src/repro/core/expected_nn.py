@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import resilience as _resilience
 from ..geometry import kernels
 from ..index.rtree import RTree
 from .nonzero import UncertainSet
@@ -100,6 +101,11 @@ class ExpectedNNIndex:
     def expected_distance_matrix(self, qs) -> np.ndarray:
         """``E[d(q, P_i)]`` for every query/point pair, shape ``(m, n)``."""
         Q = kernels.as_query_array(qs)
+        _resilience.require_bytes(
+            Q.shape[0] * len(self.points) * 8,
+            f"expected_distance_matrix output "
+            f"(m={Q.shape[0]}, n={len(self.points)})",
+        )
         return np.column_stack(
             [p.expected_distance_many(Q) for p in self.points]
         )

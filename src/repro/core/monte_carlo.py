@@ -28,6 +28,7 @@ import numpy as np
 
 from ..config import EXECUTION, SeedLike, default_rng
 from ..errors import QueryError
+from .. import resilience as _resilience
 from ..geometry import kernels
 from ..geometry.voronoi import VoronoiLocator
 from ..index.kdtree import KdTree
@@ -242,8 +243,13 @@ class MonteCarloPNN:
         if planner is not None:
             est = self._query_matrix_pruned(Q, planner)
             return (est, np.full(m, self.s, dtype=np.intp)) if return_rounds else est
+        _resilience.require_bytes(
+            self.s * m * np.dtype(np.intp).itemsize + m * n * 8,
+            f"Monte-Carlo winner/count matrices (s={self.s}, m={m}, n={n})",
+        )
         winners = np.empty((self.s, m), dtype=np.intp)
         for j in range(self.s):
+            _resilience.checkpoint("mc.round", j)
             d2 = kernels.pairwise_sq_distances(Q, self._samples[j])
             winners[j] = d2.argmin(axis=1)
         offsets = winners + np.arange(m, dtype=np.intp)[None, :] * n
@@ -268,6 +274,10 @@ class MonteCarloPNN:
             raise QueryError("delta must lie in (0, 1)")
         m = Q.shape[0]
         n = self._samples.shape[1]
+        _resilience.require_bytes(
+            m * n * 8,
+            f"Monte-Carlo count matrix (m={m}, n={n})",
+        )
         min_rounds = max(1, min(int(min_rounds), self.s))
         check_every = max(1, int(check_every))
         rounds_used = np.zeros(m, dtype=np.intp)
@@ -296,6 +306,7 @@ class MonteCarloPNN:
             Qa = Q[active]
             if planner is None:
                 for j in range(t, t1):
+                    _resilience.checkpoint("mc.round", j)
                     d2 = kernels.pairwise_sq_distances(Qa, self._samples[j])
                     counts[active, d2.argmin(axis=1)] += 1
             else:
@@ -313,6 +324,7 @@ class MonteCarloPNN:
                 # tallies accumulate with np.add.at because a pair can
                 # win several rounds inside one block.
                 for j0 in range(t, t1, _round_block(nnz, planner)):
+                    _resilience.checkpoint("mc.round", j0)
                     j1 = min(j0 + _round_block(nnz, planner), t1)
                     dx = qx[None, :] - sx[j0:j1][:, cols]
                     dy = qy[None, :] - sy[j0:j1][:, cols]
@@ -361,6 +373,10 @@ class MonteCarloPNN:
         n = self._samples.shape[1]
         if m == 0:
             return np.zeros((0, n), dtype=np.float64)
+        _resilience.require_bytes(
+            self.s * m * np.dtype(np.intp).itemsize + m * n * 8,
+            f"Monte-Carlo winner/count matrices (s={self.s}, m={m}, n={n})",
+        )
         indptr_full, cols = planner.candidate_csr(Q, criterion="support")
         rows = kernels.csr_rows(indptr_full)
         nnz = cols.shape[0]
@@ -377,6 +393,7 @@ class MonteCarloPNN:
         # squared distances are computed elementwise from the same
         # floats and min is exact.
         for j0 in range(0, self.s, _round_block(nnz, planner)):
+            _resilience.checkpoint("mc.round", j0)
             j1 = min(j0 + _round_block(nnz, planner), self.s)
             dx = qx[None, :] - sx[j0:j1][:, cols]
             dy = qy[None, :] - sy[j0:j1][:, cols]

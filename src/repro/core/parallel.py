@@ -7,16 +7,29 @@ so bound passes overlap), or across a process pool (requires the tile
 function to be picklable).  Whatever the backend, results are assembled
 **by tile index**, so answers are bit-identical to the serial order —
 parallelism never changes an answer, only the wall clock.
+
+Every work unit passes through a resilience checkpoint (site
+``"parallel.tile"``): injected faults fire there, and the active
+cooperative deadline is charged one unit.  Worker failures are
+recovered, not propagated: a tile that dies with
+:class:`repro.errors.WorkerCrashError`, and every tile stranded by a
+``BrokenProcessPool``, is retried serially in the parent (with fault
+injection suppressed — the harness models transient faults).  Because
+results are keyed by tile index, recovered runs return bit-identical
+answers; the recovery counters surface in ``Engine.stats()["faults"]``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
 import os
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..config import EXECUTION
-from ..errors import QueryError
+from ..errors import QueryError, WorkerCrashError
+from ..resilience import checkpoint
+from ..resilience import faults as _faults
 
 __all__ = ["map_ordered", "map_tiles", "resolve_workers", "tile_ranges"]
 
@@ -24,14 +37,37 @@ T = TypeVar("T")
 
 _BACKENDS = ("serial", "thread", "process")
 
+TILE_SITE = "parallel.tile"
+
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Worker count: the explicit value, else config, else CPU count."""
-    if workers is None:
-        workers = EXECUTION.parallel_workers
-    if workers is None:
-        workers = os.cpu_count() or 1
-    return max(1, int(workers))
+    """Worker count: the explicit value, else config, else CPU count —
+    clamped to ``EXECUTION.max_workers`` when that cap is set.
+
+    Explicit non-positive requests (``workers <= 0``, or a non-positive
+    ``EXECUTION.parallel_workers``) are configuration errors and raise
+    :class:`repro.errors.QueryError` instead of being silently maxed up
+    to one worker.
+    """
+    explicit = workers if workers is not None else EXECUTION.parallel_workers
+    if explicit is None:
+        count = os.cpu_count() or 1
+    else:
+        count = int(explicit)
+        if count <= 0:
+            raise QueryError(
+                f"worker count must be a positive integer, got {explicit!r}"
+            )
+    cap = EXECUTION.max_workers
+    if cap is not None:
+        cap = int(cap)
+        if cap <= 0:
+            raise QueryError(
+                f"EXECUTION.max_workers must be a positive integer or None, "
+                f"got {EXECUTION.max_workers!r}"
+            )
+        count = min(count, cap)
+    return max(1, count)
 
 
 def tile_ranges(m: int, rows_per_tile: int) -> List[Tuple[int, int]]:
@@ -46,6 +82,16 @@ def tile_ranges(m: int, rows_per_tile: int) -> List[Tuple[int, int]]:
     return [(lo, min(lo + rows, m)) for lo in range(0, m, rows)]
 
 
+def _checked_call(fn: Callable[..., T], index: int, args: Tuple) -> T:
+    """One work unit behind its resilience checkpoint.
+
+    Module-level (not a closure) so the process backend can pickle it;
+    ``fn`` travels as an ordinary argument.
+    """
+    checkpoint(TILE_SITE, index)
+    return fn(*args)
+
+
 def _map_argtuples(
     fn: Callable[..., T],
     argtuples: Sequence[Tuple],
@@ -55,8 +101,8 @@ def _map_argtuples(
     """Shared runner behind :func:`map_tiles` / :func:`map_ordered`:
     ``[fn(*args) for args in argtuples]`` under the chosen backend, with
     results ordered by position regardless of completion order.  ``fn``
-    is submitted as-is (no wrapper closures), so picklable functions
-    stay process-backend compatible."""
+    is submitted through the picklable :func:`_checked_call` shim, so
+    picklable functions stay process-backend compatible."""
     if backend is None:
         backend = EXECUTION.parallel_backend
     if backend not in _BACKENDS:
@@ -65,19 +111,50 @@ def _map_argtuples(
         )
     n_workers = resolve_workers(workers)
     if backend == "serial" or n_workers == 1 or len(argtuples) <= 1:
-        return [fn(*args) for args in argtuples]
+        return [_checked_call(fn, i, args) for i, args in enumerate(argtuples)]
     pool_cls = (
         concurrent.futures.ThreadPoolExecutor
         if backend == "thread"
         else concurrent.futures.ProcessPoolExecutor
     )
     results: List[T] = [None] * len(argtuples)  # type: ignore[list-item]
-    with pool_cls(max_workers=min(n_workers, len(argtuples))) as pool:
-        futures = {
-            pool.submit(fn, *args): i for i, args in enumerate(argtuples)
-        }
-        for fut in concurrent.futures.as_completed(futures):
-            results[futures[fut]] = fut.result()
+    done = [False] * len(argtuples)
+    crashes = 0
+    pool_broke = False
+    try:
+        with pool_cls(max_workers=min(n_workers, len(argtuples))) as pool:
+            futures = {
+                pool.submit(_checked_call, fn, i, args): i
+                for i, args in enumerate(argtuples)
+            }
+            for fut in concurrent.futures.as_completed(futures):
+                i = futures[fut]
+                try:
+                    results[i] = fut.result()
+                    done[i] = True
+                except WorkerCrashError:
+                    # A single tile died inside its worker; the pool is
+                    # still healthy.  Leave the tile for serial retry.
+                    crashes += 1
+                except BrokenProcessPool:
+                    # A worker process died hard; every not-yet-done
+                    # tile is stranded.  Fall through to serial retry.
+                    pool_broke = True
+    except BrokenProcessPool:
+        pool_broke = True
+    missing = [i for i, ok in enumerate(done) if not ok]
+    if crashes:
+        _faults._record("worker_crashes", crashes)
+    if pool_broke:
+        _faults._record("pools_broken")
+    if missing:
+        _faults._record("tiles_retried", len(missing))
+        # Serial retry in the parent, with fault injection suppressed
+        # (transient-fault model).  Deadline checkpoints stay live.
+        with _faults.suppressed():
+            for i in missing:
+                results[i] = _checked_call(fn, i, argtuples[i])
+                done[i] = True
     return results
 
 
@@ -112,5 +189,7 @@ def map_tiles(
     all backends are interchangeable.  The process backend requires
     ``fn`` (and everything it closes over) to be picklable; the planner
     therefore defaults to threads for its model-object workloads.
+    Failed tiles (worker crashes, broken process pools) are retried
+    serially in the parent — see the module docstring.
     """
     return _map_argtuples(fn, list(tiles), backend, workers)

@@ -74,6 +74,7 @@ import numpy as np
 from ..config import EXECUTION
 from ..errors import QueryError
 from ..geometry import kernels
+from .. import resilience as _resilience
 from ..index.bulk import group_bboxes, kd_leaves, str_leaves
 from ..uncertain.columns import TAG_DISCRETE, ModelColumns
 from . import evaluators as _evaluators
@@ -259,7 +260,14 @@ class QueryPlanner:
             if self.method == "dual" and tier == "pruned"
             else _BYTES_PER_PAIR
         )
-        return max(1, int(tb) // max(len(self.points) * per_pair, 1))
+        rows = max(1, int(tb) // max(len(self.points) * per_pair, 1))
+        # Admission control: when a memory budget is configured, the
+        # tile height is clamped so one tile's working set fits it (or
+        # the request is rejected when even a single row cannot).
+        return _resilience.clamp_tile_rows(
+            rows, len(self.points), per_pair,
+            what=f"{tier}-tier bound-pass tile",
+        )
 
     def _run_tiles(self, m: int, fn, tier: str = "pruned") -> List:
         """``fn(lo, hi)`` over cache-sized row tiles, optionally fanned
@@ -385,6 +393,16 @@ class QueryPlanner:
         """One dual-tree prune pass over the whole batch (the traversal
         is output-sensitive, so it is never row-tiled; threads fan out
         over query subtrees instead)."""
+        # Admission gate: the traversal is never row-tiled, so the clamp
+        # result is unused — the call rejects requests whose single-row
+        # worst case (every object surviving) already exceeds the
+        # configured memory budget.
+        _resilience.clamp_tile_rows(
+            Q.shape[0] if Q.shape[0] else 1,
+            len(self.points),
+            _BYTES_PER_PAIR_DUAL,
+            what="dual-tree refinement working set",
+        )
         backend = (
             self.parallel_backend
             if self.parallel_backend is not None
@@ -468,6 +486,10 @@ class QueryPlanner:
         k = min(max(int(k), 1), n)
         if criterion not in ("support", "expected"):
             raise QueryError(f"unknown pruning criterion {criterion!r}")
+        _resilience.require_bytes(
+            Q.shape[0] * n,
+            f"candidate mask output (m={Q.shape[0]}, n={n})",
+        )
         if self.method == "dual":
             return self._dual_csr(Q, k, criterion).mask(n)
         blocks = self._run_tiles(
@@ -863,6 +885,11 @@ class QueryPlanner:
             raise QueryError("expected_distance_matrix has no approx tier")
         self._check_tier(tier, None)
         Q = kernels.as_query_array(qs)
+        _resilience.require_bytes(
+            Q.shape[0] * len(self.points) * 8,
+            f"expected_distance_matrix output "
+            f"(m={Q.shape[0]}, n={len(self.points)})",
+        )
         masks = self._pruned_masks(Q, k, "expected", tier)
         blocks = self._run_tiles(
             Q.shape[0],

@@ -87,8 +87,11 @@ from .core.threshold import (
     ThresholdAnswer,
     threshold_nn_exact_many as _threshold_nn_exact_many,
 )
-from .errors import QueryError
+from .errors import QueryError, QueryTimeoutError
 from .geometry.kernels import as_query_array
+from .resilience import deadline as _deadline
+from .resilience import faults as _faults
+from .resilience import snapshot as _snapshot
 from .uncertain.columns import ModelColumns, TAG_NAMES, model_tag
 
 __all__ = ["Engine", "IndexRegistry", "QueryResult", "QuerySpec", "tier_of"]
@@ -168,6 +171,23 @@ class QuerySpec:
     diagnostics:
         Collect candidates-pruned statistics into
         :attr:`QueryResult.diagnostics` (costs an extra bound pass).
+    deadline_s:
+        Optional cooperative wall-clock budget for this batch.  Checked
+        at tile/chunk boundaries across the stack; expiry raises
+        :class:`repro.errors.QueryTimeoutError` (``on_deadline="raise"``)
+        or degrades the unfinished rows (``"degrade"``).  Deadline
+        queries are never served from (or stored in) the result cache.
+    on_deadline:
+        ``"raise"`` (default) or ``"degrade"``.  Degradation re-plans
+        the rows not finished in time on the approx tier and returns a
+        complete :class:`QueryResult` whose :attr:`QueryResult.degraded`
+        mask and certificate mark those rows honestly.  Only methods
+        with an approx tier (``expected_nn`` / ``nonzero`` /
+        ``threshold``) can degrade.
+    degrade_eps:
+        Certification budget used for degraded rows (default: 1% of the
+        dataset's bounding-box diagonal, or ``10 * eps`` when the query
+        already runs on the approx tier).
     """
 
     method: str
@@ -187,6 +207,9 @@ class QuerySpec:
     parallel_backend: Optional[str] = None
     parallel_workers: Optional[int] = None
     diagnostics: bool = False
+    deadline_s: Optional[float] = None
+    on_deadline: str = "raise"
+    degrade_eps: Optional[float] = None
 
     def __post_init__(self):
         if self.method not in _METHODS:
@@ -221,6 +244,20 @@ class QuerySpec:
                 raise QueryError("provide either s or epsilon")
             if self.adaptive and (self.tol is None or not self.tol > 0.0):
                 raise QueryError("adaptive stopping requires tol > 0")
+        if self.deadline_s is not None and not float(self.deadline_s) > 0.0:
+            raise QueryError("deadline_s must be positive")
+        if self.on_deadline not in ("raise", "degrade"):
+            raise QueryError(
+                f"on_deadline must be 'raise' or 'degrade', "
+                f"got {self.on_deadline!r}"
+            )
+        if self.on_deadline == "degrade" and self.method not in _APPROX_METHODS:
+            raise QueryError(
+                f"{self.method} has no approx tier to degrade onto; "
+                f"use on_deadline='raise'"
+            )
+        if self.degrade_eps is not None and not float(self.degrade_eps) > 0.0:
+            raise QueryError("degrade_eps must be positive")
         if self.subset is not None:
             mask_len = None
             sub = np.atleast_1d(np.asarray(self.subset))
@@ -249,6 +286,10 @@ class QuerySpec:
         (unseeded randomness).  Execution overrides are excluded (they
         never change answer bits); ``diagnostics`` is included because
         it changes the result's payload."""
+        if self.deadline_s is not None:
+            # What completes before a wall-clock deadline is inherently
+            # non-deterministic; such results must never be replayed.
+            return None
         if self.method == "mc_pnn":
             seed = _seed_key(self.seed)
             if seed is None:
@@ -283,9 +324,12 @@ class QueryResult:
     ``(m, k)`` ranking matrix (``expected_knn``).  ``values`` carries
     the expected distances for ``expected_nn``; ``fallback`` /
     ``certificate`` are the approx tier's per-row exactness mask and
-    certified error budget.  ``plan`` records the compiled route and
-    the registry keys it touched; ``diagnostics`` holds timing plus the
-    opt-in candidates-pruned statistics.
+    certified error budget.  ``degraded`` (deadline queries under
+    ``on_deadline="degrade"`` only) marks the rows that were re-planned
+    on the approx tier after the deadline expired.  ``plan`` records
+    the compiled route and the registry keys it touched;
+    ``diagnostics`` holds timing plus the opt-in candidates-pruned
+    statistics.
     """
 
     spec: QuerySpec
@@ -293,6 +337,7 @@ class QueryResult:
     values: Optional[np.ndarray] = None
     fallback: Optional[np.ndarray] = None
     certificate: Optional[np.ndarray] = None
+    degraded: Optional[np.ndarray] = None
     m: int = 0
     n: int = 0
     generation: int = 0
@@ -321,6 +366,7 @@ class QueryResult:
             values=dup(self.values),
             fallback=dup(self.fallback),
             certificate=dup(self.certificate),
+            degraded=dup(self.degraded),
             elapsed=elapsed,
             cached=True,
             plan=copy.deepcopy(self.plan),
@@ -758,6 +804,30 @@ class Engine:
         self._family_lru.clear()
         return self
 
+    # -- snapshot / restore ---------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write a versioned snapshot of this session to ``path``.
+
+        The snapshot holds the uncertain relation (exact JSON
+        round-trip) plus the summarised column store, with a checksum
+        and a manifest of the indexes built at save time; the write is
+        atomic.  See :mod:`repro.resilience.snapshot`.
+        """
+        return _snapshot.save_engine(self, path)
+
+    @classmethod
+    def load(cls, path: str, result_cache_size: int = 32) -> "Engine":
+        """Restore a session saved with :meth:`save`.
+
+        The restored engine answers bit-identically to the saved one;
+        indexes rebuild lazily on first use.  Corrupted, truncated, or
+        version-mismatched snapshots raise
+        :class:`repro.errors.SnapshotError`.
+        """
+        return _snapshot.load_engine(
+            path, result_cache_size=result_cache_size
+        )
+
     # -- the declarative query surface ---------------------------------------
     def query(self, qs, spec: Optional[QuerySpec] = None, **spec_kwargs) -> QueryResult:
         """Execute one declarative query batch.
@@ -844,12 +914,129 @@ class Engine:
             overrides["parallel_workers"] = spec.parallel_workers
         if overrides:
             with _execution_ctx(**overrides):
-                result = self._dispatch(spec, Q, base)
+                result = self._dispatch_resilient(spec, Q, base)
         else:
-            result = self._dispatch(spec, Q, base)
+            result = self._dispatch_resilient(spec, Q, base)
         if spec.diagnostics:
             self._collect_diagnostics(spec, Q, result)
         return result
+
+    # -- deadlines & degradation ----------------------------------------------
+    def _dispatch_resilient(
+        self, spec: QuerySpec, Q: np.ndarray, base: Dict
+    ) -> QueryResult:
+        """Dispatch under the spec's deadline policy (plain dispatch
+        when no deadline is set)."""
+        if spec.deadline_s is None:
+            return self._dispatch(spec, Q, base)
+        if spec.on_deadline == "raise":
+            with _deadline.deadline_scope(spec.deadline_s):
+                return self._dispatch(spec, Q, base)
+        return self._dispatch_degrade(spec, Q, base)
+
+    def _degrade_eps(self, spec: QuerySpec) -> float:
+        if spec.degrade_eps is not None:
+            return float(spec.degrade_eps)
+        if spec.tier == "approx" and spec.eps is not None:
+            return 10.0 * float(spec.eps)
+        b = self.columns().bboxes
+        diag = float(
+            np.hypot(
+                b[:, 2].max() - b[:, 0].min(), b[:, 3].max() - b[:, 1].min()
+            )
+        )
+        return max(0.01 * diag, 1e-9)
+
+    def _dispatch_degrade(
+        self, spec: QuerySpec, Q: np.ndarray, base: Dict
+    ) -> QueryResult:
+        """Run the batch in row chunks under the deadline; rows that do
+        not finish in time re-plan on the approx tier (outside the
+        deadline), and the result's ``degraded`` mask marks them."""
+        m = Q.shape[0]
+        plain = dataclasses.replace(
+            spec, deadline_s=None, on_deadline="raise", degrade_eps=None
+        )
+        if m == 0:
+            return self._dispatch(plain, Q, base)
+        chunk = self.planner()._tile_rows(
+            "exact" if spec.tier == "exact" else "pruned"
+        )
+        parts: List[QueryResult] = []
+        done = 0
+        with _deadline.deadline_scope(spec.deadline_s):
+            try:
+                for ci, lo in enumerate(range(0, m, chunk)):
+                    _faults.fire("engine.chunk", ci)
+                    _deadline.check_deadline("engine.chunk")
+                    hi = min(lo + chunk, m)
+                    parts.append(
+                        self._dispatch(plain, Q[lo:hi], dict(base, m=hi - lo))
+                    )
+                    done = hi
+            except QueryTimeoutError:
+                # The chunk in flight is discarded; its rows (and all
+                # later ones) degrade below.
+                pass
+        degraded = np.zeros(m, dtype=bool)
+        if done < m:
+            degraded[done:] = True
+            eps = self._degrade_eps(spec)
+            aspec = QuerySpec(
+                spec.method, tier="approx", eps=eps, tau=spec.tau
+            )
+            parts.append(
+                self._dispatch(aspec, Q[done:], dict(base, m=m - done))
+            )
+        result = self._merge_chunks(spec, parts, base)
+        result.degraded = degraded
+        if done < m:
+            result.plan["route"] = (
+                f"{spec.method}/{spec.tier}+degraded[{m - done}]"
+            )
+            result.plan["degraded_rows"] = int(m - done)
+            result.plan["degrade_eps"] = float(eps)
+        return result
+
+    @staticmethod
+    def _merge_chunks(
+        spec: QuerySpec, parts: List[QueryResult], base: Dict
+    ) -> QueryResult:
+        """Row-concatenate chunked :class:`QueryResult` payloads (every
+        degradable method is row-independent, so chunking is exact)."""
+        first = parts[0].answers
+        if isinstance(first, np.ndarray):
+            answers = (
+                parts[0].answers
+                if len(parts) == 1
+                else np.concatenate([p.answers for p in parts])
+            )
+        else:
+            answers = [row for p in parts for row in p.answers]
+
+        def cat(field: str, fill_dtype) -> Optional[np.ndarray]:
+            if all(getattr(p, field) is None for p in parts):
+                return None
+            return np.concatenate([
+                getattr(p, field)
+                if getattr(p, field) is not None
+                else np.zeros(p.m, dtype=fill_dtype)
+                for p in parts
+            ])
+
+        indexes: List[str] = []
+        for p in parts:
+            for name in p.plan.get("indexes", []):
+                if name not in indexes:
+                    indexes.append(name)
+        return QueryResult(
+            answers=answers,
+            values=cat("values", np.float64),
+            fallback=cat("fallback", bool),
+            certificate=cat("certificate", np.float64),
+            plan={"route": f"{spec.method}/{spec.tier}", "indexes": indexes},
+            **base,
+        )
 
     def _dispatch(
         self, spec: QuerySpec, Q: np.ndarray, base: Dict
@@ -1298,6 +1485,9 @@ class Engine:
             "result_cache_entries": len(self._result_cache),
             "result_cache_hits": self._result_hits,
             "result_cache_misses": self._result_misses,
+            # Process-wide fault/recovery counters (injected faults,
+            # worker crashes recovered, tiles retried serially).
+            "faults": _faults.fault_stats(),
         }
         planner = self._registry.peek(("planner",), self._generation)
         if planner is not None and planner.dual_totals["traversals"]:

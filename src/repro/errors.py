@@ -25,5 +25,95 @@ class DistributionError(ReproError):
     (e.g. weights that do not sum to one)."""
 
 
-class QueryError(ReproError):
-    """Raised when query parameters are out of their documented range."""
+class QueryError(ReproError, ValueError):
+    """Raised when query parameters are out of their documented range.
+
+    Also a :class:`ValueError`, so callers that guarded batch entry
+    points with ``except ValueError`` before the taxonomy existed keep
+    working.
+    """
+
+
+class QueryTimeoutError(ReproError):
+    """Raised when a query's cooperative deadline expires mid-execution.
+
+    Attributes
+    ----------
+    site:
+        The checkpoint site (e.g. ``"parallel.tile"``, ``"mc.round"``)
+        that observed the expired deadline.
+    deadline_s / elapsed_s:
+        The configured budget and the wall-clock time actually spent.
+    progress:
+        Mapping of checkpoint site -> number of units completed before
+        the timeout, i.e. the partial diagnostics of the aborted run.
+    """
+
+    def __init__(self, message, *, site=None, deadline_s=None,
+                 elapsed_s=None, progress=None):
+        super().__init__(message)
+        self.site = site
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        self.progress = dict(progress or {})
+
+
+class ResourceLimitError(ReproError):
+    """Raised by admission control when a request's estimated working set
+    exceeds ``EXECUTION.memory_budget_bytes``.
+
+    Attributes
+    ----------
+    required_bytes / budget_bytes:
+        The estimated allocation that tripped the limit and the
+        configured budget.
+    what:
+        Human-readable description of the allocation (e.g.
+        ``"expected_distance_matrix output (m=1000, n=2000)"``).
+    """
+
+    def __init__(self, message, *, required_bytes=None, budget_bytes=None,
+                 what=None):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        self.what = what
+
+
+class SnapshotError(ReproError):
+    """Raised when an engine snapshot cannot be written, read, or
+    validated (bad magic, version mismatch, checksum failure,
+    inconsistent arrays).
+
+    Attributes
+    ----------
+    path:
+        The snapshot file involved, when known.
+    reason:
+        Short machine-readable cause (``"checksum"``, ``"version"``,
+        ``"magic"``, ``"truncated"``, ``"schema"``, ``"io"``).
+    """
+
+    def __init__(self, message, *, path=None, reason=None):
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.reason = reason
+
+
+class WorkerCrashError(ReproError):
+    """Raised inside a parallel worker when a tile dies (injected or
+    real).  ``map_tiles`` catches it, retries the tile serially, and
+    records the recovery in the fault counters.
+
+    Attributes
+    ----------
+    site:
+        The checkpoint site where the crash fired.
+    index:
+        Index of the tile/work unit that crashed, when known.
+    """
+
+    def __init__(self, message, *, site=None, index=None):
+        super().__init__(message)
+        self.site = site
+        self.index = index

@@ -90,18 +90,31 @@ def as_query_array(qs) -> np.ndarray:
     Accepts a single ``(x, y)`` pair, a sequence of pairs, or an
     ``(m, 2)`` array.  A single pair becomes a one-row matrix; an empty
     sequence (``[]``, shape ``(0,)`` or ``(0, 2)``) becomes the empty
-    query matrix.  Malformed shapes are rejected even when empty
-    (``(0, 3)`` is still a shape bug worth surfacing).
+    query matrix.  Malformed shapes and non-finite coordinates (NaN /
+    inf would silently poison every distance kernel downstream) are
+    rejected with :class:`repro.errors.QueryError` — a ``ValueError``
+    subclass, so pre-taxonomy callers keep working.
     """
-    arr = np.asarray(qs, dtype=np.float64)
+    from ..errors import QueryError
+
+    try:
+        arr = np.asarray(qs, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"queries are not numeric coordinates: {exc}") from exc
     if arr.ndim == 1:
         if arr.shape[0] == 0:
             return arr.reshape(0, 2)
         if arr.shape[0] != 2:
-            raise ValueError(f"query array of shape {arr.shape}; expected (m, 2)")
+            raise QueryError(f"query array of shape {arr.shape}; expected (m, 2)")
         arr = arr.reshape(1, 2)
     if arr.ndim != 2 or arr.shape[1] != 2:
-        raise ValueError(f"query array of shape {arr.shape}; expected (m, 2)")
+        raise QueryError(f"query array of shape {arr.shape}; expected (m, 2)")
+    if arr.size and not np.isfinite(arr).all():
+        bad = np.flatnonzero(~np.isfinite(arr).all(axis=1))
+        raise QueryError(
+            f"query coordinates must be finite; rows {bad[:8].tolist()} "
+            f"contain NaN or inf"
+        )
     return arr
 
 

@@ -65,31 +65,83 @@ def point_to_dict(point: UncertainPoint) -> Dict:
     raise DistributionError(f"cannot serialise {type(point).__name__}")
 
 
-def point_from_dict(data: Dict) -> UncertainPoint:
-    """Decode one uncertain point from its dict encoding."""
+def _where(row) -> str:
+    return f" (row {row})" if row is not None else ""
+
+
+def _field(data: Dict, key: str, kind: str, row=None):
+    """Fetch a required decoder field, or raise a DistributionError that
+    names the missing field and the offending row."""
+    try:
+        return data[key]
+    except KeyError:
+        raise DistributionError(
+            f"{kind} encoding is missing required field {key!r}{_where(row)}"
+        ) from None
+
+
+def point_from_dict(data: Dict, row=None) -> UncertainPoint:
+    """Decode one uncertain point from its dict encoding.
+
+    Malformed encodings (unknown ``type``, missing keys, bad shapes or
+    values) raise :class:`DistributionError` naming the offending field
+    and, when ``row`` is given, the row index in the relation — they
+    never escape as bare ``KeyError`` / ``ValueError`` / ``TypeError``.
+    """
+    if not isinstance(data, dict):
+        raise DistributionError(
+            f"expected a point encoding object, got "
+            f"{type(data).__name__}{_where(row)}"
+        )
     kind = data.get("type")
     name = data.get("name")
-    if kind == "disk_uniform":
-        return UniformDiskPoint(data["center"], data["radius"], name=name)
-    if kind == "discrete":
-        return DiscreteUncertainPoint(
-            [tuple(l) for l in data["locations"]], data["weights"], name=name
-        )
-    if kind == "truncated_gaussian":
-        return TruncatedGaussianPoint(
-            data["center"], data["sigma"], cutoff=data.get("cutoff"), name=name
-        )
-    if kind == "histogram":
-        return HistogramPoint(
-            data["origin"], data["cell"], data["weights"], name=name
-        )
-    if kind == "polygon_uniform":
-        return UniformPolygonPoint(
-            [tuple(v) for v in data["vertices"]], name=name
-        )
-    if kind == "rect_uniform":
-        return UniformRectPoint(tuple(data["rect"]), name=name)
-    raise DistributionError(f"unknown uncertain point type {kind!r}")
+    try:
+        if kind == "disk_uniform":
+            return UniformDiskPoint(
+                _field(data, "center", kind, row),
+                _field(data, "radius", kind, row),
+                name=name,
+            )
+        if kind == "discrete":
+            return DiscreteUncertainPoint(
+                [tuple(l) for l in _field(data, "locations", kind, row)],
+                _field(data, "weights", kind, row),
+                name=name,
+            )
+        if kind == "truncated_gaussian":
+            return TruncatedGaussianPoint(
+                _field(data, "center", kind, row),
+                _field(data, "sigma", kind, row),
+                cutoff=data.get("cutoff"),
+                name=name,
+            )
+        if kind == "histogram":
+            return HistogramPoint(
+                _field(data, "origin", kind, row),
+                _field(data, "cell", kind, row),
+                _field(data, "weights", kind, row),
+                name=name,
+            )
+        if kind == "polygon_uniform":
+            return UniformPolygonPoint(
+                [tuple(v) for v in _field(data, "vertices", kind, row)],
+                name=name,
+            )
+        if kind == "rect_uniform":
+            return UniformRectPoint(
+                tuple(_field(data, "rect", kind, row)), name=name
+            )
+    except DistributionError as exc:
+        if row is not None and "(row" not in str(exc):
+            raise DistributionError(f"{exc}{_where(row)}") from exc
+        raise
+    except (KeyError, ValueError, TypeError, IndexError) as exc:
+        raise DistributionError(
+            f"malformed {kind!r} encoding{_where(row)}: {exc}"
+        ) from exc
+    raise DistributionError(
+        f"unknown uncertain point type {kind!r}{_where(row)}"
+    )
 
 
 def dumps(points: Sequence[UncertainPoint], **json_kwargs) -> str:
@@ -99,7 +151,16 @@ def dumps(points: Sequence[UncertainPoint], **json_kwargs) -> str:
 
 def loads(text: str) -> List[UncertainPoint]:
     """Decode an uncertain relation from a JSON string."""
-    return [point_from_dict(d) for d in json.loads(text)]
+    try:
+        rows = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DistributionError(f"relation is not valid JSON: {exc}") from exc
+    if not isinstance(rows, list):
+        raise DistributionError(
+            f"relation encoding must be a JSON array of point objects, "
+            f"got {type(rows).__name__}"
+        )
+    return [point_from_dict(d, row=i) for i, d in enumerate(rows)]
 
 
 def save(points: Sequence[UncertainPoint], path: str) -> None:

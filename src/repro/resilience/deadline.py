@@ -1,0 +1,97 @@
+"""Cooperative deadlines for query execution.
+
+A deadline is a wall-clock budget attached to a scope.  Execution loops
+across the stack (tiled bound pass, dual-tree levels, evaluator chunks,
+Monte-Carlo rounds) call :func:`check_deadline` at natural unit
+boundaries; when the budget is exhausted the check raises
+:class:`repro.errors.QueryTimeoutError` carrying the site that noticed,
+the elapsed time, and a per-site progress map — the partial diagnostics
+of the aborted run.
+
+The active scope lives in a module-level stack rather than a
+thread-local so that thread-pool workers fanning out tiles on behalf of
+the scoped query observe the same deadline.  Process-pool workers do
+not share the stack; their tiles are bounded from the parent side at
+result-collection checkpoints.  Deadline scopes are not meant to be
+opened concurrently from independent user threads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import QueryError, QueryTimeoutError
+
+__all__ = ["Deadline", "deadline_scope", "active_deadline", "check_deadline"]
+
+
+class Deadline:
+    """A running wall-clock budget plus per-site progress counters."""
+
+    __slots__ = ("deadline_s", "started_at", "expires_at", "progress")
+
+    def __init__(self, deadline_s: float):
+        if not (float(deadline_s) > 0.0):
+            raise QueryError(f"deadline_s must be > 0, got {deadline_s!r}")
+        self.deadline_s = float(deadline_s)
+        self.started_at = time.monotonic()
+        self.expires_at = self.started_at + self.deadline_s
+        self.progress: Dict[str, int] = {}
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def tick(self, site: str) -> None:
+        """Record one completed unit at ``site`` and raise if expired."""
+        self.progress[site] = self.progress.get(site, 0) + 1
+        if self.expired():
+            elapsed = self.elapsed()
+            raise QueryTimeoutError(
+                f"deadline of {self.deadline_s:.6g}s expired after "
+                f"{elapsed:.6g}s at checkpoint {site!r}",
+                site=site,
+                deadline_s=self.deadline_s,
+                elapsed_s=elapsed,
+                progress=self.progress,
+            )
+
+
+_STACK: List[Deadline] = []
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The innermost active deadline, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline_s: Optional[float]) -> Iterator[Optional[Deadline]]:
+    """Run the enclosed block under a cooperative deadline.
+
+    ``None`` yields a no-op scope so callers can use one code path for
+    bounded and unbounded execution.
+    """
+    if deadline_s is None:
+        yield None
+        return
+    dl = Deadline(deadline_s)
+    _STACK.append(dl)
+    try:
+        yield dl
+    finally:
+        _STACK.remove(dl)
+
+
+def check_deadline(site: str) -> None:
+    """Checkpoint: count one unit of progress at ``site`` against the
+    active deadline (no-op when no deadline is active)."""
+    if _STACK:
+        _STACK[-1].tick(site)

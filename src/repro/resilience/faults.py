@@ -1,0 +1,229 @@
+"""Deterministic fault injection at named execution sites.
+
+Tests (and the CI fault-injection leg) wrap code in
+:func:`inject` with one or more :class:`FaultSpec`\\ s; every resilience
+checkpoint then calls :func:`fire` with its site name and, where
+meaningful, a unit index.  Matching specs trigger their fault:
+
+* ``"crash"`` — raise :class:`repro.errors.WorkerCrashError` (a
+  recoverable in-worker failure; ``map_tiles`` retries the tile).
+* ``"kill"``  — hard-exit the current process (``os._exit``), which in a
+  process-pool worker surfaces as ``BrokenProcessPool`` in the parent.
+* ``"slow"``  — sleep ``delay_s`` (used to trip deadlines on demand).
+* ``"alloc"`` — raise :class:`repro.errors.ResourceLimitError`,
+  simulating an allocation failure.
+
+Injection is deterministic: a spec fires at explicit unit ``indices``
+and/or for its first ``times`` matching calls — never randomly.  The
+plan is exported through the ``REPRO_FAULT_PLAN`` environment variable
+so process-pool workers see it under any start method (fork inherits
+the globals anyway; spawn re-reads the env).
+
+Recovery paths run under :func:`suppressed` so a retried tile does not
+re-fire its fault — the harness models transient faults, which is what
+the serial-retry recovery strategy is designed for.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError, ResourceLimitError, WorkerCrashError
+
+__all__ = ["FaultSpec", "inject", "fire", "suppressed", "fault_stats",
+           "reset_fault_stats", "KINDS", "SITES"]
+
+KINDS = ("crash", "kill", "slow", "alloc")
+
+#: Documented checkpoint sites.  ``fire``/``check_deadline`` accept any
+#: string; this tuple is the reference list used in docs and validation.
+SITES = (
+    "parallel.tile",      # one map_tiles / map_ordered work unit
+    "dual_tree.level",    # one dual-tree traversal level
+    "dual_tree.refine",   # one dual-tree refinement chunk
+    "evaluators.chunk",   # one grouped-evaluator pair chunk
+    "mc.round",           # one Monte-Carlo round (or round block)
+    "planner.tile",       # one planner bound-pass tile
+    "engine.chunk",       # one degrade-mode row chunk
+    "admission",          # one admission-control estimate
+    "snapshot.write",     # one snapshot payload write
+)
+
+_ENV_KEY = "REPRO_FAULT_PLAN"
+
+
+@dataclasses.dataclass
+class FaultSpec:
+    """One deterministic fault: *what* happens *where* and *when*.
+
+    Attributes
+    ----------
+    site:
+        Checkpoint site name (see :data:`SITES`).
+    kind:
+        One of :data:`KINDS`.
+    indices:
+        Fire only when the checkpoint reports one of these unit indices
+        (``None`` = any index, including checkpoints with no index).
+    times:
+        Maximum number of firings (``None`` = unlimited).  Counted per
+        process; with explicit ``indices`` the behaviour is fully
+        deterministic across process pools too.
+    delay_s:
+        Sleep duration for ``kind="slow"``.
+    """
+
+    site: str
+    kind: str
+    indices: Optional[Tuple[int, ...]] = None
+    times: Optional[int] = 1
+    delay_s: float = 0.0
+    fired: int = dataclasses.field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise QueryError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if not isinstance(self.site, str) or not self.site:
+            raise QueryError(f"fault site must be a non-empty string, "
+                             f"got {self.site!r}")
+        if self.indices is not None:
+            self.indices = tuple(int(i) for i in self.indices)
+        if self.times is not None and int(self.times) <= 0:
+            raise QueryError(f"times must be positive or None, got {self.times!r}")
+        if float(self.delay_s) < 0.0:
+            raise QueryError(f"delay_s must be >= 0, got {self.delay_s!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"site": self.site, "kind": self.kind,
+                "indices": list(self.indices) if self.indices is not None else None,
+                "times": self.times, "delay_s": self.delay_s}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        indices = data.get("indices")
+        return cls(site=str(data["site"]), kind=str(data["kind"]),
+                   indices=tuple(indices) if indices is not None else None,
+                   times=data.get("times"), delay_s=float(data.get("delay_s", 0.0)))
+
+
+_PLAN: List[FaultSpec] = []
+_SUPPRESS = 0
+
+#: Recovery / injection counters, surfaced via ``Engine.stats()["faults"]``.
+_STATS: Dict[str, int] = {
+    "injected": 0,          # faults actually fired in this process
+    "worker_crashes": 0,    # WorkerCrashError caught by map_tiles
+    "pools_broken": 0,      # BrokenProcessPool events recovered from
+    "tiles_retried": 0,     # tiles re-run serially after a failure
+}
+
+
+def fault_stats() -> Dict[str, int]:
+    """Snapshot of the fault/recovery counters (this process)."""
+    return dict(_STATS)
+
+
+def reset_fault_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def _record(key: str, count: int = 1) -> None:
+    _STATS[key] = _STATS.get(key, 0) + count
+
+
+def _active_plan() -> List[FaultSpec]:
+    if _PLAN:
+        return _PLAN
+    raw = os.environ.get(_ENV_KEY)
+    if not raw:
+        return _PLAN
+    # A process-pool child (spawn start method) inherits the plan via the
+    # environment; hydrate it once into the module global.
+    try:
+        specs = [FaultSpec.from_dict(d) for d in json.loads(raw)]
+    except (ValueError, KeyError, TypeError):
+        return _PLAN
+    _PLAN.extend(specs)
+    return _PLAN
+
+
+@contextlib.contextmanager
+def suppressed() -> Iterator[None]:
+    """Disable fault firing for the enclosed block (used by recovery)."""
+    global _SUPPRESS
+    _SUPPRESS += 1
+    try:
+        yield
+    finally:
+        _SUPPRESS -= 1
+
+
+def fire(site: str, index: Optional[int] = None) -> None:
+    """Fire any matching injected fault at ``site`` / ``index``.
+
+    No-op unless an :func:`inject` scope is active (checked first, so
+    production checkpoints cost one truthiness test).
+    """
+    if not _PLAN and _ENV_KEY not in os.environ:
+        return
+    if _SUPPRESS:
+        return
+    for spec in _active_plan():
+        if spec.site != site:
+            continue
+        if spec.indices is not None and (index is None or int(index) not in spec.indices):
+            continue
+        if spec.times is not None and spec.fired >= spec.times:
+            continue
+        spec.fired += 1
+        _record("injected")
+        if spec.kind == "slow":
+            time.sleep(spec.delay_s)
+        elif spec.kind == "crash":
+            raise WorkerCrashError(
+                f"injected worker crash at {site!r} (unit {index})",
+                site=site, index=index)
+        elif spec.kind == "alloc":
+            raise ResourceLimitError(
+                f"injected allocation failure at {site!r} (unit {index})",
+                what=f"injected fault at {site}")
+        elif spec.kind == "kill":
+            os._exit(17)
+
+
+@contextlib.contextmanager
+def inject(*specs: FaultSpec) -> Iterator[List[FaultSpec]]:
+    """Activate deterministic fault specs for the enclosed block.
+
+    Nestable; each scope removes exactly the specs it added.  The plan
+    is mirrored into ``REPRO_FAULT_PLAN`` so process-pool workers
+    observe it regardless of start method.
+    """
+    for spec in specs:
+        if not isinstance(spec, FaultSpec):
+            raise QueryError(f"inject() takes FaultSpec instances, got {spec!r}")
+    added = list(specs)
+    _PLAN.extend(added)
+    saved_env = os.environ.get(_ENV_KEY)
+    os.environ[_ENV_KEY] = json.dumps([s.to_dict() for s in _PLAN])
+    try:
+        yield added
+    finally:
+        for spec in added:
+            try:
+                _PLAN.remove(spec)
+            except ValueError:
+                pass
+        if _PLAN:
+            os.environ[_ENV_KEY] = json.dumps([s.to_dict() for s in _PLAN])
+        elif saved_env is not None:
+            os.environ[_ENV_KEY] = saved_env
+        else:
+            os.environ.pop(_ENV_KEY, None)

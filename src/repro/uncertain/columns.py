@@ -270,6 +270,58 @@ class ModelColumns:
     def from_points(cls, points: Sequence[UncertainPoint]) -> "ModelColumns":
         return cls(points)
 
+    # -- raw-array (snapshot) interface ---------------------------------------
+    #: Every array the store owns, in a fixed order (snapshot schema).
+    ARRAY_FIELDS = _ROW_COLUMNS + (
+        "loc_offsets",
+        "locations",
+        "location_weights",
+    )
+
+    def arrays(self) -> dict:
+        """The store's arrays keyed by field name (live views, not
+        copies) — the payload :mod:`repro.resilience.snapshot` writes."""
+        return {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "ModelColumns":
+        """Rebuild a store directly from its column arrays (the snapshot
+        restore path — no re-summarisation of points).
+
+        Validates cross-array consistency (matching row counts, a
+        monotone CSR offset vector that covers the location pool) and
+        raises ``ValueError`` on any mismatch.
+        """
+        missing = [f for f in cls.ARRAY_FIELDS if f not in arrays]
+        if missing:
+            raise ValueError(f"missing column arrays: {missing}")
+        rows = {int(np.asarray(arrays[f]).shape[0]) for f in _ROW_COLUMNS}
+        if len(rows) != 1:
+            raise ValueError(f"inconsistent column row counts: {sorted(rows)}")
+        n = rows.pop()
+        if n < 1:
+            raise ValueError("ModelColumns requires at least one point")
+        offsets = np.asarray(arrays["loc_offsets"])
+        locations = np.asarray(arrays["locations"])
+        weights = np.asarray(arrays["location_weights"])
+        if offsets.ndim != 1 or offsets.shape[0] != n + 1:
+            raise ValueError(
+                f"loc_offsets must have shape ({n + 1},), got {offsets.shape}"
+            )
+        if offsets[0] != 0 or np.any(np.diff(offsets) < 0):
+            raise ValueError("loc_offsets must be monotone and start at 0")
+        if int(offsets[-1]) != locations.shape[0] or (
+            locations.shape[0] != weights.shape[0]
+        ):
+            raise ValueError(
+                "location pool size disagrees with loc_offsets/weights"
+            )
+        self = cls.__new__(cls)
+        self.n = n
+        for name in cls.ARRAY_FIELDS:
+            setattr(self, name, np.asarray(arrays[name]))
+        return self
+
     def __len__(self) -> int:
         return self.n
 

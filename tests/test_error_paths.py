@@ -138,3 +138,65 @@ class TestNumericalEdgeCases:
         p = DiscreteUncertainPoint([(1, 1), (1, 1), (1, 1)], [0.3, 0.3, 0.4])
         assert p.dmin((0, 0)) == p.dmax((0, 0))
         assert p.distance_cdf((0, 0), math.sqrt(2)) == 1.0
+
+
+class TestQueryArrayValidation:
+    """Every public batched entry point rejects non-finite coordinates
+    and wrong-shaped query arrays with a :class:`ReproError` subclass
+    (PR 7) — numerical garbage never propagates into answers."""
+
+    ENTRY_POINTS = {
+        "dmin_matrix": lambda b, pts, Q: b.dmin_matrix(pts, Q),
+        "dmax_matrix": lambda b, pts, Q: b.dmax_matrix(pts, Q),
+        "envelope_many": lambda b, pts, Q: b.envelope_many(pts, Q),
+        "nonzero_nn_many": lambda b, pts, Q: b.nonzero_nn_many(pts, Q),
+        "expected_nn_many": lambda b, pts, Q: b.expected_nn_many(pts, Q),
+        "expected_distance_matrix": (
+            lambda b, pts, Q: b.expected_distance_matrix(pts, Q)
+        ),
+        "expected_knn_many": lambda b, pts, Q: b.expected_knn_many(pts, Q, 2),
+        "threshold_nn_exact_many": (
+            lambda b, pts, Q: b.threshold_nn_exact_many(pts, Q, 0.2)
+        ),
+        "monte_carlo_pnn_many": (
+            lambda b, pts, Q: b.monte_carlo_pnn_many(pts, Q, s=16)
+        ),
+        "engine_query": lambda b, pts, Q: __import__("repro").Engine(
+            pts
+        ).query(Q, method="expected_nn"),
+    }
+
+    BAD_QUERIES = {
+        "nan": [(0.0, float("nan"))],
+        "inf": [(float("inf"), 0.0)],
+        "neg_inf": [(1.0, float("-inf"))],
+        "1d": [1.0, 2.0, 3.0],
+        "3col": [(1.0, 2.0, 3.0)],
+        "scalar": 7.0,
+        "ragged_text": [("a", "b")],
+    }
+
+    @staticmethod
+    def _points():
+        return [
+            DiscreteUncertainPoint([(0, 0), (1, 1)], [0.5, 0.5]),
+            UniformDiskPoint((3.0, 4.0), 1.0),
+            UniformRectPoint((6.0, 6.0, 7.0, 8.0)),
+        ]
+
+    @pytest.mark.parametrize("entry", sorted(ENTRY_POINTS))
+    @pytest.mark.parametrize("bad", sorted(BAD_QUERIES))
+    def test_rejects_malformed_queries(self, entry, bad):
+        from repro import batch
+
+        call = self.ENTRY_POINTS[entry]
+        with pytest.raises(ReproError):
+            call(batch, self._points(), self.BAD_QUERIES[bad])
+
+    def test_valid_queries_still_accepted(self):
+        from repro import batch
+
+        winners, _ = batch.expected_nn_many(
+            self._points(), [(0.5, 0.5), (6.5, 7.0)]
+        )
+        assert len(winners) == 2

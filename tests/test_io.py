@@ -79,3 +79,70 @@ class TestRoundTrip:
             UncertainSet(points).nonzero_nn(q)
             == UncertainSet(restored).nonzero_nn(q)
         )
+
+
+class TestMalformedEncodings:
+    """Decoder hardening (PR 7): malformed JSON surfaces as
+    :class:`DistributionError` naming the offending field and row —
+    never as a bare ``KeyError`` / ``ValueError`` / ``TypeError``."""
+
+    def test_invalid_json_text(self):
+        with pytest.raises(DistributionError, match="not valid JSON"):
+            io.loads("{not json")
+
+    def test_top_level_not_a_list(self):
+        with pytest.raises(DistributionError, match="JSON array"):
+            io.loads('{"type": "disk_uniform"}')
+
+    def test_row_not_an_object(self):
+        with pytest.raises(DistributionError, match=r"row 1"):
+            io.loads('[{"type": "disk_uniform", "center": [0, 0], '
+                     '"radius": 1}, 42]')
+
+    def test_unknown_type_names_row(self):
+        with pytest.raises(DistributionError, match=r"'laplace'.*row 0"):
+            io.loads('[{"type": "laplace"}]')
+
+    @pytest.mark.parametrize(
+        "kind,payload,field",
+        [
+            ("disk_uniform", {"center": [0, 0]}, "radius"),
+            ("disk_uniform", {"radius": 1.0}, "center"),
+            ("discrete", {"locations": [[0, 0]]}, "weights"),
+            ("truncated_gaussian", {"center": [0, 0]}, "sigma"),
+            ("histogram", {"origin": [0, 0], "cell": 1.0}, "weights"),
+            ("polygon_uniform", {}, "vertices"),
+            ("rect_uniform", {}, "rect"),
+        ],
+    )
+    def test_missing_field_is_named(self, kind, payload, field):
+        data = {"type": kind, **payload}
+        with pytest.raises(DistributionError, match=field):
+            io.point_from_dict(data)
+
+    def test_missing_field_names_row_in_relation(self):
+        text = ('[{"type": "disk_uniform", "center": [0, 0], "radius": 1},'
+                ' {"type": "disk_uniform", "center": [5, 5]}]')
+        with pytest.raises(DistributionError, match=r"radius.*row 1"):
+            io.loads(text)
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {"type": "disk_uniform", "center": "origin", "radius": 1.0},
+            {"type": "disk_uniform", "center": [0], "radius": 1.0},
+            {"type": "discrete", "locations": 7, "weights": [1.0]},
+            {"type": "discrete", "locations": [[0, 0]], "weights": "x"},
+            {"type": "rect_uniform", "rect": [1, 2]},
+            {"type": "polygon_uniform", "vertices": [[0], [1], [2]]},
+            {"type": "histogram", "origin": [0, 0], "cell": "wide",
+             "weights": [[1.0]]},
+        ],
+    )
+    def test_bad_shapes_and_values_wrapped(self, data):
+        with pytest.raises(DistributionError):
+            io.point_from_dict(data)
+
+    def test_bad_shape_reports_row(self):
+        with pytest.raises(DistributionError, match=r"row 0"):
+            io.loads('[{"type": "rect_uniform", "rect": [1, 2]}]')

@@ -1,0 +1,270 @@
+"""Engine snapshot/restore (PR 7).
+
+* **Bit-identity** — a restored engine answers every query method
+  exactly as the saved one, across all six uncertain-point models
+  (the relation round-trips through JSON, which is exact for IEEE
+  doubles, and the column store is installed verbatim).
+* **Validation** — corrupted, truncated, wrong-magic, wrong-version,
+  and checksum-violating snapshots all raise
+  :class:`repro.errors.SnapshotError` with a diagnostic ``reason``;
+  garbage never loads.
+* **Atomicity** — a failed save leaves the previous snapshot at the
+  target path intact.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    Engine,
+    HistogramPoint,
+    SnapshotError,
+    TruncatedGaussianPoint,
+    UniformDiskPoint,
+    UniformPolygonPoint,
+    UniformRectPoint,
+    resilience,
+)
+from repro.constructions import (
+    random_discrete_points,
+    random_disk_points,
+    random_queries,
+)
+from repro.resilience import FaultSpec, faults, snapshot
+
+MODEL_KINDS = ("disk", "discrete", "rect", "gaussian", "polygon", "histogram")
+
+
+def model_points(kind, seed=11, n=8, box=50.0):
+    rng = random.Random(seed)
+    if kind == "discrete":
+        return random_discrete_points(n, k=4, seed=seed, box=box)
+    if kind == "disk":
+        return random_disk_points(n, seed=seed, box=box)
+    pts = []
+    for _ in range(n):
+        x, y = rng.uniform(0, box), rng.uniform(0, box)
+        if kind == "rect":
+            pts.append(
+                UniformRectPoint((x, y, x + rng.uniform(1, 4), y + rng.uniform(1, 4)))
+            )
+        elif kind == "gaussian":
+            pts.append(TruncatedGaussianPoint((x, y), sigma=rng.uniform(0.5, 2)))
+        elif kind == "polygon":
+            pts.append(
+                UniformPolygonPoint(
+                    [(x, y), (x + 3, y), (x + 2.5, y + 2.5), (x + 0.5, y + 3)]
+                )
+            )
+        else:
+            pts.append(HistogramPoint((x, y), 1.0, [[0.3, 0.2], [0.1, 0.4]]))
+    return pts
+
+
+def _queries(m=10, seed=5, box=50.0):
+    return np.asarray(random_queries(m, seed, (0.0, 0.0, box, box)), dtype=float)
+
+
+QUERY_SPECS = (
+    {"method": "expected_nn"},
+    {"method": "nonzero"},
+    {"method": "mc_pnn", "s": 64, "seed": 9},
+    {"method": "expected_knn", "k": 3},
+)
+
+
+def _assert_same_result(a, b):
+    if isinstance(a.answers, np.ndarray):
+        np.testing.assert_array_equal(a.answers, b.answers)
+    else:
+        assert a.answers == b.answers
+    if a.values is not None:
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", MODEL_KINDS)
+    @pytest.mark.parametrize(
+        "spec", QUERY_SPECS, ids=[s["method"] for s in QUERY_SPECS]
+    )
+    def test_bit_identical_answers(self, tmp_path, kind, spec):
+        eng = Engine(model_points(kind))
+        Q = _queries()
+        base = eng.query(Q, **spec)
+        path = str(tmp_path / "snap.npz")
+        eng.save(path)
+        restored = Engine.load(path)
+        _assert_same_result(base, restored.query(Q, **spec))
+
+    def test_mixed_relation_round_trip(self, tmp_path):
+        pts = [p for kind in MODEL_KINDS for p in model_points(kind, n=3)]
+        eng = Engine(pts)
+        Q = _queries(8)
+        base = eng.query(Q, method="expected_nn")
+        path = str(tmp_path / "snap.npz")
+        assert eng.save(path) == path
+        restored = Engine.load(path)
+        assert len(restored) == len(eng)
+        _assert_same_result(base, restored.query(Q, method="expected_nn"))
+
+    def test_threshold_round_trip_discrete(self, tmp_path):
+        eng = Engine(model_points("discrete"))
+        Q = _queries()
+        base = eng.query(Q, method="threshold", tau=0.2)
+        path = str(tmp_path / "snap.npz")
+        eng.save(path)
+        restored = Engine.load(path)
+        _assert_same_result(base, restored.query(Q, method="threshold", tau=0.2))
+
+    def test_empty_engine_round_trip(self, tmp_path):
+        eng = Engine([])
+        path = str(tmp_path / "empty.npz")
+        eng.save(path)
+        restored = Engine.load(path)
+        assert len(restored) == 0
+        res = restored.query(_queries(3), method="expected_nn")
+        assert res.plan["route"] == "empty"
+        assert (np.asarray(res.answers) == -1).all()
+
+    def test_generation_survives_restore(self, tmp_path):
+        eng = Engine(model_points("disk"))
+        eng.insert([UniformDiskPoint((1.0, 2.0), 0.5)])
+        eng.remove(0)
+        path = str(tmp_path / "snap.npz")
+        eng.save(path)
+        restored = Engine.load(path)
+        assert restored.generation == eng.generation
+        Q = _queries(6)
+        _assert_same_result(
+            eng.query(Q, method="expected_nn"),
+            restored.query(Q, method="expected_nn"),
+        )
+
+    def test_manifest_contents(self, tmp_path):
+        eng = Engine(model_points("disk"))
+        eng.query(_queries(4), method="expected_nn")  # build some indexes
+        path = str(tmp_path / "snap.npz")
+        eng.save(path)
+        manifest = snapshot.read_manifest(path)
+        assert manifest["magic"] == snapshot.MAGIC
+        assert manifest["version"] == snapshot.VERSION
+        assert manifest["n"] == len(eng)
+        assert manifest["built_indexes"]  # rebuild-on-miss manifest
+        assert manifest["checksum"]
+
+    def test_restore_skips_resummarisation(self, tmp_path):
+        eng = Engine(model_points("disk"))
+        cols = eng.columns()
+        path = str(tmp_path / "snap.npz")
+        eng.save(path)
+        restored = Engine.load(path)
+        np.testing.assert_array_equal(restored.columns().bboxes, cols.bboxes)
+        # The column store came from the snapshot payload, not a rebuild.
+        assert restored.stats()["registry_builds"] == 0
+
+
+class TestValidation:
+    def _snap(self, tmp_path):
+        path = str(tmp_path / "snap.npz")
+        Engine(model_points("disk")).save(path)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(str(tmp_path / "nope.npz"))
+        assert err.value.reason == "io"
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(str(path))
+        assert err.value.reason == "truncated"
+
+    def test_npz_without_manifest(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason == "magic"
+
+    def test_wrong_magic(self, tmp_path):
+        path = str(tmp_path / "magic.npz")
+        manifest = json.dumps({"magic": "other-format", "version": 1})
+        np.savez(
+            path,
+            manifest=np.frombuffer(manifest.encode(), dtype=np.uint8),
+        )
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason == "magic"
+
+    def test_future_version(self, tmp_path):
+        path = str(tmp_path / "future.npz")
+        manifest = json.dumps({"magic": snapshot.MAGIC, "version": 99})
+        np.savez(
+            path,
+            manifest=np.frombuffer(manifest.encode(), dtype=np.uint8),
+        )
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason == "version"
+
+    def test_truncated_file(self, tmp_path):
+        path = self._snap(tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason in ("truncated", "magic", "io")
+
+    def test_corrupted_payload(self, tmp_path):
+        path = self._snap(tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        # Flip bytes in the middle of the archive (past the first local
+        # header, so the zip still opens but a member is damaged).
+        mid = len(blob) // 2
+        for i in range(mid, mid + 16):
+            blob[i] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason in ("truncated", "checksum", "schema", "magic")
+
+    def test_checksum_violation(self, tmp_path):
+        path = self._snap(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: np.array(data[name]) for name in data.files}
+        # Tamper with one column value but keep the stored manifest (and
+        # its checksum) untouched: the zip is fully valid, only the
+        # payload digest disagrees.
+        payload["col_centers"] = payload["col_centers"].copy()
+        payload["col_centers"][0, 0] += 1.0
+        np.savez(path, **payload)
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason == "checksum"
+
+    def test_missing_column_array(self, tmp_path):
+        path = self._snap(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: np.array(data[name]) for name in data.files}
+        del payload["col_radii"]
+        np.savez(path, **payload)
+        with pytest.raises(SnapshotError) as err:
+            Engine.load(path)
+        assert err.value.reason == "schema"
+
+    def test_failed_save_preserves_existing_snapshot(self, tmp_path):
+        path = self._snap(tmp_path)
+        before = open(path, "rb").read()
+        other = Engine(model_points("discrete"))
+        with faults.inject(FaultSpec("snapshot.write", "crash")):
+            with pytest.raises(Exception):
+                other.save(path)
+        assert open(path, "rb").read() == before
+        Engine.load(path)  # still a valid snapshot
+        faults.reset_fault_stats()
