@@ -1177,6 +1177,161 @@ def bench_resilience(cfg, report):
     )
 
 
+def bench_cluster(cfg, report):
+    """PR 8 supervised sharded engine cluster.
+
+    * **Scaling curve** — one expected-NN exact batch over shared-memory
+      shard workers at increasing shard counts vs the single-process
+      engine; every sharded answer is bit-identical (hard assertion).
+    * **Failover identity** — a worker killed mid-query (injected at
+      ``cluster.shard_query``) is respawned and the resent shard request
+      merges into the exact serial answer (hard assertion).
+    * **Degradation latency** — with one shard drained past recovery the
+      batch still completes promptly, every row honestly flagged in the
+      ``degraded`` mask and the answers exact over the surviving shards
+      (hard assertion).
+    """
+    from repro import ShardedEngine
+    from repro.cluster import SHARD_QUERY_SITE
+    from repro.constructions import random_disk_points, random_queries
+    from repro.resilience import FaultSpec, faults
+    from repro.resilience.retry import RetryPolicy
+
+    n, m = cfg["n_cluster"], cfg["m_cluster"]
+    points = random_disk_points(n, seed=801, box=1000.0)
+    Q = np.asarray(random_queries(m, 802, (0.0, 0.0, 1000.0, 1000.0)))
+
+    engine = Engine(points)
+    engine.query(Q[:2], method="expected_nn", tier="exact")  # warm builds
+    t_serial, base = _timeit(
+        lambda: engine.query(Q, method="expected_nn", tier="exact")
+    )
+
+    # The per-attempt shard timeout is an operator knob sized to the
+    # workload: on a host where every worker shares the same cores one
+    # shard's wall time can approach the full serial time, so a fixed
+    # small default would misread healthy-but-busy workers as dead.
+    shard_timeout = max(60.0, 4.0 * t_serial)
+
+    curve = []
+    all_identical = True
+    for shards in cfg["cluster_shards"]:
+        with ShardedEngine(
+            points, shards=shards, shard_timeout_s=shard_timeout
+        ) as ce:
+            ce.query(Q[:2], method="expected_nn", tier="exact")  # warm workers
+            t, res = _timeit(
+                lambda: ce.query(Q, method="expected_nn", tier="exact")
+            )
+            identical = bool(
+                np.array_equal(res.answers, base.answers)
+                and np.array_equal(res.values, base.values)
+            )
+        all_identical &= identical
+        curve.append({
+            "shards": shards,
+            "seconds": t,
+            "speedup_vs_serial": t_serial / t if t else float("inf"),
+            "identical": identical,
+        })
+
+    faults.reset_fault_stats()
+    retry = RetryPolicy(attempts=3, base_delay_s=0.05)
+    with faults.inject(
+        FaultSpec(SHARD_QUERY_SITE, "kill", indices=(1,), times=1)
+    ):
+        with ShardedEngine(
+            points, shards=4, retry=retry, shard_timeout_s=shard_timeout
+        ) as ce:
+            t_failover, res_kill = _timeit(
+                lambda: ce.query(Q, method="expected_nn", tier="exact")
+            )
+            failover_stats = ce.stats()["cluster"]
+            failover_identical = bool(
+                np.array_equal(res_kill.answers, base.answers)
+                and np.array_equal(res_kill.values, base.values)
+                and res_kill.degraded is None
+            )
+
+            # Degradation latency: one shard drained for good; the batch
+            # must complete promptly with the loss flagged per row.
+            ce.drain_shard(2)
+            t_degraded, res_deg = _timeit(
+                lambda: ce.query(Q, method="expected_nn", tier="exact")
+            )
+            lo, hi = ce.shard_map()[2]["rows"]
+    answers = np.asarray(res_deg.answers)
+    degradation_honest = bool(
+        res_deg.degraded is not None
+        and res_deg.degraded.all()
+        and res_deg.plan["dead_shards"] == [2]
+        and len(answers) == m
+        and not np.any((answers >= lo) & (answers < hi))
+    )
+    faults.reset_fault_stats()
+
+    report["results"]["cluster"] = {
+        "model": "uniform disks, expected-NN exact batch",
+        "n": n,
+        "m": m,
+        # Shard work overlaps across worker processes, so the speedup
+        # ceiling is the host's core count — on a 1-CPU host the curve
+        # is flat and only the robustness guarantees are exercised.
+        "cpus": os.cpu_count(),
+        "shard_timeout_s": shard_timeout,
+        "seconds_serial": t_serial,
+        "scaling": curve,
+        "failover_seconds": t_failover,
+        "failover_identical": failover_identical,
+        "failover_respawns": failover_stats["respawns"],
+        "failover_retries": failover_stats["retries"],
+        "degraded_seconds": t_degraded,
+        "degraded_route": res_deg.plan["route"],
+        "degradation_honest": degradation_honest,
+    }
+    print_table(
+        f"sharded engine cluster, n={n}, m={m}",
+        ["metric", "value"],
+        [("serial", f"{t_serial:.3f}s")]
+        + [
+            (
+                f"{c['shards']} shard(s)",
+                f"{c['seconds']:.3f}s ({c['speedup_vs_serial']:.2f}x, "
+                f"identical={c['identical']})",
+            )
+            for c in curve
+        ]
+        + [
+            ("kill-mid-query failover",
+             f"{t_failover:.3f}s, respawns={failover_stats['respawns']}, "
+             f"identical={failover_identical}"),
+            ("one shard dead", f"{t_degraded:.3f}s, all rows flagged"),
+        ],
+    )
+    _soft(
+        report, "sharded answers identical at every shard count",
+        all_identical, f"scaling curve={curve}", hard=True,
+    )
+    _soft(
+        report, "kill-during-query failover reproduces the serial answer",
+        failover_identical and failover_stats["respawns"] >= 1,
+        f"identical={failover_identical}, stats={failover_stats}",
+        hard=True,
+    )
+    _soft(
+        report, "dead shard degrades honestly and completely",
+        degradation_honest,
+        f"route={res_deg.plan.get('route')}, "
+        f"degraded={None if res_deg.degraded is None else int(res_deg.degraded.sum())}",
+        hard=True,
+    )
+    _soft(
+        report, "degraded query latency within 5x of healthy sharded run",
+        t_degraded <= 5.0 * max(t_failover, 1e-9) + 1.0,
+        f"degraded={t_degraded:.3f}s vs failover={t_failover:.3f}s",
+    )
+
+
 def _tile_checksum(lo, hi):
     """Module-level (hence picklable) benchmark tile payload."""
     return (lo + hi) * (hi - lo)
@@ -1246,14 +1401,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the PR 7 resilience benchmark",
     )
+    ap.add_argument(
+        "--out-cluster",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr8.json"),
+        help="sharded-cluster report path (default: repo-root BENCH_pr8.json)",
+    )
+    ap.add_argument(
+        "--cluster-only",
+        action="store_true",
+        help="run only the PR 8 sharded-cluster benchmark",
+    )
     args = ap.parse_args(argv)
     only_flags = (
-        args.engine_only, args.dual_only, args.eval_only, args.resilience_only
+        args.engine_only, args.dual_only, args.eval_only,
+        args.resilience_only, args.cluster_only,
     )
     if sum(only_flags) > 1:
         ap.error(
-            "--engine-only, --dual-only, --eval-only and --resilience-only "
-            "are mutually exclusive"
+            "--engine-only, --dual-only, --eval-only, --resilience-only and "
+            "--cluster-only are mutually exclusive"
         )
 
     if args.quick:
@@ -1274,6 +1440,9 @@ def main(argv=None) -> int:
             "s_adaptive": 256,
             "batches": 20,
             "distinct_batches": 3,
+            "n_cluster": 5000,
+            "m_cluster": 48,
+            "cluster_shards": [1, 2, 4],
         }
     else:
         cfg = {
@@ -1293,6 +1462,9 @@ def main(argv=None) -> int:
             "s_adaptive": 512,
             "batches": 20,
             "distinct_batches": 3,
+            "n_cluster": 100000,
+            "m_cluster": 64,
+            "cluster_shards": [1, 2, 4, 8],
         }
 
     failed = []
@@ -1300,7 +1472,7 @@ def main(argv=None) -> int:
 
     skip_core = (
         args.engine_only or args.dual_only or args.eval_only
-        or args.resilience_only
+        or args.resilience_only or args.cluster_only
     )
     if not skip_core:
         report = {
@@ -1333,7 +1505,10 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"\nwrote {out}")
 
-    if not (args.dual_only or args.eval_only or args.resilience_only):
+    if not (
+        args.dual_only or args.eval_only or args.resilience_only
+        or args.cluster_only
+    ):
         report4 = {
             "pr": 4,
             "benchmark": (
@@ -1361,7 +1536,10 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {out4}")
 
-    if not (args.engine_only or args.eval_only or args.resilience_only):
+    if not (
+        args.engine_only or args.eval_only or args.resilience_only
+        or args.cluster_only
+    ):
         report5 = {
             "pr": 5,
             "benchmark": (
@@ -1386,7 +1564,10 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {out5}")
 
-    if not (args.engine_only or args.dual_only or args.resilience_only):
+    if not (
+        args.engine_only or args.dual_only or args.resilience_only
+        or args.cluster_only
+    ):
         report6 = {
             "pr": 6,
             "benchmark": (
@@ -1411,7 +1592,10 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"wrote {out6}")
 
-    if not (args.engine_only or args.dual_only or args.eval_only):
+    if not (
+        args.engine_only or args.dual_only or args.eval_only
+        or args.cluster_only
+    ):
         report7 = {
             "pr": 7,
             "benchmark": (
@@ -1435,6 +1619,34 @@ def main(argv=None) -> int:
             json.dump(report7, fh, indent=2)
             fh.write("\n")
         print(f"wrote {out7}")
+
+    if not (
+        args.engine_only or args.dual_only or args.eval_only
+        or args.resilience_only
+    ):
+        report8 = {
+            "pr": 8,
+            "benchmark": (
+                "supervised sharded engine cluster: shared-memory shards, "
+                "heartbeats, failover, honest partial results"
+            ),
+            "quick": bool(args.quick),
+            "config": {
+                k: cfg[k] for k in ("n_cluster", "m_cluster", "cluster_shards")
+            },
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_cluster(cfg, report8)
+        failed8 = [a["name"] for a in report8["soft_assertions"] if not a["ok"]]
+        report8["all_assertions_passed"] = not failed8
+        failed += failed8
+        hard_failure |= bool(report8.get("hard_failure"))
+        out8 = os.path.abspath(args.out_cluster)
+        with open(out8, "w") as fh:
+            json.dump(report8, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out8}")
 
     if failed:
         print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)

@@ -188,6 +188,76 @@ def execution(**overrides: Union[int, str, None]) -> Iterator[Execution]:
             setattr(EXECUTION, name, value)
 
 
+# -- cluster (sharded multi-process engine) ----------------------------------
+
+
+@dataclasses.dataclass
+class Cluster:
+    """Knobs for the supervised sharded engine (:mod:`repro.cluster`).
+
+    Attributes
+    ----------
+    shards:
+        Default shard count for :class:`repro.ShardedEngine` when the
+        constructor does not name one.
+    heartbeat_interval_s:
+        How often an idle shard worker stamps its heartbeat slot (and
+        fires the ``cluster.heartbeat`` checkpoint).
+    liveness_timeout_s:
+        A worker whose heartbeat is staler than this (while idle) is
+        declared dead and respawned by the supervisor.
+    shard_timeout_s:
+        Per-attempt budget for one shard's answer to one query request;
+        expiry counts as a failure against the retry budget.
+    retry_attempts / retry_base_delay_s / retry_backoff / retry_jitter /
+    retry_seed:
+        The :class:`repro.resilience.retry.RetryPolicy` the supervisor
+        applies to failed shard requests.  Jitter is *seeded* — delays
+        are a deterministic function of (seed, site, attempt) — so
+        failover runs reproduce exactly.
+    snapshot_fallback:
+        When True the supervisor writes one PR 7 snapshot per shard at
+        construction; a respawn whose shared-memory segment has
+        vanished restores the shard from its snapshot instead of
+        re-summarising the model objects.
+    """
+
+    shards: int = 2
+    heartbeat_interval_s: float = 0.2
+    liveness_timeout_s: float = 5.0
+    shard_timeout_s: float = 30.0
+    retry_attempts: int = 3
+    retry_base_delay_s: float = 0.05
+    retry_backoff: float = 2.0
+    retry_jitter: float = 0.25
+    retry_seed: int = 0
+    snapshot_fallback: bool = True
+
+
+#: Module-level default cluster settings; mutate via :func:`cluster`.
+CLUSTER = Cluster()
+
+
+@contextlib.contextmanager
+def cluster(**overrides: Union[int, float, bool, None]) -> Iterator[Cluster]:
+    """Temporarily override fields of the global :data:`CLUSTER`.
+
+    Mirrors :func:`execution`: in-place mutation, restored on exit.
+    """
+    valid = {f.name for f in dataclasses.fields(Cluster)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown cluster fields: {sorted(unknown)}")
+    saved = {name: getattr(CLUSTER, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(CLUSTER, name, value)
+        yield CLUSTER
+    finally:
+        for name, value in saved.items():
+            setattr(CLUSTER, name, value)
+
+
 # -- random sources ----------------------------------------------------------
 
 SeedLike = Union[None, int, np.random.Generator, random.Random]

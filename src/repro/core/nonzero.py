@@ -196,6 +196,53 @@ def nonzero_from_matrices(
     return [frozenset(np.nonzero(row)[0].tolist()) for row in mask]
 
 
+def support_report(dmins: np.ndarray, dmaxs: np.ndarray) -> dict:
+    """The shard-mergeable form of :func:`nonzero_from_matrices`.
+
+    Returns per-row ``best`` / ``best_idx`` / ``second`` (the two
+    smallest ``dmax`` entries, stable tie-break) plus the local
+    membership CSR (``indptr`` / ``members`` / ``member_dmins``) under
+    the *local* thresholds.  A supervisor holding one report per
+    contiguous shard reconstructs the global Lemma 2.1 sets exactly:
+
+    * the global two smallest ``dmax`` values are among the union of
+      the shards' ``(best, second)`` pairs, and the stable argmin is
+      the lowest global index attaining the global minimum — shard
+      bests carry their indices and within a shard any ``second`` tied
+      with ``best`` is attained at a *later* index, so shard bests
+      alone decide the argmin;
+    * each shard's local threshold is at least the global one, so local
+      member sets are supersets of the shard's global contribution —
+      filtering members by their ``dmin`` against the merged global
+      threshold drops exactly the extras.
+    """
+    m, n = dmaxs.shape
+    order = np.argsort(dmaxs, axis=1, kind="stable")
+    best_idx = order[:, 0] if n else np.zeros(m, dtype=np.intp)
+    best = dmaxs[np.arange(m), best_idx]
+    if n > 1:
+        second = dmaxs[np.arange(m), order[:, 1]]
+    else:
+        second = np.full(m, np.inf)
+    threshold = np.where(
+        np.arange(n)[None, :] == best_idx[:, None],
+        second[:, None],
+        best[:, None],
+    )
+    mask = dmins < threshold
+    indptr = np.zeros(m + 1, dtype=np.intp)
+    np.cumsum(mask.sum(axis=1), out=indptr[1:])
+    rows, cols = np.nonzero(mask)
+    return {
+        "best": best,
+        "best_idx": best_idx.astype(np.intp),
+        "second": second,
+        "indptr": indptr,
+        "members": cols.astype(np.intp),
+        "member_dmins": dmins[rows, cols],
+    }
+
+
 def brute_force_nonzero(points: Sequence[UncertainPoint], q) -> FrozenSet[int]:
     """Standalone O(n) oracle for ``NN!=0(q)`` (Lemma 2.1)."""
     return UncertainSet(points).nonzero_nn(q)

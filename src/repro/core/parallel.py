@@ -27,7 +27,7 @@ import os
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..config import EXECUTION
-from ..errors import QueryError, WorkerCrashError
+from ..errors import QueryError, ResourceLimitError, WorkerCrashError
 from ..resilience import checkpoint
 from ..resilience import faults as _faults
 
@@ -40,7 +40,12 @@ _BACKENDS = ("serial", "thread", "process")
 TILE_SITE = "parallel.tile"
 
 
-def resolve_workers(workers: Optional[int] = None) -> int:
+def resolve_workers(
+    workers: Optional[int] = None,
+    *,
+    strict: bool = False,
+    what: str = "worker pool",
+) -> int:
     """Worker count: the explicit value, else config, else CPU count —
     clamped to ``EXECUTION.max_workers`` when that cap is set.
 
@@ -48,6 +53,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     ``EXECUTION.parallel_workers``) are configuration errors and raise
     :class:`repro.errors.QueryError` instead of being silently maxed up
     to one worker.
+
+    ``strict=True`` turns the cap from a clamp into an admission check:
+    an explicit request above ``EXECUTION.max_workers`` raises
+    :class:`repro.errors.ResourceLimitError` instead of being quietly
+    reduced.  The cluster layer resolves its shard count this way — a
+    topology the operator capped out must be rejected at construction,
+    not silently reshaped.
     """
     explicit = workers if workers is not None else EXECUTION.parallel_workers
     if explicit is None:
@@ -65,6 +77,12 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             raise QueryError(
                 f"EXECUTION.max_workers must be a positive integer or None, "
                 f"got {EXECUTION.max_workers!r}"
+            )
+        if strict and explicit is not None and count > cap:
+            raise ResourceLimitError(
+                f"{what} requests {count} workers but EXECUTION.max_workers "
+                f"caps fan-out at {cap}",
+                what=what,
             )
         count = min(count, cap)
     return max(1, count)
@@ -90,6 +108,16 @@ def _checked_call(fn: Callable[..., T], index: int, args: Tuple) -> T:
     """
     checkpoint(TILE_SITE, index)
     return fn(*args)
+
+
+def _collected_call(
+    collectors: Tuple, fn: Callable[..., T], index: int, args: Tuple
+) -> T:
+    """:func:`_checked_call` under the submitting thread's fault-stats
+    collectors, so events fired inside pool worker threads are still
+    attributed to the engine that issued the query."""
+    with _faults.adopting(collectors):
+        return _checked_call(fn, index, args)
 
 
 def _map_argtuples(
@@ -121,10 +149,16 @@ def _map_argtuples(
     done = [False] * len(argtuples)
     crashes = 0
     pool_broke = False
+    # Thread-pool workers adopt this thread's per-engine fault-stats
+    # collectors; process children keep their own (their counters are
+    # process-local and unreachable from the parent either way).
+    collectors = (
+        _faults.current_collectors() if backend == "thread" else ()
+    )
     try:
         with pool_cls(max_workers=min(n_workers, len(argtuples))) as pool:
             futures = {
-                pool.submit(_checked_call, fn, i, args): i
+                pool.submit(_collected_call, collectors, fn, i, args): i
                 for i, args in enumerate(argtuples)
             }
             for fut in concurrent.futures.as_completed(futures):

@@ -80,7 +80,7 @@ from ..uncertain.columns import TAG_DISCRETE, ModelColumns
 from . import evaluators as _evaluators
 from . import parallel as _parallel
 from .dual_tree import DualTreeCandidates, EnvelopeObjectTree, dual_tree_candidates
-from .nonzero import nonzero_from_matrices
+from .nonzero import nonzero_from_matrices, support_report
 from .quantification import quantification_probabilities, sweep_quantification
 
 __all__ = ["QueryPlanner"]
@@ -621,9 +621,11 @@ class QueryPlanner:
             E[rows, i] = self.points[i].expected_distance_many(Q[rows])
         return E
 
-    def _nonzero_block(
+    def _support_matrices(
         self, Q: np.ndarray, tier: str, mask: Optional[np.ndarray] = None
-    ) -> List[FrozenSet[int]]:
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The tile's ``(rows, n)`` dmin/dmax matrices: survivors only
+        for the pruned tier (``+inf`` elsewhere), everyone for exact."""
         n = len(self.points)
         mt = Q.shape[0]
         dmins = np.full((mt, n), np.inf)
@@ -649,6 +651,12 @@ class QueryPlanner:
                     rows = np.flatnonzero(mask[:, i])
                     dmins[rows, i] = self.points[i].dmin_many(Q[rows])
                     dmaxs[rows, i] = self.points[i].dmax_many(Q[rows])
+        return dmins, dmaxs
+
+    def _nonzero_block(
+        self, Q: np.ndarray, tier: str, mask: Optional[np.ndarray] = None
+    ) -> List[FrozenSet[int]]:
+        dmins, dmaxs = self._support_matrices(Q, tier, mask)
         return nonzero_from_matrices(dmins, dmaxs)
 
     # -- dispatch ------------------------------------------------------------
@@ -701,6 +709,48 @@ class QueryPlanner:
             tier=tier,
         )
         return [s for block in blocks for s in block]
+
+    def nonzero_report_many(self, qs, tier: str = "pruned") -> dict:
+        """The shard-mergeable ``NN!=0`` report (see
+        :func:`repro.core.nonzero.support_report`): per-row two smallest
+        ``dmax`` values (with the argmin's local index) plus the local
+        membership CSR with each member's ``dmin``.
+
+        Runs the same tiled support-matrix pass as
+        :meth:`nonzero_nn_many`, so the floats in the report are the
+        exact values the local sets were decided by — the cluster
+        supervisor merges reports from contiguous shards into the
+        global sets bit-identically.
+        """
+        if tier not in ("exact", "pruned"):
+            raise QueryError(
+                f"nonzero_report_many supports exact/pruned, got {tier!r}")
+        self._check_tier(tier, None)
+        Q = kernels.as_query_array(qs)
+        masks = self._pruned_masks(Q, 1, "support", tier)
+
+        def run(lo: int, hi: int) -> dict:
+            dmins, dmaxs = self._support_matrices(
+                Q[lo:hi], tier, None if masks is None else masks(lo, hi)
+            )
+            return support_report(dmins, dmaxs)
+
+        blocks = self._run_tiles(Q.shape[0], run, tier=tier)
+        if len(blocks) == 1:
+            return blocks[0]
+        indptr = blocks[0]["indptr"]
+        for b in blocks[1:]:
+            indptr = np.concatenate([indptr, indptr[-1] + b["indptr"][1:]])
+        return {
+            "best": np.concatenate([b["best"] for b in blocks]),
+            "best_idx": np.concatenate([b["best_idx"] for b in blocks]),
+            "second": np.concatenate([b["second"] for b in blocks]),
+            "indptr": indptr,
+            "members": np.concatenate([b["members"] for b in blocks]),
+            "member_dmins": np.concatenate(
+                [b["member_dmins"] for b in blocks]
+            ),
+        }
 
     def expected_nn_many(
         self,
@@ -922,6 +972,44 @@ class QueryPlanner:
 
         blocks = self._run_tiles(Q.shape[0], run, tier=tier)
         return blocks[0] if len(blocks) == 1 else np.vstack(blocks)
+
+    def expected_knn_report_many(
+        self, qs, k: int, tier: str = "pruned"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`expected_knn_many` plus the ranked expectations:
+        ``(indices, values)``, each ``(m, k)``.
+
+        The values are gathered from the very expectation matrix the
+        ranking was argsorted from, so a cross-shard merge can re-sort
+        candidates by ``(value, global index)`` and reproduce the
+        single-process stable ranking exactly.
+        """
+        n = len(self.points)
+        if not 1 <= k <= n:
+            raise QueryError(f"k must lie in [1, {n}]")
+        if tier not in ("exact", "pruned"):
+            raise QueryError(
+                f"expected_knn_report_many supports exact/pruned, "
+                f"got {tier!r}")
+        self._check_tier(tier, None)
+        Q = kernels.as_query_array(qs)
+
+        masks = self._pruned_masks(Q, k, "expected", tier)
+
+        def run(lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+            E = self._expected_block(
+                Q[lo:hi], tier, k, None if masks is None else masks(lo, hi)
+            )
+            idx = np.argsort(E, axis=1, kind="stable")[:, :k]
+            return idx, np.take_along_axis(E, idx, axis=1)
+
+        blocks = self._run_tiles(Q.shape[0], run, tier=tier)
+        if len(blocks) == 1:
+            return blocks[0]
+        return (
+            np.vstack([b[0] for b in blocks]),
+            np.vstack([b[1] for b in blocks]),
+        )
 
     def threshold_nn_exact_many(
         self,

@@ -63,8 +63,10 @@ answers are deterministic and participate; unseeded ones
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import dataclasses
+import functools
 import hashlib
 import time
 from collections import Counter, OrderedDict
@@ -72,7 +74,13 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .config import SeedLike, default_rng, execution as _execution_ctx
+from . import io as _io
+from .config import (
+    EXECUTION as _EXECUTION,
+    SeedLike,
+    default_rng,
+    execution as _execution_ctx,
+)
 from .core.expected_nn import ExpectedNNIndex
 from .core.knn import (
     expected_knn_many as _expected_knn_many,
@@ -87,14 +95,34 @@ from .core.threshold import (
     ThresholdAnswer,
     threshold_nn_exact_many as _threshold_nn_exact_many,
 )
+from .core import parallel as _parallel
 from .errors import QueryError, QueryTimeoutError
 from .geometry.kernels import as_query_array
+from .resilience import admission as _admission
 from .resilience import deadline as _deadline
 from .resilience import faults as _faults
 from .resilience import snapshot as _snapshot
 from .uncertain.columns import ModelColumns, TAG_NAMES, model_tag
 
 __all__ = ["Engine", "IndexRegistry", "QueryResult", "QuerySpec", "tier_of"]
+
+
+def _exact_tile_worker(points_blob: str, method: str, Q, lo: int, hi: int):
+    """One exact-tier row tile, evaluated self-contained in a process-pool
+    worker.
+
+    Module-level and picklable: the relation travels as :mod:`repro.io`
+    JSON (IEEE doubles round-trip exactly), so the tile replays the very
+    float sequence of the in-process exact path — the exact tier is
+    row-independent, which makes this fan-out bit-identical by
+    construction.
+    """
+    points = _io.loads(points_blob)
+    sub = np.asarray(Q)[lo:hi]
+    if method == "expected_nn":
+        return ExpectedNNIndex(points).query_many(sub, exact=True)
+    # nonzero
+    return UncertainSet(points).nonzero_nn_many(sub)
 
 _METHODS = ("expected_nn", "nonzero", "threshold", "expected_knn", "mc_pnn")
 _TIERS = ("exact", "pruned", "approx")
@@ -526,6 +554,10 @@ class Engine:
         self._result_hits = 0
         self._result_misses = 0
         self._family_lru: Dict[str, "OrderedDict[tuple, None]"] = {}
+        # Per-engine fault/recovery counters: every query runs under a
+        # collecting scope, so two engines working concurrently never
+        # cross-contaminate each other's stats()["faults"].
+        self._fault_stats = _faults.FaultStats()
 
     # -- basic introspection -------------------------------------------------
     def __len__(self) -> int:
@@ -861,7 +893,8 @@ class Engine:
                 self._result_hits += 1
                 return hit._replica(elapsed=time.perf_counter() - t0)
             self._result_misses += 1
-        result = self._execute(spec, Q)
+        with _faults.collecting(self._fault_stats):
+            result = self._execute(spec, Q)
         result.elapsed = time.perf_counter() - t0
         if key is not None and self._result_cache_size > 0:
             self._result_cache[key] = result._replica(result.elapsed)
@@ -962,6 +995,12 @@ class Engine:
         chunk = self.planner()._tile_rows(
             "exact" if spec.tier == "exact" else "pruned"
         )
+        if _EXECUTION.parallel_backend == "process":
+            # A degrade chunk must span several process-pool tiles, or
+            # the exact tier's fan-out degenerates to one tile per
+            # chunk and the pool (with its crash recovery) never
+            # engages.
+            chunk *= 4
         parts: List[QueryResult] = []
         done = 0
         with _deadline.deadline_scope(spec.deadline_s):
@@ -985,9 +1024,18 @@ class Engine:
             aspec = QuerySpec(
                 spec.method, tier="approx", eps=eps, tau=spec.tau
             )
-            parts.append(
-                self._dispatch(aspec, Q[done:], dict(base, m=m - done))
+            # The approx tail runs on planner tiles, which are
+            # thread-only; a process-backend main tier must not make
+            # degradation itself fail.
+            tail_ctx = (
+                _execution_ctx(parallel_backend="thread")
+                if _EXECUTION.parallel_backend == "process"
+                else contextlib.nullcontext()
             )
+            with tail_ctx:
+                parts.append(
+                    self._dispatch(aspec, Q[done:], dict(base, m=m - done))
+                )
         result = self._merge_chunks(spec, parts, base)
         result.degraded = degraded
         if done < m:
@@ -1038,6 +1086,32 @@ class Engine:
             **base,
         )
 
+    def _exact_process_many(self, method: str, Q: np.ndarray):
+        """The exact tier fanned out over a process pool.
+
+        The planner's tile closures hold model objects and reject the
+        process backend outright; the exact tier's row tiles are
+        self-contained, so they ship to workers via
+        :func:`_exact_tile_worker` and reassemble in tile order —
+        answers are bit-identical to the in-process exact path, and
+        failed tiles recover through ``map_tiles``'s serial retry.
+        """
+        blob = _io.dumps(self._points)
+        n = len(self._points)
+        rows = max(1, int(_EXECUTION.tile_bytes) // max(1, 64 * n))
+        rows = _admission.clamp_tile_rows(
+            rows, n, 64, what=f"{method}/exact process tiles"
+        )
+        tiles = _parallel.tile_ranges(Q.shape[0], rows)
+        fn = functools.partial(_exact_tile_worker, blob, method, Q)
+        parts = _parallel.map_tiles(fn, tiles, backend="process")
+        if method == "expected_nn":
+            return (
+                np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+            )
+        return [row for p in parts for row in p]
+
     def _dispatch(
         self, spec: QuerySpec, Q: np.ndarray, base: Dict
     ) -> QueryResult:
@@ -1070,9 +1144,12 @@ class Engine:
                     **base,
                 )
             if tier == "exact":
-                winners, values = self.expected_index().query_many(
-                    Q, exact=True
-                )
+                if _EXECUTION.parallel_backend == "process":
+                    winners, values = self._exact_process_many(method, Q)
+                else:
+                    winners, values = self.expected_index().query_many(
+                        Q, exact=True
+                    )
             else:
                 winners, values = self.planner().expected_nn_many(Q)
             return QueryResult(
@@ -1100,7 +1177,10 @@ class Engine:
                     **base,
                 )
             if tier == "exact":
-                sets = self.uset().nonzero_nn_many(Q)
+                if _EXECUTION.parallel_backend == "process":
+                    sets = self._exact_process_many(method, Q)
+                else:
+                    sets = self.uset().nonzero_nn_many(Q)
             else:
                 sets = self.planner().nonzero_nn_many(Q)
             return QueryResult(
@@ -1485,9 +1565,11 @@ class Engine:
             "result_cache_entries": len(self._result_cache),
             "result_cache_hits": self._result_hits,
             "result_cache_misses": self._result_misses,
-            # Process-wide fault/recovery counters (injected faults,
-            # worker crashes recovered, tiles retried serially).
-            "faults": _faults.fault_stats(),
+            # This engine's fault/recovery counters (injected faults,
+            # worker crashes recovered, tiles retried serially) — scoped
+            # per engine; repro.resilience.faults.fault_stats() keeps
+            # the process-wide aggregate.
+            "faults": self._fault_stats.as_dict(),
         }
         planner = self._registry.peek(("planner",), self._generation)
         if planner is not None and planner.dual_totals["traversals"]:

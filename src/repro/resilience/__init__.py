@@ -22,16 +22,18 @@ from __future__ import annotations
 
 from typing import Optional
 
-from . import admission, deadline, faults, snapshot
+from . import admission, deadline, faults, retry, snapshot
 from .admission import clamp_tile_rows, require_bytes
 from .deadline import Deadline, active_deadline, check_deadline, deadline_scope
-from .faults import FaultSpec, fault_stats, inject, reset_fault_stats
+from .faults import FaultSpec, FaultStats, fault_stats, inject, reset_fault_stats
+from .retry import RetryCounters, RetryPolicy, run_with_retry
 from .snapshot import load_engine, read_manifest, save_engine
 
 __all__ = [
     "admission",
     "deadline",
     "faults",
+    "retry",
     "snapshot",
     "checkpoint",
     "clamp_tile_rows",
@@ -41,9 +43,13 @@ __all__ = [
     "check_deadline",
     "deadline_scope",
     "FaultSpec",
+    "FaultStats",
     "fault_stats",
     "inject",
     "reset_fault_stats",
+    "RetryCounters",
+    "RetryPolicy",
+    "run_with_retry",
     "load_engine",
     "read_manifest",
     "save_engine",

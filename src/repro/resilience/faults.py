@@ -30,13 +30,15 @@ import contextlib
 import dataclasses
 import json
 import os
+import threading
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError, ResourceLimitError, WorkerCrashError
 
-__all__ = ["FaultSpec", "inject", "fire", "suppressed", "fault_stats",
-           "reset_fault_stats", "KINDS", "SITES"]
+__all__ = ["FaultSpec", "FaultStats", "inject", "fire", "suppressed",
+           "fault_stats", "reset_fault_stats", "collecting", "adopting",
+           "current_collectors", "KINDS", "SITES"]
 
 KINDS = ("crash", "kill", "slow", "alloc")
 
@@ -52,6 +54,8 @@ SITES = (
     "engine.chunk",       # one degrade-mode row chunk
     "admission",          # one admission-control estimate
     "snapshot.write",     # one snapshot payload write
+    "cluster.heartbeat",  # one shard-worker idle heartbeat
+    "cluster.shard_query",  # one per-shard query request
 )
 
 _ENV_KEY = "REPRO_FAULT_PLAN"
@@ -115,27 +119,106 @@ class FaultSpec:
 _PLAN: List[FaultSpec] = []
 _SUPPRESS = 0
 
-#: Recovery / injection counters, surfaced via ``Engine.stats()["faults"]``.
-_STATS: Dict[str, int] = {
-    "injected": 0,          # faults actually fired in this process
-    "worker_crashes": 0,    # WorkerCrashError caught by map_tiles
-    "pools_broken": 0,      # BrokenProcessPool events recovered from
-    "tiles_retried": 0,     # tiles re-run serially after a failure
-}
+#: Counter keys tracked by every :class:`FaultStats` bundle.
+_STAT_KEYS = (
+    "injected",          # faults actually fired in this process
+    "worker_crashes",    # WorkerCrashError caught by map_tiles
+    "pools_broken",      # BrokenProcessPool events recovered from
+    "tiles_retried",     # tiles re-run serially after a failure
+)
+
+
+class FaultStats:
+    """A scoped bundle of fault/recovery counters.
+
+    Each :class:`repro.Engine` owns one (surfaced via
+    ``stats()["faults"]``) so two engines running concurrently never
+    cross-contaminate each other's recovery accounting.  The module
+    keeps one aggregate bundle — the process-wide view that
+    :func:`fault_stats` has always returned.
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {k: 0 for k in _STAT_KEYS}
+
+    def record(self, key: str, count: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + count
+
+    def reset(self) -> None:
+        for key in list(self.counters):
+            self.counters[key] = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+
+#: Process-wide aggregate (the historical module-level view).
+_AGGREGATE = FaultStats()
+
+# Per-thread stack of additional collectors; an Engine pushes its own
+# bundle around dispatch so recovery events are attributed to it.  Pool
+# worker threads adopt the submitting thread's collectors (see
+# ``current_collectors`` / ``adopting`` and repro.core.parallel).
+_TLS = threading.local()
+
+
+def _collector_stack() -> List[FaultStats]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+def current_collectors() -> Tuple[FaultStats, ...]:
+    """The live collector stack of this thread (picklable-free tuple,
+    passed by reference into worker threads)."""
+    return tuple(_collector_stack())
+
+
+@contextlib.contextmanager
+def collecting(stats: FaultStats) -> Iterator[FaultStats]:
+    """Attribute all fault/recovery events in this block to ``stats``
+    (in addition to the process aggregate and any enclosing scopes)."""
+    stack = _collector_stack()
+    stack.append(stats)
+    try:
+        yield stats
+    finally:
+        stack.remove(stats)
+
+
+@contextlib.contextmanager
+def adopting(collectors: Sequence[FaultStats]) -> Iterator[None]:
+    """Adopt another thread's collector stack (worker threads of a
+    thread pool run tiles on behalf of the submitting query)."""
+    stack = _collector_stack()
+    added = [c for c in collectors if c is not None]
+    stack.extend(added)
+    try:
+        yield
+    finally:
+        for c in added:
+            try:
+                stack.remove(c)
+            except ValueError:
+                pass
 
 
 def fault_stats() -> Dict[str, int]:
-    """Snapshot of the fault/recovery counters (this process)."""
-    return dict(_STATS)
+    """Snapshot of the process-wide aggregate fault/recovery counters."""
+    return _AGGREGATE.as_dict()
 
 
 def reset_fault_stats() -> None:
-    for key in _STATS:
-        _STATS[key] = 0
+    _AGGREGATE.reset()
 
 
 def _record(key: str, count: int = 1) -> None:
-    _STATS[key] = _STATS.get(key, 0) + count
+    _AGGREGATE.record(key, count)
+    for collector in _collector_stack():
+        collector.record(key, count)
 
 
 def _active_plan() -> List[FaultSpec]:

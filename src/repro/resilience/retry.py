@@ -1,0 +1,150 @@
+"""Deterministic retry/backoff policy for supervised components.
+
+The cluster supervisor (and anything else that re-issues failed work)
+needs retries that are *reproducible*: the same failure sequence must
+produce the same delays and the same give-up point on every run, or the
+failover-identity assertions in the test suite and benchmarks would be
+racing a random number generator.  :class:`RetryPolicy` therefore
+derives its jitter from a SHA-256 hash of ``(seed, site, attempt)`` —
+deterministic, but still decorrelated across sites and attempts so a
+thundering herd of shards does not retry in lockstep.
+
+:class:`RetryCounters` accumulates per-site attempt/exhaustion counts;
+the supervisor surfaces them through ``stats()["cluster"]["retries"]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import QueryError
+
+__all__ = ["RetryPolicy", "RetryCounters", "run_with_retry"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded (deterministic) jitter.
+
+    ``delay_s(site, attempt)`` is a pure function of the policy and its
+    arguments: ``base_delay_s * backoff**attempt``, scaled by a jitter
+    factor in ``[1 - jitter, 1 + jitter]`` drawn from a hash of
+    ``(seed, site, attempt)``.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    max_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if int(self.attempts) < 1:
+            raise QueryError(
+                f"retry attempts must be >= 1, got {self.attempts!r}")
+        if float(self.base_delay_s) < 0.0:
+            raise QueryError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s!r}")
+        if float(self.backoff) < 1.0:
+            raise QueryError(
+                f"backoff must be >= 1, got {self.backoff!r}")
+        if not 0.0 <= float(self.jitter) <= 1.0:
+            raise QueryError(
+                f"jitter must lie in [0, 1], got {self.jitter!r}")
+
+    @classmethod
+    def from_config(cls) -> "RetryPolicy":
+        """The policy described by :data:`repro.config.CLUSTER`."""
+        from ..config import CLUSTER
+
+        return cls(
+            attempts=CLUSTER.retry_attempts,
+            base_delay_s=CLUSTER.retry_base_delay_s,
+            backoff=CLUSTER.retry_backoff,
+            jitter=CLUSTER.retry_jitter,
+            seed=CLUSTER.retry_seed,
+        )
+
+    def jitter_factor(self, site: str, attempt: int) -> float:
+        """Deterministic factor in ``[1 - jitter, 1 + jitter]``."""
+        if self.jitter == 0.0:
+            return 1.0
+        digest = hashlib.sha256(
+            f"{self.seed}:{site}:{attempt}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return 1.0 + self.jitter * (2.0 * frac - 1.0)
+
+    def delay_s(self, site: str, attempt: int) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        raw = self.base_delay_s * (self.backoff ** attempt)
+        return min(self.max_delay_s, raw * self.jitter_factor(site, attempt))
+
+
+class RetryCounters:
+    """Per-site retry accounting: attempts made, retries issued, sites
+    that exhausted their budget."""
+
+    __slots__ = ("attempts", "retries", "exhausted")
+
+    def __init__(self) -> None:
+        self.attempts: Dict[str, int] = {}
+        self.retries: Dict[str, int] = {}
+        self.exhausted: Dict[str, int] = {}
+
+    def note_attempt(self, site: str) -> None:
+        self.attempts[site] = self.attempts.get(site, 0) + 1
+
+    def note_retry(self, site: str) -> None:
+        self.retries[site] = self.retries.get(site, 0) + 1
+
+    def note_exhausted(self, site: str) -> None:
+        self.exhausted[site] = self.exhausted.get(site, 0) + 1
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "attempts": dict(self.attempts),
+            "retries": dict(self.retries),
+            "exhausted": dict(self.exhausted),
+        }
+
+
+def run_with_retry(
+    fn: Callable[[int], object],
+    *,
+    policy: RetryPolicy,
+    site: str,
+    retry_on: Tuple[type, ...] = (Exception,),
+    counters: Optional[RetryCounters] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_failure: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Call ``fn(attempt)`` until it succeeds or the budget is spent.
+
+    Exceptions in ``retry_on`` trigger a backoff + retry (``on_failure``
+    runs between attempt and sleep — the supervisor uses it to respawn a
+    dead worker); the final failure re-raises after the counters record
+    the exhaustion.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(policy.attempts):
+        if counters is not None:
+            counters.note_attempt(site)
+        try:
+            return fn(attempt)
+        except retry_on as exc:  # noqa: PERF203 - retry loop by design
+            last = exc
+            if on_failure is not None:
+                on_failure(attempt, exc)
+            if attempt + 1 < policy.attempts:
+                if counters is not None:
+                    counters.note_retry(site)
+                sleep(policy.delay_s(site, attempt))
+    if counters is not None:
+        counters.note_exhausted(site)
+    assert last is not None
+    raise last

@@ -15,8 +15,10 @@ A snapshot is a single ``.npz`` holding
   arrays, written so a restore installs the summarised column store
   directly instead of re-summarising every point.
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-save
-never leaves a half-written snapshot at the target path.  Loads
+Writes are atomic and durable (temp file in the target directory,
+``fsync``, then ``os.replace``; the temp file is removed on any
+failure), so a crash mid-save never leaves a half-written snapshot —
+or a stray temp file — at the target path.  Loads
 validate magic, version, checksum, and cross-array consistency and
 raise :class:`repro.errors.SnapshotError` on any problem — a corrupted
 or truncated snapshot never loads garbage.
@@ -104,7 +106,14 @@ def save_engine(engine, path: str) -> str:
         try:
             with os.fdopen(fd, "wb") as f:
                 np.savez(f, **payload)
+                # Durability before visibility: the payload must be on
+                # stable storage before the rename can publish it, or a
+                # power loss could leave a complete-looking but empty
+                # snapshot at the target path.
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
+            _fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -116,6 +125,21 @@ def save_engine(engine, path: str) -> str:
             f"cannot write snapshot to {path!r}: {exc}", path=path, reason="io"
         ) from exc
     return path
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry of a just-renamed file (best effort:
+    not every platform/filesystem allows ``open(dir)`` + ``fsync``)."""
+    try:
+        dfd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
 
 
 def read_manifest(path: str) -> Dict[str, object]:

@@ -92,6 +92,25 @@ TAG_NAMES = {
 }
 
 
+def _attach_segment(name: str):
+    """Attach to an existing shared-memory segment without re-tracking it.
+
+    3.13+ exposes ``track=False`` for exactly this.  On older versions
+    attaching re-registers the segment, but multiprocessing children
+    share the *parent's* resource tracker (the tracker cache is a set,
+    so the duplicate register is a no-op) and the creator's ``unlink``
+    performs the single unregister — so the attach is simply left
+    tracked.  Explicitly unregistering here would strip the creator's
+    own registration out of the shared tracker.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
 def _polygon_centroid(vertices: np.ndarray) -> Tuple[float, float]:
     """Area centroid of a simple polygon given as an ``(k, 2)`` array."""
     x, y = vertices[:, 0], vertices[:, 1]
@@ -324,6 +343,86 @@ class ModelColumns:
 
     def __len__(self) -> int:
         return self.n
+
+    def row_slice(self, lo: int, hi: int) -> "ModelColumns":
+        """A new store over the contiguous row range ``[lo, hi)``.
+
+        Row columns are sliced views where possible; the CSR triple is
+        sliced and rebased so the slice's ``loc_offsets`` start at 0.
+        This is the shard-partitioning primitive of
+        :mod:`repro.cluster`: contiguous ascending ranges keep global
+        indices reconstructible as ``local + lo``.
+        """
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo < hi <= self.n:
+            raise ValueError(
+                f"row_slice range [{lo}, {hi}) invalid for n={self.n}")
+        start = int(self.loc_offsets[lo])
+        stop = int(self.loc_offsets[hi])
+        arrays = {name: getattr(self, name)[lo:hi] for name in _ROW_COLUMNS}
+        arrays["loc_offsets"] = (
+            self.loc_offsets[lo:hi + 1] - start
+        ).astype(np.intp)
+        arrays["locations"] = self.locations[start:stop]
+        arrays["location_weights"] = self.location_weights[start:stop]
+        return ModelColumns.from_arrays(arrays)
+
+    # -- shared-memory transport ----------------------------------------------
+    def to_shared_memory(self, name: str = None):
+        """Copy every column into one shared-memory segment.
+
+        Returns ``(shm, layout)``: the created
+        :class:`multiprocessing.shared_memory.SharedMemory` block and a
+        picklable layout — ``[(field, dtype_str, shape, offset), ...]``
+        in :data:`ARRAY_FIELDS` order, offsets 64-byte aligned — that
+        :meth:`from_shared_memory` uses to attach zero-copy views from
+        another process.  The caller owns the segment (close + unlink).
+        """
+        from multiprocessing import shared_memory
+
+        layout = []
+        offset = 0
+        sources = {}
+        for field in self.ARRAY_FIELDS:
+            arr = np.ascontiguousarray(getattr(self, field))
+            offset = (offset + 63) & ~63
+            layout.append((field, arr.dtype.str, arr.shape, offset))
+            sources[field] = arr
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=name
+        )
+        for field, dtype, shape, off in layout:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+            )
+            view[...] = sources[field]
+        return shm, layout
+
+    @classmethod
+    def from_shared_memory(cls, name: str, layout):
+        """Attach to a segment written by :meth:`to_shared_memory`.
+
+        Returns ``(columns, shm)`` where the columns are zero-copy views
+        into the segment; the caller must keep ``shm`` alive as long as
+        the columns are used, and ``close()`` it afterwards (never
+        ``unlink()`` — the creator owns the segment's lifetime).
+        Raises ``FileNotFoundError`` when the segment no longer exists
+        (the cluster supervisor's cue to fall back to snapshot restore).
+        """
+        shm = _attach_segment(name)
+        try:
+            arrays = {
+                field: np.ndarray(
+                    tuple(shape), dtype=np.dtype(dtype),
+                    buffer=shm.buf, offset=off,
+                )
+                for field, dtype, shape, off in layout
+            }
+            return cls.from_arrays(arrays), shm
+        except BaseException:
+            shm.close()
+            raise
 
     # -- dynamic updates ------------------------------------------------------
     def extend(self, points: Sequence[UncertainPoint]) -> "ModelColumns":

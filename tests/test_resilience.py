@@ -316,3 +316,107 @@ class TestFaultInjection:
         assert set(stats["faults"]) >= {
             "injected", "worker_crashes", "pools_broken", "tiles_retried",
         }
+
+
+class TestPerEngineFaultStats:
+    """Fault/recovery counters are scoped per engine (PR 8): concurrent
+    engines never cross-contaminate, while the module-level
+    ``fault_stats()`` keeps its historical aggregate semantics."""
+
+    def test_collecting_isolates_and_aggregates(self):
+        s1, s2 = faults.FaultStats(), faults.FaultStats()
+        with faults.collecting(s1):
+            faults._record("injected")
+        with faults.collecting(s2):
+            faults._record("injected", 2)
+        assert s1.as_dict()["injected"] == 1
+        assert s2.as_dict()["injected"] == 2
+        assert faults.fault_stats()["injected"] == 3
+
+    def test_engine_counters_do_not_cross_contaminate(self):
+        pts = random_disk_points(24, seed=3, box=40.0)
+        e1, e2 = Engine(pts), Engine(pts)
+        Q = _queries(12)
+        base = e2.query(Q, method="expected_nn", tier="exact")
+        with faults.inject(
+            FaultSpec("parallel.tile", "crash", indices=(1,), times=1)
+        ):
+            res = e1.query(
+                Q, method="expected_nn", tier="exact",
+                parallel_backend="process", parallel_workers=2,
+                tile_bytes=24 * 64 * 4,
+            )
+        np.testing.assert_array_equal(res.answers, base.answers)
+        np.testing.assert_array_equal(res.values, base.values)
+        s1 = e1.stats()["faults"]
+        s2 = e2.stats()["faults"]
+        assert s1["worker_crashes"] == 1
+        assert s1["tiles_retried"] == 1
+        assert all(v == 0 for v in s2.values())
+        # The module aggregate still sees everything (legacy surface).
+        assert faults.fault_stats()["worker_crashes"] == 1
+
+    def test_thread_pool_workers_attribute_to_issuing_engine(self):
+        # Events fired inside pool worker threads land in the engine
+        # collector that submitted the work.
+        stats = faults.FaultStats()
+        tiles = [(0, 5), (5, 10), (10, 15)]
+        with execution(parallel_backend="thread", parallel_workers=2):
+            with faults.inject(
+                FaultSpec("parallel.tile", "crash", indices=(1,))
+            ):
+                with faults.collecting(stats):
+                    got = parallel.map_tiles(_square, tiles)
+        assert got == [_square(lo, hi) for lo, hi in tiles]
+        counters = stats.as_dict()
+        assert counters["injected"] == 1
+        assert counters["worker_crashes"] == 1
+        assert counters["tiles_retried"] == 1
+
+
+class TestDegradeComposesWithProcessRecovery:
+    def test_degraded_mask_and_recovered_tiles_compose(self):
+        # Satellite of PR 8: one query combines ``on_deadline="degrade"``
+        # with the process backend and an injected ``parallel.tile``
+        # crash — the crash is recovered inside a finished chunk (those
+        # rows stay bit-identical) while the deadline degrades the tail.
+        eng = _engine(n=24)
+        Q = _queries(30)
+        base = eng.query(Q, method="expected_nn", tier="exact")
+        # The deadline is generous enough for chunk 0 (including the
+        # process-pool spawn and the serial crash recovery) and is then
+        # tripped deterministically by the slow fault at chunk 1.
+        with faults.inject(
+            FaultSpec("parallel.tile", "crash", times=1),
+            FaultSpec("engine.chunk", "slow", delay_s=3.5, indices=(1,)),
+        ):
+            res = eng.query(
+                Q, method="expected_nn", tier="exact",
+                parallel_backend="process", parallel_workers=2,
+                tile_bytes=24 * 64 * 5,
+                deadline_s=3.0, on_deadline="degrade",
+            )
+        assert res.degraded is not None
+        assert res.degraded.any() and not res.degraded.all()
+        assert "+degraded[" in res.plan["route"]
+        done = ~res.degraded
+        np.testing.assert_array_equal(
+            np.asarray(res.answers)[done], np.asarray(base.answers)[done]
+        )
+        np.testing.assert_array_equal(
+            np.asarray(res.values)[done], np.asarray(base.values)[done]
+        )
+        assert eng.stats()["faults"]["tiles_retried"] >= 1
+
+
+class TestStrictWorkerResolution:
+    def test_strict_rejects_above_cap(self):
+        with execution(max_workers=2):
+            with pytest.raises(ResourceLimitError, match="max_workers"):
+                parallel.resolve_workers(4, strict=True, what="test pool")
+
+    def test_strict_clamps_implicit_requests(self):
+        # Only *explicit* requests are admission-checked; the implicit
+        # CPU-count default still clamps quietly.
+        with execution(max_workers=1):
+            assert parallel.resolve_workers(strict=True) == 1

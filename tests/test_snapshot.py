@@ -13,6 +13,7 @@
 """
 
 import json
+import os
 import random
 
 import numpy as np
@@ -268,3 +269,55 @@ class TestValidation:
         assert open(path, "rb").read() == before
         Engine.load(path)  # still a valid snapshot
         faults.reset_fault_stats()
+
+
+class TestDurability:
+    """Satellite hardening of ``save_engine`` (PR 8): temp file in the
+    target directory, fsync before rename, and guaranteed temp cleanup
+    when the array encoder itself fails mid-write."""
+
+    def test_failing_encoder_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        eng = Engine(model_points("disk"))
+        path = str(tmp_path / "snap.npz")
+
+        def boom(f, **payload):
+            f.write(b"half a snapsho")  # bytes hit the temp file first
+            raise RuntimeError("encoder died mid-stream")
+
+        monkeypatch.setattr(snapshot.np, "savez", boom)
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            eng.save(path)
+        # Neither a torn target nor a stray temp file survives.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failing_encoder_keeps_previous_snapshot(self, tmp_path, monkeypatch):
+        eng = Engine(model_points("disk"))
+        path = str(tmp_path / "snap.npz")
+        eng.save(path)
+        before = open(path, "rb").read()
+
+        def boom(f, **payload):
+            raise RuntimeError("encoder died")
+
+        monkeypatch.setattr(snapshot.np, "savez", boom)
+        with pytest.raises(RuntimeError):
+            Engine(model_points("discrete")).save(path)
+        assert open(path, "rb").read() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.npz"]
+        Engine.load(path)
+
+    def test_save_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        eng = Engine(model_points("disk"))
+        path = str(tmp_path / "snap.npz")
+        order = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            snapshot.os, "fsync", lambda fd: (order.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            snapshot.os, "replace",
+            lambda a, b: (order.append("replace"), real_replace(a, b))[1],
+        )
+        eng.save(path)
+        assert "fsync" in order and "replace" in order
+        assert order.index("fsync") < order.index("replace")
