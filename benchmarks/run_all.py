@@ -64,6 +64,8 @@ from _util import print_table
 #: Acceptance bar for the headline scenarios (full config only).
 TARGET_SPEEDUP = 5.0
 TARGET_EVAL_SPEEDUP = 3.0
+#: Coalesced vs per-request service throughput bar (full config only).
+TARGET_SERVICE_SPEEDUP = 3.0
 
 
 def _timeit(fn, repeats: int = 1):
@@ -1332,6 +1334,155 @@ def bench_cluster(cfg, report):
     )
 
 
+def bench_service(cfg, report):
+    """PR 9 multi-tenant query service: batch coalescing throughput.
+
+    A storm of concurrent *small* queries (1-4 rows each) is pushed
+    through the coalescing request queue and through an identical queue
+    with coalescing disabled; same dataset, same warmed engine, same
+    thread count, distinct query matrices per request (so the result
+    cache never serves either side).  Reported: wall-clock throughput
+    of both modes, the realized batch-size distribution, and the
+    speedup.  Hard assertion: every coalesced answer is **bit-identical**
+    to a serial ``Engine.query`` of that request alone.  Acceptance bar
+    (full config): coalescing >= ``TARGET_SERVICE_SPEEDUP``x the
+    per-request baseline.
+    """
+    import threading
+
+    from repro import QuerySpec
+    from repro.constructions import random_discrete_points, random_queries
+    from repro.service import DatasetRegistry, RequestQueue
+
+    n, clients = cfg["n_service"], cfg["service_clients"]
+    points = random_discrete_points(n, 4, seed=901)
+    registry = DatasetRegistry()
+    registry.create("bench", points=points)
+    ds = registry.get("bench")
+    spec = QuerySpec(method="expected_nn")
+    rng = np.random.default_rng(902)
+
+    def jobs(tag):
+        out = []
+        for i in range(clients):
+            m = int(rng.integers(1, 5))
+            out.append(
+                np.asarray(
+                    random_queries(
+                        m, seed=hash((tag, i)) % (2**31), bbox=(0, 0, 100, 100)
+                    )
+                )
+            )
+        return out
+
+    ds.engine.query(jobs("warm")[0], spec)  # build indexes outside timing
+
+    def storm(queue, Qs):
+        results = [None] * len(Qs)
+        errors = []
+        barrier = threading.Barrier(len(Qs) + 1)
+
+        def client(i):
+            barrier.wait()
+            try:
+                results[i] = queue.query("bench", spec, Qs[i], timeout=600)
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(Qs))
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        return elapsed, results
+
+    solo_jobs, co_jobs = jobs("solo"), jobs("co")
+
+    queue_off = RequestQueue(registry, coalesce=False)
+    t_solo, solo_results = storm(queue_off, solo_jobs)
+    queue_off.close()
+
+    queue_on = RequestQueue(registry)
+    t_co, co_results = storm(queue_on, co_jobs)
+    stats = dict(queue_on.counters)
+    queue_on.close()
+
+    # Bit-identity of every coalesced answer against a fresh serial
+    # engine (fresh so no shared cache can mask a split bug).
+    serial = Engine(random_discrete_points(n, 4, seed=901))
+    identical = True
+    for Q, res in zip(co_jobs, co_results):
+        ref = serial.query(Q, spec)
+        if not (
+            np.array_equal(np.asarray(res.answers), np.asarray(ref.answers))
+            and np.array_equal(res.values, ref.values)
+            and res.m == len(Q)
+        ):
+            identical = False
+    registry.close_all()
+
+    thr_solo = clients / max(t_solo, 1e-9)
+    thr_co = clients / max(t_co, 1e-9)
+    speedup = t_solo / max(t_co, 1e-9)
+    batches = max(stats["batches"], 1)
+    report["results"]["service"] = {
+        "n": n,
+        "clients": clients,
+        "seconds_per_request_mode": t_solo,
+        "seconds_coalesced_mode": t_co,
+        "throughput_per_request_mode": thr_solo,
+        "throughput_coalesced_mode": thr_co,
+        "speedup": speedup,
+        "executed_batches": stats["batches"],
+        "coalesced_batches": stats["coalesced_batches"],
+        "coalesced_requests": stats["coalesced_requests"],
+        "mean_batch_size": stats["submitted"] / batches,
+        "coalesced_identical_to_serial": identical,
+    }
+    print_table(
+        f"service coalescing, n={n}, {clients} concurrent clients",
+        ["mode", "value"],
+        [
+            ("per-request", f"{t_solo:.3f}s ({thr_solo:.0f} req/s)"),
+            ("coalesced", f"{t_co:.3f}s ({thr_co:.0f} req/s)"),
+            ("speedup", f"{speedup:.2f}x"),
+            (
+                "batches",
+                f"{stats['batches']} for {clients} requests "
+                f"(mean {stats['submitted'] / batches:.1f} req/batch)",
+            ),
+            ("identical", str(identical)),
+        ],
+    )
+    _soft(
+        report, "coalesced answers bit-identical to serial execution",
+        identical, f"clients={clients}", hard=True,
+    )
+    _soft(
+        report, "coalescing actually grouped the storm",
+        stats["coalesced_batches"] >= 1
+        and stats["batches"] < clients,
+        f"batches={stats['batches']} for {clients} requests",
+        hard=True,
+    )
+    if not report["quick"]:
+        _soft(
+            report,
+            f"coalesced throughput >= {TARGET_SERVICE_SPEEDUP}x per-request",
+            speedup >= TARGET_SERVICE_SPEEDUP,
+            f"speedup={speedup:.2f}x "
+            f"({thr_co:.0f} vs {thr_solo:.0f} req/s)",
+        )
+
+
 def _tile_checksum(lo, hi):
     """Module-level (hence picklable) benchmark tile payload."""
     return (lo + hi) * (hi - lo)
@@ -1411,15 +1562,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the PR 8 sharded-cluster benchmark",
     )
+    ap.add_argument(
+        "--out-service",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr9.json"),
+        help="query-service report path (default: repo-root BENCH_pr9.json)",
+    )
+    ap.add_argument(
+        "--service-only",
+        action="store_true",
+        help="run only the PR 9 query-service benchmark",
+    )
     args = ap.parse_args(argv)
     only_flags = (
         args.engine_only, args.dual_only, args.eval_only,
-        args.resilience_only, args.cluster_only,
+        args.resilience_only, args.cluster_only, args.service_only,
     )
     if sum(only_flags) > 1:
         ap.error(
-            "--engine-only, --dual-only, --eval-only, --resilience-only and "
-            "--cluster-only are mutually exclusive"
+            "--engine-only, --dual-only, --eval-only, --resilience-only, "
+            "--cluster-only and --service-only are mutually exclusive"
         )
 
     if args.quick:
@@ -1443,6 +1604,8 @@ def main(argv=None) -> int:
             "n_cluster": 5000,
             "m_cluster": 48,
             "cluster_shards": [1, 2, 4],
+            "n_service": 800,
+            "service_clients": 16,
         }
     else:
         cfg = {
@@ -1465,6 +1628,8 @@ def main(argv=None) -> int:
             "n_cluster": 100000,
             "m_cluster": 64,
             "cluster_shards": [1, 2, 4, 8],
+            "n_service": 2500,
+            "service_clients": 64,
         }
 
     failed = []
@@ -1472,7 +1637,7 @@ def main(argv=None) -> int:
 
     skip_core = (
         args.engine_only or args.dual_only or args.eval_only
-        or args.resilience_only or args.cluster_only
+        or args.resilience_only or args.cluster_only or args.service_only
     )
     if not skip_core:
         report = {
@@ -1507,7 +1672,7 @@ def main(argv=None) -> int:
 
     if not (
         args.dual_only or args.eval_only or args.resilience_only
-        or args.cluster_only
+        or args.cluster_only or args.service_only
     ):
         report4 = {
             "pr": 4,
@@ -1538,7 +1703,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.eval_only or args.resilience_only
-        or args.cluster_only
+        or args.cluster_only or args.service_only
     ):
         report5 = {
             "pr": 5,
@@ -1566,7 +1731,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.resilience_only
-        or args.cluster_only
+        or args.cluster_only or args.service_only
     ):
         report6 = {
             "pr": 6,
@@ -1594,7 +1759,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.eval_only
-        or args.cluster_only
+        or args.cluster_only or args.service_only
     ):
         report7 = {
             "pr": 7,
@@ -1622,7 +1787,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.eval_only
-        or args.resilience_only
+        or args.resilience_only or args.service_only
     ):
         report8 = {
             "pr": 8,
@@ -1647,6 +1812,34 @@ def main(argv=None) -> int:
             json.dump(report8, fh, indent=2)
             fh.write("\n")
         print(f"wrote {out8}")
+
+    if not (
+        args.engine_only or args.dual_only or args.eval_only
+        or args.resilience_only or args.cluster_only
+    ):
+        report9 = {
+            "pr": 9,
+            "benchmark": (
+                "multi-tenant query service: coalescing request queue "
+                "merging concurrent small queries into planner batches"
+            ),
+            "quick": bool(args.quick),
+            "config": {
+                k: cfg[k] for k in ("n_service", "service_clients")
+            },
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_service(cfg, report9)
+        failed9 = [a["name"] for a in report9["soft_assertions"] if not a["ok"]]
+        report9["all_assertions_passed"] = not failed9
+        failed += failed9
+        hard_failure |= bool(report9.get("hard_failure"))
+        out9 = os.path.abspath(args.out_service)
+        with open(out9, "w") as fh:
+            json.dump(report9, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out9}")
 
     if failed:
         print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)

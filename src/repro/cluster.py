@@ -521,7 +521,10 @@ class ShardedEngine:
                 s.shm.size for s in self._shards if s.shm is not None
             ),
         }
-        return stats
+        # Same JSON-serializability contract as Engine.stats(): the
+        # cluster section adds topology rows whose counters may be
+        # NumPy scalars.
+        return _io.json_safe(stats)
 
     # -- supervision ----------------------------------------------------------
     def supervise(self) -> None:

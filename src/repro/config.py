@@ -258,6 +258,77 @@ def cluster(**overrides: Union[int, float, bool, None]) -> Iterator[Cluster]:
             setattr(CLUSTER, name, value)
 
 
+# -- service (multi-tenant query daemon) --------------------------------------
+
+
+@dataclasses.dataclass
+class Service:
+    """Knobs for the multi-tenant query daemon (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    queue_depth:
+        Maximum number of requests the coalescing queue may hold;
+        submission beyond it is rejected with
+        :class:`repro.errors.QueueFullError` (HTTP 429) instead of
+        growing an unbounded backlog.
+    coalesce:
+        Whether the queue merges compatible concurrent requests into
+        one planner batch (split back per request afterwards; answers
+        stay bit-identical to serial execution).
+    max_batch_requests / max_batch_rows:
+        Caps on one coalesced batch: how many requests may merge and
+        how many total query rows the merged matrix may hold.
+    queue_workers:
+        Dispatcher threads draining the queue.  The default (1) keeps
+        every engine strictly serial; raise it only for many-tenant
+        deployments where requests carry no per-spec execution
+        overrides (those mutate the process-wide ``EXECUTION`` knobs).
+    request_timeout_s:
+        Server-side cap on one request's total queue-wait + execution
+        time; expiry answers HTTP 504.
+    drain_timeout_s:
+        How long a shutting-down daemon waits for queued requests to
+        finish before stopping the workers anyway.
+    default_deadline_s:
+        Optional execution deadline applied to requests whose spec does
+        not set one (``None`` = no implicit deadline).
+    """
+
+    queue_depth: int = 256
+    coalesce: bool = True
+    max_batch_requests: int = 64
+    max_batch_rows: int = 4096
+    queue_workers: int = 1
+    request_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    default_deadline_s: Optional[float] = None
+
+
+#: Module-level default service settings; mutate via :func:`service`.
+SERVICE = Service()
+
+
+@contextlib.contextmanager
+def service(**overrides: Union[int, float, bool, None]) -> Iterator[Service]:
+    """Temporarily override fields of the global :data:`SERVICE`.
+
+    Mirrors :func:`execution`: in-place mutation, restored on exit.
+    """
+    valid = {f.name for f in dataclasses.fields(Service)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown service fields: {sorted(unknown)}")
+    saved = {name: getattr(SERVICE, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(SERVICE, name, value)
+        yield SERVICE
+    finally:
+        for name, value in saved.items():
+            setattr(SERVICE, name, value)
+
+
 # -- random sources ----------------------------------------------------------
 
 SeedLike = Union[None, int, np.random.Generator, random.Random]

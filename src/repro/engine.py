@@ -307,6 +307,58 @@ class QuerySpec:
             object.__setattr__(self, "subset", tuple(int(i) for i in sub))
             object.__setattr__(self, "_subset_mask_len", mask_len)
 
+    # -- wire codecs ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dict of every spec field.
+
+        The inverse of :meth:`from_dict`: ``QuerySpec.from_dict(spec.to_dict())
+        == spec`` for every serializable spec.  Tuple-valued fields
+        (``subset``) become lists; NumPy scalars become native numbers.
+        Raises :class:`repro.errors.QueryError` when the spec cannot be
+        represented on the wire (a live ``seed`` generator — its stream
+        state is not a value).
+        """
+        if self.seed is not None and _seed_key(self.seed) is None:
+            raise QueryError(
+                "QuerySpec.to_dict requires an int (or None) seed; live "
+                "generator state cannot be serialized"
+            )
+        out: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, np.integer):
+                value = int(value)
+            elif isinstance(value, np.floating):
+                value = float(value)
+            elif isinstance(value, np.bool_):
+                value = bool(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data) -> "QuerySpec":
+        """Build a :class:`QuerySpec` from :meth:`to_dict` output.
+
+        Unknown keys are rejected with :class:`repro.errors.QueryError`
+        (a wire payload naming fields this version does not know is a
+        schema mismatch, not something to silently drop), and every
+        known field goes through the constructor's full validation.
+        """
+        if not isinstance(data, dict):
+            raise QueryError(
+                f"QuerySpec encoding must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise QueryError(f"unknown QuerySpec fields: {unknown}")
+        if "method" not in data:
+            raise QueryError("QuerySpec encoding requires 'method'")
+        return cls(**data)
+
     # -- caching -------------------------------------------------------------
     def cache_key(self) -> Optional[tuple]:
         """Hashable identity of everything that can change the returned
@@ -1589,7 +1641,10 @@ class Engine:
                 ev["cache_builds"] = cache.builds
                 ev["pairs_by_tag"] = dict(cache.pair_counts)
             out["evaluators"] = ev
-        return out
+        # Telemetry is an operational surface (logged, scraped, shipped
+        # over HTTP by repro.service): normalise any NumPy scalars the
+        # counters picked up so json.dumps always succeeds on it.
+        return _io.json_safe(out)
 
     def __repr__(self) -> str:
         stats = self.stats()

@@ -100,6 +100,60 @@ class SnapshotError(ReproError):
         self.reason = reason
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` daemon
+    layer (registry, request queue, HTTP front end)."""
+
+
+class UnknownDatasetError(ServiceError, KeyError):
+    """Raised when a request names a dataset the registry does not hold
+    (HTTP 404).  Also a :class:`KeyError`, matching the mapping-style
+    registry surface.
+
+    Attributes
+    ----------
+    name:
+        The dataset name that missed.
+    """
+
+    def __init__(self, message, *, name=None):
+        super().__init__(message)
+        self.name = name
+
+    def __str__(self):  # KeyError would repr() the message
+        return self.args[0]
+
+
+class DatasetExistsError(ServiceError):
+    """Raised when creating a dataset under a name already registered
+    (HTTP 409); pass ``replace=True`` to overwrite deliberately."""
+
+    def __init__(self, message, *, name=None):
+        super().__init__(message)
+        self.name = name
+
+
+class QueueFullError(ServiceError):
+    """Raised by request-queue admission when the queue already holds
+    ``SERVICE.queue_depth`` pending requests (HTTP 429).
+
+    Attributes
+    ----------
+    depth / limit:
+        The depth observed at rejection and the configured bound.
+    """
+
+    def __init__(self, message, *, depth=None, limit=None):
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised when the service cannot accept work — draining for
+    shutdown, or the queue/worker layer already closed (HTTP 503)."""
+
+
 class WorkerCrashError(ReproError):
     """Raised inside a parallel worker when a tile dies (injected or
     real).  ``map_tiles`` catches it, retries the tile serially, and

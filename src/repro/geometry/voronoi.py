@@ -31,8 +31,22 @@ class VoronoiLocator:
         self.neighbors: List[Set[int]] = delaunay_neighbors(
             len(self.sites), self.triangles
         )
-        # Collinear/degenerate fallback: neighbour graph may be empty.
-        self._degenerate = not self.triangles
+        # Collinear/degenerate fallback: the walk is only correct when the
+        # Delaunay graph is connected and spans every site.  Near-degenerate
+        # inputs (e.g. collinear sites plus a subnormal perturbation that
+        # underflows the in-circle predicate) can drop sites from the
+        # triangulation, leaving them unreachable.
+        self._degenerate = not self.triangles or not self._graph_spans_all()
+
+    def _graph_spans_all(self) -> bool:
+        reached = {0}
+        stack = [0]
+        while stack:
+            for nb in self.neighbors[stack.pop()]:
+                if nb not in reached:
+                    reached.add(nb)
+                    stack.append(nb)
+        return len(reached) == len(self.sites)
 
     def nearest(self, q, hint: Optional[int] = None) -> int:
         """Index of the site nearest to ``q``.

@@ -10,6 +10,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from .errors import DistributionError
 from .uncertain.base import UncertainPoint
 from .uncertain.discrete import DiscreteUncertainPoint
@@ -173,3 +175,30 @@ def load(path: str) -> List[UncertainPoint]:
     """Read an uncertain relation from a JSON file."""
     with open(path, "r", encoding="utf-8") as f:
         return loads(f.read())
+
+
+def json_safe(value):
+    """Recursively convert ``value`` into plain JSON-serializable types.
+
+    NumPy scalars become native ``int`` / ``float`` / ``bool``, arrays
+    become (nested) lists, tuples/sets become lists, and mapping keys
+    that are NumPy integers become ``int``.  Telemetry surfaces
+    (``Engine.stats()``, ``ShardedEngine.stats()``, service ``/stats``)
+    run through this so ``json.dumps`` always succeeds on them.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, dict):
+        return {
+            int(k) if isinstance(k, np.integer) else k: json_safe(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    return value

@@ -1,0 +1,44 @@
+"""Multi-tenant query service over :class:`repro.Engine` /
+:class:`repro.ShardedEngine`.
+
+The daemon layer built in PR 9: a named-dataset registry
+(:mod:`~repro.service.registry`), an admission-controlled request queue
+that coalesces compatible concurrent queries into single planner
+batches (:mod:`~repro.service.queue`), versioned JSON wire codecs
+(:mod:`~repro.service.wire`), a stdlib-only threaded HTTP server
+(:mod:`~repro.service.server`), and Prometheus text-format metrics
+(:mod:`~repro.service.metrics`).  ``repro-serve`` /
+``python -m repro.service`` is the CLI entry point.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .queue import RequestQueue, coalescible
+from .registry import Dataset, DatasetRegistry
+from .server import ServiceServer, status_of
+from .wire import (
+    SCHEMA_VERSION,
+    decode_request,
+    decode_result,
+    decode_spec,
+    encode_result,
+    encode_spec,
+)
+
+__all__ = [
+    "Counter",
+    "Dataset",
+    "DatasetRegistry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestQueue",
+    "SCHEMA_VERSION",
+    "ServiceServer",
+    "coalescible",
+    "decode_request",
+    "decode_result",
+    "decode_spec",
+    "encode_result",
+    "encode_spec",
+    "status_of",
+]

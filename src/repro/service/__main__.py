@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — alias for the ``repro-serve`` CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

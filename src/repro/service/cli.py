@@ -1,0 +1,223 @@
+"""``repro-serve`` — the query daemon's command-line entry point.
+
+Starts a :class:`repro.service.ServiceServer`, preloads datasets from
+PR 7 snapshots (``--dataset name=path.npz``) or :mod:`repro.io` JSON
+relations (``--points name=path.json``), and serves until ``SIGTERM``
+or ``SIGINT``, at which point it drains gracefully: health flips to
+503, queued requests finish (bounded by ``--drain-timeout``), engines
+close, and the process exits 0.
+
+``--ready-file PATH`` writes ``{"host": ..., "port": ..., "pid": ...}``
+once the listener is bound — with ``--port 0`` this is how a harness
+(the CI service leg, the daemon tests) discovers the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+from typing import List, Optional, Tuple
+
+from .._version import __version__
+from ..config import SERVICE, service as service_config
+from .queue import RequestQueue
+from .registry import DatasetRegistry
+from .server import ServiceServer
+
+__all__ = ["main", "build_parser"]
+
+
+def _name_eq_path(value: str) -> Tuple[str, str]:
+    if "=" not in value:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=PATH, got {value!r}"
+        )
+    name, path = value.split("=", 1)
+    if not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=PATH, got {value!r}"
+        )
+    return name, path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve uncertain nearest-neighbor queries over HTTP "
+            "(multi-tenant datasets, coalescing request queue, "
+            "Prometheus /metrics)."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="listen port (0 binds an ephemeral port; see --ready-file)",
+    )
+    p.add_argument(
+        "--dataset",
+        action="append",
+        type=_name_eq_path,
+        default=[],
+        metavar="NAME=SNAPSHOT.npz",
+        help="preload a dataset from an Engine.save snapshot "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--points",
+        action="append",
+        type=_name_eq_path,
+        default=[],
+        metavar="NAME=POINTS.json",
+        help="preload a dataset from a repro.io JSON relation "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve preloaded datasets through a ShardedEngine with "
+        "this many shards (default: in-process Engine)",
+    )
+    p.add_argument(
+        "--max-datasets",
+        type=int,
+        default=None,
+        help="LRU-evict beyond this many registered datasets",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help=f"admission-control bound (default {SERVICE.queue_depth})",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"queue dispatcher threads (default {SERVICE.queue_workers})",
+    )
+    p.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable batch coalescing (every request executes solo)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help=f"seconds to finish queued work on shutdown "
+        f"(default {SERVICE.drain_timeout_s})",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline_s applied to requests that set none "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--ready-file",
+        default=None,
+        help="write {host, port, pid} JSON here once listening",
+    )
+    p.add_argument(
+        "--version", action="version", version=f"repro-serve {__version__}"
+    )
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    overrides = {}
+    if args.queue_depth is not None:
+        overrides["queue_depth"] = args.queue_depth
+    if args.workers is not None:
+        overrides["queue_workers"] = args.workers
+    if args.no_coalesce:
+        overrides["coalesce"] = False
+    if args.drain_timeout is not None:
+        overrides["drain_timeout_s"] = args.drain_timeout
+    if args.default_deadline is not None:
+        overrides["default_deadline_s"] = args.default_deadline
+
+    with service_config(**overrides):
+        registry = DatasetRegistry(max_datasets=args.max_datasets)
+        try:
+            for name, path in args.dataset:
+                registry.create(name, snapshot=path, shards=args.shards)
+                print(
+                    f"loaded dataset {name!r} from {path}", file=sys.stderr
+                )
+            for name, path in args.points:
+                with open(path, "r", encoding="utf-8") as fh:
+                    registry.create(
+                        name, points_json=fh.read(), shards=args.shards
+                    )
+                print(
+                    f"loaded dataset {name!r} from {path}", file=sys.stderr
+                )
+        except Exception as exc:  # noqa: BLE001 - startup failure is fatal
+            registry.close_all()
+            print(f"repro-serve: startup failed: {exc}", file=sys.stderr)
+            return 2
+
+        queue = RequestQueue(registry)
+        server = ServiceServer(
+            registry, host=args.host, port=args.port, queue=queue
+        )
+
+        stop = threading.Event()
+
+        def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+            stop.set()
+            # serve_forever runs on the main thread; shutdown() must be
+            # issued from another one.
+            threading.Thread(
+                target=server._httpd.shutdown, daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+        print(
+            f"repro-serve {__version__} listening on {server.url} "
+            f"({len(registry)} dataset(s), "
+            f"coalesce={'off' if args.no_coalesce else 'on'})",
+            file=sys.stderr,
+        )
+        if args.ready_file:
+            tmp = f"{args.ready_file}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "host": server.host,
+                        "port": server.port,
+                        "pid": os.getpid(),
+                    },
+                    fh,
+                )
+            os.replace(tmp, args.ready_file)
+
+        try:
+            server.serve_forever()
+        finally:
+            drained = server.drain(SERVICE.drain_timeout_s)
+            print(
+                "repro-serve: drained cleanly"
+                if drained
+                else "repro-serve: drain timed out with work queued",
+                file=sys.stderr,
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

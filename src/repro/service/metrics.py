@@ -1,0 +1,285 @@
+"""Prometheus text-format metrics for the query service.
+
+A deliberately small, stdlib-only subset of the Prometheus client
+model: :class:`Counter`, :class:`Gauge`, and :class:`Histogram`
+registered in a :class:`MetricsRegistry` whose :meth:`~MetricsRegistry.render`
+emits the text exposition format (version 0.0.4) that ``GET /metrics``
+serves::
+
+    # HELP repro_requests_total Requests handled by the query service.
+    # TYPE repro_requests_total counter
+    repro_requests_total{code="200",dataset="demo",method="expected_nn"} 42
+
+Gauges whose truth lives elsewhere (queue depth, per-dataset engine
+counters) are refreshed at scrape time via registered updater
+callbacks, so a scrape always reflects the live
+``Engine.stats()`` / queue state instead of a stale copy.
+
+All mutating operations are lock-protected; the handler threads of the
+HTTP server and the queue dispatcher update metrics concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default latency buckets (seconds) — sub-millisecond to 10 s, the
+#: range a coalesced planner batch actually spans.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames: Tuple[str, ...], labels: Tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(labelnames, labels)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, sorted label series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, labelnames=()):
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            series = sorted(self._values.items())
+        lines = self._header()
+        if not series and not self.labelnames:
+            series = [((), 0.0)]
+        for key, value in series:
+            lines.append(
+                f"{self.name}{_labels_text(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, dataset sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, labelnames=()):
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def remove(self, **labels) -> None:
+        """Drop one label series (a deleted dataset stops being
+        exported instead of freezing at its last value)."""
+        with self._lock:
+            self._values.pop(self._key(labels), None)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            series = sorted(self._values.items())
+        lines = self._header()
+        if not series and not self.labelnames:
+            series = [((), 0.0)]
+        for key, value in series:
+            lines.append(
+                f"{self.name}{_labels_text(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (request latencies, batch sizes)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram requires at least one bucket")
+        self.buckets = tuple(bounds)
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        self._totals: Dict[Tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            return self._totals.get(self._key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        with self._lock:
+            return self._sums.get(self._key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            keys = sorted(self._totals)
+            counts = {k: list(self._counts[k]) for k in keys}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
+        lines = self._header()
+        if not keys and not self.labelnames:
+            keys = [()]
+            counts = {(): [0] * len(self.buckets)}
+            sums = {(): 0.0}
+            totals = {(): 0}
+        for key in keys:
+            for bound, cum in zip(self.buckets, counts[key]):
+                series = _labels_text(
+                    self.labelnames + ("le",),
+                    key + (_format_value(bound),),
+                )
+                lines.append(f"{self.name}_bucket{series} {cum}")
+            inf_series = _labels_text(
+                self.labelnames + ("le",), key + ("+Inf",)
+            )
+            lines.append(f"{self.name}_bucket{inf_series} {totals[key]}")
+            plain = _labels_text(self.labelnames, key)
+            lines.append(
+                f"{self.name}_sum{plain} {_format_value(sums[key])}"
+            )
+            lines.append(f"{self.name}_count{plain} {totals[key]}")
+        return lines
+
+
+class MetricsRegistry:
+    """Holds the service's metrics and renders the scrape payload."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+        self._updaters: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    def register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(f"duplicate metric {metric.name!r}")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name, help_text, labelnames=()) -> Counter:
+        return self.register(Counter(name, help_text, labelnames))
+
+    def gauge(self, name, help_text, labelnames=()) -> Gauge:
+        return self.register(Gauge(name, help_text, labelnames))
+
+    def histogram(
+        self, name, help_text, labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self.register(Histogram(name, help_text, labelnames, buckets))
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def add_updater(self, fn: Callable[[], None]) -> None:
+        """Register a callback run at the start of every render — the
+        hook scrape-time gauges (queue depth, engine stats) hang off."""
+        with self._lock:
+            self._updaters.append(fn)
+
+    def render(self) -> str:
+        with self._lock:
+            updaters = list(self._updaters)
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+        for fn in updaters:
+            fn()
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

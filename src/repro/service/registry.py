@@ -1,0 +1,321 @@
+"""Named-dataset registry: the multi-tenant state of the query daemon.
+
+Each tenant dataset is a :class:`Dataset` handle owning a
+:class:`repro.Engine` (or, for ``shards >= 1``, a
+:class:`repro.ShardedEngine`) plus the per-dataset lock the request
+queue serializes execution under — engines are not thread-safe, and
+per-dataset locking is what lets two tenants' queries run concurrently
+without sharing any engine state.
+
+Datasets load from three sources:
+
+* **inline points** — a list of already-built uncertain points;
+* **inline JSON** — a :mod:`repro.io` relation encoding (what the HTTP
+  ``PUT /v1/datasets/{name}`` body carries);
+* **snapshots** — PR 7 ``Engine.save`` files, restored bit-identically
+  via :meth:`repro.Engine.load`.
+
+The registry tracks per-dataset generations (dynamic inserts through
+the service bump them, and the queue keys coalescing off the spec — a
+generation change between grouping and execution is harmless because
+the whole group executes against one engine state, exactly like the
+equivalent serial sequence).  ``evict_idle`` / ``max_datasets`` give a
+long-running daemon bounded tenancy: least-recently-used datasets are
+closed and dropped, and ``close_all`` releases every engine (sharded
+engines own OS resources — workers and shared-memory segments).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .. import io as _io
+from ..cluster import ShardedEngine
+from ..engine import Engine
+from ..errors import DatasetExistsError, QueryError, UnknownDatasetError
+
+__all__ = ["Dataset", "DatasetRegistry"]
+
+#: Dataset names are path segments in the HTTP API.
+_NAME_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,127}$")
+
+
+class Dataset:
+    """One named tenant: an engine, its lock, and usage accounting."""
+
+    def __init__(self, name: str, engine, source: str):
+        self.name = name
+        self.engine = engine
+        self.source = source
+        #: Serializes every execution against this engine; the request
+        #: queue (and any direct caller) must hold it around
+        #: ``engine.query`` / ``engine.insert`` / ``engine.remove``.
+        self.lock = threading.RLock()
+        self.created_at = time.time()
+        self.last_used = time.monotonic()
+        self.queries = 0
+        self.rows = 0
+
+    @property
+    def sharded(self) -> bool:
+        return isinstance(self.engine, ShardedEngine)
+
+    def touch(self, rows: int = 0) -> None:
+        self.last_used = time.monotonic()
+        if rows:
+            self.queries += 1
+            self.rows += int(rows)
+
+    def info(self) -> Dict[str, object]:
+        """A cheap JSON summary (no index builds, no heavy stats)."""
+        return {
+            "name": self.name,
+            "n": len(self.engine),
+            "generation": self.engine.generation,
+            "sharded": self.sharded,
+            "source": self.source,
+            "created_at": self.created_at,
+            "idle_s": max(0.0, time.monotonic() - self.last_used),
+            "queries": self.queries,
+            "rows": self.rows,
+        }
+
+    def close(self) -> None:
+        """Release engine resources (worker processes and shared-memory
+        segments for sharded engines; a no-op for plain engines)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+
+class DatasetRegistry:
+    """Thread-safe mapping of dataset name -> :class:`Dataset`.
+
+    Parameters
+    ----------
+    max_datasets:
+        Optional tenancy bound; creating one dataset beyond it evicts
+        the least-recently-used dataset first (closed, then dropped).
+    """
+
+    def __init__(self, max_datasets: Optional[int] = None):
+        self._datasets: Dict[str, Dataset] = {}
+        self._lock = threading.Lock()
+        self.max_datasets = max_datasets
+        self.created = 0
+        self.dropped = 0
+        self.evicted = 0
+
+    # -- introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._datasets
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._datasets)
+
+    def list(self) -> List[Dict[str, object]]:
+        with self._lock:
+            handles = list(self._datasets.values())
+        return [ds.info() for ds in sorted(handles, key=lambda d: d.name)]
+
+    def stats(self) -> Dict[str, object]:
+        """Registry counters plus every dataset's full engine stats
+        (JSON-serializable; this is what ``GET /stats`` serves)."""
+        with self._lock:
+            handles = list(self._datasets.values())
+        return {
+            "datasets": len(handles),
+            "created": self.created,
+            "dropped": self.dropped,
+            "evicted": self.evicted,
+            "per_dataset": {
+                ds.name: {**ds.info(), "engine": ds.engine.stats()}
+                for ds in handles
+            },
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        *,
+        points: Optional[Sequence] = None,
+        points_json=None,
+        snapshot: Optional[str] = None,
+        shards: Optional[int] = None,
+        result_cache_size: int = 32,
+        replace: bool = False,
+    ) -> Dataset:
+        """Register a dataset from exactly one source.
+
+        ``points`` is a prebuilt point sequence, ``points_json`` a
+        :mod:`repro.io` relation (JSON string or already-parsed list),
+        ``snapshot`` a PR 7 snapshot path.  ``shards`` wraps the
+        dataset in a :class:`repro.ShardedEngine` (immutable; see
+        :meth:`insert`).  Raises :class:`DatasetExistsError` on a name
+        collision unless ``replace=True``.
+        """
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise QueryError(
+                f"invalid dataset name {name!r}: expected "
+                f"[A-Za-z0-9_][A-Za-z0-9_.-]* (max 128 chars)"
+            )
+        sources = [
+            src for src in (points, points_json, snapshot) if src is not None
+        ]
+        if len(sources) != 1:
+            raise QueryError(
+                "provide exactly one of points=, points_json=, snapshot="
+            )
+        if points_json is not None:
+            if isinstance(points_json, (bytes, bytearray)):
+                points_json = points_json.decode("utf-8")
+            if not isinstance(points_json, str):
+                # Already-parsed JSON (the HTTP body); re-encode so the
+                # io decoders own all validation.
+                import json as _json
+
+                points_json = _json.dumps(points_json)
+            points = _io.loads(points_json)  # DistributionError on bad rows
+            source = "inline"
+        elif snapshot is not None:
+            source = f"snapshot:{snapshot}"
+            points = None
+        else:
+            source = "points"
+
+        if shards is not None and int(shards) < 1:
+            raise QueryError("shards must be >= 1")
+
+        # Build the engine outside the registry lock: snapshot loads
+        # and shard spawns are slow, and other tenants must not stall.
+        if snapshot is not None:
+            engine = Engine.load(
+                snapshot, result_cache_size=result_cache_size
+            )
+            if shards is not None:
+                loaded = engine
+                engine = ShardedEngine(loaded.points, shards=int(shards))
+        elif shards is not None:
+            engine = ShardedEngine(list(points), shards=int(shards))
+        else:
+            engine = Engine(
+                list(points), result_cache_size=result_cache_size
+            )
+
+        ds = Dataset(name, engine, source)
+        evict: List[Dataset] = []
+        try:
+            with self._lock:
+                existing = self._datasets.get(name)
+                if existing is not None and not replace:
+                    raise DatasetExistsError(
+                        f"dataset {name!r} already exists "
+                        f"(n={len(existing.engine)}); use replace",
+                        name=name,
+                    )
+                if existing is not None:
+                    evict.append(self._datasets.pop(name))
+                    self.dropped += 1
+                while (
+                    self.max_datasets is not None
+                    and len(self._datasets) >= self.max_datasets
+                ):
+                    lru = min(
+                        self._datasets.values(), key=lambda d: d.last_used
+                    )
+                    evict.append(self._datasets.pop(lru.name))
+                    self.evicted += 1
+                self._datasets[name] = ds
+                self.created += 1
+        except BaseException:
+            ds.close()  # never leak a sharded engine's workers/segments
+            raise
+        finally:
+            for old in evict:
+                with old.lock:  # wait out any in-flight query
+                    old.close()
+        return ds
+
+    def get(self, name: str) -> Dataset:
+        with self._lock:
+            ds = self._datasets.get(name)
+        if ds is None:
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}", name=name
+            )
+        ds.touch()
+        return ds
+
+    def drop(self, name: str) -> None:
+        """Unregister and close a dataset (idempotent errors: unknown
+        names raise :class:`UnknownDatasetError`)."""
+        with self._lock:
+            ds = self._datasets.pop(name, None)
+            if ds is not None:
+                self.dropped += 1
+        if ds is None:
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}", name=name
+            )
+        with ds.lock:
+            ds.close()
+
+    def insert(self, name: str, *, points=None, points_json=None) -> Dataset:
+        """Append points to a mutable dataset (generation bump; every
+        index rebuilds lazily, exactly like :meth:`repro.Engine.insert`)."""
+        ds = self.get(name)
+        if ds.sharded:
+            raise QueryError(
+                f"dataset {name!r} is sharded and immutable; "
+                "recreate it to change its contents"
+            )
+        if (points is None) == (points_json is None):
+            raise QueryError("provide exactly one of points=, points_json=")
+        if points_json is not None:
+            if isinstance(points_json, (bytes, bytearray)):
+                points_json = points_json.decode("utf-8")
+            if not isinstance(points_json, str):
+                import json as _json
+
+                points_json = _json.dumps(points_json)
+            points = _io.loads(points_json)
+        with ds.lock:
+            ds.engine.insert(points)
+        ds.touch()
+        return ds
+
+    def evict_idle(self, max_idle_s: float) -> List[str]:
+        """Close and drop every dataset idle longer than ``max_idle_s``;
+        returns the evicted names (the daemon's lazy-close hook)."""
+        now = time.monotonic()
+        with self._lock:
+            stale = [
+                ds
+                for ds in self._datasets.values()
+                if now - ds.last_used > max_idle_s
+            ]
+            for ds in stale:
+                del self._datasets[ds.name]
+                self.evicted += 1
+        for ds in stale:
+            with ds.lock:
+                ds.close()
+        return sorted(ds.name for ds in stale)
+
+    def close_all(self) -> None:
+        with self._lock:
+            handles = list(self._datasets.values())
+            self._datasets.clear()
+        for ds in handles:
+            with ds.lock:
+                ds.close()

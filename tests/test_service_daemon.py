@@ -1,0 +1,153 @@
+"""The ``repro-serve`` daemon as a real subprocess.
+
+Spawns ``python -m repro.service`` against a PR 7 snapshot fixture with
+``--port 0 --ready-file``, drives it over real sockets, scrapes
+``/metrics``, and shuts it down with ``SIGTERM`` asserting a clean exit
+code 0 — the same choreography the CI service leg runs.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import Engine, QuerySpec
+from repro.constructions import random_discrete_points, random_queries
+
+BBOX = (0, 0, 100, 100)
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    path = tmp_path_factory.mktemp("daemon") / "fixture.npz"
+    engine = Engine(random_discrete_points(30, 4, seed=13))
+    engine.save(path)
+    return path
+
+
+@pytest.fixture()
+def daemon(snapshot, tmp_path):
+    ready = tmp_path / "ready.json"
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--port",
+            "0",
+            "--dataset",
+            f"demo={snapshot}",
+            "--ready-file",
+            str(ready),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not ready.exists():
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"daemon died at startup: {proc.stderr.read()}"
+                )
+            if time.monotonic() > deadline:
+                raise AssertionError("daemon never wrote its ready file")
+            time.sleep(0.05)
+        info = json.loads(ready.read_text())
+        yield proc, f"http://{info['host']}:{info['port']}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        proc.stderr.close()
+
+
+def _post(base, path, obj):
+    req = urllib.request.Request(
+        base + path, data=json.dumps(obj).encode(), method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def test_daemon_end_to_end(daemon, snapshot):
+    proc, base = daemon
+
+    with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
+        health = json.loads(resp.read())
+    assert resp.status == 200 if hasattr(resp, "status") else True
+    assert health["status"] == "ok" and health["datasets"] == 1
+
+    # Smoke queries: answers must equal a local engine restored from
+    # the same snapshot (snapshot restore is bit-identical by PR 7).
+    Q = random_queries(3, seed=4, bbox=BBOX)
+    local = Engine.load(snapshot)
+    for spec_obj in (
+        {"method": "expected_nn"},
+        {"method": "nonzero"},
+        {"method": "mc_pnn", "s": 32, "seed": 2},
+    ):
+        code, body = _post(
+            base, "/v1/datasets/demo/query", {"query": Q, "spec": spec_obj}
+        )
+        assert code == 200
+        direct = local.query(np.asarray(Q), QuerySpec(**spec_obj))
+        if spec_obj["method"] == "expected_nn":
+            assert body["answers"] == np.asarray(direct.answers).tolist()
+        assert body["n"] == 30
+
+    # 404 over the real socket.
+    try:
+        _post(base, "/v1/datasets/ghost/query", {"query": Q})
+        raise AssertionError("expected 404")
+    except urllib.error.HTTPError as err:
+        assert err.code == 404
+
+    # Metrics scrape: the ISSUE's required counters are all present.
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+        metrics = resp.read().decode()
+    for needle in (
+        'repro_requests_total{dataset="demo",method="expected_nn",code="200"} 1',
+        'repro_requests_total{dataset="ghost",method="-",code="404"} 1',
+        "repro_queue_depth 0",
+        "repro_coalesced_batch_size_count 3",
+        'repro_request_latency_seconds_count{dataset="demo"} 3',
+        'repro_dataset_objects{dataset="demo"} 30',
+        "repro_uptime_seconds",
+    ):
+        assert needle in metrics, needle
+
+    # Graceful SIGTERM: drains and exits 0.
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0
+    stderr = proc.stderr.read()
+    assert "drained cleanly" in stderr
+
+
+def test_daemon_version_flag():
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    env = dict(os.environ, PYTHONPATH=src)
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.service", "--version"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert out.returncode == 0
+    assert "repro-serve" in out.stdout

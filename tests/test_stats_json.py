@@ -1,0 +1,148 @@
+"""``Engine.stats()`` / ``ShardedEngine.stats()`` are JSON-clean.
+
+PR 9 satellite: the service's ``GET /stats`` serves engine telemetry
+verbatim, so ``json.dumps`` must succeed on a **fully-exercised**
+engine — one that has built indexes for every method, hit the result
+cache, survived fault injection, and been mutated — with no stray
+``numpy`` scalars or arrays anywhere in the payload.  ``json_safe`` is
+the converter; these tests pin both it and the two ``stats()`` entry
+points.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Engine, QuerySpec
+from repro.constructions import random_discrete_points, random_queries
+from repro.io import json_safe
+
+
+def _assert_json_native(value, path="stats"):
+    """Recursively require stdlib-JSON types only (no numpy leakage)."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            assert isinstance(key, (str, int, float, bool)) or key is None, (
+                f"{path}: non-native key {key!r} ({type(key).__name__})"
+            )
+            assert not isinstance(key, (np.generic, np.ndarray)), (
+                f"{path}: numpy key {key!r}"
+            )
+            _assert_json_native(sub, f"{path}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for i, sub in enumerate(value):
+            _assert_json_native(sub, f"{path}[{i}]")
+    else:
+        assert value is None or isinstance(value, (str, int, float, bool)), (
+            f"{path}: non-native leaf {value!r} ({type(value).__name__})"
+        )
+        assert not isinstance(value, (np.generic, np.ndarray)), (
+            f"{path}: numpy leaf {type(value).__name__}"
+        )
+
+
+def _exercise(engine, queries):
+    specs = [
+        QuerySpec(method="expected_nn"),
+        QuerySpec(method="expected_nn", tier="approx", eps=0.05),
+        QuerySpec(method="nonzero"),
+        QuerySpec(method="threshold", tau=0.1),
+        QuerySpec(method="expected_knn", k=3),
+        QuerySpec(method="mc_pnn", s=32, seed=3),
+        QuerySpec(method="expected_nn", subset=(0, 1, 2, 5)),
+        QuerySpec(method="expected_nn", diagnostics=True),
+    ]
+    for spec in specs:
+        engine.query(queries, spec)
+    engine.query(queries, specs[0])  # result-cache hit
+
+
+def test_engine_stats_json_after_full_workout():
+    points = random_discrete_points(30, 4, seed=2)
+    engine = Engine(points, result_cache_size=8)
+    Q = np.asarray(random_queries(5, seed=9, bbox=(0, 0, 100, 100)))
+    _exercise(engine, Q)
+    engine.insert(random_discrete_points(4, 4, seed=77))
+    engine.query(Q, QuerySpec(method="expected_nn"))
+    engine.remove([0, 1])
+    engine.query(Q, QuerySpec(method="nonzero"))
+
+    stats = engine.stats()
+    text = json.dumps(stats)  # the actual regression: no TypeError
+    _assert_json_native(stats)
+    # Round trip keeps the payload identical (no lossy conversions).
+    assert json.loads(text) == stats
+    assert stats["n"] == 32
+    assert stats["result_cache_hits"] >= 1
+
+
+def test_engine_stats_json_with_faults_and_snapshot(tmp_path):
+    from repro.resilience import FaultSpec, faults
+
+    points = random_discrete_points(20, 3, seed=4)
+    engine = Engine(points)
+    Q = np.asarray(random_queries(4, seed=1, bbox=(0, 0, 100, 100)))
+    engine.query(Q, QuerySpec(method="expected_nn"))
+    path = tmp_path / "snap.npz"
+    engine.save(path)
+    with faults.inject(FaultSpec("dual_tree.level", "slow", delay_s=0.05)):
+        engine.query(
+            Q,
+            QuerySpec(
+                method="expected_nn", deadline_s=0.01, on_deadline="degrade"
+            ),
+        )
+    stats = engine.stats()
+    json.dumps(stats)
+    _assert_json_native(stats)
+
+    restored = Engine.load(path)
+    restored.query(Q, QuerySpec(method="expected_nn"))
+    rstats = restored.stats()
+    json.dumps(rstats)
+    _assert_json_native(rstats)
+
+
+def test_sharded_engine_stats_json():
+    from repro import ShardedEngine
+
+    points = random_discrete_points(24, 3, seed=6)
+    cluster = ShardedEngine(points, shards=2)
+    try:
+        Q = np.asarray(random_queries(3, seed=2, bbox=(0, 0, 100, 100)))
+        cluster.query(Q, QuerySpec(method="expected_nn"))
+        cluster.query(Q, QuerySpec(method="nonzero"))
+        stats = cluster.stats()
+        json.dumps(stats)
+        _assert_json_native(stats)
+        assert stats["cluster"]["shards"] == 2
+    finally:
+        cluster.close()
+
+
+# -- json_safe unit behavior --------------------------------------------------
+
+
+def test_json_safe_converts_numpy_scalars_and_arrays():
+    blob = {
+        "a": np.int64(3),
+        "b": np.float32(0.5),
+        "c": np.bool_(True),
+        "d": np.arange(3),
+        "e": {np.int32(7): np.float64(1.25)},
+        "f": (np.int8(1), [np.uint16(2)]),
+        "g": frozenset([3]),
+    }
+    safe = json_safe(blob)
+    json.dumps(safe)
+    _assert_json_native(safe)
+    assert safe["a"] == 3 and isinstance(safe["a"], int)
+    assert safe["d"] == [0, 1, 2]
+    assert safe["e"] == {7: 1.25}
+    assert safe["g"] == [3]
+
+
+def test_json_safe_passes_native_values_through():
+    blob = {"x": 1, "y": [1.5, "s", None, True]}
+    assert json_safe(blob) == blob
