@@ -1483,6 +1483,309 @@ def bench_service(cfg, report):
         )
 
 
+def bench_wal(cfg, report):
+    """PR 10 crash-consistent durability.
+
+    * **Ingest overhead** — the same insert-batch workload through a
+      plain in-memory engine and through ``Engine.open_durable`` under
+      each fsync policy; the acceptance bar is <= 25% overhead under
+      ``fsync="interval"`` (hard assertion — the WAL must not tax the
+      write path it exists to protect).
+    * **Replay throughput** — recovery of a log holding
+      ``wal_replay_records`` mutation records (1-point inserts with a
+      remove every ``wal_remove_every``) over the base snapshot; the
+      bar is >= 10k records/s (hard assertion), and the recovered
+      engine must answer bit-identically to a fresh engine built from
+      the same surviving points (hard assertion).
+    * **Compaction** — snapshot-then-truncate wall time and the log
+      shrinking back to its single marker record (hard assertion).
+    * **Kill -9 round** — a child process is SIGKILLed mid-frame at the
+      ``wal.append`` fault site; recovery must surface exactly the
+      acknowledged inserts, bit-identical to a fresh build (hard
+      assertion).  The full chaos matrix lives in
+      ``tests/test_wal_chaos.py``; this round keeps the durability
+      contract on the benchmark trajectory.
+    """
+    import shutil
+    import subprocess
+    import tempfile
+
+    from repro import QuerySpec, io as repro_io
+    from repro.constructions import random_discrete_points, random_queries
+    from repro.resilience import wal as walmod
+
+    n = cfg["n_wal"]
+    batches, bpts = cfg["wal_batches"], cfg["wal_batch_points"]
+    points = random_discrete_points(n, 3, seed=1001)
+    batch_points = [
+        random_discrete_points(bpts, 3, seed=1010 + j) for j in range(batches)
+    ]
+    Q = np.asarray(random_queries(64, seed=1002, bbox=(0, 0, 100, 100)))
+    spec = QuerySpec(method="expected_nn")
+    reps = 2 if report["quick"] else 3
+
+    def ingest_plain():
+        eng = Engine(points)
+        eng.query(Q, spec)  # build the column store: inserts then pay
+        t0 = time.perf_counter()  # their real incremental-extend cost
+        for bp in batch_points:
+            eng.insert(bp)
+        return time.perf_counter() - t0
+
+    def ingest_durable(policy):
+        tmp = tempfile.mkdtemp(prefix="walbench-")
+        try:
+            with config.durability(
+                fsync=policy,
+                fsync_interval_s=0.05,
+                compact_bytes=1 << 62,
+                compact_records=1 << 62,
+            ):
+                eng = Engine.open_durable(os.path.join(tmp, "d"), points)
+                eng.query(Q, spec)
+                t0 = time.perf_counter()
+                for bp in batch_points:
+                    eng.insert(bp)
+                elapsed = time.perf_counter() - t0
+                stats = eng.stats()["wal"]
+                eng.close()
+            return elapsed, stats
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    ingest_plain()  # warm NumPy + column summarisation
+    t_plain = min(ingest_plain() for _ in range(reps))
+    t_interval, stats_interval = min(
+        (ingest_durable("interval") for _ in range(reps)), key=lambda r: r[0]
+    )
+    t_always, stats_always = ingest_durable("always")
+    t_off, _ = ingest_durable("off")
+    overhead_interval = t_interval / t_plain - 1.0
+    mutated = batches * bpts
+
+    # Replay throughput: synthesise a long mutation history directly in
+    # the log (the engine writes the identical frames), tracking the
+    # surviving points alongside so recovery has an exact reference.
+    records_target = cfg["wal_replay_records"]
+    remove_every = cfg["wal_remove_every"]
+    tmp = tempfile.mkdtemp(prefix="walbench-replay-")
+    ddir = os.path.join(tmp, "d")
+    try:
+        seeded = Engine.open_durable(ddir, points)
+        base_gen = seeded.generation
+        seeded.close()
+        with config.durability(fsync="off"):
+            log = walmod.WriteAheadLog.open(
+                os.path.join(ddir, Engine.WAL_NAME),
+                base_generation=base_gen,
+                base_n=n,
+            )
+            expected = list(points)
+            gen = base_gen
+            t0 = time.perf_counter()
+            for r in range(records_target):
+                gen += 1
+                if r % remove_every == remove_every - 1 and len(expected) > 1:
+                    log.append("remove", {"ids": [0]}, generation=gen)
+                    expected.pop(0)
+                else:
+                    p = random_discrete_points(1, 2, seed=5000 + r)[0]
+                    log.append(
+                        "insert",
+                        {"points": repro_io.points_to_wire([p])},
+                        generation=gen,
+                    )
+                    expected.append(p)
+            t_build_log = time.perf_counter() - t0
+            log_bytes = log.size_bytes
+            log.close()
+
+        t_replay, recovered = float("inf"), None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            eng = Engine.open_durable(ddir)
+            dt = time.perf_counter() - t0
+            if dt < t_replay:
+                if recovered is not None:
+                    recovered.close()
+                t_replay, recovered = dt, eng
+            else:
+                eng.close()
+        replayed = recovered.stats()["wal"]["replayed"]
+        replay_rate = replayed / max(t_replay, 1e-9)
+
+        reference = Engine(expected)
+        res_rec = recovered.query(Q, spec)
+        res_ref = reference.query(Q, spec)
+        replay_identical = bool(
+            len(recovered) == len(expected)
+            and recovered.generation == base_gen + records_target
+            and np.array_equal(res_rec.answers, res_ref.answers)
+            and np.array_equal(res_rec.values, res_ref.values)
+        )
+
+        # Compaction folds the whole history back into the snapshot.
+        t_compact, _ = _timeit(recovered.compact)
+        stats_after = recovered.stats()["wal"]
+        compacted = (
+            stats_after["records"] == 1 and stats_after["rotations"] == 1
+        )
+        recovered.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # Kill -9 round: a child dies mid-frame; only acked inserts survive.
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    child = (
+        "import os, sys\n"
+        "from repro import Engine\n"
+        "from repro.constructions import random_discrete_points\n"
+        "engine = Engine.open_durable(sys.argv[1])\n"
+        "for i in range(6):\n"
+        "    engine.insert(random_discrete_points(16, 2, seed=300 + i))\n"
+        "    with open(sys.argv[2], 'a') as f:\n"
+        "        f.write(f'{i}\\n')\n"
+        "        f.flush()\n"
+        "        os.fsync(f.fileno())\n"
+    )
+    tmp = tempfile.mkdtemp(prefix="walbench-kill-")
+    ddir = os.path.join(tmp, "d")
+    ack = os.path.join(tmp, "ack")
+    try:
+        seeded = Engine.open_durable(ddir, points)
+        base_n, base_gen = len(seeded), seeded.generation
+        seeded.close()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        # Marker is record 0, insert i appends as record i + 1: a kill
+        # planted at index 4 tears insert 3's frame; 0-2 are acked.
+        env["REPRO_FAULT_PLAN"] = json.dumps(
+            [{"site": "wal.append", "kind": "kill", "indices": [4]}]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child, ddir, ack],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        acked = []
+        if os.path.exists(ack):
+            with open(ack) as fh:
+                acked = [int(x) for x in fh.read().split()]
+        t_recover0 = time.perf_counter()
+        survivor = Engine.open_durable(ddir)
+        t_recover = time.perf_counter() - t_recover0
+        fresh = Engine(
+            points
+            + [
+                p
+                for i in acked
+                for p in random_discrete_points(16, 2, seed=300 + i)
+            ]
+        )
+        res_s = survivor.query(Q, spec)
+        res_f = fresh.query(Q, spec)
+        kill_ok = bool(
+            proc.returncode == 17
+            and acked == [0, 1, 2]
+            and len(survivor) == base_n + 16 * len(acked)
+            and survivor.generation == base_gen + len(acked)
+            and np.array_equal(res_s.answers, res_f.answers)
+            and np.array_equal(res_s.values, res_f.values)
+        )
+        torn = survivor.stats()["wal"]["torn_bytes_truncated"]
+        survivor.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    report["results"]["wal"] = {
+        "model": "discrete uncertain points, insert-batch ingest",
+        "n_base": n,
+        "ingest_batches": batches,
+        "ingest_batch_points": bpts,
+        "points_mutated": mutated,
+        "seconds_ingest_plain": t_plain,
+        "seconds_ingest_fsync_interval": t_interval,
+        "seconds_ingest_fsync_always": t_always,
+        "seconds_ingest_fsync_off": t_off,
+        "ingest_overhead_interval": overhead_interval,
+        "ingest_overhead_always": t_always / t_plain - 1.0,
+        "ingest_overhead_off": t_off / t_plain - 1.0,
+        "fsyncs_interval": stats_interval["fsyncs"],
+        "fsyncs_always": stats_always["fsyncs"],
+        "wal_bytes_per_point": stats_always["bytes_written"] / mutated,
+        "replay_records": int(replayed),
+        "replay_log_bytes": int(log_bytes),
+        "seconds_build_log": t_build_log,
+        "seconds_replay": t_replay,
+        "replay_records_per_s": replay_rate,
+        "replay_identical": replay_identical,
+        "seconds_compact": t_compact,
+        "compacted_to_marker": compacted,
+        "kill9_acked_batches": acked,
+        "kill9_torn_bytes": int(torn),
+        "kill9_recovery_seconds": t_recover,
+        "kill9_acked_survive_exactly": kill_ok,
+    }
+    print_table(
+        f"write-ahead log, base n={n}, "
+        f"{batches} x {bpts}-point insert batches",
+        ["metric", "value"],
+        [
+            ("ingest plain", f"{t_plain:.3f}s"),
+            ("ingest fsync=interval",
+             f"{t_interval:.3f}s ({overhead_interval * 100:+.1f}%)"),
+            ("ingest fsync=always",
+             f"{t_always:.3f}s ({(t_always / t_plain - 1) * 100:+.1f}%, "
+             f"{stats_always['fsyncs']} fsyncs)"),
+            ("ingest fsync=off", f"{t_off:.3f}s"),
+            ("replay",
+             f"{replayed} records in {t_replay:.3f}s "
+             f"({replay_rate:,.0f} rec/s)"),
+            ("compaction", f"{t_compact:.3f}s"),
+            ("kill -9 round",
+             f"acked={acked}, torn={torn}B, "
+             f"recovered in {t_recover:.3f}s"),
+        ],
+    )
+    _soft(
+        report,
+        "wal ingest overhead (fsync=interval) <= 25%",
+        overhead_interval <= 0.25,
+        f"overhead {overhead_interval * 100:.1f}% above the bar "
+        f"(plain {t_plain:.3f}s vs durable {t_interval:.3f}s)",
+        hard=True,
+    )
+    _soft(
+        report,
+        "wal replay >= 10k records/s",
+        replay_rate >= 10_000,
+        f"replay {replay_rate:,.0f} records/s below the bar",
+        hard=True,
+    )
+    _soft(
+        report,
+        "wal recovery bit-identical to fresh build",
+        replay_identical,
+        "recovered engine != fresh engine over the surviving points",
+        hard=True,
+    )
+    _soft(
+        report,
+        "wal compaction resets the log to its marker",
+        compacted,
+        f"post-compaction stats: {stats_after}",
+        hard=True,
+    )
+    _soft(
+        report,
+        "kill -9: acked writes survive exactly, unacked vanish",
+        kill_ok,
+        f"rc={proc.returncode}, acked={acked}, stderr={proc.stderr[-500:]}",
+        hard=True,
+    )
+
+
 def _tile_checksum(lo, hi):
     """Module-level (hence picklable) benchmark tile payload."""
     return (lo + hi) * (hi - lo)
@@ -1572,15 +1875,27 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the PR 9 query-service benchmark",
     )
+    ap.add_argument(
+        "--out-wal",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_pr10.json"),
+        help="durability report path (default: repo-root BENCH_pr10.json)",
+    )
+    ap.add_argument(
+        "--wal-only",
+        action="store_true",
+        help="run only the PR 10 write-ahead-log benchmark",
+    )
     args = ap.parse_args(argv)
     only_flags = (
         args.engine_only, args.dual_only, args.eval_only,
         args.resilience_only, args.cluster_only, args.service_only,
+        args.wal_only,
     )
     if sum(only_flags) > 1:
         ap.error(
             "--engine-only, --dual-only, --eval-only, --resilience-only, "
-            "--cluster-only and --service-only are mutually exclusive"
+            "--cluster-only, --service-only and --wal-only are mutually "
+            "exclusive"
         )
 
     if args.quick:
@@ -1606,6 +1921,11 @@ def main(argv=None) -> int:
             "cluster_shards": [1, 2, 4],
             "n_service": 800,
             "service_clients": 16,
+            "n_wal": 300,
+            "wal_batches": 8,
+            "wal_batch_points": 256,
+            "wal_replay_records": 4000,
+            "wal_remove_every": 500,
         }
     else:
         cfg = {
@@ -1630,6 +1950,11 @@ def main(argv=None) -> int:
             "cluster_shards": [1, 2, 4, 8],
             "n_service": 2500,
             "service_clients": 64,
+            "n_wal": 800,
+            "wal_batches": 12,
+            "wal_batch_points": 512,
+            "wal_replay_records": 20000,
+            "wal_remove_every": 500,
         }
 
     failed = []
@@ -1638,6 +1963,7 @@ def main(argv=None) -> int:
     skip_core = (
         args.engine_only or args.dual_only or args.eval_only
         or args.resilience_only or args.cluster_only or args.service_only
+        or args.wal_only
     )
     if not skip_core:
         report = {
@@ -1672,7 +1998,7 @@ def main(argv=None) -> int:
 
     if not (
         args.dual_only or args.eval_only or args.resilience_only
-        or args.cluster_only or args.service_only
+        or args.cluster_only or args.service_only or args.wal_only
     ):
         report4 = {
             "pr": 4,
@@ -1703,7 +2029,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.eval_only or args.resilience_only
-        or args.cluster_only or args.service_only
+        or args.cluster_only or args.service_only or args.wal_only
     ):
         report5 = {
             "pr": 5,
@@ -1731,7 +2057,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.resilience_only
-        or args.cluster_only or args.service_only
+        or args.cluster_only or args.service_only or args.wal_only
     ):
         report6 = {
             "pr": 6,
@@ -1759,7 +2085,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.eval_only
-        or args.cluster_only or args.service_only
+        or args.cluster_only or args.service_only or args.wal_only
     ):
         report7 = {
             "pr": 7,
@@ -1787,7 +2113,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.eval_only
-        or args.resilience_only or args.service_only
+        or args.resilience_only or args.service_only or args.wal_only
     ):
         report8 = {
             "pr": 8,
@@ -1815,7 +2141,7 @@ def main(argv=None) -> int:
 
     if not (
         args.engine_only or args.dual_only or args.eval_only
-        or args.resilience_only or args.cluster_only
+        or args.resilience_only or args.cluster_only or args.wal_only
     ):
         report9 = {
             "pr": 9,
@@ -1840,6 +2166,40 @@ def main(argv=None) -> int:
             json.dump(report9, fh, indent=2)
             fh.write("\n")
         print(f"wrote {out9}")
+
+    if not (
+        args.engine_only or args.dual_only or args.eval_only
+        or args.resilience_only or args.cluster_only or args.service_only
+    ):
+        report10 = {
+            "pr": 10,
+            "benchmark": (
+                "crash-consistent durability: write-ahead log ingest "
+                "overhead, replay recovery throughput, kill -9 survival"
+            ),
+            "quick": bool(args.quick),
+            "config": {
+                k: cfg[k]
+                for k in (
+                    "n_wal", "wal_batches", "wal_batch_points",
+                    "wal_replay_records", "wal_remove_every",
+                )
+            },
+            "results": {},
+            "soft_assertions": [],
+        }
+        bench_wal(cfg, report10)
+        failed10 = [
+            a["name"] for a in report10["soft_assertions"] if not a["ok"]
+        ]
+        report10["all_assertions_passed"] = not failed10
+        failed += failed10
+        hard_failure |= bool(report10.get("hard_failure"))
+        out10 = os.path.abspath(args.out_wal)
+        with open(out10, "w") as fh:
+            json.dump(report10, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out10}")
 
     if failed:
         print(f"assertions failed: {', '.join(failed)}", file=sys.stderr)

@@ -258,6 +258,73 @@ def cluster(**overrides: Union[int, float, bool, None]) -> Iterator[Cluster]:
             setattr(CLUSTER, name, value)
 
 
+# -- durability (write-ahead logging) -----------------------------------------
+
+
+@dataclasses.dataclass
+class Durability:
+    """Knobs for the crash-consistent write-ahead log
+    (:mod:`repro.resilience.wal`).
+
+    Attributes
+    ----------
+    fsync:
+        When appended records reach stable storage, i.e. what an
+        acknowledged mutation means:
+
+        * ``"always"`` — every append fsyncs before returning; an ack
+          survives power loss.
+        * ``"interval"`` — appends fsync at most every
+          ``fsync_interval_s`` seconds; an ack survives process death
+          (``kill -9``) immediately, power loss only after the next
+          sync.  The write is always flushed to the OS page cache
+          before the ack either way.
+        * ``"off"`` — the kernel decides when to write back; an ack
+          survives process death, power loss at the OS's leisure.
+    fsync_interval_s:
+        Maximum staleness of the log under ``fsync="interval"``.
+    compact_bytes / compact_records:
+        Log-compaction triggers: when the live log grows past either
+        bound, the owning engine snapshots itself and truncates the
+        log (a crash-safe snapshot-then-rotate; see
+        :meth:`repro.Engine.compact`).
+    """
+
+    fsync: str = "always"
+    fsync_interval_s: float = 0.05
+    compact_bytes: int = 64 * 1024 * 1024
+    compact_records: int = 100_000
+
+
+#: Module-level default durability settings; mutate via :func:`durability`.
+DURABILITY = Durability()
+
+
+@contextlib.contextmanager
+def durability(**overrides: Union[int, float, str]) -> Iterator[Durability]:
+    """Temporarily override fields of the global :data:`DURABILITY`.
+
+    Mirrors :func:`execution`: in-place mutation, restored on exit.
+    """
+    valid = {f.name for f in dataclasses.fields(Durability)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown durability fields: {sorted(unknown)}")
+    fsync = overrides.get("fsync")
+    if fsync is not None and fsync not in ("always", "interval", "off"):
+        raise TypeError(
+            f"fsync must be 'always', 'interval', or 'off', got {fsync!r}"
+        )
+    saved = {name: getattr(DURABILITY, name) for name in overrides}
+    try:
+        for name, value in overrides.items():
+            setattr(DURABILITY, name, value)
+        yield DURABILITY
+    finally:
+        for name, value in saved.items():
+            setattr(DURABILITY, name, value)
+
+
 # -- service (multi-tenant query daemon) --------------------------------------
 
 
@@ -293,6 +360,16 @@ class Service:
     default_deadline_s:
         Optional execution deadline applied to requests whose spec does
         not set one (``None`` = no implicit deadline).
+    max_body_bytes:
+        Largest request body the HTTP front end accepts; a larger
+        Content-Length is rejected with
+        :class:`repro.errors.PayloadTooLargeError` (HTTP 413) before
+        any of the body is read into memory.  ``0`` disables the bound.
+    retry_after_s:
+        The ``Retry-After`` hint attached to 429 (queue full)
+        responses; 503 (draining) responses advertise
+        ``drain_timeout_s`` instead, the time by which the backlog is
+        gone either way.
     """
 
     queue_depth: int = 256
@@ -303,6 +380,8 @@ class Service:
     request_timeout_s: float = 30.0
     drain_timeout_s: float = 10.0
     default_deadline_s: Optional[float] = None
+    max_body_bytes: int = 64 * 1024 * 1024
+    retry_after_s: float = 1.0
 
 
 #: Module-level default service settings; mutate via :func:`service`.

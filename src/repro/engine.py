@@ -68,6 +68,7 @@ import copy
 import dataclasses
 import functools
 import hashlib
+import os
 import time
 from collections import Counter, OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -76,6 +77,7 @@ import numpy as np
 
 from . import io as _io
 from .config import (
+    DURABILITY as _DURABILITY,
     EXECUTION as _EXECUTION,
     SeedLike,
     default_rng,
@@ -96,12 +98,13 @@ from .core.threshold import (
     threshold_nn_exact_many as _threshold_nn_exact_many,
 )
 from .core import parallel as _parallel
-from .errors import QueryError, QueryTimeoutError
+from .errors import QueryError, QueryTimeoutError, WalCorruptionError, WalError
 from .geometry.kernels import as_query_array
 from .resilience import admission as _admission
 from .resilience import deadline as _deadline
 from .resilience import faults as _faults
 from .resilience import snapshot as _snapshot
+from .resilience import wal as _wal
 from .uncertain.columns import ModelColumns, TAG_NAMES, model_tag
 
 __all__ = ["Engine", "IndexRegistry", "QueryResult", "QuerySpec", "tier_of"]
@@ -610,6 +613,11 @@ class Engine:
         # collecting scope, so two engines working concurrently never
         # cross-contaminate each other's stats()["faults"].
         self._fault_stats = _faults.FaultStats()
+        # Durable mode (attached by open_durable): the write-ahead log
+        # every mutation appends to before it is acknowledged.
+        self._wal: Optional[_wal.WriteAheadLog] = None
+        self._wal_dir: Optional[str] = None
+        self._wal_replayed = 0
 
     # -- basic introspection -------------------------------------------------
     def __len__(self) -> int:
@@ -825,6 +833,15 @@ class Engine:
         new = list(points)
         if not new:
             return self
+        if self._wal is not None:
+            # Durable mode: append-then-ack.  Serialising the points
+            # also validates them — a point the WAL could not replay is
+            # rejected here, before any state changes.
+            self._wal.append(
+                "insert",
+                {"points": _io.points_to_wire(new)},
+                generation=self._generation + 1,
+            )
         cols = self._registry.peek(("columns",), self._generation)
         self._points = self._points + new  # rebind: shared views stay valid
         self._generation += 1
@@ -839,6 +856,7 @@ class Engine:
         self._registry.sweep(self._generation)  # free superseded indexes
         self._result_cache.clear()
         self._family_lru.clear()
+        self._maybe_compact()
         return self
 
     def remove(self, ids) -> "Engine":
@@ -868,6 +886,13 @@ class Engine:
             return self
         if ids_arr[0] < 0 or ids_arr[-1] >= n:
             raise QueryError(f"remove indices must lie in [0, {n})")
+        if self._wal is not None:
+            # Durable mode: validation is done, log before mutating.
+            self._wal.append(
+                "remove",
+                {"ids": [int(i) for i in ids_arr]},
+                generation=self._generation + 1,
+            )
         keep = np.setdiff1d(np.arange(n, dtype=np.intp), ids_arr)
         cols = self._registry.peek(("columns",), self._generation)
         self._points = [self._points[i] for i in keep]
@@ -886,6 +911,31 @@ class Engine:
         self._registry.sweep(self._generation)  # free superseded indexes
         self._result_cache.clear()
         self._family_lru.clear()
+        self._maybe_compact()
+        return self
+
+    def replace_points(self, points: Sequence) -> "Engine":
+        """Replace the entire relation in one mutation (generation
+        bump; every cached structure rebuilds lazily).
+
+        The whole-relation form of :meth:`insert` / :meth:`remove`:
+        one atomic, WAL-logged ``replace`` record in durable mode, so a
+        dataset reload survives a crash as either the old relation or
+        the new one — never a mix.
+        """
+        new = list(points)
+        if self._wal is not None:
+            self._wal.append(
+                "replace",
+                {"points": _io.points_to_wire(new)},
+                generation=self._generation + 1,
+            )
+        self._points = new
+        self._generation += 1
+        self._registry.sweep(self._generation)  # all entries superseded
+        self._result_cache.clear()
+        self._family_lru.clear()
+        self._maybe_compact()
         return self
 
     # -- snapshot / restore ---------------------------------------------------
@@ -911,6 +961,216 @@ class Engine:
         return _snapshot.load_engine(
             path, result_cache_size=result_cache_size
         )
+
+    # -- durability (write-ahead logging) -------------------------------------
+
+    #: Fixed file names inside a durable directory.
+    SNAPSHOT_NAME = "snapshot.npz"
+    WAL_NAME = "wal.log"
+
+    @classmethod
+    def open_durable(
+        cls,
+        directory: str,
+        points: Optional[Sequence] = None,
+        *,
+        result_cache_size: int = 32,
+        fsync: Optional[str] = None,
+    ) -> "Engine":
+        """Open a crash-consistent durable session rooted at
+        ``directory``.
+
+        The directory holds two files: ``snapshot.npz`` (the latest
+        compacted base state, written with :meth:`save`'s atomic
+        fsync-rename discipline) and ``wal.log`` (the write-ahead log
+        of every mutation since).  Every :meth:`insert` /
+        :meth:`remove` / :meth:`replace_points` appends to the log
+        *before* it returns — an acknowledged mutation survives
+        ``kill -9`` at any instruction (and power loss, under
+        ``config.DURABILITY.fsync = "always"``).
+
+        A fresh directory starts a new session from ``points`` (or
+        empty).  An existing directory **recovers**: the snapshot is
+        loaded, a torn final log record (crash mid-append) is truncated
+        away, the surviving records are replayed, and the resulting
+        engine is bit-identical to the pre-crash engine that
+        acknowledged exactly those mutations — same columns, same
+        generation, same query answers.  Passing ``points`` for an
+        existing directory is an error (it would silently shadow
+        recovered state).
+
+        ``fsync`` overrides the global durability policy for this
+        session's log; the log auto-compacts (snapshot-then-truncate)
+        past ``config.DURABILITY.compact_bytes`` / ``compact_records``.
+        """
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        snap_path = os.path.join(directory, cls.SNAPSHOT_NAME)
+        wal_path = os.path.join(directory, cls.WAL_NAME)
+        existing = os.path.exists(snap_path) or os.path.exists(wal_path)
+        if existing and points is not None:
+            raise QueryError(
+                f"durable directory {directory!r} already holds an "
+                f"engine; open it without points= (or remove the "
+                f"directory to start over)"
+            )
+        if os.path.exists(snap_path):
+            engine = cls.load(snap_path, result_cache_size=result_cache_size)
+        else:
+            engine = cls(
+                list(points) if points is not None else [],
+                result_cache_size=result_cache_size,
+            )
+            if len(engine):
+                # Establish the base immediately: recovery of a fresh
+                # durable dataset must not depend on replaying a giant
+                # bootstrap record forever.
+                _snapshot.save_engine(engine, snap_path)
+        wal = _wal.WriteAheadLog.open(
+            wal_path,
+            base_generation=engine.generation,
+            base_n=len(engine),
+            fsync=fsync,
+        )
+        try:
+            base = wal.base_generation
+            if base is not None and base > engine._generation:
+                raise WalError(
+                    f"WAL {wal_path!r} is based on generation {base} but "
+                    f"the snapshot holds generation {engine._generation} "
+                    f"— the snapshot was replaced with an older one; "
+                    f"refusing to replay over it",
+                    path=wal_path, reason="base-generation",
+                )
+            engine._replay_wal(wal.records, wal_path)
+        except BaseException:
+            wal.close()
+            raise
+        engine._wal = wal
+        engine._wal_dir = directory
+        return engine
+
+    def _replay_wal(self, records, wal_path: str) -> None:
+        """Apply the log's surviving records on top of the loaded
+        snapshot.
+
+        Records whose generation the snapshot already covers are
+        skipped (that is what makes a crash between snapshot publish
+        and log rotation harmless).  Runs of consecutive ``insert``
+        records are applied as one batched insert — per-point column
+        summaries are independent, so the result is bit-identical to
+        one-at-a-time application — and the generation counter is then
+        pinned to the last record's stamp.
+        """
+        gen = self._generation
+        pending: List = []
+
+        def flush(target_gen: int) -> None:
+            nonlocal pending
+            if not pending:
+                return
+            self.insert(pending)  # _wal is still None: no re-append
+            pending = []
+            self._pin_generation(target_gen)
+
+        for rec in records:
+            if rec.op == "snapshot-marker":
+                continue  # base validated by the caller
+            if rec.gen <= gen and not pending:
+                continue  # already folded into the snapshot
+            if rec.gen != gen + 1:
+                raise WalCorruptionError(
+                    f"WAL record at offset {rec.offset} jumps from "
+                    f"generation {gen} to {rec.gen}; the log is not a "
+                    f"contiguous mutation history",
+                    path=wal_path, reason="generation", offset=rec.offset,
+                )
+            gen = rec.gen
+            self._wal_replayed += 1
+            if rec.op == "insert":
+                pending.extend(_io.points_from_wire(rec.payload["points"]))
+                continue
+            flush(gen - 1)
+            if rec.op == "remove":
+                self.remove([int(i) for i in rec.payload["ids"]])
+            else:  # replace
+                self.replace_points(
+                    _io.points_from_wire(rec.payload["points"])
+                )
+            self._pin_generation(gen)
+        flush(gen)
+
+    def _pin_generation(self, generation: int) -> None:
+        """Move the generation counter to ``generation``, carrying the
+        live column store with it (replay applies several log records
+        through one in-memory mutation; the counter must still land on
+        the last record's stamp so recovery reproduces the pre-crash
+        engine exactly)."""
+        if generation == self._generation:
+            return
+        if generation < self._generation:
+            raise WalError(
+                "generation counter can only move forward",
+                reason="base-generation",
+            )
+        cols = self._registry.peek(("columns",), self._generation)
+        self._generation = generation
+        if cols is not None:
+            self._registry.put(("columns",), generation, cols)
+        self._registry.sweep(generation)
+
+    def _maybe_compact(self) -> None:
+        """Snapshot-then-truncate once the log outgrows the configured
+        bounds (no-op for non-durable sessions)."""
+        wal = self._wal
+        if wal is None:
+            return
+        if (
+            wal.size_bytes >= _DURABILITY.compact_bytes
+            or wal.record_count >= _DURABILITY.compact_records
+        ):
+            self.compact()
+
+    def compact(self) -> str:
+        """Force a log compaction: atomically publish a fresh snapshot
+        of the current state, then rotate the write-ahead log down to a
+        single ``snapshot-marker`` record.
+
+        Safe against a crash at any point: the snapshot write is
+        fsync-rename atomic, and until the rotated log is published the
+        old log's records simply replay as no-ops against the new
+        snapshot (their generations are already covered).  Returns the
+        snapshot path.
+        """
+        if self._wal is None:
+            raise QueryError(
+                "compact() requires a durable session (Engine.open_durable)"
+            )
+        snap_path = os.path.join(self._wal_dir, self.SNAPSHOT_NAME)
+        _snapshot.save_engine(self, snap_path)
+        # Crash window: new snapshot + old log -> replay skips all.
+        _faults.fire("wal.rotate", 0)
+        self._wal.rotate(
+            base_generation=self._generation, base_n=len(self._points)
+        )
+        return snap_path
+
+    @property
+    def durable(self) -> bool:
+        """Whether this session is backed by a live write-ahead log."""
+        return self._wal is not None and not self._wal.closed
+
+    @property
+    def durable_dir(self) -> Optional[str]:
+        return self._wal_dir
+
+    def close(self) -> None:
+        """Release durable resources: fsync and close the write-ahead
+        log (idempotent; a no-op for non-durable sessions).  Mutating a
+        closed durable session raises :class:`repro.errors.WalError`
+        instead of silently dropping durability."""
+        if self._wal is not None:
+            self._wal.close()
 
     # -- the declarative query surface ---------------------------------------
     def query(self, qs, spec: Optional[QuerySpec] = None, **spec_kwargs) -> QueryResult:
@@ -1641,6 +1901,14 @@ class Engine:
                 ev["cache_builds"] = cache.builds
                 ev["pairs_by_tag"] = dict(cache.pair_counts)
             out["evaluators"] = ev
+        if self._wal is not None:
+            # Durable-session telemetry: log depth, fsync latency, and
+            # how many records the last recovery replayed.
+            out["wal"] = {
+                **self._wal.stats(),
+                "replayed": self._wal_replayed,
+                "directory": self._wal_dir,
+            }
         # Telemetry is an operational surface (logged, scraped, shipped
         # over HTTP by repro.service): normalise any NumPy scalars the
         # counters picked up so json.dumps always succeeds on it.

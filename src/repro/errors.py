@@ -100,6 +100,45 @@ class SnapshotError(ReproError):
         self.reason = reason
 
 
+class WalError(ReproError):
+    """Raised when a write-ahead log cannot be created, appended to, or
+    rotated (closed log, I/O failure, base-generation mismatch between
+    the log and its snapshot).  Mirrors the :class:`SnapshotError`
+    pattern: diagnostics ride on the exception.
+
+    Attributes
+    ----------
+    path:
+        The log file involved, when known.
+    reason:
+        Short machine-readable cause (``"closed"``, ``"io"``,
+        ``"base-generation"``, ``"magic"``, ``"version"``).
+    """
+
+    def __init__(self, message, *, path=None, reason=None):
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.reason = reason
+
+
+class WalCorruptionError(WalError):
+    """Raised when a write-ahead log holds a corrupted *interior*
+    record — a CRC mismatch, an undecodable payload, or a generation
+    sequence break before the final record.  (A damaged *final* record
+    is a torn tail from a crash mid-append; recovery truncates it
+    silently instead of raising.)
+
+    Attributes
+    ----------
+    offset:
+        Byte offset of the corrupted record's frame in the log file.
+    """
+
+    def __init__(self, message, *, path=None, reason=None, offset=None):
+        super().__init__(message, path=path, reason=reason)
+        self.offset = int(offset) if offset is not None else None
+
+
 class ServiceError(ReproError):
     """Base class for errors raised by the :mod:`repro.service` daemon
     layer (registry, request queue, HTTP front end)."""
@@ -152,6 +191,23 @@ class QueueFullError(ServiceError):
 class ServiceUnavailableError(ServiceError):
     """Raised when the service cannot accept work — draining for
     shutdown, or the queue/worker layer already closed (HTTP 503)."""
+
+
+class PayloadTooLargeError(ServiceError):
+    """Raised when a request body declares more bytes than
+    ``SERVICE.max_body_bytes`` (HTTP 413) — rejected from the
+    Content-Length header alone, before any of the body is buffered.
+
+    Attributes
+    ----------
+    length / limit:
+        The declared body size and the configured bound.
+    """
+
+    def __init__(self, message, *, length=None, limit=None):
+        super().__init__(message)
+        self.length = length
+        self.limit = limit
 
 
 class WorkerCrashError(ReproError):

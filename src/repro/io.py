@@ -7,8 +7,9 @@ workloads, and experiment inputs can be stored and shared.
 
 from __future__ import annotations
 
+import base64
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -144,6 +145,122 @@ def point_from_dict(data: Dict, row=None) -> UncertainPoint:
     raise DistributionError(
         f"unknown uncertain point type {kind!r}{_where(row)}"
     )
+
+
+def _pack_f64(arr) -> str:
+    """Base64 of little-endian float64 bytes — exact, and an order of
+    magnitude faster than ``repr``-based JSON float encoding."""
+    return base64.b64encode(
+        np.ascontiguousarray(arr, dtype="<f8").tobytes()
+    ).decode("ascii")
+
+
+def _unpack_f64(text: str, n: int, kind: str):
+    data = base64.b64decode(text.encode("ascii"), validate=True)
+    arr = np.frombuffer(data, dtype="<f8")
+    if arr.size != n:
+        raise DistributionError(
+            f"packed {kind} encoding holds {arr.size} values, "
+            f"expected {n}"
+        )
+    return arr
+
+
+def points_to_wire(
+    points: Sequence[UncertainPoint],
+) -> Union[List[Dict], Dict]:
+    """Encode a point batch for the write-ahead log / wire.
+
+    Homogeneous batches of the hot ingest types are packed as base64
+    float64 columns — the per-float cost of JSON ``repr`` encoding is
+    what would otherwise dominate a durable ``Engine.insert``.  Any
+    other batch falls back to the per-point dict encoding of
+    :func:`point_to_dict`.  Either form round-trips exactly through
+    :func:`points_from_wire`.
+    """
+    pts = list(points)
+    if pts and all(type(p) is DiscreteUncertainPoint for p in pts):
+        counts = [len(p.weights) for p in pts]
+        xy = np.asarray(
+            [loc for p in pts for loc in p.locations], dtype=np.float64
+        )
+        if xy.shape == (sum(counts), 2):
+            return {
+                "pack": "discrete",
+                "counts": counts,
+                "names": [p.name for p in pts],
+                "xy": _pack_f64(xy),
+                "weights": _pack_f64(
+                    [w for p in pts for w in p.weights]
+                ),
+            }
+    if pts and all(type(p) is UniformDiskPoint for p in pts):
+        return {
+            "pack": "disk_uniform",
+            "names": [p.name for p in pts],
+            "xyr": _pack_f64(
+                [
+                    (p.disk.center.x, p.disk.center.y, p.disk.radius)
+                    for p in pts
+                ]
+            ),
+        }
+    return [point_to_dict(p) for p in pts]
+
+
+def points_from_wire(obj) -> List[UncertainPoint]:
+    """Decode a batch written by :func:`points_to_wire`."""
+    if isinstance(obj, dict):
+        pack = obj.get("pack")
+        try:
+            if pack == "discrete":
+                counts = [int(c) for c in obj["counts"]]
+                names = obj["names"]
+                total = sum(counts)
+                xy = _unpack_f64(obj["xy"], 2 * total, pack).reshape(
+                    total, 2
+                )
+                weights = _unpack_f64(obj["weights"], total, pack)
+                out, at = [], 0
+                for k, name in zip(counts, names):
+                    out.append(
+                        DiscreteUncertainPoint(
+                            [tuple(l) for l in xy[at:at + k].tolist()],
+                            weights[at:at + k].tolist(),
+                            name=name,
+                        )
+                    )
+                    at += k
+                if len(out) != len(counts) or len(names) != len(counts):
+                    raise DistributionError(
+                        "packed discrete encoding has mismatched "
+                        "counts/names"
+                    )
+                return out
+            if pack == "disk_uniform":
+                names = obj["names"]
+                xyr = _unpack_f64(
+                    obj["xyr"], 3 * len(names), pack
+                ).reshape(len(names), 3)
+                return [
+                    UniformDiskPoint((row[0], row[1]), row[2], name=name)
+                    for row, name in zip(xyr.tolist(), names)
+                ]
+        except DistributionError:
+            raise
+        except (KeyError, ValueError, TypeError) as exc:
+            raise DistributionError(
+                f"malformed packed {pack!r} encoding: {exc}"
+            ) from exc
+        raise DistributionError(
+            f"unknown packed point encoding {pack!r}"
+        )
+    if not isinstance(obj, list):
+        raise DistributionError(
+            f"point batch encoding must be a list or a packed object, "
+            f"got {type(obj).__name__}"
+        )
+    return [point_from_dict(d, row=i) for i, d in enumerate(obj)]
 
 
 def dumps(points: Sequence[UncertainPoint], **json_kwargs) -> str:

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from . import admission, deadline, faults, retry, snapshot
+from . import admission, deadline, faults, retry, snapshot, wal
 from .admission import clamp_tile_rows, require_bytes
 from .deadline import Deadline, active_deadline, check_deadline, deadline_scope
 from .faults import FaultSpec, FaultStats, fault_stats, inject, reset_fault_stats
 from .retry import RetryCounters, RetryPolicy, run_with_retry
 from .snapshot import load_engine, read_manifest, save_engine
+from .wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "admission",
@@ -53,6 +54,9 @@ __all__ = [
     "load_engine",
     "read_manifest",
     "save_engine",
+    "wal",
+    "WalRecord",
+    "WriteAheadLog",
 ]
 
 

@@ -37,8 +37,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..errors import QueryError, ResourceLimitError, WorkerCrashError
 
 __all__ = ["FaultSpec", "FaultStats", "inject", "fire", "suppressed",
-           "fault_stats", "reset_fault_stats", "collecting", "adopting",
-           "current_collectors", "KINDS", "SITES"]
+           "active", "fault_stats", "reset_fault_stats", "collecting",
+           "adopting", "current_collectors", "KINDS", "SITES"]
 
 KINDS = ("crash", "kill", "slow", "alloc")
 
@@ -56,6 +56,9 @@ SITES = (
     "snapshot.write",     # one snapshot payload write
     "cluster.heartbeat",  # one shard-worker idle heartbeat
     "cluster.shard_query",  # one per-shard query request
+    "wal.append",         # one WAL record append (fires mid-frame)
+    "wal.fsync",          # one WAL fsync (after flush, before sync)
+    "wal.rotate",         # one WAL compaction rotation step
 )
 
 _ENV_KEY = "REPRO_FAULT_PLAN"
@@ -246,6 +249,17 @@ def suppressed() -> Iterator[None]:
         yield
     finally:
         _SUPPRESS -= 1
+
+
+def active() -> bool:
+    """Whether any fault plan could fire right now (injected in-process
+    or inherited via ``REPRO_FAULT_PLAN``).  Checkpoints that must do
+    extra work *before* a fault can land — e.g. the WAL flushing a
+    half-written frame so a kill produces a genuinely torn record —
+    gate that work on this, keeping the happy path at one env lookup."""
+    if _SUPPRESS:
+        return False
+    return bool(_PLAN) or _ENV_KEY in os.environ
 
 
 def fire(site: str, index: Optional[int] = None) -> None:

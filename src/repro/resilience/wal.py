@@ -1,0 +1,505 @@
+"""Crash-consistent write-ahead log for durable engine sessions.
+
+Every acknowledged mutation of a durable :class:`repro.Engine`
+(``Engine.open_durable``) is appended here *before* the call returns:
+recovery = load the latest snapshot, replay the log over it.  The
+format is built so that a ``kill -9`` (or power loss, under
+``fsync="always"``) at **any** byte boundary recovers to a consistent
+prefix of the acknowledged history — never to a half-applied write.
+
+File layout
+-----------
+``16-byte header`` — magic ``b"REPROWAL"`` + little-endian ``u32``
+format version + ``u32`` reserved — followed by a sequence of framed
+records::
+
+    [u32 payload_len][u32 crc32(payload)][payload bytes]
+
+The payload is compact UTF-8 JSON: ``{"op": ..., "gen": ..., ...}``.
+Ops are ``insert`` / ``remove`` / ``replace`` (engine mutations, each
+stamped with the generation the engine holds *after* applying it) and
+``snapshot-marker`` (the first record of every log file, naming the
+generation of the snapshot the log is based on).  Generations increase
+by exactly one per mutation record, which is what makes replay — and
+crash-safe log rotation — idempotent: records whose generation is
+already covered by the loaded snapshot are skipped.
+
+Failure semantics
+-----------------
+* **Torn tail** — a crash mid-append leaves a final frame that is
+  short, or whose CRC fails.  :func:`scan` detects it and recovery
+  truncates the file back to the last whole record instead of refusing
+  to open; the un-acked write is simply gone.
+* **Interior corruption** — a bad CRC (or undecodable payload) *before*
+  the final record cannot come from a torn append; it means the file
+  was damaged after the fact.  That raises
+  :class:`repro.errors.WalCorruptionError` carrying the byte offset —
+  corrupt history never silently loads.
+* **fsync policy** — ``config.DURABILITY.fsync`` picks what an ack
+  means (see :class:`repro.config.Durability`).  Every append is
+  flushed to the OS before returning under every policy, so process
+  death never loses an acknowledged write; only power loss is
+  policy-dependent.
+
+Fault sites ``wal.append`` (fired *between* the two halves of a frame
+write, after flushing the first half — a kill there leaves a real torn
+record), ``wal.fsync`` (after flush, before ``os.fsync``), and
+``wal.rotate`` (between preparing the fresh log and publishing it) let
+the chaos harness SIGKILL the process at every interesting point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..config import DURABILITY
+from ..errors import WalCorruptionError, WalError
+from . import faults as _faults
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan",
+    "OPS",
+]
+
+MAGIC = b"REPROWAL"
+VERSION = 1
+_HEADER = MAGIC + struct.pack("<II", VERSION, 0)
+_FRAME = struct.Struct("<II")
+
+#: Documented record operations.
+OPS = ("insert", "remove", "replace", "snapshot-marker")
+
+
+@dataclasses.dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: the op, the post-apply generation, the
+    op-specific payload fields, and the frame's byte offset."""
+
+    op: str
+    gen: int
+    payload: Dict[str, object]
+    offset: int
+
+
+def _decode(payload: bytes, offset: int, path: str) -> WalRecord:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        op = data.pop("op")
+        gen = int(data.pop("gen"))
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        # The CRC matched, so this is a writer bug or deliberate
+        # tampering, not a torn write — refuse loudly either way.
+        raise WalCorruptionError(
+            f"WAL record at offset {offset} in {path!r} passed its "
+            f"checksum but does not decode: {exc}",
+            path=path, reason="decode", offset=offset,
+        ) from exc
+    if op not in OPS:
+        raise WalCorruptionError(
+            f"WAL record at offset {offset} in {path!r} names unknown "
+            f"op {op!r}",
+            path=path, reason="decode", offset=offset,
+        )
+    return WalRecord(op=op, gen=gen, payload=data, offset=offset)
+
+
+def scan(path: str) -> Tuple[List[WalRecord], int, int]:
+    """Read and validate every record of the log at ``path``.
+
+    Returns ``(records, valid_end, torn_bytes)``: the decoded records,
+    the byte offset at which the valid prefix ends, and how many torn
+    trailing bytes follow it (``0`` for a cleanly closed log).  Raises
+    :class:`WalError` for a bad header and
+    :class:`WalCorruptionError` for interior damage.
+    """
+    try:
+        with open(path, "rb") as f:
+            buf = f.read()
+    except OSError as exc:
+        raise WalError(
+            f"cannot read WAL {path!r}: {exc}", path=path, reason="io"
+        ) from exc
+    if len(buf) < len(_HEADER) or buf[: len(MAGIC)] != MAGIC:
+        raise WalError(
+            f"{path!r} is not a {MAGIC.decode()} write-ahead log",
+            path=path, reason="magic",
+        )
+    version, _reserved = struct.unpack_from("<II", buf, len(MAGIC))
+    if version != VERSION:
+        raise WalError(
+            f"WAL {path!r} has format version {version}; this library "
+            f"reads version {VERSION}",
+            path=path, reason="version",
+        )
+    records: List[WalRecord] = []
+    pos = len(_HEADER)
+    size = len(buf)
+    while pos < size:
+        if pos + _FRAME.size > size:
+            break  # torn tail: not even a whole frame header
+        length, crc = _FRAME.unpack_from(buf, pos)
+        end = pos + _FRAME.size + length
+        if end > size:
+            break  # torn tail: payload extends past EOF
+        payload = buf[pos + _FRAME.size : end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            if end == size:
+                break  # torn tail: the final frame's bytes are partial
+            raise WalCorruptionError(
+                f"WAL record at offset {pos} in {path!r} fails its CRC "
+                f"with {size - end} valid-looking bytes after it — the "
+                f"log is corrupted, not torn",
+                path=path, reason="crc", offset=pos,
+            )
+        records.append(_decode(payload, pos, path))
+        pos = end
+    return records, pos, size - pos
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry of a just-created/renamed file (best
+    effort: not every platform allows ``open(dir)`` + ``fsync``)."""
+    try:
+        dfd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed mutation log with a configurable
+    fsync policy and crash-safe rotation.
+
+    Use :meth:`open` — it creates a fresh log (header + snapshot
+    marker) or recovers an existing one, truncating a torn tail.  The
+    records present at open time are exposed as :attr:`records` for the
+    owner to replay; appends after open are not added to that list.
+
+    ``fsync=`` overrides the global :data:`repro.config.DURABILITY`
+    policy per log (``None`` = follow the global knob live).
+    """
+
+    def __init__(self, *_, **__):
+        raise TypeError("use WriteAheadLog.open(path, base_generation=...)")
+
+    @classmethod
+    def _new(cls) -> "WriteAheadLog":
+        self = object.__new__(cls)
+        self._lock = threading.RLock()
+        self._file = None
+        self._size = 0
+        self._record_count = 0
+        self.path = None
+        self.records: List[WalRecord] = []
+        self.torn_bytes = 0
+        self._fsync_override: Optional[str] = None
+        self._last_fsync = time.monotonic()
+        self._dirty = False
+        # Telemetry (surfaced through Engine.stats()["wal"]).
+        self.appends = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.fsync_seconds = 0.0
+        self.rotations = 0
+        return self
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        base_generation: int = 0,
+        base_n: int = 0,
+        fsync: Optional[str] = None,
+    ) -> "WriteAheadLog":
+        """Open (or create) the log at ``path``.
+
+        A fresh log gets the versioned header plus a ``snapshot-marker``
+        record naming ``base_generation`` — the generation of the
+        snapshot this log is relative to.  An existing log is scanned:
+        a torn final record is truncated away (counted in
+        :attr:`torn_bytes`), interior corruption raises
+        :class:`WalCorruptionError`.
+        """
+        self = cls._new()
+        self.path = os.fspath(path)
+        self._fsync_override = fsync
+        if os.path.exists(self.path):
+            records, valid_end, torn = scan(self.path)
+            self.records = records
+            self.torn_bytes = torn
+            try:
+                f = open(self.path, "r+b")
+                if torn:
+                    # A crash mid-append left a partial frame; drop it.
+                    # The write it belonged to was never acknowledged.
+                    f.truncate(valid_end)
+                f.seek(valid_end)
+            except OSError as exc:
+                raise WalError(
+                    f"cannot open WAL {self.path!r} for append: {exc}",
+                    path=self.path, reason="io",
+                ) from exc
+            self._file = f
+            self._size = valid_end
+            self._record_count = len(records)
+            if not records:
+                # Crash between header write and marker append: the log
+                # carries no base; stamp it now.
+                self._append_marker(base_generation, base_n)
+        else:
+            self._create(base_generation, base_n)
+        return self
+
+    def _create(self, base_generation: int, base_n: int) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        try:
+            f = open(self.path, "w+b")
+            f.write(_HEADER)
+            f.flush()
+        except OSError as exc:
+            raise WalError(
+                f"cannot create WAL {self.path!r}: {exc}",
+                path=self.path, reason="io",
+            ) from exc
+        self._file = f
+        self._size = len(_HEADER)
+        self._append_marker(base_generation, base_n)
+        self._fsync_now()
+        _fsync_directory(directory)
+
+    def _append_marker(self, base_generation: int, base_n: int) -> None:
+        self._write_record(
+            "snapshot-marker",
+            {"n": int(base_n)},
+            int(base_generation),
+            fire=False,
+        )
+        self._fsync_now()
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def base_generation(self) -> Optional[int]:
+        """Generation of the snapshot this log is based on (from the
+        leading ``snapshot-marker``; ``None`` if the log has none)."""
+        for rec in self.records:
+            if rec.op == "snapshot-marker":
+                return rec.gen
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    @property
+    def record_count(self) -> int:
+        """Records currently in the file (replayed + appended)."""
+        return self._record_count
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def fsync_policy(self) -> str:
+        return self._fsync_override or DURABILITY.fsync
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "records": self._record_count,
+            "size_bytes": self._size,
+            "appends": self.appends,
+            "bytes_written": self.bytes_written,
+            "fsyncs": self.fsyncs,
+            "fsync_seconds": self.fsync_seconds,
+            "fsync_policy": self.fsync_policy(),
+            "rotations": self.rotations,
+            "torn_bytes_truncated": self.torn_bytes,
+        }
+
+    # -- appends --------------------------------------------------------------
+    def append(self, op: str, payload: Dict[str, object], generation: int) -> int:
+        """Frame, append, flush, and (per policy) fsync one record.
+
+        Returns the record's byte offset.  When this returns, the
+        record is in the OS page cache at minimum — durable against
+        process death; against power loss per the fsync policy.
+        """
+        if op not in OPS:
+            raise WalError(f"unknown WAL op {op!r}", path=self.path,
+                           reason="io")
+        with self._lock:
+            offset = self._write_record(op, payload, int(generation))
+            self._maybe_fsync()
+            return offset
+
+    def _write_record(
+        self, op: str, payload: Dict[str, object], generation: int,
+        fire: bool = True,
+    ) -> int:
+        if self._file is None:
+            raise WalError(
+                f"WAL {self.path!r} is closed", path=self.path,
+                reason="closed",
+            )
+        body = json.dumps(
+            {"op": op, "gen": generation, **payload},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        frame = _FRAME.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+        offset = self._size
+        f = self._file
+        try:
+            if fire and _faults.active():
+                # Land the first half of the frame in the OS page cache
+                # before the checkpoint: a SIGKILL fired here leaves a
+                # genuinely torn record for recovery to truncate.
+                split = max(1, len(frame) // 2)
+                f.write(frame[:split])
+                f.flush()
+                _faults.fire("wal.append", self._record_count)
+                f.write(frame[split:])
+            else:
+                f.write(frame)
+            f.flush()
+        except OSError as exc:
+            raise WalError(
+                f"cannot append to WAL {self.path!r}: {exc}",
+                path=self.path, reason="io",
+            ) from exc
+        self._size += len(frame)
+        self._record_count += 1
+        self.appends += 1
+        self.bytes_written += len(frame)
+        self._dirty = True
+        return offset
+
+    def _maybe_fsync(self) -> None:
+        policy = self.fsync_policy()
+        if policy == "always":
+            self._fsync_now()
+        elif policy == "interval":
+            if time.monotonic() - self._last_fsync >= DURABILITY.fsync_interval_s:
+                self._fsync_now()
+        # "off": the kernel writes back on its own schedule.
+
+    def _fsync_now(self) -> None:
+        if self._file is None or not self._dirty:
+            return
+        _faults.fire("wal.fsync", self._record_count)
+        started = time.perf_counter()
+        try:
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise WalError(
+                f"cannot fsync WAL {self.path!r}: {exc}",
+                path=self.path, reason="io",
+            ) from exc
+        self.fsync_seconds += time.perf_counter() - started
+        self.fsyncs += 1
+        self._last_fsync = time.monotonic()
+        self._dirty = False
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy (close/rotate use it)."""
+        with self._lock:
+            self._fsync_now()
+
+    # -- rotation -------------------------------------------------------------
+    def rotate(self, *, base_generation: int, base_n: int = 0) -> None:
+        """Atomically replace the log with a fresh one based on
+        ``base_generation`` (the generation of the snapshot the caller
+        just published).
+
+        Crash-safe at every step: the fresh log is fully written and
+        fsynced under a temp name first, then ``os.replace``d over the
+        live one.  A crash before the replace leaves the old log — its
+        records are all ≤ ``base_generation`` and replay skips them; a
+        crash after leaves the new log.  Either way recovery is exact.
+        """
+        with self._lock:
+            if self._file is None:
+                raise WalError(
+                    f"WAL {self.path!r} is closed", path=self.path,
+                    reason="closed",
+                )
+            directory = os.path.dirname(os.path.abspath(self.path)) or "."
+            tmp = self.path + ".new"
+            body = json.dumps(
+                {"op": "snapshot-marker", "gen": int(base_generation),
+                 "n": int(base_n)},
+                separators=(",", ":"),
+            ).encode("utf-8")
+            frame = (
+                _FRAME.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+            )
+            try:
+                with open(tmp, "wb") as f:
+                    f.write(_HEADER + frame)
+                    f.flush()
+                    os.fsync(f.fileno())
+                _faults.fire("wal.rotate", 1)
+                os.replace(tmp, self.path)
+                _fsync_directory(directory)
+                self._file.close()
+                self._file = open(self.path, "r+b")
+                self._file.seek(0, os.SEEK_END)
+            except OSError as exc:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise WalError(
+                    f"cannot rotate WAL {self.path!r}: {exc}",
+                    path=self.path, reason="io",
+                ) from exc
+            self._size = len(_HEADER) + len(frame)
+            self._record_count = 1
+            self.records = []
+            self.torn_bytes = 0
+            self._dirty = False
+            self._last_fsync = time.monotonic()
+            self.rotations += 1
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Fsync outstanding bytes and close (idempotent)."""
+        with self._lock:
+            if self._file is None:
+                return
+            try:
+                self._fsync_now()
+            finally:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"WriteAheadLog({self.path!r}, {state}, "
+            f"records={self._record_count}, bytes={self._size}, "
+            f"fsync={self.fsync_policy()!r})"
+        )

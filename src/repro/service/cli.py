@@ -23,7 +23,7 @@ import threading
 from typing import List, Optional, Tuple
 
 from .._version import __version__
-from ..config import SERVICE, service as service_config
+from ..config import SERVICE, durability, service as service_config
 from .queue import RequestQueue
 from .registry import DatasetRegistry
 from .server import ServiceServer
@@ -123,6 +123,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: unbounded)",
     )
     p.add_argument(
+        "--durable-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-consistent tenancy root: every dataset gets a "
+        "snapshot + write-ahead log under DIR/<name>/ and is "
+        "recovered on restart (incompatible with --shards)",
+    )
+    p.add_argument(
+        "--durable-fsync",
+        choices=("always", "interval", "off"),
+        default=None,
+        help="WAL fsync policy for durable datasets "
+        "(default: config.DURABILITY.fsync)",
+    )
+    p.add_argument(
+        "--compact-bytes",
+        type=int,
+        default=None,
+        help="rotate a dataset's WAL past this size "
+        "(default: config.DURABILITY.compact_bytes)",
+    )
+    p.add_argument(
+        "--compact-records",
+        type=int,
+        default=None,
+        help="rotate a dataset's WAL past this many records "
+        "(default: config.DURABILITY.compact_records)",
+    )
+    p.add_argument(
         "--ready-file",
         default=None,
         help="write {host, port, pid} JSON here once listening",
@@ -148,15 +177,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.default_deadline is not None:
         overrides["default_deadline_s"] = args.default_deadline
 
-    with service_config(**overrides):
-        registry = DatasetRegistry(max_datasets=args.max_datasets)
+    if args.durable_dir is not None and args.shards is not None:
+        print(
+            "repro-serve: --durable-dir and --shards are incompatible "
+            "(sharded engines are immutable; there is nothing to log)",
+            file=sys.stderr,
+        )
+        return 2
+
+    dur_overrides = {}
+    if args.durable_fsync is not None:
+        dur_overrides["fsync"] = args.durable_fsync
+    if args.compact_bytes is not None:
+        dur_overrides["compact_bytes"] = args.compact_bytes
+    if args.compact_records is not None:
+        dur_overrides["compact_records"] = args.compact_records
+
+    with service_config(**overrides), durability(**dur_overrides):
+        registry = DatasetRegistry(
+            max_datasets=args.max_datasets,
+            durable_dir=args.durable_dir,
+            durable_fsync=args.durable_fsync,
+        )
         try:
+            recovered = registry.recover()
+            for name in recovered:
+                replayed = (
+                    registry.get(name).engine.stats().get("wal", {})
+                ).get("replayed", 0)
+                print(
+                    f"recovered dataset {name!r} "
+                    f"({replayed} WAL record(s) replayed)",
+                    file=sys.stderr,
+                )
             for name, path in args.dataset:
+                if name in registry:
+                    # Recovered durable state wins over a preload: the
+                    # log holds acknowledged writes the seed file
+                    # cannot know about.
+                    continue
                 registry.create(name, snapshot=path, shards=args.shards)
                 print(
                     f"loaded dataset {name!r} from {path}", file=sys.stderr
                 )
             for name, path in args.points:
+                if name in registry:
+                    continue
                 with open(path, "r", encoding="utf-8") as fh:
                     registry.create(
                         name, points_json=fh.read(), shards=args.shards

@@ -50,6 +50,7 @@ from ..errors import (
     QueueFullError,
     ServiceError,
     ServiceUnavailableError,
+    UnknownDatasetError,
 )
 from ..geometry.kernels import as_query_array
 from .registry import DatasetRegistry
@@ -336,6 +337,13 @@ class RequestQueue:
             else:
                 Q = np.concatenate([t.Q for t in group], axis=0)
             with ds.lock:
+                if ds.closed:
+                    # The dataset was evicted between lookup and lock
+                    # acquisition; its engine has released its workers /
+                    # shared memory / WAL and must never serve a query.
+                    raise UnknownDatasetError(
+                        f"dataset {ds.name!r} was evicted", name=ds.name
+                    )
                 result = ds.engine.query(Q, group[0].spec)
             done_at = time.monotonic()
             ds.touch(rows=Q.shape[0])

@@ -27,7 +27,9 @@ engines own OS resources — workers and shared-memory segments).
 
 from __future__ import annotations
 
+import os
 import re
+import shutil
 import threading
 import time
 from typing import Dict, List, Optional, Sequence
@@ -54,6 +56,12 @@ class Dataset:
         #: queue (and any direct caller) must hold it around
         #: ``engine.query`` / ``engine.insert`` / ``engine.remove``.
         self.lock = threading.RLock()
+        #: Set (under :attr:`lock`) when the registry closes this
+        #: handle.  Executors that looked the dataset up *before* an
+        #: eviction re-check this under the lock — a closed engine must
+        #: never serve a query (sharded engines have released their
+        #: workers; durable engines their write-ahead log).
+        self.closed = False
         self.created_at = time.time()
         self.last_used = time.monotonic()
         self.queries = 0
@@ -62,6 +70,10 @@ class Dataset:
     @property
     def sharded(self) -> bool:
         return isinstance(self.engine, ShardedEngine)
+
+    @property
+    def durable(self) -> bool:
+        return bool(getattr(self.engine, "durable", False))
 
     def touch(self, rows: int = 0) -> None:
         self.last_used = time.monotonic()
@@ -76,6 +88,7 @@ class Dataset:
             "n": len(self.engine),
             "generation": self.engine.generation,
             "sharded": self.sharded,
+            "durable": self.durable,
             "source": self.source,
             "created_at": self.created_at,
             "idle_s": max(0.0, time.monotonic() - self.last_used),
@@ -85,7 +98,10 @@ class Dataset:
 
     def close(self) -> None:
         """Release engine resources (worker processes and shared-memory
-        segments for sharded engines; a no-op for plain engines)."""
+        segments for sharded engines, the write-ahead log for durable
+        engines; a no-op for plain engines) and mark the handle closed
+        so late executors refuse it."""
+        self.closed = True
         close = getattr(self.engine, "close", None)
         if close is not None:
             close()
@@ -99,15 +115,42 @@ class DatasetRegistry:
     max_datasets:
         Optional tenancy bound; creating one dataset beyond it evicts
         the least-recently-used dataset first (closed, then dropped).
+        Durable datasets are never chosen for eviction — their state
+        lives on disk and the WAL must stay open to accept writes.
+    durable_dir:
+        Optional root directory for crash-consistent tenancy.  Each
+        non-sharded dataset gets ``durable_dir/<name>/`` holding its
+        snapshot and write-ahead log (:meth:`repro.Engine.open_durable`);
+        :meth:`recover` reopens every such directory after a restart.
+    durable_fsync:
+        Per-registry override of ``config.DURABILITY.fsync`` for the
+        tenants' logs (``"always"`` / ``"interval"`` / ``"off"``).
     """
 
-    def __init__(self, max_datasets: Optional[int] = None):
+    def __init__(
+        self,
+        max_datasets: Optional[int] = None,
+        *,
+        durable_dir: Optional[str] = None,
+        durable_fsync: Optional[str] = None,
+    ):
         self._datasets: Dict[str, Dataset] = {}
         self._lock = threading.Lock()
         self.max_datasets = max_datasets
+        self.durable_dir = (
+            os.fspath(durable_dir) if durable_dir is not None else None
+        )
+        self.durable_fsync = durable_fsync
+        if self.durable_dir is not None:
+            os.makedirs(self.durable_dir, exist_ok=True)
         self.created = 0
         self.dropped = 0
         self.evicted = 0
+        self.recovered = 0
+
+    def _dataset_dir(self, name: str) -> str:
+        assert self.durable_dir is not None
+        return os.path.join(self.durable_dir, name)
 
     # -- introspection --------------------------------------------------------
     def __len__(self) -> int:
@@ -137,6 +180,8 @@ class DatasetRegistry:
             "created": self.created,
             "dropped": self.dropped,
             "evicted": self.evicted,
+            "recovered": self.recovered,
+            "durable_dir": self.durable_dir,
             "per_dataset": {
                 ds.name: {**ds.info(), "engine": ds.engine.stats()}
                 for ds in handles
@@ -195,6 +240,11 @@ class DatasetRegistry:
 
         if shards is not None and int(shards) < 1:
             raise QueryError("shards must be >= 1")
+        if shards is not None and self.durable_dir is not None:
+            raise QueryError(
+                "sharded datasets are immutable and cannot be durable; "
+                "create without shards= on a durable registry"
+            )
 
         # Build the engine outside the registry lock: snapshot loads
         # and shard spawns are slow, and other tenants must not stall.
@@ -210,6 +260,32 @@ class DatasetRegistry:
         else:
             engine = Engine(
                 list(points), result_cache_size=result_cache_size
+            )
+        if self.durable_dir is not None:
+            # Creating a name starts its durable history over, so the
+            # old dataset (if any) must release the directory first.
+            # Registered names honour the replace flag; an unregistered
+            # directory is orphaned state a previous create was killed
+            # inside of — a live dataset would have been recovered at
+            # startup — and is swept away.
+            with self._lock:
+                existing = self._datasets.get(name)
+                if existing is not None and not replace:
+                    raise DatasetExistsError(
+                        f"dataset {name!r} already exists "
+                        f"(n={len(existing.engine)}); use replace",
+                        name=name,
+                    )
+            if existing is not None:
+                self.drop(name)
+            ddir = self._dataset_dir(name)
+            if os.path.exists(ddir):
+                shutil.rmtree(ddir)
+            engine = Engine.open_durable(
+                ddir,
+                engine.points,
+                result_cache_size=result_cache_size,
+                fsync=self.durable_fsync,
             )
 
         ds = Dataset(name, engine, source)
@@ -230,9 +306,12 @@ class DatasetRegistry:
                     self.max_datasets is not None
                     and len(self._datasets) >= self.max_datasets
                 ):
-                    lru = min(
-                        self._datasets.values(), key=lambda d: d.last_used
-                    )
+                    victims = [
+                        d for d in self._datasets.values() if not d.durable
+                    ]
+                    if not victims:
+                        break  # durable tenants are never evicted
+                    lru = min(victims, key=lambda d: d.last_used)
                     evict.append(self._datasets.pop(lru.name))
                     self.evicted += 1
                 self._datasets[name] = ds
@@ -258,7 +337,9 @@ class DatasetRegistry:
 
     def drop(self, name: str) -> None:
         """Unregister and close a dataset (idempotent errors: unknown
-        names raise :class:`UnknownDatasetError`)."""
+        names raise :class:`UnknownDatasetError`).  On a durable
+        registry the dataset's on-disk directory is deleted too — drop
+        means *forget*, not *archive*."""
         with self._lock:
             ds = self._datasets.pop(name, None)
             if ds is not None:
@@ -268,7 +349,10 @@ class DatasetRegistry:
                 f"unknown dataset {name!r}", name=name
             )
         with ds.lock:
+            durable = ds.durable
             ds.close()
+        if durable and self.durable_dir is not None:
+            shutil.rmtree(self._dataset_dir(name), ignore_errors=True)
 
     def insert(self, name: str, *, points=None, points_json=None) -> Dataset:
         """Append points to a mutable dataset (generation bump; every
@@ -290,6 +374,13 @@ class DatasetRegistry:
                 points_json = _json.dumps(points_json)
             points = _io.loads(points_json)
         with ds.lock:
+            if ds.closed:
+                # Lost the race with an eviction: the engine has
+                # released its resources (and, if durable, its WAL) —
+                # inserting would acknowledge a write nothing persists.
+                raise UnknownDatasetError(
+                    f"dataset {name!r} was evicted", name=name
+                )
             ds.engine.insert(points)
         ds.touch()
         return ds
@@ -302,7 +393,7 @@ class DatasetRegistry:
             stale = [
                 ds
                 for ds in self._datasets.values()
-                if now - ds.last_used > max_idle_s
+                if now - ds.last_used > max_idle_s and not ds.durable
             ]
             for ds in stale:
                 del self._datasets[ds.name]
@@ -311,6 +402,45 @@ class DatasetRegistry:
             with ds.lock:
                 ds.close()
         return sorted(ds.name for ds in stale)
+
+    def recover(self, result_cache_size: int = 32) -> List[str]:
+        """Reopen every tenant found under ``durable_dir`` (snapshot +
+        write-ahead log replay per dataset) and register it.  The
+        daemon calls this once at startup; after a crash the recovered
+        engines answer exactly as the pre-crash engines that
+        acknowledged the same writes.  Returns the recovered names in
+        sorted order; a no-op (empty list) without a ``durable_dir``.
+        """
+        if self.durable_dir is None:
+            return []
+        names = sorted(
+            entry
+            for entry in os.listdir(self.durable_dir)
+            if os.path.isdir(os.path.join(self.durable_dir, entry))
+            and _NAME_RE.match(entry)
+        )
+        recovered: List[str] = []
+        for name in names:
+            if name in self:
+                continue
+            ddir = self._dataset_dir(name)
+            if not (
+                os.path.exists(os.path.join(ddir, Engine.SNAPSHOT_NAME))
+                or os.path.exists(os.path.join(ddir, Engine.WAL_NAME))
+            ):
+                continue  # empty shell left by a killed create
+            engine = Engine.open_durable(
+                ddir,
+                result_cache_size=result_cache_size,
+                fsync=self.durable_fsync,
+            )
+            ds = Dataset(name, engine, f"recovered:{ddir}")
+            with self._lock:
+                self._datasets[name] = ds
+                self.created += 1
+                self.recovered += 1
+            recovered.append(name)
+        return recovered
 
     def close_all(self) -> None:
         with self._lock:

@@ -23,8 +23,11 @@ Endpoints
 
 Failure modes map to HTTP statuses: malformed input 400 (``QueryError``
 / ``DistributionError``), unknown dataset 404, name collision 409,
-queue admission 429, draining / resource limits 503, expired deadlines
-504.  Error bodies are ``{"error": <type>, "message": ...}``.
+oversized bodies 413 (rejected from ``Content-Length`` alone, before
+buffering), queue admission 429, draining / resource limits 503,
+expired deadlines 504.  Error bodies are ``{"error": <type>,
+"message": ...}``; 429/503 responses carry a ``Retry-After`` header and
+the live ``queue_depth`` so clients can pace their retries.
 
 Graceful shutdown (``SIGTERM`` via :meth:`ServiceServer.drain`): the
 health endpoint flips to 503, new submissions are rejected, queued
@@ -46,6 +49,7 @@ from ..engine import QuerySpec
 from ..errors import (
     DatasetExistsError,
     DistributionError,
+    PayloadTooLargeError,
     QueryError,
     QueryTimeoutError,
     QueueFullError,
@@ -75,6 +79,8 @@ def status_of(exc: BaseException) -> int:
         return 409
     if isinstance(exc, QueueFullError):
         return 429
+    if isinstance(exc, PayloadTooLargeError):
+        return 413
     if isinstance(exc, (ServiceUnavailableError, ResourceLimitError)):
         return 503
     if isinstance(exc, QueryTimeoutError):
@@ -214,6 +220,39 @@ class ServiceServer:
             "Per-engine fault/recovery counters.",
             ("dataset", "kind"),
         )
+        self.m_wal = {
+            "records": m.gauge(
+                "repro_wal_records",
+                "Records in the dataset's write-ahead log since the "
+                "last compaction.",
+                ("dataset",),
+            ),
+            "size_bytes": m.gauge(
+                "repro_wal_bytes",
+                "Write-ahead log size on disk.",
+                ("dataset",),
+            ),
+            "fsyncs": m.gauge(
+                "repro_wal_fsyncs",
+                "fsync calls issued by the write-ahead log.",
+                ("dataset",),
+            ),
+            "fsync_seconds": m.gauge(
+                "repro_wal_fsync_seconds",
+                "Cumulative seconds spent in WAL fsync.",
+                ("dataset",),
+            ),
+            "rotations": m.gauge(
+                "repro_wal_rotations",
+                "Completed snapshot-then-truncate compactions.",
+                ("dataset",),
+            ),
+            "replayed": m.gauge(
+                "repro_wal_replayed_records",
+                "Records replayed when this dataset was recovered.",
+                ("dataset",),
+            ),
+        }
         m.add_updater(self._refresh_gauges)
 
     def _refresh_gauges(self) -> None:
@@ -226,7 +265,7 @@ class ServiceServer:
         )
         names = set(self.registry.names())
         self.m_datasets.set(len(names))
-        for gauge in self.m_engine.values():
+        for gauge in (*self.m_engine.values(), *self.m_wal.values()):
             for key in list(gauge._values):
                 if key[0] not in names:
                     gauge._values.pop(key, None)
@@ -243,6 +282,10 @@ class ServiceServer:
                 self.m_eval_pairs.set(float(ev["pairs"]), dataset=name)
             for kind, count in (stats.get("faults") or {}).items():
                 self.m_faults.set(float(count), dataset=name, kind=kind)
+            wal = stats.get("wal")
+            if isinstance(wal, dict):
+                for field, gauge in self.m_wal.items():
+                    gauge.set(float(wal.get(field, 0)), dataset=name)
 
     def _wire_queue_hooks(self) -> None:
         def on_batch(requests: int, rows: int) -> None:
@@ -362,6 +405,12 @@ class ServiceServer:
         return {**ds.info(), "engine": ds.engine.stats()}
 
 
+def _format_retry_after() -> str:
+    """``Retry-After`` takes integral seconds; round the configured
+    hint up so a 0.5s hint never renders as "retry immediately"."""
+    return str(max(1, int(-(-_SERVICE.retry_after_s // 1))))
+
+
 def _parse_json_object(body: bytes, what: str) -> Dict[str, object]:
     try:
         payload = json.loads(body.decode("utf-8") or "{}")
@@ -387,9 +436,25 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
+        limit = _SERVICE.max_body_bytes
+        if limit and length > limit:
+            # Reject from the declared length alone — an oversized body
+            # must cost 413, never ``length`` bytes of handler memory.
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit (SERVICE.max_body_bytes)",
+                length=length,
+                limit=limit,
+            )
         return self.rfile.read(length) if length > 0 else b""
 
-    def _send(self, code: int, payload, content_type="application/json"):
+    def _send(
+        self,
+        code: int,
+        payload,
+        content_type="application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ):
         if isinstance(payload, (dict, list)):
             data = (json.dumps(payload) + "\n").encode("utf-8")
         elif isinstance(payload, str):
@@ -399,14 +464,31 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(data)
 
     def _send_error(self, exc: BaseException, code: Optional[int] = None):
         code = code if code is not None else status_of(exc)
-        self._send(
-            code, {"error": type(exc).__name__, "message": str(exc)}
-        )
+        body: Dict[str, object] = {
+            "error": type(exc).__name__, "message": str(exc)
+        }
+        headers: Optional[Dict[str, str]] = None
+        if code == 413:
+            # The oversized body was never read; the connection's byte
+            # stream is unusable for another request.
+            self.close_connection = True
+        if code in (429, 503):
+            # Back-pressure statuses carry a retry hint and the live
+            # queue depth so clients can pace themselves instead of
+            # hammering a saturated daemon.
+            headers = {"Retry-After": _format_retry_after()}
+            body["queue_depth"] = self.service.queue.depth
+            limit = getattr(exc, "limit", None)
+            if limit is not None:
+                body["queue_limit"] = limit
+        self._send(code, body, headers=headers)
 
     def _route(self, verb: str) -> None:
         service = self.service

@@ -1,0 +1,163 @@
+"""Dataset eviction racing in-flight work: a closed engine is never
+served.
+
+The daemon's registry can close a dataset (drop, LRU eviction, idle
+eviction) while the request queue still holds a reference from an
+earlier ``registry.get``.  These tests pin the interleavings
+deterministically — the queue in ``start=False`` mode admits work
+without executing it, so the eviction can be sequenced precisely
+between lookup and execution:
+
+* a query admitted before a drop fails with
+  :class:`repro.errors.UnknownDatasetError`, not a crash against a
+  closed engine;
+* the ``Dataset.closed`` flag is re-checked *under the dataset lock*,
+  so even an executor that captured the handle pre-eviction refuses it;
+* ``registry.insert`` on an evicted handle refuses rather than
+  acknowledging a write into a closed (durable) engine;
+* durable datasets are exempt from LRU and idle eviction — their WAL
+  must stay open to accept writes;
+* eviction waits out in-flight queries (the dataset lock) before
+  closing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import Engine, QuerySpec
+from repro.constructions import random_discrete_points, random_queries
+from repro.errors import UnknownDatasetError
+from repro.service import DatasetRegistry, RequestQueue
+
+BBOX = (0, 0, 100, 100)
+SPEC = QuerySpec(method="expected_nn")
+
+
+@pytest.fixture()
+def registry():
+    reg = DatasetRegistry()
+    reg.create("a", points=random_discrete_points(10, 2, seed=1))
+    reg.create("b", points=random_discrete_points(10, 2, seed=2))
+    yield reg
+    reg.close_all()
+
+
+def test_drop_between_admission_and_execution(registry):
+    queue = RequestQueue(registry, start=False)
+    ticket = queue.submit("a", SPEC, random_queries(2, seed=3, bbox=BBOX))
+    registry.drop("a")  # admitted, not yet executed
+    queue.start()
+    with pytest.raises(UnknownDatasetError):
+        ticket.wait(timeout=30)
+    assert queue.counters["failed"] == 1
+    queue.close()
+
+
+def test_closed_handle_is_refused_under_the_lock(registry):
+    """The nastier interleaving: the executor already holds the
+    ``Dataset`` handle when the eviction closes it.  Simulated by
+    closing the handle while it stays registered — exactly what the
+    executor observes when it loses the lock race — the ``closed``
+    re-check under ``ds.lock`` must refuse to serve it."""
+    queue = RequestQueue(registry, start=False)
+    ticket = queue.submit("a", SPEC, random_queries(2, seed=4, bbox=BBOX))
+    ds = registry.get("a")
+    with ds.lock:
+        ds.close()
+    assert ds.closed
+    queue.start()
+    with pytest.raises(UnknownDatasetError) as err:
+        ticket.wait(timeout=30)
+    assert "evicted" in str(err.value)
+    queue.close()
+
+
+def test_insert_on_evicted_handle_is_refused(registry):
+    ds = registry.get("a")
+    with ds.lock:
+        ds.close()
+    with pytest.raises(UnknownDatasetError):
+        registry.insert(
+            "a", points=random_discrete_points(2, 2, seed=5)
+        )
+
+
+def test_eviction_waits_for_inflight_query(registry):
+    """``evict_idle`` closes under the dataset lock, so an in-flight
+    query finishes against a live engine; only later arrivals see the
+    eviction."""
+    queue = RequestQueue(registry, start=False)
+    ds = registry.get("a")
+    results = {}
+
+    def hold_and_query():
+        with ds.lock:
+            results["mid_eviction_closed"] = ds.closed
+            time.sleep(0.3)  # eviction must block on this lock
+            results["result"] = ds.engine.query(
+                random_queries(2, seed=6, bbox=BBOX), SPEC
+            )
+
+    t = threading.Thread(target=hold_and_query)
+    t.start()
+    time.sleep(0.05)
+    ds.last_used = 0.0  # force idleness
+    evicted = registry.evict_idle(max_idle_s=1e-9)
+    t.join(timeout=30)
+    assert "a" in evicted
+    assert results["mid_eviction_closed"] is False
+    assert results["result"].m == 2  # served by a live engine
+    assert ds.closed  # and only then closed
+    queue.close()
+
+
+def test_lru_eviction_closes_and_later_queries_404():
+    reg = DatasetRegistry(max_datasets=2)
+    reg.create("a", points=random_discrete_points(5, 2, seed=1))
+    a = reg.get("a")
+    time.sleep(0.01)
+    reg.create("b", points=random_discrete_points(5, 2, seed=2))
+    reg.create("c", points=random_discrete_points(5, 2, seed=3))  # evicts a
+    assert a.closed and reg.evicted == 1
+    queue = RequestQueue(reg, start=False)
+    with pytest.raises(UnknownDatasetError):
+        queue.submit("a", SPEC, random_queries(1, seed=4, bbox=BBOX))
+    queue.close()
+    reg.close_all()
+
+
+def test_durable_datasets_survive_lru_and_idle_eviction(tmp_path):
+    reg = DatasetRegistry(
+        max_datasets=1, durable_dir=str(tmp_path / "tenants")
+    )
+    reg.create("d1", points=random_discrete_points(4, 2, seed=7))
+    reg.create("d2", points=random_discrete_points(4, 2, seed=8))
+    # Both are durable: the LRU loop may not evict either, so the bound
+    # is deliberately exceeded rather than a WAL force-closed.
+    assert sorted(reg.names()) == ["d1", "d2"] and reg.evicted == 0
+
+    for name in reg.names():
+        reg.get(name).last_used = 0.0
+    assert reg.evict_idle(max_idle_s=1e-9) == []
+    assert not reg.get("d1").closed and not reg.get("d2").closed
+
+    # Durable engines still close (and delete their state) on drop.
+    reg.drop("d1")
+    assert not (tmp_path / "tenants" / "d1").exists()
+    reg.close_all()
+
+
+def test_dropped_durable_dataset_not_recovered(tmp_path):
+    root = str(tmp_path / "tenants")
+    reg = DatasetRegistry(durable_dir=root)
+    reg.create("keep", points=random_discrete_points(4, 2, seed=9))
+    reg.create("gone", points=random_discrete_points(4, 2, seed=10))
+    reg.drop("gone")
+    reg.close_all()
+
+    reg2 = DatasetRegistry(durable_dir=root)
+    assert reg2.recover() == ["keep"]
+    assert isinstance(reg2.get("keep").engine, Engine)
+    reg2.close_all()

@@ -187,6 +187,81 @@ def test_status_mapping(server):
     assert code == 504 and body["error"] == "QueryTimeoutError"
 
 
+def test_oversized_body_rejected_413_before_buffering(server):
+    """A request whose declared Content-Length exceeds
+    ``SERVICE.max_body_bytes`` costs a 413 computed from the header
+    alone — the handler never buffers (or even reads) the body."""
+    from repro.config import service as service_config
+
+    with service_config(max_body_bytes=1024):
+        req = urllib.request.Request(
+            server.url + "/v1/datasets/demo/query",
+            data=b"x" * 2048,
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 413
+        body = json.loads(err.value.read())
+        assert body["error"] == "PayloadTooLargeError"
+        assert "2048" in body["message"] and "1024" in body["message"]
+        # Under the limit still works.
+        code, _ = _send(
+            server, "POST", "/v1/datasets/demo/query", {"query": [[1.0, 2.0]]}
+        )
+        assert code == 200
+
+
+def test_429_carries_retry_after_and_queue_depth(points):
+    from repro.service import RequestQueue
+
+    reg = DatasetRegistry()
+    reg.create("demo", points=list(points))
+    queue = RequestQueue(reg, max_depth=1, start=False)
+    srv = ServiceServer(reg, port=0, queue=queue).start()
+    try:
+        # Fill the single admission slot; the queue never executes it
+        # (start=False), so the next HTTP request must bounce.
+        queue.submit("demo", wire.decode_spec({"method": "expected_nn"}),
+                     [[0.0, 0.0]])
+        req = urllib.request.Request(
+            srv.url + "/v1/datasets/demo/query",
+            data=json.dumps({"query": [[1.0, 2.0]]}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 429
+        assert int(err.value.headers["Retry-After"]) >= 1
+        body = json.loads(err.value.read())
+        assert body["error"] == "QueueFullError"
+        assert body["queue_depth"] == 1 and body["queue_limit"] == 1
+    finally:
+        srv.drain(5)
+
+
+def test_503_when_draining_carries_retry_after(points):
+    reg = DatasetRegistry()
+    reg.create("demo", points=list(points))
+    srv = ServiceServer(reg, port=0).start()
+    try:
+        # Flip the queue to draining without stopping the listener.
+        srv.queue._draining = True
+        req = urllib.request.Request(
+            srv.url + "/v1/datasets/demo/query",
+            data=json.dumps({"query": [[1.0, 2.0]]}).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 503
+        assert int(err.value.headers["Retry-After"]) >= 1
+        assert "queue_depth" in json.loads(err.value.read())
+    finally:
+        srv.queue._draining = False
+        srv.drain(5)
+
+
 def test_raw_bad_json_body_is_400(server):
     req = urllib.request.Request(
         server.url + "/v1/datasets/demo/query", data=b"{not json", method="POST"

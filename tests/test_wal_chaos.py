@@ -1,0 +1,309 @@
+"""Kill-9 chaos harness for the write-ahead log.
+
+Every test here crosses a real process boundary: a child process runs
+real durable mutations with a ``REPRO_FAULT_PLAN`` kill planted at a
+named WAL fault site (``wal.append`` mid-frame, ``wal.fsync`` after the
+flush, ``wal.rotate`` between snapshot publish and log swap), dies via
+``os._exit`` at that exact instruction, and the parent recovers the
+directory and hard-asserts the durability contract:
+
+* every **acknowledged** write survives, bit-for-bit;
+* an **unacknowledged** write either vanishes (torn frame, truncated)
+  or surfaces complete — never half-applied (batch atomicity);
+* recovery is deterministic: the kill sites are chosen so the exact
+  post-recovery count is known, not merely bounded.
+
+The second half drives the real ``repro-serve`` daemon: create a
+durable dataset over HTTP, append points, ``SIGKILL`` the daemon,
+restart it on the same ``--durable-dir``, and assert every
+acknowledged append is served by the reborn process.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro import Engine
+from repro.constructions import random_discrete_points
+from repro.errors import WalCorruptionError
+from repro.resilience.faults import FaultSpec
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+BATCH = 3  # points per child insert — the unit of batch atomicity
+
+#: Child process: recover the durable dir, then append ``batches``
+#: inserts of BATCH points each, acking each one (write + fsync a line)
+#: only after Engine.insert returns.  A planted kill terminates it
+#: mid-mutation; everything before the last ack line is acknowledged.
+CHILD = """
+import os, sys
+from repro import Engine, durability
+from repro.constructions import random_discrete_points
+
+ddir, ack_path, batches, compact = sys.argv[1:5]
+with durability(compact_records=int(compact)):
+    engine = Engine.open_durable(ddir)
+    for i in range(int(batches)):
+        engine.insert(random_discrete_points(%d, 2, seed=100 + i))
+        with open(ack_path, "a") as f:
+            f.write(f"{i}\\n")
+            f.flush()
+            os.fsync(f.fileno())
+    engine.close()
+print("DONE")
+""" % BATCH
+
+
+def _run_child(ddir, ack_path, batches, plan, compact=10**9):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps([s.to_dict() for s in plan])
+    else:
+        env.pop("REPRO_FAULT_PLAN", None)
+    return subprocess.run(
+        [sys.executable, "-c", CHILD, str(ddir), str(ack_path),
+         str(batches), str(compact)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def _acked(ack_path):
+    if not os.path.exists(ack_path):
+        return []
+    with open(ack_path) as f:
+        return [int(line) for line in f.read().split()]
+
+
+@pytest.fixture()
+def durable_dir(tmp_path):
+    ddir = tmp_path / "dur"
+    seed = Engine.open_durable(
+        str(ddir), random_discrete_points(10, 3, seed=55)
+    )
+    base_n, base_gen = len(seed), seed.generation
+    seed.close()
+    return ddir, base_n, base_gen
+
+
+def test_clean_child_run_recovers_everything(durable_dir, tmp_path):
+    ddir, base_n, _ = durable_dir
+    ack = tmp_path / "ack"
+    out = _run_child(ddir, ack, batches=5, plan=None)
+    assert out.returncode == 0 and "DONE" in out.stdout, out.stderr
+    assert _acked(ack) == list(range(5))
+    engine = Engine.open_durable(str(ddir))
+    assert len(engine) == base_n + 5 * BATCH
+    engine.close()
+
+
+def test_kill9_mid_append_leaves_torn_record(durable_dir, tmp_path):
+    """SIGKILL lands between the two flushed halves of record 4's
+    frame: inserts 0-2 are acked and must survive; insert 3's frame is
+    genuinely torn and recovery truncates it."""
+    ddir, base_n, base_gen = durable_dir
+    ack = tmp_path / "ack"
+    # The file holds the marker (record 0) plus one record per insert,
+    # so the 4th insert (i=3) appends while record_count == 4.
+    plan = [FaultSpec(site="wal.append", kind="kill", indices=(4,))]
+    out = _run_child(ddir, ack, batches=8, plan=plan)
+    assert out.returncode == 17, (out.returncode, out.stderr)
+    assert _acked(ack) == [0, 1, 2]
+
+    engine = Engine.open_durable(str(ddir))
+    stats = engine.stats()["wal"]
+    assert stats["torn_bytes_truncated"] > 0  # the half-frame was cut
+    assert len(engine) == base_n + 3 * BATCH  # acked inserts, exactly
+    assert engine.generation == base_gen + 3
+    assert stats["replayed"] == 3
+    engine.close()
+
+
+def test_kill9_mid_fsync_unacked_write_is_complete(durable_dir, tmp_path):
+    """SIGKILL at the fsync checkpoint: record 4's frame is fully in
+    the OS page cache (appends flush before syncing), so the unacked
+    write survives — but it must surface as the complete batch, never
+    a fragment."""
+    ddir, base_n, base_gen = durable_dir
+    # The engine's own appends run under fsync="always", so the fsync
+    # site fires once per mutation — after the count includes the new
+    # record, so insert i=3 syncs at record_count 5.
+    plan = [FaultSpec(site="wal.fsync", kind="kill", indices=(5,))]
+    ack = tmp_path / "ack"
+    out = _run_child(ddir, ack, batches=8, plan=plan)
+    assert out.returncode == 17, (out.returncode, out.stderr)
+    assert _acked(ack) == [0, 1, 2]
+
+    engine = Engine.open_durable(str(ddir))
+    # All acked writes plus the complete in-flight one — atomicity
+    # means the count lands on an exact batch boundary.
+    assert len(engine) == base_n + 4 * BATCH
+    assert engine.generation == base_gen + 4
+    assert engine.stats()["wal"]["torn_bytes_truncated"] == 0
+    engine.close()
+
+
+@pytest.mark.parametrize("rotate_index", [0, 1], ids=["post-snapshot", "pre-swap"])
+def test_kill9_during_rotation(durable_dir, tmp_path, rotate_index):
+    """SIGKILL inside compaction — after the snapshot publishes
+    (index 0) or after the fresh log is written but before it replaces
+    the old one (index 1).  Either way the old log's generations are
+    covered by the new snapshot and recovery is exact."""
+    ddir, base_n, base_gen = durable_dir
+    plan = [
+        FaultSpec(site="wal.rotate", kind="kill", indices=(rotate_index,))
+    ]
+    ack = tmp_path / "ack"
+    # compact_records=5: marker + 4 inserts trips compaction inside the
+    # 4th insert (i=3), after its record is durably appended.
+    out = _run_child(ddir, ack, batches=8, plan=plan, compact=5)
+    assert out.returncode == 17, (out.returncode, out.stderr)
+    assert _acked(ack) == [0, 1, 2]
+
+    engine = Engine.open_durable(str(ddir))
+    assert len(engine) == base_n + 4 * BATCH
+    assert engine.generation == base_gen + 4
+    engine.close()
+
+    # And the directory is fully healthy: a second life appends and
+    # compacts cleanly on top of the recovered state.
+    ack2 = tmp_path / "ack2"
+    out = _run_child(ddir, ack2, batches=3, plan=None, compact=4)
+    assert out.returncode == 0, out.stderr
+    engine = Engine.open_durable(str(ddir))
+    assert len(engine) == base_n + 7 * BATCH
+    engine.close()
+
+
+def test_interior_corruption_detected_after_crash(durable_dir, tmp_path):
+    """Damage that is *not* a torn tail — a flipped byte with intact
+    records after it — must refuse to load, loudly, with the offset."""
+    ddir, _, _ = durable_dir
+    ack = tmp_path / "ack"
+    out = _run_child(ddir, ack, batches=4, plan=None)
+    assert out.returncode == 0, out.stderr
+    wal_path = os.path.join(str(ddir), Engine.WAL_NAME)
+    data = bytearray(open(wal_path, "rb").read())
+    data[len(data) // 2] ^= 0xFF
+    with open(wal_path, "wb") as f:
+        f.write(data)
+    with pytest.raises(WalCorruptionError) as err:
+        Engine.open_durable(str(ddir))
+    assert err.value.offset is not None
+
+
+# -- the real daemon, kill -9'd ----------------------------------------------
+
+
+def _start_daemon(durable_root, ready):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULT_PLAN", None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0",
+            "--durable-dir", str(durable_root),
+            "--ready-file", str(ready),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while not os.path.exists(str(ready)):
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died at startup: {proc.stderr.read()}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("daemon never wrote its ready file")
+        time.sleep(0.05)
+    info = json.loads(open(str(ready)).read())
+    return proc, f"http://{info['host']}:{info['port']}"
+
+
+def _request(base, verb, path, obj=None):
+    data = None if obj is None else json.dumps(obj).encode()
+    req = urllib.request.Request(base + path, data=data, method=verb)
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+def test_daemon_survives_kill9(tmp_path):
+    from repro import io as repro_io
+
+    root = tmp_path / "tenants"
+    ready1 = tmp_path / "ready1.json"
+    proc, base = _start_daemon(root, ready1)
+    acked_batches = 0
+    try:
+        rel = json.loads(
+            repro_io.dumps(random_discrete_points(12, 3, seed=77))
+        )
+        info = _request(base, "PUT", "/v1/datasets/t1", {"points": rel})
+        assert info["durable"] is True
+
+        for i in range(4):
+            batch = json.loads(
+                repro_io.dumps(random_discrete_points(2, 2, seed=80 + i))
+            )
+            info = _request(
+                base, "POST", "/v1/datasets/t1/points", {"points": batch}
+            )
+            acked_batches += 1  # 200 received: the write is durable
+        assert info["n"] == 12 + 2 * acked_batches
+
+        answers = _request(
+            base, "POST", "/v1/datasets/t1/query",
+            {"query": [[1.0, 2.0]], "spec": {"method": "expected_nn"}},
+        )["answers"]
+    finally:
+        # kill -9: no drain, no flush, no atexit.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        proc.stderr.close()
+
+    ready2 = tmp_path / "ready2.json"
+    proc, base = _start_daemon(root, ready2)
+    try:
+        info = _request(base, "GET", "/v1/datasets/t1")
+        assert info["n"] == 12 + 2 * acked_batches
+        assert info["generation"] == acked_batches
+        assert info["source"].startswith("recovered:")
+        assert info["engine"]["wal"]["replayed"] == acked_batches
+
+        # Same answers from the reborn process.
+        again = _request(
+            base, "POST", "/v1/datasets/t1/query",
+            {"query": [[1.0, 2.0]], "spec": {"method": "expected_nn"}},
+        )["answers"]
+        assert again == answers
+
+        stats = _request(base, "GET", "/stats")
+        assert stats["registry"]["recovered"] == 1
+
+        # And the reborn daemon keeps accepting durable writes.
+        batch = json.loads(
+            repro_io.dumps(random_discrete_points(2, 2, seed=99))
+        )
+        info = _request(
+            base, "POST", "/v1/datasets/t1/points", {"points": batch}
+        )
+        assert info["n"] == 12 + 2 * acked_batches + 2
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        proc.stderr.close()
